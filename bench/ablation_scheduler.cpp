@@ -1,0 +1,101 @@
+// Ablation: design choices of the SRE scheduler that the paper discusses
+// but does not plot.
+//
+//  1. Depth-favored priority vs pure FCFS (§III-A: "If it is to use a
+//     first-come first-serve (FCFS) approach, it would tend to focus
+//     resources to the beginning of the pipeline at the expense of the end.
+//     This breadth-first approach certainly extends latency").
+//  2. Control-task priority: prediction/check tasks dispatch first (§III-B)
+//     — quantified here by the latency cost of running them at natural
+//     priority instead (approximated by inflating their depth to 0).
+//  3. Multiple-buffering depth on the Cell (staging 0/2/4/8): deeper
+//     staging commits decisions earlier — good for DMA overlap (not
+//     modelled as a gain here) but worse for speculation responsiveness.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+pipeline::RunResult run_txt(sre::PriorityMode mode,
+                            sre::DispatchPolicy policy) {
+  auto cfg = pipeline::RunConfig::x86_disk(wl::FileKind::Txt, policy);
+  cfg.priority_mode = mode;
+  return pipeline::run_sim(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation 1: depth-favored priority vs FCFS (x86 disk, TXT)\n");
+  std::printf("%-28s %12s %12s\n", "scheduler", "avg_lat_us", "runtime_us");
+  for (auto policy : {sre::DispatchPolicy::NonSpeculative,
+                      sre::DispatchPolicy::Balanced}) {
+    for (auto mode : {sre::PriorityMode::DepthFirst, sre::PriorityMode::Fcfs}) {
+      const auto res = run_txt(mode, policy);
+      pipeline::verify_roundtrip(res);
+      std::printf("%-28s %12.0f %12llu\n",
+                  (sre::to_string(policy) + "/" +
+                   (mode == sre::PriorityMode::Fcfs ? "fcfs" : "depth-first"))
+                      .c_str(),
+                  res.avg_latency_us(),
+                  static_cast<unsigned long long>(res.makespan_us));
+    }
+  }
+
+  std::printf("\nAblation 2: staging depth on the Cell (TXT, conservative &"
+              " balanced)\n");
+  std::printf("%-28s %12s %12s %10s\n", "config", "avg_lat_us", "runtime_us",
+              "spec_disp");
+  for (auto policy : {sre::DispatchPolicy::Conservative,
+                      sre::DispatchPolicy::Balanced}) {
+    for (std::size_t depth : {std::size_t{0}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+      auto cfg = pipeline::RunConfig::cell_disk(wl::FileKind::Txt, policy);
+      cfg.platform.staging_depth = depth;
+      const auto res = pipeline::run_sim(cfg);
+      pipeline::verify_roundtrip(res);
+      std::printf("%-28s %12.0f %12llu %10llu\n",
+                  (sre::to_string(policy) + "/staging=" + std::to_string(depth))
+                      .c_str(),
+                  res.avg_latency_us(),
+                  static_cast<unsigned long long>(res.makespan_us),
+                  static_cast<unsigned long long>(res.spec_dispatches));
+    }
+  }
+
+  std::printf("\nAblation 3: check-task cost sensitivity (PDF, full"
+              " verification)\n");
+  std::printf("%-28s %12s %12s %8s\n", "check cost", "avg_lat_us",
+              "runtime_us", "checks");
+  for (std::uint64_t check_us : {0ULL, 12ULL, 120ULL, 1200ULL}) {
+    auto cfg = pipeline::RunConfig::x86_disk(wl::FileKind::Pdf,
+                                             sre::DispatchPolicy::Balanced);
+    cfg.spec.verify = tvs::VerificationPolicy::full();
+    cfg.platform.cost.check_us = check_us;
+    const auto res = pipeline::run_sim(cfg);
+    pipeline::verify_roundtrip(res);
+    std::printf("%-28s %12.0f %12llu %8llu\n",
+                (std::to_string(check_us) + " us").c_str(),
+                res.avg_latency_us(),
+                static_cast<unsigned long long>(res.makespan_us),
+                static_cast<unsigned long long>(res.counters.checks_executed));
+  }
+
+  std::printf("\nAblation 4: second-pass fan-out (offset group size, TXT"
+              " balanced, x86 disk)\n");
+  std::printf("%-28s %12s %12s\n", "offset group", "avg_lat_us", "runtime_us");
+  for (std::size_t group : {std::size_t{8}, std::size_t{16}, std::size_t{64},
+                            std::size_t{256}}) {
+    auto cfg = pipeline::RunConfig::x86_disk(wl::FileKind::Txt,
+                                             sre::DispatchPolicy::Balanced);
+    cfg.ratios.offset_group = group;
+    const auto res = pipeline::run_sim(cfg);
+    pipeline::verify_roundtrip(res);
+    std::printf("%-28s %12.0f %12llu\n",
+                ("1 offset : " + std::to_string(group) + " encodes").c_str(),
+                res.avg_latency_us(),
+                static_cast<unsigned long long>(res.makespan_us));
+  }
+  return 0;
+}

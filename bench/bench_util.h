@@ -1,0 +1,108 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every fig*_ binary prints: a per-policy summary table (the quantitative
+// shape), an ASCII latency-vs-element chart (the figure's visual shape), and
+// — when run with `--csv <dir>` — one CSV per figure panel with the exact
+// series, ready for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/driver.h"
+#include "stats/ascii_plot.h"
+#include "stats/csv.h"
+#include "stats/summary.h"
+
+namespace benchutil {
+
+/// Parses `--csv <dir>` from argv; creates the directory if needed.
+inline std::optional<std::string> csv_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") {
+      std::filesystem::create_directories(argv[i + 1]);
+      return std::string(argv[i + 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+struct NamedRun {
+  std::string name;
+  pipeline::RunResult result;
+};
+
+/// Prints one summary row per run: the numbers behind the figure.
+inline void print_summary_table(const std::string& title,
+                                const std::vector<NamedRun>& runs) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::printf("%-14s %12s %10s %10s %12s %6s %7s %9s\n", "series",
+              "avg_lat_us", "p95_us", "max_us", "runtime_us", "rb",
+              "commit", "waste_enc");
+  for (const auto& r : runs) {
+    const auto s = r.result.latency_summary();
+    std::printf("%-14s %12.0f %10llu %10llu %12llu %6llu %7s %9llu\n",
+                r.name.c_str(), r.result.avg_latency_us(),
+                static_cast<unsigned long long>(s.p95),
+                static_cast<unsigned long long>(s.max),
+                static_cast<unsigned long long>(r.result.makespan_us),
+                static_cast<unsigned long long>(r.result.rollbacks),
+                r.result.spec_committed ? "yes" : "no",
+                static_cast<unsigned long long>(
+                    r.result.trace.wasted_encodes()));
+  }
+}
+
+/// ASCII rendering of the latency-vs-element panel.
+inline void print_latency_chart(const std::vector<NamedRun>& runs) {
+  std::vector<std::vector<stats::Micros>> series;
+  series.reserve(runs.size());
+  for (const auto& r : runs) series.push_back(r.result.trace.latencies());
+  std::vector<stats::SeriesView> views;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    views.push_back({runs[i].name, &series[i]});
+  }
+  std::printf("%s", stats::plot_series(views).c_str());
+}
+
+/// CSV: element,<series...> — one row per block.
+inline void write_latency_csv(const std::string& dir, const std::string& file,
+                              const std::vector<NamedRun>& runs) {
+  stats::CsvWriter csv(dir + "/" + file);
+  std::vector<std::string> header{"element"};
+  std::vector<std::vector<stats::Micros>> series;
+  for (const auto& r : runs) {
+    header.push_back(r.name);
+    series.push_back(r.result.trace.latencies());
+  }
+  csv.header(header);
+  const std::size_t n = series.empty() ? 0 : series.front().size();
+  for (std::size_t e = 0; e < n; ++e) {
+    std::vector<std::string> row{std::to_string(e)};
+    for (const auto& s : series) row.push_back(std::to_string(s[e]));
+    csv.row(row);
+  }
+  std::printf("  wrote %s/%s\n", dir.c_str(), file.c_str());
+}
+
+/// Run-time bar panel (Fig. 3d / 4d / 6d).
+inline void print_runtime_bars(
+    const std::string& title,
+    const std::vector<std::pair<std::string, double>>& bars) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::vector<stats::Bar> b;
+  b.reserve(bars.size());
+  for (const auto& [label, value] : bars) b.push_back({label, value});
+  std::printf("%s", stats::bar_chart(b, "us").c_str());
+}
+
+/// Sanity common to every figure run: output round-trips and latencies exist.
+inline void verify_run(const NamedRun& run) {
+  pipeline::verify_roundtrip(run.result);
+}
+
+}  // namespace benchutil

@@ -1,0 +1,70 @@
+// Figure 3 (a-d): latency and runtime for TXT/BMP/PDF under the balanced,
+// aggressive and conservative dispatching policies on the x86 platform,
+// reading from disk, against the non-speculative baseline.
+//
+// Paper shapes to reproduce:
+//  * TXT (no rollbacks): every speculative policy beats non-spec; aggressive
+//    and balanced are best.
+//  * BMP/PDF (rollbacks): aggressive pays for wasted work; conservative and
+//    balanced stay close to (or better than) non-spec.
+//  * Balanced is the best overall compromise.
+//  * Run times (panel d): proper speculation brings up to ~20 % speedup on
+//    TXT; with rollbacks, conservative/balanced roughly match non-spec.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using benchutil::NamedRun;
+
+std::vector<NamedRun> run_file(wl::FileKind file) {
+  const std::vector<std::pair<std::string, sre::DispatchPolicy>> policies = {
+      {"non-spec", sre::DispatchPolicy::NonSpeculative},
+      {"balanced", sre::DispatchPolicy::Balanced},
+      {"aggressive", sre::DispatchPolicy::Aggressive},
+      {"conservative", sre::DispatchPolicy::Conservative},
+  };
+  std::vector<NamedRun> runs;
+  for (const auto& [name, policy] : policies) {
+    auto cfg = pipeline::RunConfig::x86_disk(file, policy);
+    auto result = pipeline::run_sim(cfg);
+    benchutil::verify_run({name, result});
+    runs.push_back({name, std::move(result)});
+  }
+  return runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto csv = benchutil::csv_dir(argc, argv);
+  std::printf("Fig. 3: scheduling policies, x86 platform, disk input\n");
+  std::printf("(16 simulated CPUs, 4 KiB blocks, reduce 16:1, offset 64:1,\n");
+  std::printf(" speculation step 1, verify every 8th, tolerance 1%%)\n");
+
+  std::vector<std::pair<std::string, double>> runtime_bars;
+  const char* panels[] = {"fig3a_txt.csv", "fig3b_bmp.csv", "fig3c_pdf.csv"};
+  int panel = 0;
+  for (wl::FileKind file : wl::all_kinds()) {
+    auto runs = run_file(file);
+    benchutil::print_summary_table(
+        "Fig. 3 (" + wl::to_string(file) + "): per-block latency", runs);
+    benchutil::print_latency_chart(runs);
+    if (csv) benchutil::write_latency_csv(*csv, panels[panel], runs);
+    for (const auto& r : runs) {
+      runtime_bars.emplace_back(wl::to_string(file) + "/" + r.name,
+                                static_cast<double>(r.result.makespan_us));
+    }
+    ++panel;
+  }
+  benchutil::print_runtime_bars("Fig. 3d: run times", runtime_bars);
+  if (csv) {
+    stats::CsvWriter w(*csv + "/fig3d_runtimes.csv");
+    w.header({"series", "runtime_us"});
+    for (const auto& [label, value] : runtime_bars) {
+      w.row({label, std::to_string(static_cast<std::uint64_t>(value))});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 4 (a-d): the Fig. 3 experiment on the Cell platform.
+//
+// Paper shapes to reproduce:
+//  * same phenomena as x86, "with the exception of a rather poor performance
+//    by the conservative policy. This is probably due to the longer dispatch
+//    queue required by the multiple buffering technique" — the per-CPU
+//    staging queues (depth 4) almost always hold a natural task, so the
+//    conservative policy nearly never speculates.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using benchutil::NamedRun;
+
+std::vector<NamedRun> run_file(wl::FileKind file) {
+  const std::vector<std::pair<std::string, sre::DispatchPolicy>> policies = {
+      {"non-spec", sre::DispatchPolicy::NonSpeculative},
+      {"balanced", sre::DispatchPolicy::Balanced},
+      {"aggressive", sre::DispatchPolicy::Aggressive},
+      {"conservative", sre::DispatchPolicy::Conservative},
+  };
+  std::vector<NamedRun> runs;
+  for (const auto& [name, policy] : policies) {
+    auto cfg = pipeline::RunConfig::cell_disk(file, policy);
+    auto result = pipeline::run_sim(cfg);
+    benchutil::verify_run({name, result});
+    runs.push_back({name, std::move(result)});
+  }
+  return runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto csv = benchutil::csv_dir(argc, argv);
+  std::printf("Fig. 4: scheduling policies, Cell platform, disk input\n");
+  std::printf("(16 simulated SPE-like CPUs, multiple buffering depth 4,\n");
+  std::printf(" 32 KiB task budget, both ratios 16:1, step 1, verify 8th, tol 1%%)\n");
+
+  std::vector<std::pair<std::string, double>> runtime_bars;
+  const char* panels[] = {"fig4a_txt.csv", "fig4b_bmp.csv", "fig4c_pdf.csv"};
+  int panel = 0;
+  for (wl::FileKind file : wl::all_kinds()) {
+    auto runs = run_file(file);
+    benchutil::print_summary_table(
+        "Fig. 4 (" + wl::to_string(file) + "): per-block latency, Cell", runs);
+    benchutil::print_latency_chart(runs);
+    if (csv) benchutil::write_latency_csv(*csv, panels[panel], runs);
+    for (const auto& r : runs) {
+      runtime_bars.emplace_back(wl::to_string(file) + "/" + r.name,
+                                static_cast<double>(r.result.makespan_us));
+    }
+    ++panel;
+  }
+  benchutil::print_runtime_bars("Fig. 4d: run times (Cell)", runtime_bars);
+  if (csv) {
+    stats::CsvWriter w(*csv + "/fig4d_runtimes.csv");
+    w.header({"series", "runtime_us"});
+    for (const auto& [label, value] : runtime_bars) {
+      w.row({label, std::to_string(static_cast<std::uint64_t>(value))});
+    }
+  }
+  return 0;
+}

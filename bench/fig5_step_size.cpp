@@ -1,0 +1,84 @@
+// Figure 5 (a-c): average latency vs speculation step size, per dispatch
+// policy, for TXT/BMP/PDF on x86 disk.
+//
+// Paper shapes to reproduce:
+//  * TXT: small steps all good; efficiency drops as the step grows
+//    (speculation starts later).
+//  * BMP/PDF: small steps roll back and look like non-spec; once the step
+//    jumps past the transient (≈8 for BMP, ≈16 for PDF), rollbacks stop and
+//    average latency drops sharply. Latency reductions up to ~22 % (BMP/PDF)
+//    and ~28 % (TXT) vs non-spec.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+const std::uint32_t kSteps[] = {1, 2, 4, 8, 16, 32};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto csv = benchutil::csv_dir(argc, argv);
+  std::printf("Fig. 5: speculation step-size sweep, x86 disk\n");
+
+  const std::vector<std::pair<std::string, sre::DispatchPolicy>> policies = {
+      {"balanced", sre::DispatchPolicy::Balanced},
+      {"aggressive", sre::DispatchPolicy::Aggressive},
+      {"conservative", sre::DispatchPolicy::Conservative},
+  };
+  const char* panels[] = {"fig5a_txt.csv", "fig5b_bmp.csv", "fig5c_pdf.csv"};
+
+  int panel = 0;
+  for (wl::FileKind file : wl::all_kinds()) {
+    // Non-spec reference (step axis value 0 in the paper's plots).
+    auto base_cfg =
+        pipeline::RunConfig::x86_disk(file, sre::DispatchPolicy::NonSpeculative);
+    const auto base = pipeline::run_sim(base_cfg);
+    pipeline::verify_roundtrip(base);
+
+    std::printf("\n--- Fig. 5 (%s): average latency vs step size ---\n",
+                wl::to_string(file).c_str());
+    std::printf("%-8s", "step");
+    for (const auto& [name, p] : policies) std::printf(" %12s", name.c_str());
+    std::printf("  %12s\n", "(rollbacks)");
+    std::printf("%-8s", "non-spec");
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      std::printf(" %12.0f", base.avg_latency_us());
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::uint32_t step : kSteps) {
+      std::printf("%-8u", step);
+      std::vector<std::string> row{std::to_string(step)};
+      std::string rb_note;
+      for (const auto& [name, policy] : policies) {
+        auto cfg = pipeline::RunConfig::x86_disk(file, policy);
+        cfg.spec.step_size = step;
+        const auto res = pipeline::run_sim(cfg);
+        pipeline::verify_roundtrip(res);
+        std::printf(" %12.0f", res.avg_latency_us());
+        row.push_back(std::to_string(
+            static_cast<std::uint64_t>(res.avg_latency_us())));
+        rb_note += name.substr(0, 1) + "=" + std::to_string(res.rollbacks) + " ";
+      }
+      std::printf("  %12s\n", rb_note.c_str());
+      csv_rows.push_back(std::move(row));
+    }
+
+    if (csv) {
+      stats::CsvWriter w(*csv + "/" + panels[panel]);
+      std::vector<std::string> header{"step"};
+      for (const auto& [name, p] : policies) header.push_back(name);
+      w.header(header);
+      w.row({"0", std::to_string(static_cast<std::uint64_t>(base.avg_latency_us())),
+             std::to_string(static_cast<std::uint64_t>(base.avg_latency_us())),
+             std::to_string(static_cast<std::uint64_t>(base.avg_latency_us()))});
+      for (const auto& row : csv_rows) w.row(row);
+      std::printf("  wrote %s/%s\n", csv->c_str(), panels[panel]);
+    }
+    ++panel;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7 (a-b): encoding over a long-distance tunneled socket connection —
+// per-element arrival time and latency for TXT and PDF.
+//
+// Paper shapes to reproduce:
+//  * TXT (no rollback): "latency is essentially negligible with respect to
+//    the transfer time" — each block is speculatively encoded almost as soon
+//    as it arrives.
+//  * PDF (rollback): a flat portion in the latency curve where all
+//    already-arrived blocks are re-encoded almost instantly after the
+//    corrected tree appears, then blocks are encoded as they arrive.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+void run_panel(wl::FileKind file, const std::optional<std::string>& csv,
+               const char* csv_name) {
+  auto cfg = pipeline::RunConfig::x86_socket(file, sre::DispatchPolicy::Balanced);
+  const auto res = pipeline::run_sim(cfg);
+  pipeline::verify_roundtrip(res);
+
+  const auto arrivals = res.trace.arrivals();
+  const auto latencies = res.trace.latencies();
+
+  std::printf("\n--- Fig. 7 (%s): socket I/O (ratios 8:1) ---\n",
+              wl::to_string(file).c_str());
+  std::printf("  transfer time (last arrival): %llu us\n",
+              static_cast<unsigned long long>(arrivals.back()));
+  const auto s = stats::summarize(latencies);
+  std::printf("  latency: %s\n", s.to_string().c_str());
+  std::printf("  rollbacks=%llu, spec committed=%s, wasted encodes=%llu\n",
+              static_cast<unsigned long long>(res.rollbacks),
+              res.spec_committed ? "yes" : "no",
+              static_cast<unsigned long long>(res.trace.wasted_encodes()));
+  std::printf("  arrival : %s\n", stats::sparkline(arrivals).c_str());
+  std::printf("  latency : %s\n", stats::sparkline(latencies).c_str());
+  std::printf("  latency / transfer time = %.4f (avg)\n",
+              res.avg_latency_us() / static_cast<double>(arrivals.back()));
+
+  if (csv) {
+    stats::CsvWriter w(*csv + "/" + csv_name);
+    w.header({"element", "arrival_us", "latency_us"});
+    for (std::size_t e = 0; e < arrivals.size(); ++e) {
+      w.row({std::to_string(e), std::to_string(arrivals[e]),
+             std::to_string(latencies[e])});
+    }
+    std::printf("  wrote %s/%s\n", csv->c_str(), csv_name);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto csv = benchutil::csv_dir(argc, argv);
+  std::printf("Fig. 7: reading from a socket (balanced policy, step 1,\n");
+  std::printf("verify every 8th, tolerance 1%%)\n");
+  run_panel(wl::FileKind::Txt, csv, "fig7a_txt.csv");
+  run_panel(wl::FileKind::Pdf, csv, "fig7b_pdf.csv");
+  return 0;
+}

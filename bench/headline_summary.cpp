@@ -1,0 +1,98 @@
+// Headline numbers: the paper's abstract claims "up to 28% speedup in
+// execution time and a 51% reduction in average latency in certain
+// scenarios" (the latency figure from optimistic TXT; see §V-B: "optimistic
+// runs can reduce average latency by as much as 51% for the text file").
+//
+// This bench sweeps the scenario grid and reports the best observed
+// improvements so the claims can be checked at a glance.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+struct Best {
+  double value = 0.0;
+  std::string scenario;
+};
+
+void consider(Best& best, double value, const std::string& scenario) {
+  if (value > best.value) {
+    best.value = value;
+    best.scenario = scenario;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Headline summary: best speculation improvements across the grid\n");
+
+  Best best_latency;
+  Best best_runtime;
+
+  struct Platform {
+    const char* name;
+    pipeline::RunConfig (*disk)(wl::FileKind, sre::DispatchPolicy);
+  };
+  const Platform platforms[] = {
+      {"x86", &pipeline::RunConfig::x86_disk},
+      {"cell", &pipeline::RunConfig::cell_disk},
+  };
+  const std::pair<const char*, tvs::VerificationPolicy> verifies[] = {
+      {"every8", tvs::VerificationPolicy::every_kth(8)},
+      {"optimistic", tvs::VerificationPolicy::optimistic()},
+  };
+  const std::pair<const char*, sre::DispatchPolicy> policies[] = {
+      {"balanced", sre::DispatchPolicy::Balanced},
+      {"aggressive", sre::DispatchPolicy::Aggressive},
+  };
+
+  std::printf("\n%-34s %12s %12s %8s %8s\n", "scenario", "avg_lat_us",
+              "runtime_us", "lat-%", "rt-%");
+  for (const auto& platform : platforms) {
+    for (wl::FileKind file : wl::all_kinds()) {
+      const auto base = pipeline::run_sim(
+          platform.disk(file, sre::DispatchPolicy::NonSpeculative));
+      pipeline::verify_roundtrip(base);
+      std::printf("%-34s %12.0f %12llu %8s %8s\n",
+                  (std::string(platform.name) + "/" + wl::to_string(file) +
+                   "/non-spec")
+                      .c_str(),
+                  base.avg_latency_us(),
+                  static_cast<unsigned long long>(base.makespan_us), "-", "-");
+
+      for (const auto& [vname, verify] : verifies) {
+        for (const auto& [pname, policy] : policies) {
+          auto cfg = platform.disk(file, policy);
+          cfg.spec.verify = verify;
+          const auto res = pipeline::run_sim(cfg);
+          pipeline::verify_roundtrip(res);
+          const double lat_gain =
+              (base.avg_latency_us() - res.avg_latency_us()) /
+              base.avg_latency_us() * 100.0;
+          const double rt_gain =
+              (static_cast<double>(base.makespan_us) -
+               static_cast<double>(res.makespan_us)) /
+              static_cast<double>(base.makespan_us) * 100.0;
+          const std::string scen = std::string(platform.name) + "/" +
+                                   wl::to_string(file) + "/" + pname + "/" +
+                                   vname;
+          std::printf("%-34s %12.0f %12llu %7.1f%% %7.1f%%\n", scen.c_str(),
+                      res.avg_latency_us(),
+                      static_cast<unsigned long long>(res.makespan_us),
+                      lat_gain, rt_gain);
+          consider(best_latency, lat_gain, scen);
+          consider(best_runtime, rt_gain, scen);
+        }
+      }
+    }
+  }
+
+  std::printf("\nBest average-latency reduction: %.1f%% (%s)\n",
+              best_latency.value, best_latency.scenario.c_str());
+  std::printf("Best run-time speedup:          %.1f%% (%s)\n",
+              best_runtime.value, best_runtime.scenario.c_str());
+  std::printf("Paper claims: up to 51%% latency reduction, up to 28%% speedup.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Microbenchmarks of the Huffman substrate — the real per-task costs behind
+// the simulator's CostModel (and the justification for its ratios).
+#include <benchmark/benchmark.h>
+
+#include "huffman/canonical.h"
+#include "huffman/decoder.h"
+#include "huffman/encoder.h"
+#include "huffman/fast_decoder.h"
+#include "huffman/length_limited.h"
+#include "huffman/offsets.h"
+#include "huffman/stream_format.h"
+#include "huffman/tree.h"
+#include "workload/corpus.h"
+
+namespace {
+
+const std::vector<std::uint8_t>& txt_1mb() {
+  static const auto data = wl::make_corpus(wl::FileKind::Txt, 1 << 20);
+  return data;
+}
+
+void BM_CountBlock(benchmark::State& state) {
+  const auto& data = txt_1mb();
+  const auto block =
+      std::span(data).first(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::Histogram::of(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CountBlock)->Arg(4096)->Arg(65536);
+
+void BM_ReduceHistograms(benchmark::State& state) {
+  const auto& data = txt_1mb();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<huff::Histogram> hists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hists[i] = huff::Histogram::of(std::span(data).subspan(i * 4096, 4096));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::Histogram::merged(hists));
+  }
+}
+BENCHMARK(BM_ReduceHistograms)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto hist = huff::Histogram::of(txt_1mb()).with_floor(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::HuffmanTree::build(hist));
+  }
+}
+BENCHMARK(BM_TreeBuild);
+
+void BM_CanonicalTable(benchmark::State& state) {
+  const auto lengths =
+      huff::HuffmanTree::build(huff::Histogram::of(txt_1mb()).with_floor(1))
+          .lengths();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::CodeTable::from_lengths(lengths));
+  }
+}
+BENCHMARK(BM_CanonicalTable);
+
+void BM_EncodeBlock(benchmark::State& state) {
+  const auto& data = txt_1mb();
+  const auto table = huff::CodeTable::from_histogram(huff::Histogram::of(data));
+  const auto block =
+      std::span(data).first(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::encode_block(block, table));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeBlock)->Arg(4096)->Arg(65536);
+
+void BM_OffsetGroup(benchmark::State& state) {
+  const auto& data = txt_1mb();
+  const auto table = huff::CodeTable::from_histogram(huff::Histogram::of(data));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<huff::Histogram> hists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hists[i] = huff::Histogram::of(std::span(data).subspan(i * 4096, 4096));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::compute_offsets(hists, table, 0));
+  }
+}
+BENCHMARK(BM_OffsetGroup)->Arg(16)->Arg(64);
+
+void BM_CheckTask(benchmark::State& state) {
+  // The tolerance check: two encoded_bits evaluations plus a comparison —
+  // "Check tasks are simple and run very quickly" (paper §IV-B).
+  const auto& data = txt_1mb();
+  const auto hist = huff::Histogram::of(data);
+  const auto guess = huff::CodeTable::from_histogram(
+      huff::Histogram::of(std::span(data).first(65536)).with_floor(1));
+  const auto current = huff::CodeTable::from_histogram(hist.with_floor(1));
+  for (auto _ : state) {
+    const auto a = guess.encoded_bits(hist);
+    const auto b = current.encoded_bits(hist);
+    benchmark::DoNotOptimize(a > b ? a - b : b - a);
+  }
+}
+BENCHMARK(BM_CheckTask);
+
+void BM_DecodeBlock(benchmark::State& state) {
+  const auto& data = txt_1mb();
+  const auto table = huff::CodeTable::from_histogram(huff::Histogram::of(data));
+  const auto block = std::span(data).first(4096);
+  const auto enc = huff::encode_block(block, table);
+  const huff::Decoder decoder(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(enc.bits, block.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DecodeBlock);
+
+void BM_FastDecodeBlock(benchmark::State& state) {
+  // Table-driven decode with length-limited codes: the production-style
+  // alternative to the canonical bit walker (BM_DecodeBlock).
+  const auto& data = txt_1mb();
+  const auto window = static_cast<std::uint8_t>(state.range(0));
+  const auto hist = huff::Histogram::of(data);
+  const auto table = huff::CodeTable::from_lengths(
+      huff::build_limited_lengths(hist, window));
+  const auto block = std::span(data).first(4096);
+  const auto enc = huff::encode_block(block, table);
+  const huff::FastDecoder decoder(table, window);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(enc.bits, block.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_FastDecodeBlock)->Arg(10)->Arg(12);
+
+void BM_PackageMerge(benchmark::State& state) {
+  const auto hist = huff::Histogram::of(txt_1mb()).with_floor(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::build_limited_lengths(hist, 12));
+  }
+}
+BENCHMARK(BM_PackageMerge);
+
+void BM_CompressBufferEndToEnd(benchmark::State& state) {
+  const auto data = wl::make_corpus(wl::FileKind::Txt, 256 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huff::compress_buffer(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_CompressBufferEndToEnd);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const auto kind = static_cast<wl::FileKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::make_corpus(kind, 256 * 1024, 1));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Microbenchmarks of the runtime layers: scheduler operations, dependence
+// propagation, virtual-time simulation throughput, and speculation-layer
+// overheads.
+#include <benchmark/benchmark.h>
+
+#include "core/speculator.h"
+#include "core/wait_buffer.h"
+#include "sim/sim_executor.h"
+#include "sre/runtime.h"
+
+namespace {
+
+void BM_ReadyPoolPushPop(benchmark::State& state) {
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  std::vector<sre::TaskPtr> tasks;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(rt.make_task("t", sre::TaskClass::Natural, 0,
+                                 static_cast<int>(i % 7), 10,
+                                 [](sre::TaskContext&) {}));
+  }
+  sre::ReadyPool pool(sre::DispatchPolicy::Balanced);
+  for (auto _ : state) {
+    for (const auto& t : tasks) pool.push(t);
+    while (pool.pop()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReadyPoolPushPop)->Arg(64)->Arg(1024);
+
+void BM_TaskLifecycle(benchmark::State& state) {
+  // Create → submit → dispatch → finish, the full runtime overhead per task.
+  for (auto _ : state) {
+    sre::Runtime rt(sre::DispatchPolicy::Balanced);
+    for (int i = 0; i < 256; ++i) {
+      rt.submit(rt.make_task("t", sre::TaskClass::Natural, 0, 1, 10,
+                             [](sre::TaskContext&) {}));
+    }
+    while (auto task = rt.next_task()) {
+      sre::TaskContext ctx{rt, *task, 0};
+      task->run(ctx);
+      rt.on_task_finished(task, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_TaskLifecycle);
+
+void BM_DependencyChainPropagation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sre::Runtime rt(sre::DispatchPolicy::Balanced);
+    sre::TaskPtr prev;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto t = rt.make_task("t", sre::TaskClass::Natural, 0, 1, 10,
+                            [](sre::TaskContext&) {});
+      if (prev) rt.add_dependency(prev, t);
+      rt.submit(t);
+      prev = t;
+    }
+    while (auto task = rt.next_task()) {
+      sre::TaskContext ctx{rt, *task, 0};
+      task->run(ctx);
+      rt.on_task_finished(task, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DependencyChainPropagation)->Arg(1024);
+
+void BM_EpochAbort(benchmark::State& state) {
+  // Rollback cost as a function of the doomed chain's size.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sre::Runtime rt(sre::DispatchPolicy::Balanced);
+    const sre::Epoch e = rt.open_epoch();
+    sre::TaskPtr prev;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto t = rt.make_task("s", sre::TaskClass::Speculative, e, 1, 10,
+                            [](sre::TaskContext&) {});
+      if (prev) rt.add_dependency(prev, t);
+      rt.submit(t);
+      prev = t;
+    }
+    state.ResumeTiming();
+    rt.abort_epoch(e);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EpochAbort)->Arg(64)->Arg(1024);
+
+void BM_SimThroughput(benchmark::State& state) {
+  // Virtual-time engine: independent tasks per wall-second.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sre::Runtime rt(sre::DispatchPolicy::Balanced);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::x86(16));
+    for (std::size_t i = 0; i < n; ++i) {
+      rt.submit(rt.make_task("t", sre::TaskClass::Natural, 0, 1, 100,
+                             [](sre::TaskContext&) {}));
+    }
+    ex.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimThroughput)->Arg(4096);
+
+void BM_SimStagedThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sre::Runtime rt(sre::DispatchPolicy::Balanced);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::cell(16));
+    for (std::size_t i = 0; i < n; ++i) {
+      rt.submit(rt.make_task("t", sre::TaskClass::Natural, 0, 1, 100,
+                             [](sre::TaskContext&) {}));
+    }
+    ex.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimStagedThroughput)->Arg(4096);
+
+void BM_WaitBufferAddCommit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::size_t sunk = 0;
+    tvs::WaitBuffer<std::size_t, int> buffer(
+        [&sunk](const std::size_t&, int&&, std::uint64_t) { ++sunk; });
+    for (std::size_t i = 0; i < n; ++i) {
+      buffer.add(1, i, static_cast<int>(i), 0);
+    }
+    buffer.commit(1, 1);
+    benchmark::DoNotOptimize(sunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WaitBufferAddCommit)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

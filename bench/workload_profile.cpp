@@ -1,0 +1,98 @@
+// Workload convergence profiler (ablation, not a paper figure).
+//
+// For each synthetic workload, prints the tolerance-check quantity the
+// speculation layer sees: for a guess adopted at estimate s and checked at
+// estimate k, delta(s,k) = |bits(T_s, H_k) - bits(T_k, H_k)| / bits(T_k, H_k).
+// The paper's rollback thresholds (no rollbacks beyond step 8 for BMP, 16
+// for PDF, none ever for TXT at 1 % tolerance) correspond to delta dropping
+// below the tolerance for all k ≥ s.
+#include <cstdio>
+#include <vector>
+
+#include "huffman/canonical.h"
+#include "huffman/tree.h"
+#include "workload/corpus.h"
+
+namespace {
+
+constexpr std::size_t kBlock = 4096;
+constexpr std::size_t kReduceRatio = 16;
+
+struct Profile {
+  std::vector<huff::Histogram> prefixes;  // prefix histogram per estimate
+  std::vector<huff::CodeTable> tables;    // floored table per estimate
+};
+
+Profile profile_of(wl::FileKind kind) {
+  const auto data = wl::make_corpus(kind);
+  const std::size_t n_blocks = (data.size() + kBlock - 1) / kBlock;
+  const std::size_t n_reduces = (n_blocks + kReduceRatio - 1) / kReduceRatio;
+
+  Profile p;
+  huff::Histogram prefix;
+  std::size_t b = 0;
+  for (std::size_t r = 0; r < n_reduces; ++r) {
+    for (std::size_t i = 0; i < kReduceRatio && b < n_blocks; ++i, ++b) {
+      const std::size_t begin = b * kBlock;
+      const std::size_t len = std::min(kBlock, data.size() - begin);
+      prefix.count(std::span<const std::uint8_t>(data).subspan(begin, len));
+    }
+    p.prefixes.push_back(prefix);
+    p.tables.push_back(huff::CodeTable::from_lengths(
+        huff::HuffmanTree::build(prefix.with_floor(1)).lengths()));
+  }
+  return p;
+}
+
+double delta(const Profile& p, std::size_t s, std::size_t k) {
+  const auto cur_bits = p.tables[k].encoded_bits(p.prefixes[k]);
+  const auto guess_bits = p.tables[s].encoded_bits(p.prefixes[k]);
+  const auto diff = guess_bits > cur_bits ? guess_bits - cur_bits
+                                          : cur_bits - guess_bits;
+  return static_cast<double>(diff) / static_cast<double>(cur_bits) * 100.0;
+}
+
+void print_profile(wl::FileKind kind) {
+  const Profile p = profile_of(kind);
+  const std::size_t n = p.prefixes.size();
+  std::printf("\n== %s: %zu estimates (reduce ratio %zu, %zu KiB per estimate)\n",
+              wl::to_string(kind).c_str(), n, kReduceRatio,
+              kBlock * kReduceRatio / 1024);
+  std::printf("%-8s", "s\\k");
+  const std::size_t steps[] = {1, 2, 4, 8, 16, 32};
+  for (std::size_t s : steps) {
+    if (s <= n) std::printf("  s=%-4zu", s);
+  }
+  std::printf("\n");
+  // Rows: check points (multiples of 8 plus final); columns: guess points.
+  for (std::size_t k = 8; k <= n; k += 8) {
+    const std::size_t kk = std::min(k, n) - 1;
+    std::printf("k=%-6zu", kk + 1);
+    for (std::size_t s : steps) {
+      if (s > n) continue;
+      if (s - 1 > kk) {
+        std::printf("  %-6s", "-");
+      } else {
+        std::printf("  %-6.2f", delta(p, s - 1, kk));
+      }
+    }
+    std::printf("\n");
+  }
+  // Final row (vs true histogram).
+  std::printf("k=FIN%-2s", "");
+  for (std::size_t s : steps) {
+    if (s > n) continue;
+    std::printf("  %-6.2f", delta(p, s - 1, n - 1));
+  }
+  std::printf("  (%% size delta; tolerance baseline = 1.00)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Workload convergence profile: delta(s,k) in %% of compressed size\n");
+  for (wl::FileKind kind : wl::all_kinds()) {
+    print_profile(kind);
+  }
+  return 0;
+}

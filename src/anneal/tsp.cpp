@@ -1,0 +1,169 @@
+#include "anneal/tsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "workload/rng.h"
+
+namespace ann {
+namespace {
+
+double dist(const Cities& c, std::uint32_t a, std::uint32_t b) {
+  const double dx = c.x(a) - c.x(b);
+  const double dy = c.y(a) - c.y(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Cities make_cities(std::size_t n, std::uint64_t seed, double scale) {
+  if (n < 3) throw std::invalid_argument("make_cities: need at least 3");
+  wl::Rng rng(wl::splitmix64(seed ^ 0x7559ULL));
+  Cities c;
+  c.xy.resize(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    c.xy[i] = rng.uniform() * scale;
+  }
+  return c;
+}
+
+double tour_cost(const Cities& cities, const Tour& tour) {
+  double total = 0.0;
+  const std::size_t n = tour.order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += dist(cities, tour.order[i], tour.order[(i + 1) % n]);
+  }
+  return total;
+}
+
+Tour initial_tour(std::size_t n) {
+  Tour t;
+  t.order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.order[i] = static_cast<std::uint32_t>(i);
+  }
+  return t;
+}
+
+Annealer::Annealer(const Cities& cities, std::uint64_t seed,
+                   double start_temperature, double cooling,
+                   std::size_t moves_per_sweep)
+    : cities_(cities),
+      tour_(initial_tour(cities.size())),
+      cost_(tour_cost(cities, tour_)),
+      temperature_(start_temperature),
+      cooling_(cooling),
+      moves_per_sweep_(moves_per_sweep) {
+  if (cooling <= 0.0 || cooling >= 1.0) {
+    throw std::invalid_argument("Annealer: cooling must be in (0,1)");
+  }
+  std::uint64_t s = wl::splitmix64(seed ^ 0xa22ea1ULL);
+  for (auto& word : rng_state_) {
+    s = wl::splitmix64(s);
+    word = s;
+  }
+}
+
+std::uint64_t Annealer::next_random() {
+  // xoshiro256** (inlined; matching wl::Rng's generator).
+  const auto rotl = [](std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(rng_state_[1] * 5, 7) * 9;
+  const std::uint64_t t = rng_state_[1] << 17;
+  rng_state_[2] ^= rng_state_[0];
+  rng_state_[3] ^= rng_state_[1];
+  rng_state_[1] ^= rng_state_[2];
+  rng_state_[0] ^= rng_state_[3];
+  rng_state_[2] ^= t;
+  rng_state_[3] = rotl(rng_state_[3], 45);
+  return result;
+}
+
+double Annealer::sweep() {
+  const std::size_t n = tour_.order.size();
+  for (std::size_t m = 0; m < moves_per_sweep_; ++m) {
+    // 2-opt: reverse the segment (i+1 .. j).
+    std::size_t i = next_random() % n;
+    std::size_t j = next_random() % n;
+    if (i == j) continue;
+    if (i > j) std::swap(i, j);
+    if (i + 1 == j || (i == 0 && j == n - 1)) continue;
+
+    const std::uint32_t a = tour_.order[i];
+    const std::uint32_t b = tour_.order[i + 1];
+    const std::uint32_t c = tour_.order[j];
+    const std::uint32_t d = tour_.order[(j + 1) % n];
+    const double delta = dist(cities_, a, c) + dist(cities_, b, d) -
+                         dist(cities_, a, b) - dist(cities_, c, d);
+    bool accept = delta < 0.0;
+    if (!accept && temperature_ > 1e-9) {
+      const double u = static_cast<double>(next_random() >> 11) * 0x1.0p-53;
+      accept = u < std::exp(-delta / temperature_);
+    }
+    if (accept) {
+      std::reverse(tour_.order.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                   tour_.order.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      cost_ += delta;
+    }
+  }
+  temperature_ *= cooling_;
+  ++sweeps_;
+  // Re-derive the cost periodically to keep float drift bounded.
+  if (sweeps_ % 8 == 0) cost_ = tour_cost(cities_, tour_);
+  return cost_;
+}
+
+std::vector<std::uint32_t> match_points(const Cities& cities, const Tour& tour,
+                                        std::span<const double> query_xy,
+                                        std::size_t begin_point,
+                                        std::size_t end_point) {
+  const std::size_t n = tour.order.size();
+  std::vector<std::uint32_t> out;
+  out.reserve(end_point - begin_point);
+  for (std::size_t q = begin_point; q < end_point; ++q) {
+    const double px = query_xy[2 * q];
+    const double py = query_xy[2 * q + 1];
+    double best_d = std::numeric_limits<double>::infinity();
+    std::uint32_t best_e = 0;
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::uint32_t a = tour.order[e];
+      const std::uint32_t b = tour.order[(e + 1) % n];
+      // Distance from point to segment ab.
+      const double ax = cities.x(a);
+      const double ay = cities.y(a);
+      const double bx = cities.x(b);
+      const double by = cities.y(b);
+      const double vx = bx - ax;
+      const double vy = by - ay;
+      const double len2 = vx * vx + vy * vy;
+      double t = len2 > 0.0 ? ((px - ax) * vx + (py - ay) * vy) / len2 : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const double dx = px - (ax + t * vx);
+      const double dy = py - (ay + t * vy);
+      const double d = dx * dx + dy * dy;
+      if (d < best_d) {
+        best_d = d;
+        best_e = static_cast<std::uint32_t>(e);
+      }
+    }
+    out.push_back(best_e);
+  }
+  return out;
+}
+
+std::vector<double> make_queries(const Cities& cities, std::size_t n,
+                                 std::uint64_t seed) {
+  wl::Rng rng(wl::splitmix64(seed ^ 0x9e41ULL));
+  std::vector<double> out(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t near = rng.below(cities.size());
+    out[2 * i] = cities.x(near) + (rng.uniform() - 0.5) * 8.0;
+    out[2 * i + 1] = cities.y(near) + (rng.uniform() - 0.5) * 8.0;
+  }
+  return out;
+}
+
+}  // namespace ann

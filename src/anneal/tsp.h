@@ -1,0 +1,84 @@
+// Simulated annealing on the travelling-salesman problem: the paper's other
+// named iterative heuristic ("random-based optimization heuristics such as
+// simulated annealing are commonly used in large computations", §II-A).
+//
+// Unlike the Wiener solver and Lloyd's k-means, annealing's intermediate
+// results are *non-monotone*: the tour cost jitters as the temperature
+// drops, so a speculation adopted from an early sweep can be invalidated by
+// a later improvement — and the speculator's rollback → re-speculate cycle
+// gets exercised repeatedly rather than at most once or twice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ann {
+
+/// 2-D city coordinates, row-major pairs.
+struct Cities {
+  std::vector<double> xy;
+  [[nodiscard]] std::size_t size() const { return xy.size() / 2; }
+  [[nodiscard]] double x(std::size_t i) const { return xy[2 * i]; }
+  [[nodiscard]] double y(std::size_t i) const { return xy[2 * i + 1]; }
+};
+
+/// A tour: a permutation of city indices.
+struct Tour {
+  std::vector<std::uint32_t> order;
+  bool operator==(const Tour&) const = default;
+};
+
+/// Deterministic random city layout in the unit square, scaled by `scale`.
+[[nodiscard]] Cities make_cities(std::size_t n, std::uint64_t seed,
+                                 double scale = 100.0);
+
+/// Total closed-tour length.
+[[nodiscard]] double tour_cost(const Cities& cities, const Tour& tour);
+
+/// Identity tour 0..n-1.
+[[nodiscard]] Tour initial_tour(std::size_t n);
+
+/// Stateful annealer: one sweep = `moves_per_sweep` random 2-opt proposals
+/// under the current temperature, then geometric cooling. Deterministic in
+/// the seed.
+class Annealer {
+ public:
+  Annealer(const Cities& cities, std::uint64_t seed,
+           double start_temperature = 30.0, double cooling = 0.85,
+           std::size_t moves_per_sweep = 2000);
+
+  /// One sweep; returns the current (possibly unimproved) tour cost.
+  double sweep();
+
+  [[nodiscard]] const Tour& current() const { return tour_; }
+  [[nodiscard]] double current_cost() const { return cost_; }
+  [[nodiscard]] double temperature() const { return temperature_; }
+  [[nodiscard]] std::size_t sweeps() const { return sweeps_; }
+
+ private:
+  const Cities& cities_;
+  Tour tour_;
+  double cost_;
+  double temperature_;
+  double cooling_;
+  std::size_t moves_per_sweep_;
+  std::size_t sweeps_ = 0;
+  std::uint64_t rng_state_[4];
+  std::uint64_t next_random();
+};
+
+/// Downstream parallel phase: snap query points to their nearest tour edge
+/// (e.g. map-matching deliveries onto the planned route). Returns, per
+/// query point, the index of the tour edge it is closest to.
+[[nodiscard]] std::vector<std::uint32_t> match_points(
+    const Cities& cities, const Tour& tour, std::span<const double> query_xy,
+    std::size_t begin_point, std::size_t end_point);
+
+/// Deterministic query points around the cities.
+[[nodiscard]] std::vector<double> make_queries(const Cities& cities,
+                                               std::size_t n,
+                                               std::uint64_t seed);
+
+}  // namespace ann

@@ -1,0 +1,240 @@
+// Speculator<V>: the tolerant-value-speculation engine.
+//
+// Implements the paper's four-part programmer interface (§II-A):
+//   (1) what to speculate  — the value V flowing along a DFG edge;
+//   (2) how to speculate   — a stream of refining estimates of V fed through
+//                            on_estimate() (prefix results, early iterates);
+//   (3) where to speculate — the caller parks side-effect-bound results in a
+//                            WaitBuffer and releases them from on_commit /
+//                            on_rollback;
+//   (4) how to validate    — a tolerance predicate comparing the adopted
+//                            guess with the newest estimate.
+//
+// Lifecycle per run: estimates arrive with 1-based indices; while no
+// speculation is active, estimate k opens an epoch if k is a step-size
+// multiple (the guess is adopted and the caller's build_chain spawns the
+// speculative sub-graph). While one is active, the verification policy
+// schedules Check tasks: a passing non-final check changes nothing; a failing
+// check triggers rollback (runtime abort + caller cleanup) and immediate
+// re-speculation from the newest estimate; the final estimate's check decides
+// commit or fallback to the natural path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "core/config.h"
+#include "sre/runtime.h"
+
+namespace tvs {
+
+template <typename V>
+class Speculator {
+ public:
+  struct Callbacks {
+    /// Spawns the speculative sub-graph computing from `guess` under `epoch`.
+    /// `estimate_index` tells the builder how much input backs the guess.
+    std::function<void(const V& guess, sre::Epoch epoch,
+                       std::uint32_t estimate_index)>
+        build_chain;
+
+    /// Tolerance predicate: is `guess` still acceptable given `current`?
+    std::function<bool(const V& guess, const V& current)> within_tolerance;
+
+    /// Final check passed: release the epoch's buffered results.
+    std::function<void(sre::Epoch epoch, std::uint64_t now_us)> on_commit;
+
+    /// Epoch rejected: buffered results were already aborted in the runtime;
+    /// drop them from wait buffers and clean up chain state.
+    std::function<void(sre::Epoch epoch, std::uint64_t now_us)> on_rollback;
+
+    /// No committed speculation covers the output: build the natural
+    /// (non-speculative) path from the final value.
+    std::function<void(const V& final_value, std::uint64_t now_us)>
+        build_natural;
+  };
+
+  Speculator(sre::Runtime& runtime, SpecConfig config, Callbacks callbacks,
+             std::uint64_t check_cost_us = 12)
+      : runtime_(runtime),
+        config_(config),
+        cb_(std::move(callbacks)),
+        check_cost_us_(check_cost_us) {
+    if (!cb_.build_chain || !cb_.within_tolerance || !cb_.on_commit ||
+        !cb_.on_rollback || !cb_.build_natural) {
+      throw std::invalid_argument("Speculator: all callbacks are required");
+    }
+  }
+
+  /// Does the pipeline need to materialize the estimate at `index` at all?
+  /// (Estimate materialization — e.g. building a prefix Huffman tree — can
+  /// itself be costly; skip it when the speculator would ignore it.)
+  [[nodiscard]] bool wants_estimate(std::uint32_t index, bool is_final) const {
+    std::scoped_lock lk(mu_);
+    if (finished_) return false;
+    if (is_final) return true;
+    if (!active_) {
+      return index >= defer_until_ && config_.should_speculate(index);
+    }
+    return config_.verify.should_check(index, false);
+  }
+
+  /// Feeds estimate number `index` (1-based, monotonically increasing).
+  /// `is_final` marks the true, complete value. `now_us` is engine time.
+  void on_estimate(V value, std::uint32_t index, bool is_final,
+                   std::uint64_t now_us) {
+    std::unique_lock lk(mu_);
+    if (finished_) return;
+    latest_ = std::move(value);
+    latest_index_ = index;
+    latest_is_final_ = is_final;
+
+    if (!active_) {
+      if (is_final) {
+        // Nothing speculated (or everything rolled back): natural path.
+        finished_ = true;
+        V final_copy = *latest_;
+        lk.unlock();
+        cb_.build_natural(final_copy, now_us);
+        return;
+      }
+      if (index >= defer_until_ && config_.should_speculate(index)) {
+        open_epoch_locked(lk, now_us);
+      }
+      return;
+    }
+
+    if (config_.verify.should_check(index, is_final)) {
+      spawn_check_locked(lk, is_final);
+    }
+  }
+
+  // --- Introspection ---------------------------------------------------
+
+  [[nodiscard]] bool finished() const {
+    std::scoped_lock lk(mu_);
+    return finished_;
+  }
+  [[nodiscard]] bool committed() const {
+    std::scoped_lock lk(mu_);
+    return committed_;
+  }
+  [[nodiscard]] std::optional<sre::Epoch> active_epoch() const {
+    std::scoped_lock lk(mu_);
+    if (!active_) return std::nullopt;
+    return active_->epoch;
+  }
+  [[nodiscard]] const SpecConfig& config() const { return config_; }
+
+ private:
+  struct Active {
+    sre::Epoch epoch;
+    V guess;
+    std::uint32_t guess_index;
+  };
+
+  /// Opens a fresh epoch from the newest estimate. Caller holds the lock;
+  /// the lock is released around the user callback and re-acquired.
+  void open_epoch_locked(std::unique_lock<std::mutex>& lk,
+                         std::uint64_t /*now_us*/) {
+    const sre::Epoch epoch = runtime_.open_epoch();
+    active_ = Active{epoch, *latest_, latest_index_};
+    const V guess = active_->guess;
+    const std::uint32_t gix = active_->guess_index;
+    lk.unlock();
+    cb_.build_chain(guess, epoch, gix);
+    lk.lock();
+  }
+
+  /// Spawns a Control-class check task comparing the active guess against
+  /// the newest estimate. Caller holds the lock.
+  void spawn_check_locked(std::unique_lock<std::mutex>& lk, bool is_final) {
+    const sre::Epoch epoch = active_->epoch;
+    // Copies for the task body: verdicts must be computed against the
+    // values as of scheduling, not whatever is newest when the task runs.
+    auto guess = std::make_shared<const V>(active_->guess);
+    auto current = std::make_shared<const V>(*latest_);
+
+    auto verdict = std::make_shared<bool>(false);
+    auto task = runtime_.make_task(
+        "check[e" + std::to_string(epoch) + (is_final ? ",final]" : "]"),
+        sre::TaskClass::Control, sre::kNaturalEpoch, /*depth=*/1000,
+        check_cost_us_,
+        [this, guess, current, verdict](sre::TaskContext&) {
+          *verdict = cb_.within_tolerance(*guess, *current);
+        });
+    task->add_completion_hook(
+        [this, epoch, verdict, is_final](sre::Task&, std::uint64_t done_us) {
+          on_verdict(epoch, *verdict, is_final, done_us);
+        });
+    lk.unlock();
+    runtime_.submit(task);
+    lk.lock();
+  }
+
+  void on_verdict(sre::Epoch epoch, bool within, bool is_final,
+                  std::uint64_t now_us) {
+    std::unique_lock lk(mu_);
+    if (finished_) return;
+    if (!active_ || active_->epoch != epoch) return;  // stale verdict
+
+    if (within) {
+      if (!is_final) return;  // confidence builds; nothing changes
+      // Commit: the speculative outputs stand in for the natural path.
+      committed_ = true;
+      finished_ = true;
+      active_.reset();
+      runtime_.mark_epoch_committed(epoch);
+      lk.unlock();
+      cb_.on_commit(epoch, now_us);
+      return;
+    }
+
+    // Tolerance exceeded: roll back the epoch.
+    runtime_.note_rollback();
+    active_.reset();
+    lk.unlock();
+    runtime_.abort_epoch(epoch);
+    cb_.on_rollback(epoch, now_us);
+    lk.lock();
+
+    if (latest_is_final_) {
+      // The final value is known and speculation failed against it:
+      // recompute along the natural path.
+      finished_ = true;
+      V final_copy = *latest_;
+      lk.unlock();
+      cb_.build_natural(final_copy, now_us);
+      return;
+    }
+    if (config_.adaptive_restart) {
+      // Geometric backoff: the failed guess was backed by latest_index_
+      // estimates' worth of data; demand double before guessing again.
+      defer_until_ = latest_index_ * 2;
+      return;
+    }
+    // Re-speculate immediately from the newest estimate ("a negative
+    // comparison generates a new filtering task that uses the new
+    // coefficients", §II-A).
+    open_epoch_locked(lk, now_us);
+  }
+
+  sre::Runtime& runtime_;
+  SpecConfig config_;
+  Callbacks cb_;
+  std::uint64_t check_cost_us_;
+
+  mutable std::mutex mu_;
+  std::optional<V> latest_;
+  std::uint32_t latest_index_ = 0;
+  bool latest_is_final_ = false;
+  std::optional<Active> active_;
+  bool finished_ = false;
+  bool committed_ = false;
+  std::uint32_t defer_until_ = 0;  ///< adaptive restart: no guesses below this
+};
+
+}  // namespace tvs

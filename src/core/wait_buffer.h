@@ -1,0 +1,112 @@
+// WaitBuffer: the paper's "where (not) to speculate" barrier.
+//
+// "When speculative data arrives at a state-modifying task such as writing
+//  to disk or network I/O, it is buffered until the validity of the
+//  speculation is confirmed." (paper §II-A)
+//
+// Speculative results destined for a side-effecting sink are parked here,
+// keyed by epoch. A committed epoch flushes its entries to the sink (in key
+// order) and turns into pass-through for later arrivals from the same epoch;
+// a dropped (rolled back) epoch discards them. Natural-path results bypass
+// the buffer entirely — pass them straight to the sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sre/ids.h"
+
+namespace tvs {
+
+template <typename Key, typename Payload>
+class WaitBuffer {
+ public:
+  /// Sink invoked with released entries and the engine time of release.
+  using Sink = std::function<void(const Key&, Payload&&, std::uint64_t now_us)>;
+
+  explicit WaitBuffer(Sink sink) : sink_(std::move(sink)) {
+    if (!sink_) throw std::invalid_argument("WaitBuffer: null sink");
+  }
+
+  /// Parks a speculative result. If the epoch was already committed, the
+  /// entry flows straight to the sink; if it was dropped, the entry is
+  /// discarded (its producing task raced a rollback).
+  void add(sre::Epoch epoch, Key key, Payload payload, std::uint64_t now_us) {
+    std::unique_lock lk(mu_);
+    auto st = status_.find(epoch);
+    if (st != status_.end() && st->second == Status::Committed) {
+      lk.unlock();
+      sink_(key, std::move(payload), now_us);
+      return;
+    }
+    if (st != status_.end() && st->second == Status::Dropped) {
+      ++discarded_;
+      return;
+    }
+    pending_[epoch].insert_or_assign(std::move(key), std::move(payload));
+  }
+
+  /// Commits an epoch: flushes buffered entries (key order) and passes
+  /// through future ones.
+  void commit(sre::Epoch epoch, std::uint64_t now_us) {
+    std::map<Key, Payload> entries;
+    {
+      std::scoped_lock lk(mu_);
+      status_[epoch] = Status::Committed;
+      auto it = pending_.find(epoch);
+      if (it != pending_.end()) {
+        entries = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    for (auto& [key, payload] : entries) {
+      sink_(key, std::move(payload), now_us);
+    }
+  }
+
+  /// Drops an epoch's buffered entries (rollback path).
+  void drop(sre::Epoch epoch) {
+    std::scoped_lock lk(mu_);
+    status_[epoch] = Status::Dropped;
+    auto it = pending_.find(epoch);
+    if (it != pending_.end()) {
+      discarded_ += it->second.size();
+      pending_.erase(it);
+    }
+  }
+
+  [[nodiscard]] std::size_t pending(sre::Epoch epoch) const {
+    std::scoped_lock lk(mu_);
+    auto it = pending_.find(epoch);
+    return it == pending_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::size_t total_pending() const {
+    std::scoped_lock lk(mu_);
+    std::size_t n = 0;
+    for (const auto& [e, m] : pending_) n += m.size();
+    return n;
+  }
+
+  /// Entries discarded by rollbacks over the buffer's lifetime.
+  [[nodiscard]] std::size_t discarded() const {
+    std::scoped_lock lk(mu_);
+    return discarded_;
+  }
+
+ private:
+  enum class Status : std::uint8_t { Committed, Dropped };
+
+  Sink sink_;
+  mutable std::mutex mu_;
+  std::unordered_map<sre::Epoch, std::map<Key, Payload>> pending_;
+  std::unordered_map<sre::Epoch, Status> status_;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace tvs

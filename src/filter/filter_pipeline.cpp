@@ -1,0 +1,294 @@
+#include "filter/filter_pipeline.h"
+
+#include <cassert>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "core/speculator.h"
+#include "core/wait_buffer.h"
+#include "filter/fir.h"
+#include "filter/iterative_design.h"
+
+namespace filt {
+
+using Coeffs = std::vector<double>;
+
+/// Filters one block with full-signal context: the FIR history reaches back
+/// taps-1 samples before the block, so per-block outputs concatenate to
+/// exactly the whole-signal convolution (blocks are independent tasks, not
+/// independent signals).
+std::vector<double> filter_block(const std::vector<double>& input,
+                                 std::size_t begin, std::size_t end,
+                                 const Coeffs& coeffs) {
+  const std::size_t history = coeffs.size() > 0 ? coeffs.size() - 1 : 0;
+  const std::size_t ctx_begin = begin >= history ? begin - history : 0;
+  const auto with_context = apply_fir(
+      std::span<const double>(input).subspan(ctx_begin, end - ctx_begin),
+      coeffs);
+  return std::vector<double>(with_context.begin() +
+                                 static_cast<std::ptrdiff_t>(begin - ctx_begin),
+                             with_context.end());
+}
+
+struct FilterPipeline::State {
+  State(sre::Runtime& runtime, const std::vector<double>& in,
+        const std::vector<double>& tgt, FilterPipelineConfig config,
+        bool spec_on)
+      : rt(runtime),
+        input(in),
+        target(tgt),
+        cfg(std::move(config)),
+        speculation(spec_on) {}
+
+  sre::Runtime& rt;
+  const std::vector<double>& input;
+  const std::vector<double>& target;
+  FilterPipelineConfig cfg;
+  bool speculation;
+
+  std::size_t n_blocks = 0;
+
+  std::mutex mu;
+  std::shared_ptr<IterativeSolver> solver;  ///< driven by the serial chain
+  std::vector<std::shared_ptr<const Coeffs>> iterate_snapshots;
+
+  stats::BlockTrace trace;
+  std::vector<std::optional<std::vector<double>>> out_blocks;
+  Coeffs committed_coeffs;
+  bool have_output_coeffs = false;
+  bool spec_committed = false;
+  std::uint64_t rollbacks = 0;
+  bool natural_built = false;
+
+  std::unique_ptr<tvs::WaitBuffer<std::size_t, std::vector<double>>> buffer;
+  std::unique_ptr<tvs::Speculator<Coeffs>> spec;
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> block_range(
+      std::size_t b) const {
+    const std::size_t begin = b * cfg.block_samples;
+    const std::size_t end =
+        std::min(begin + cfg.block_samples, input.size());
+    return {begin, end};
+  }
+};
+
+FilterPipeline::FilterPipeline(sre::Runtime& runtime,
+                               const std::vector<double>& input,
+                               const std::vector<double>& target,
+                               FilterPipelineConfig config, bool speculation)
+    : st_(std::make_shared<State>(runtime, input, target, std::move(config),
+                                  speculation)) {
+  State& st = *st_;
+  if (st.input.size() != st.target.size() || st.input.empty()) {
+    throw std::invalid_argument("FilterPipeline: bad signal sizes");
+  }
+  if (st.cfg.iterations == 0 || st.cfg.block_samples == 0) {
+    throw std::invalid_argument("FilterPipeline: bad config");
+  }
+  st.n_blocks =
+      (st.input.size() + st.cfg.block_samples - 1) / st.cfg.block_samples;
+  st.trace = stats::BlockTrace(st.n_blocks);
+  st.out_blocks.resize(st.n_blocks);
+  st.iterate_snapshots.resize(st.cfg.iterations);
+
+  auto stp = st_;
+  st.buffer =
+      std::make_unique<tvs::WaitBuffer<std::size_t, std::vector<double>>>(
+          [stp](const std::size_t& b, std::vector<double>&& y, std::uint64_t) {
+            std::scoped_lock lk(stp->mu);
+            stp->out_blocks[b] = std::move(y);
+          });
+
+  if (speculation) {
+    tvs::Speculator<Coeffs>::Callbacks cb;
+    cb.build_chain = [this](const Coeffs& guess, sre::Epoch epoch,
+                            std::uint32_t) {
+      build_filter_chain(guess, epoch);
+    };
+    cb.within_tolerance = [tol = st.cfg.spec.tolerance](const Coeffs& guess,
+                                                        const Coeffs& cur) {
+      return rel_l2_diff(guess, cur) <= tol;
+    };
+    cb.on_commit = [stp](sre::Epoch epoch, std::uint64_t now_us) {
+      {
+        std::scoped_lock lk(stp->mu);
+        stp->spec_committed = true;
+        stp->have_output_coeffs = true;
+      }
+      stp->buffer->commit(epoch, now_us);
+    };
+    cb.on_rollback = [stp](sre::Epoch epoch, std::uint64_t) {
+      {
+        std::scoped_lock lk(stp->mu);
+        ++stp->rollbacks;
+      }
+      stp->buffer->drop(epoch);
+    };
+    cb.build_natural = [this](const Coeffs& final_coeffs, std::uint64_t) {
+      build_natural(final_coeffs);
+    };
+    st.spec = std::make_unique<tvs::Speculator<Coeffs>>(
+        runtime, st.cfg.spec, std::move(cb), st.cfg.check_cost_us);
+  }
+}
+
+void FilterPipeline::start() {
+  auto st = st_;
+  // Problem-estimation task ("Filter Information" box of Fig. 1).
+  auto problem_task = st->rt.make_task(
+      "estimate-problem", sre::TaskClass::Natural, sre::kNaturalEpoch,
+      /*depth=*/1, st->cfg.problem_cost_us, [st](sre::TaskContext&) {
+        st->solver = std::make_shared<IterativeSolver>(
+            estimate_problem(st->input, st->target, st->cfg.taps));
+      });
+
+  // Serial iteration chain ("Iteration step k").
+  sre::TaskPtr prev = problem_task;
+  auto self = this;
+  for (std::size_t k = 0; k < st->cfg.iterations; ++k) {
+    auto iter_task = st->rt.make_task(
+        "iterate[" + std::to_string(k + 1) + "]", sre::TaskClass::Natural,
+        sre::kNaturalEpoch, /*depth=*/2, st->cfg.iter_cost_us,
+        [st, k](sre::TaskContext&) {
+          st->solver->step();
+          st->iterate_snapshots[k] =
+              std::make_shared<const Coeffs>(st->solver->current());
+        });
+    iter_task->add_completion_hook(
+        [self, k](sre::Task&, std::uint64_t done_us) {
+          self->on_iterate(k, done_us);
+        });
+    st->rt.add_dependency(prev, iter_task);
+    prev = iter_task;
+    st->rt.submit(iter_task);
+  }
+  st->rt.submit(problem_task);
+
+  // Every block is available from t=0: record arrivals now.
+  for (std::size_t b = 0; b < st->n_blocks; ++b) {
+    st->trace.record_arrival(b, 0);
+  }
+}
+
+void FilterPipeline::on_iterate(std::size_t k, std::uint64_t now_us) {
+  auto st = st_;
+  const bool is_final = (k + 1 == st->cfg.iterations);
+  const auto index = static_cast<std::uint32_t>(k + 1);
+  auto snapshot = st->iterate_snapshots[k];
+
+  if (!st->spec) {
+    if (is_final) build_natural(*snapshot);
+    return;
+  }
+  // Coefficient vectors are cheap; feed every iterate the speculator wants.
+  if (st->spec->wants_estimate(index, is_final)) {
+    st->spec->on_estimate(*snapshot, index, is_final, now_us);
+  }
+}
+
+void FilterPipeline::build_filter_chain(const Coeffs& guess,
+                                        sre::Epoch epoch) {
+  auto st = st_;
+  auto coeffs = std::make_shared<const Coeffs>(guess);
+  for (std::size_t b = 0; b < st->n_blocks; ++b) {
+    const auto [begin, end] = st->block_range(b);
+    auto y = std::make_shared<std::vector<double>>();
+    auto task = st->rt.make_task(
+        "spec-filter[" + std::to_string(b) + ",e" + std::to_string(epoch) +
+            "]",
+        sre::TaskClass::Speculative, epoch, /*depth=*/3,
+        st->cfg.filter_cost_us, [st, begin, end, coeffs, y](sre::TaskContext&) {
+          *y = filter_block(st->input, begin, end, *coeffs);
+        });
+    task->add_completion_hook(
+        [st, b, y, epoch](sre::Task&, std::uint64_t done_us) {
+          {
+            std::scoped_lock lk(st->mu);
+            st->trace.record_done(b, done_us, /*speculative=*/true);
+          }
+          st->buffer->add(epoch, b, std::move(*y), done_us);
+        });
+    st->rt.submit(task);
+  }
+  {
+    std::scoped_lock lk(st->mu);
+    st->committed_coeffs = guess;  // provisional; natural path overwrites
+  }
+}
+
+void FilterPipeline::build_natural(const Coeffs& coeffs) {
+  auto st = st_;
+  {
+    std::scoped_lock lk(st->mu);
+    if (st->natural_built) {
+      throw std::logic_error("FilterPipeline: natural path built twice");
+    }
+    st->natural_built = true;
+    st->committed_coeffs = coeffs;
+    st->have_output_coeffs = true;
+  }
+  auto c = std::make_shared<const Coeffs>(coeffs);
+  for (std::size_t b = 0; b < st->n_blocks; ++b) {
+    const auto [begin, end] = st->block_range(b);
+    auto y = std::make_shared<std::vector<double>>();
+    auto task = st->rt.make_task(
+        "filter[" + std::to_string(b) + "]", sre::TaskClass::Natural,
+        sre::kNaturalEpoch, /*depth=*/3, st->cfg.filter_cost_us,
+        [st, begin, end, c, y](sre::TaskContext&) {
+          *y = filter_block(st->input, begin, end, *c);
+        });
+    task->add_completion_hook([st, b, y](sre::Task&, std::uint64_t done_us) {
+      std::scoped_lock lk(st->mu);
+      st->trace.record_done(b, done_us, /*speculative=*/false);
+      st->out_blocks[b] = std::move(*y);
+    });
+    st->rt.submit(task);
+  }
+}
+
+std::vector<double> FilterPipeline::output() const {
+  std::scoped_lock lk(st_->mu);
+  std::vector<double> out;
+  out.reserve(st_->input.size());
+  for (std::size_t b = 0; b < st_->n_blocks; ++b) {
+    if (!st_->out_blocks[b]) {
+      throw std::logic_error("FilterPipeline: block " + std::to_string(b) +
+                             " missing");
+    }
+    out.insert(out.end(), st_->out_blocks[b]->begin(),
+               st_->out_blocks[b]->end());
+  }
+  return out;
+}
+
+const stats::BlockTrace& FilterPipeline::trace() const { return st_->trace; }
+
+bool FilterPipeline::speculation_committed() const {
+  std::scoped_lock lk(st_->mu);
+  return st_->spec_committed;
+}
+
+std::uint64_t FilterPipeline::rollbacks() const {
+  std::scoped_lock lk(st_->mu);
+  return st_->rollbacks;
+}
+
+const std::vector<double>& FilterPipeline::final_coefficients() const {
+  std::scoped_lock lk(st_->mu);
+  if (!st_->have_output_coeffs) {
+    throw std::logic_error("FilterPipeline: no committed coefficients");
+  }
+  return st_->committed_coeffs;
+}
+
+void FilterPipeline::validate_complete() const {
+  std::scoped_lock lk(st_->mu);
+  for (std::size_t b = 0; b < st_->n_blocks; ++b) {
+    if (!st_->out_blocks[b]) {
+      throw std::logic_error("FilterPipeline: incomplete output");
+    }
+  }
+}
+
+}  // namespace filt

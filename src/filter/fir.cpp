@@ -1,0 +1,72 @@
+#include "filter/fir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+
+#include "workload/rng.h"
+
+namespace filt {
+
+std::vector<double> apply_fir(std::span<const double> x,
+                              std::span<const double> c) {
+  if (c.empty()) throw std::invalid_argument("apply_fir: empty taps");
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(c.size(), n + 1);
+    for (std::size_t k = 0; k < kmax; ++k) {
+      acc += c[k] * x[n - k];
+    }
+    y[n] = acc;
+  }
+  return y;
+}
+
+double energy(std::span<const double> x) {
+  double e = 0.0;
+  for (double v : x) e += v * v;
+  return e;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double rel_l2_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rel_l2_diff: size mismatch");
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-12);
+}
+
+std::vector<double> make_signal(std::size_t n, std::uint64_t seed,
+                                double noise_amp) {
+  wl::Rng rng(wl::splitmix64(seed ^ 0xf17ULL));
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = std::sin(2.0 * std::numbers::pi * t / 97.0) +
+           0.5 * std::sin(2.0 * std::numbers::pi * t / 31.0) +
+           noise_amp * (rng.uniform() * 2.0 - 1.0);
+  }
+  return x;
+}
+
+}  // namespace filt

@@ -1,0 +1,34 @@
+// FIR filtering primitives for the paper's Fig. 1 scenario: an iterative
+// solver computes filter coefficients, which are then applied to a stream of
+// data blocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace filt {
+
+/// Convolves `x` with taps `c` (causal; the first c.size()-1 outputs use
+/// zero-padded history). Output length equals x length.
+[[nodiscard]] std::vector<double> apply_fir(std::span<const double> x,
+                                            std::span<const double> c);
+
+/// Sum of squares.
+[[nodiscard]] double energy(std::span<const double> x);
+
+/// Max |a[i] - b[i]|; sizes must match.
+[[nodiscard]] double max_abs_diff(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// Relative L2 distance ‖a-b‖ / max(‖b‖, eps).
+[[nodiscard]] double rel_l2_diff(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Deterministic test signal: a slow sinusoid mixture plus seeded noise.
+[[nodiscard]] std::vector<double> make_signal(std::size_t n,
+                                              std::uint64_t seed,
+                                              double noise_amp = 0.6);
+
+}  // namespace filt

@@ -1,0 +1,114 @@
+#include "filter/iterative_design.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "filter/fir.h"
+
+namespace filt {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> FilterProblem::apply(std::span<const double> x) const {
+  std::vector<double> y(taps, 0.0);
+  for (std::size_t i = 0; i < taps; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < taps; ++j) {
+      const std::size_t lag = i > j ? i - j : j - i;
+      acc += autocorr[lag] * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+FilterProblem estimate_problem(std::span<const double> input,
+                               std::span<const double> target,
+                               std::size_t taps) {
+  if (taps == 0) throw std::invalid_argument("estimate_problem: zero taps");
+  if (input.size() != target.size() || input.size() < taps) {
+    throw std::invalid_argument("estimate_problem: bad signal sizes");
+  }
+  FilterProblem prob;
+  prob.taps = taps;
+  prob.autocorr.assign(taps, 0.0);
+  prob.crosscorr.assign(taps, 0.0);
+  const auto n = input.size();
+  for (std::size_t lag = 0; lag < taps; ++lag) {
+    double r = 0.0;
+    double p = 0.0;
+    for (std::size_t i = lag; i < n; ++i) {
+      r += input[i] * input[i - lag];
+      p += target[i] * input[i - lag];
+    }
+    prob.autocorr[lag] = r / static_cast<double>(n);
+    prob.crosscorr[lag] = p / static_cast<double>(n);
+  }
+  // Diagonal loading keeps R safely positive definite on short estimates.
+  prob.autocorr[0] += 1e-9 + 0.01 * prob.autocorr[0];
+  return prob;
+}
+
+IterativeSolver::IterativeSolver(FilterProblem problem)
+    : prob_(std::move(problem)),
+      c_(prob_.taps, 0.0),
+      r_(prob_.crosscorr),
+      d_(prob_.crosscorr) {
+  if (prob_.taps == 0 || prob_.autocorr.size() != prob_.taps ||
+      prob_.crosscorr.size() != prob_.taps) {
+    throw std::invalid_argument("IterativeSolver: malformed problem");
+  }
+  rr_ = dot(r_, r_);
+}
+
+void IterativeSolver::step() {
+  ++steps_;
+  if (rr_ <= 1e-300) return;  // converged; further steps are no-ops
+  const std::vector<double> rd = prob_.apply(d_);
+  const double drd = dot(d_, rd);
+  if (drd <= 0.0) return;  // numerically exhausted direction
+  const double alpha = rr_ / drd;
+  double rr_next = 0.0;
+  for (std::size_t i = 0; i < prob_.taps; ++i) {
+    c_[i] += alpha * d_[i];
+    r_[i] -= alpha * rd[i];
+    rr_next += r_[i] * r_[i];
+  }
+  const double beta = rr_next / rr_;
+  for (std::size_t i = 0; i < prob_.taps; ++i) {
+    d_[i] = r_[i] + beta * d_[i];
+  }
+  rr_ = rr_next;
+}
+
+double IterativeSolver::residual_norm() const { return std::sqrt(rr_); }
+
+std::vector<double> solve(const FilterProblem& prob, std::size_t iterations) {
+  IterativeSolver solver(prob);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    solver.step();
+  }
+  return solver.current();
+}
+
+std::vector<double> convergence_profile(const FilterProblem& prob,
+                                        std::size_t iterations) {
+  const auto final_c = solve(prob, iterations);
+  std::vector<double> profile;
+  profile.reserve(iterations);
+  IterativeSolver solver(prob);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    solver.step();
+    profile.push_back(rel_l2_diff(solver.current(), final_c));
+  }
+  return profile;
+}
+
+}  // namespace filt

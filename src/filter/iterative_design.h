@@ -1,0 +1,71 @@
+// Iterative Wiener-filter coefficient design (the Fig. 1 "iteration steps").
+//
+// Classic setup: estimate the length-`taps` FIR filter c minimizing
+// E[(d - c*x)²] by solving the normal equations R c = p, where R is the
+// input autocorrelation (Toeplitz, SPD after diagonal loading) and p the
+// input/target cross-correlation. We solve by conjugate gradients — each CG
+// sweep is one coarse-grain "iteration step" task, and iterates converge
+// toward the final coefficients (exactly, within `taps` steps in exact
+// arithmetic), which is the "early result is extracted from an iterative
+// computation" speculation opportunity of paper §IV.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace filt {
+
+struct FilterProblem {
+  std::vector<double> autocorr;  ///< r[0..taps-1]
+  std::vector<double> crosscorr; ///< p[0..taps-1]
+  std::size_t taps = 0;
+
+  /// y = R x with the Toeplitz autocorrelation matrix.
+  [[nodiscard]] std::vector<double> apply(std::span<const double> x) const;
+};
+
+/// Estimates the Wiener problem from an input signal and a desired (target)
+/// signal; both must have equal length ≥ taps.
+[[nodiscard]] FilterProblem estimate_problem(std::span<const double> input,
+                                             std::span<const double> target,
+                                             std::size_t taps);
+
+/// Stateful conjugate-gradient solver; step() is the paper's coarse-grain
+/// "Iteration step" task body.
+class IterativeSolver {
+ public:
+  explicit IterativeSolver(FilterProblem problem);
+
+  /// One CG sweep. No-op once converged (residual ~ 0).
+  void step();
+
+  /// Current coefficient iterate.
+  [[nodiscard]] const std::vector<double>& current() const { return c_; }
+
+  /// ‖residual‖₂ = ‖p − R c‖₂.
+  [[nodiscard]] double residual_norm() const;
+
+  [[nodiscard]] std::size_t steps_taken() const { return steps_; }
+  [[nodiscard]] const FilterProblem& problem() const { return prob_; }
+
+ private:
+  FilterProblem prob_;
+  std::vector<double> c_;  ///< iterate
+  std::vector<double> r_;  ///< residual p - Rc
+  std::vector<double> d_;  ///< search direction
+  double rr_ = 0.0;        ///< rᵀr
+  std::size_t steps_ = 0;
+};
+
+/// Runs `iterations` sweeps from the zero vector.
+[[nodiscard]] std::vector<double> solve(const FilterProblem& prob,
+                                        std::size_t iterations);
+
+/// Convergence profile: rel_l2_diff(iterate_k, final) per k — useful for
+/// choosing when an early iterate supports speculation.
+[[nodiscard]] std::vector<double> convergence_profile(
+    const FilterProblem& prob, std::size_t iterations);
+
+}  // namespace filt

@@ -1,0 +1,113 @@
+#include "huffman/bitio.h"
+
+#include <stdexcept>
+
+namespace huff {
+
+void BitWriter::throw_bad_nbits() {
+  throw std::invalid_argument("BitWriter::put: nbits > 64");
+}
+
+void BitWriter::spill() {
+  while (pending_bits_ >= 8) {
+    pending_bits_ -= 8;
+    buf_.push_back(static_cast<std::uint8_t>(acc_ >> pending_bits_));
+  }
+  acc_ &= mask(static_cast<std::uint8_t>(pending_bits_));
+}
+
+void BitWriter::put_slow(std::uint64_t bits, std::uint8_t nbits) {
+  // Rare path: the accumulator cannot hold the whole value (only possible
+  // for nbits close to 64). Split in half; each half fits after a spill.
+  const std::uint8_t hi = nbits / 2;
+  const std::uint8_t lo = static_cast<std::uint8_t>(nbits - hi);
+  put(bits >> lo, hi);
+  put(bits & mask(lo), lo);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  if (pending_bits_ > 0) {
+    // Zero-pad the tail to a byte boundary.
+    const auto pad = static_cast<std::uint8_t>((8 - (pending_bits_ & 7)) & 7);
+    acc_ <<= pad;
+    pending_bits_ += pad;
+    spill();
+  }
+  std::vector<std::uint8_t> out = std::move(buf_);
+  buf_.clear();
+  acc_ = 0;
+  pending_bits_ = 0;
+  return out;
+}
+
+void splice_bits(std::span<std::uint8_t> dst, std::uint64_t dst_bit_offset,
+                 std::span<const std::uint8_t> src, std::uint64_t nbits) {
+  if ((dst_bit_offset + nbits + 7) / 8 > dst.size()) {
+    throw std::out_of_range("splice_bits: destination too small");
+  }
+  if (nbits > static_cast<std::uint64_t>(src.size()) * 8) {
+    throw std::out_of_range("splice_bits: source too small");
+  }
+
+  // Fast path: byte-aligned destination — memcpy-style copy of whole bytes,
+  // bit-merge only for the trailing partial byte.
+  if ((dst_bit_offset & 7) == 0) {
+    const std::size_t dst_byte = static_cast<std::size_t>(dst_bit_offset >> 3);
+    const std::size_t whole = static_cast<std::size_t>(nbits >> 3);
+    for (std::size_t i = 0; i < whole; ++i) dst[dst_byte + i] |= src[i];
+    const auto rem = static_cast<unsigned>(nbits & 7);
+    if (rem != 0) {
+      const std::uint8_t mask =
+          static_cast<std::uint8_t>(0xFFu << (8 - rem));
+      dst[dst_byte + whole] =
+          static_cast<std::uint8_t>(dst[dst_byte + whole] | (src[whole] & mask));
+    }
+    return;
+  }
+
+  // General path: shift-merge byte by byte.
+  const auto shift = static_cast<unsigned>(dst_bit_offset & 7);
+  std::size_t dst_byte = static_cast<std::size_t>(dst_bit_offset >> 3);
+  const std::size_t src_bytes = static_cast<std::size_t>((nbits + 7) >> 3);
+  for (std::size_t i = 0; i < src_bytes; ++i) {
+    std::uint8_t byte = src[i];
+    // Mask off bits past nbits in the final source byte.
+    if (i == src_bytes - 1) {
+      const auto rem = static_cast<unsigned>(nbits & 7);
+      if (rem != 0) {
+        byte = static_cast<std::uint8_t>(byte & static_cast<std::uint8_t>(0xFFu << (8 - rem)));
+      }
+    }
+    dst[dst_byte + i] =
+        static_cast<std::uint8_t>(dst[dst_byte + i] | (byte >> shift));
+    const auto spill = static_cast<std::uint8_t>(
+        static_cast<unsigned>(byte) << (8 - shift));
+    if (spill != 0) {
+      dst[dst_byte + i + 1] =
+          static_cast<std::uint8_t>(dst[dst_byte + i + 1] | spill);
+    }
+  }
+}
+
+std::uint32_t BitReader::get_bit() {
+  if (exhausted()) {
+    throw std::out_of_range("BitReader::get_bit: past end of data");
+  }
+  const std::size_t byte_ix = static_cast<std::size_t>(bit_pos_ >> 3);
+  const auto shift = static_cast<unsigned>(7 - (bit_pos_ & 7));
+  ++bit_pos_;
+  return (data_[byte_ix] >> shift) & 1U;
+}
+
+std::uint64_t BitReader::get(std::uint8_t nbits) {
+  if (nbits > 64) {
+    throw std::invalid_argument("BitReader::get: nbits > 64");
+  }
+  std::uint64_t out = 0;
+  for (std::uint8_t i = 0; i < nbits; ++i) {
+    out = (out << 1) | get_bit();
+  }
+  return out;
+}
+
+}  // namespace huff

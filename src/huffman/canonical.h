@@ -1,0 +1,69 @@
+// Canonical Huffman codes.
+//
+// Given per-symbol code lengths, canonical assignment produces the unique
+// code set where codes of equal length are consecutive integers ordered by
+// symbol and shorter codes numerically precede longer ones. Two benefits:
+//  * a code table is fully described by its 256 lengths (compact headers);
+//  * encode/decode need no tree walk — table lookups only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "huffman/tree.h"
+
+namespace huff {
+
+/// Fully materialized encoder table: for each byte value, its code bits
+/// (right-aligned, MSB-first within the code) and length.
+class CodeTable {
+ public:
+  CodeTable() = default;
+
+  /// Builds the canonical table from code lengths. Throws
+  /// std::invalid_argument if the lengths violate the Kraft inequality
+  /// (i.e. do not describe a prefix-free code).
+  static CodeTable from_lengths(const CodeLengths& lengths);
+
+  /// Convenience: canonical table of the Huffman tree for `hist`.
+  static CodeTable from_histogram(const Histogram& hist) {
+    return from_lengths(HuffmanTree::build(hist).lengths());
+  }
+
+  [[nodiscard]] std::uint64_t code(std::size_t symbol) const {
+    return codes_[symbol];
+  }
+  [[nodiscard]] std::uint8_t length(std::size_t symbol) const {
+    return lengths_[symbol];
+  }
+  [[nodiscard]] const CodeLengths& lengths() const { return lengths_; }
+
+  /// True iff `symbol` has a code (length > 0).
+  [[nodiscard]] bool has_code(std::size_t symbol) const {
+    return lengths_[symbol] != 0;
+  }
+
+  /// True iff every symbol of `hist` is encodable with this table.
+  [[nodiscard]] bool covers(const Histogram& hist) const;
+
+  /// Exact compressed payload size in bits for data distributed per `hist`.
+  [[nodiscard]] std::uint64_t encoded_bits(const Histogram& hist) const {
+    return huff::encoded_bits(lengths_, hist);
+  }
+
+  /// Number of symbols with codes.
+  [[nodiscard]] std::size_t coded_symbols() const;
+
+  bool operator==(const CodeTable&) const = default;
+
+ private:
+  std::array<std::uint64_t, kSymbols> codes_{};
+  CodeLengths lengths_{};
+};
+
+/// Validates that `lengths` satisfy the Kraft–McMillan equality/inequality
+/// required of a realizable prefix code; returns the Kraft sum scaled by
+/// 2^kMaxCodeBits.
+[[nodiscard]] bool kraft_valid(const CodeLengths& lengths);
+
+}  // namespace huff

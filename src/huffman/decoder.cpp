@@ -1,0 +1,66 @@
+#include "huffman/decoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace huff {
+
+Decoder::Decoder(const CodeTable& table) {
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> order;
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (table.length(s) != 0) {
+      order.emplace_back(table.length(s), static_cast<std::uint16_t>(s));
+    }
+  }
+  if (order.empty()) {
+    throw std::invalid_argument("Decoder: code table has no coded symbols");
+  }
+  std::sort(order.begin(), order.end());
+
+  min_len_ = order.front().first;
+  max_len_ = order.back().first;
+
+  for (const auto& [len, sym] : order) {
+    if (count_[len] == 0) {
+      first_code_[len] = table.code(sym);
+      first_index_[len] = static_cast<std::uint32_t>(symbols_.size());
+    }
+    ++count_[len];
+    symbols_.push_back(static_cast<std::uint8_t>(sym));
+  }
+}
+
+std::uint8_t Decoder::decode_one(BitReader& reader) const {
+  std::uint64_t code = 0;
+  std::uint8_t len = 0;
+  // Read bit by bit; at each length, check whether `code` falls within that
+  // length's canonical code range.
+  while (len < max_len_) {
+    code = (code << 1) | reader.get_bit();
+    ++len;
+    if (len < min_len_ || count_[len] == 0) continue;
+    const std::uint64_t first = first_code_[len];
+    if (code >= first && code < first + count_[len]) {
+      return symbols_[first_index_[len] + static_cast<std::uint32_t>(code - first)];
+    }
+  }
+  throw std::runtime_error("Decoder: invalid code in stream");
+}
+
+std::vector<std::uint8_t> Decoder::decode(BitReader& reader,
+                                          std::size_t n_symbols) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(n_symbols);
+  for (std::size_t i = 0; i < n_symbols; ++i) {
+    out.push_back(decode_one(reader));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Decoder::decode(std::span<const std::uint8_t> data,
+                                          std::size_t n_symbols) const {
+  BitReader reader(data);
+  return decode(reader, n_symbols);
+}
+
+}  // namespace huff

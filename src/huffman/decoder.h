@@ -1,0 +1,49 @@
+// Canonical Huffman decoder.
+//
+// Not on the paper's critical path (the benchmark is an encoder), but
+// essential to this reproduction: every test round-trips
+// decode(encode(x)) == x to prove that speculation, rollback and commit never
+// corrupt output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "huffman/bitio.h"
+#include "huffman/canonical.h"
+
+namespace huff {
+
+/// Table-driven canonical decoder built once per CodeTable.
+class Decoder {
+ public:
+  /// Throws std::invalid_argument if `table` has no coded symbols.
+  explicit Decoder(const CodeTable& table);
+
+  /// Decodes exactly `n_symbols` symbols from `reader`. Throws
+  /// std::runtime_error on an invalid code or premature end of input.
+  [[nodiscard]] std::vector<std::uint8_t> decode(BitReader& reader,
+                                                 std::size_t n_symbols) const;
+
+  /// Decodes a whole buffer of `n_symbols` starting at bit 0.
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> data, std::size_t n_symbols) const;
+
+  /// Decodes one symbol.
+  [[nodiscard]] std::uint8_t decode_one(BitReader& reader) const;
+
+ private:
+  // Canonical decode state per code length L (1..max_len_):
+  //  first_code_[L] — numeric value of the first code of length L
+  //  first_index_[L] — index into symbols_ of that code's symbol
+  //  count_[L] — number of codes of length L
+  std::array<std::uint64_t, kMaxCodeBits + 1> first_code_{};
+  std::array<std::uint32_t, kMaxCodeBits + 1> first_index_{};
+  std::array<std::uint32_t, kMaxCodeBits + 1> count_{};
+  std::vector<std::uint8_t> symbols_;  ///< symbols in (length, symbol) order
+  std::uint8_t max_len_ = 0;
+  std::uint8_t min_len_ = 0;
+};
+
+}  // namespace huff

@@ -1,0 +1,51 @@
+#include "huffman/encoder.h"
+
+#include <stdexcept>
+
+#include "huffman/bitio.h"
+
+namespace huff {
+
+EncodedBlock encode_block(std::span<const std::uint8_t> block,
+                          const CodeTable& table) {
+  BitWriter writer;
+  for (std::uint8_t b : block) {
+    const std::uint8_t len = table.length(b);
+    if (len == 0) {
+      throw std::invalid_argument(
+          "encode_block: symbol " + std::to_string(b) + " has no code");
+    }
+    writer.put(table.code(b), len);
+  }
+  EncodedBlock out;
+  out.bit_count = writer.bit_size();
+  out.bits = writer.take();
+  return out;
+}
+
+std::uint64_t encoded_bit_count(std::span<const std::uint8_t> block,
+                                const CodeTable& table) {
+  std::uint64_t bits = 0;
+  for (std::uint8_t b : block) {
+    bits += table.length(b);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> assemble(std::span<const EncodedBlock> blocks,
+                                   std::span<const std::uint64_t> offsets) {
+  if (blocks.size() != offsets.size()) {
+    throw std::invalid_argument("assemble: blocks/offsets size mismatch");
+  }
+  std::uint64_t end_bit = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    end_bit = std::max(end_bit, offsets[i] + blocks[i].bit_count);
+  }
+  std::vector<std::uint8_t> out((end_bit + 7) / 8, 0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    splice_bits(out, offsets[i], blocks[i].bits, blocks[i].bit_count);
+  }
+  return out;
+}
+
+}  // namespace huff

@@ -1,0 +1,43 @@
+// Block encoder: the paper's Encode task.
+//
+// Each Encode task compresses one input block with a CodeTable. Because the
+// code is variable-length, a block's absolute position in the output is the
+// bit offset computed by the Offset phase (offsets.h); encode_block produces
+// a self-contained bit buffer which the sink splices at that offset.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "huffman/canonical.h"
+
+namespace huff {
+
+/// Result of encoding one block.
+struct EncodedBlock {
+  std::vector<std::uint8_t> bits;  ///< packed MSB-first, zero-padded tail
+  std::uint64_t bit_count = 0;     ///< exact number of meaningful bits
+};
+
+/// Encodes `block` with `table`. Throws std::invalid_argument if the block
+/// contains a symbol with no code (speculative tables built without a
+/// histogram floor could do this; the pipeline prevents it).
+[[nodiscard]] EncodedBlock encode_block(std::span<const std::uint8_t> block,
+                                        const CodeTable& table);
+
+/// Exact encoded size of `block` in bits under `table`, without producing
+/// output bits (= encoded_bits of the block's histogram; used by tests).
+[[nodiscard]] std::uint64_t encoded_bit_count(
+    std::span<const std::uint8_t> block, const CodeTable& table);
+
+/// Splices pre-encoded blocks into one contiguous bit stream.
+///
+/// `offsets[i]` is the absolute starting bit of block i; the destination is
+/// zero-initialized and sized for the final block's end. This mirrors the
+/// paper's parallel second pass where offset tasks feed encode tasks.
+[[nodiscard]] std::vector<std::uint8_t> assemble(
+    std::span<const EncodedBlock> blocks,
+    std::span<const std::uint64_t> offsets);
+
+}  // namespace huff

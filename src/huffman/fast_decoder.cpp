@@ -1,0 +1,88 @@
+#include "huffman/fast_decoder.h"
+
+#include <stdexcept>
+
+#include "huffman/bitio.h"
+
+namespace huff {
+
+FastDecoder::FastDecoder(const CodeTable& table, std::uint8_t window)
+    : window_(window), slow_(table) {
+  if (window_ == 0 || window_ > 16) {
+    throw std::invalid_argument("FastDecoder: window must be in [1,16]");
+  }
+  table_.assign(std::size_t{1} << window_, Entry{});
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    const std::uint8_t len = table.length(s);
+    if (len == 0) continue;
+    if (len > window_) {
+      fully_tabled_ = false;
+      continue;
+    }
+    // The code occupies the top `len` bits of the window; fill every entry
+    // that shares that prefix.
+    const std::uint64_t base = table.code(s) << (window_ - len);
+    const std::uint64_t count = std::uint64_t{1} << (window_ - len);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      table_[static_cast<std::size_t>(base + i)] = {
+          static_cast<std::uint8_t>(s), len};
+    }
+  }
+}
+
+std::vector<std::uint8_t> FastDecoder::decode(
+    std::span<const std::uint8_t> data, std::size_t n_symbols,
+    std::uint64_t start_bit) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(n_symbols);
+
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(data.size()) * 8;
+  std::uint64_t pos = start_bit;
+
+  const std::uint32_t mask = (std::uint32_t{1} << window_) - 1;
+  const auto peek_window = [&](std::uint64_t at) -> std::uint32_t {
+    // Gathers a 32-bit big-endian chunk starting at the byte containing
+    // `at` and aligns the window out of it — one load path per symbol
+    // instead of a per-bit loop. window ≤ 16 and the intra-byte offset ≤ 7,
+    // so 32 bits always cover it.
+    const auto byte = static_cast<std::size_t>(at >> 3);
+    std::uint32_t chunk;
+    if (byte + 4 <= data.size()) {
+      chunk = (std::uint32_t{data[byte]} << 24) |
+              (std::uint32_t{data[byte + 1]} << 16) |
+              (std::uint32_t{data[byte + 2]} << 8) |
+              std::uint32_t{data[byte + 3]};
+    } else {
+      chunk = 0;  // zero-padded tail
+      for (std::size_t i = 0; i < 4; ++i) {
+        chunk <<= 8;
+        if (byte + i < data.size()) chunk |= data[byte + i];
+      }
+    }
+    const auto shift = static_cast<unsigned>(32 - window_ - (at & 7));
+    return (chunk >> shift) & mask;
+  };
+
+  for (std::size_t n = 0; n < n_symbols; ++n) {
+    if (pos >= total_bits) {
+      throw std::runtime_error("FastDecoder: past end of data");
+    }
+    const Entry e = table_[static_cast<std::size_t>(peek_window(pos))];
+    if (e.length != 0) {
+      if (pos + e.length > total_bits) {
+        throw std::runtime_error("FastDecoder: truncated code at end");
+      }
+      out.push_back(e.symbol);
+      pos += e.length;
+      continue;
+    }
+    // Slow path: over-window code — delegate to the canonical walker.
+    BitReader reader(data);
+    reader.seek(pos);
+    out.push_back(slow_.decode_one(reader));
+    pos = reader.position();
+  }
+  return out;
+}
+
+}  // namespace huff

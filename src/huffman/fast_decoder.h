@@ -1,0 +1,48 @@
+// FastDecoder: table-driven canonical Huffman decoding.
+//
+// A primary lookup table indexed by the next `window` bits resolves every
+// code of length ≤ window in one load; longer codes fall back to the
+// canonical range walk. With length-limited codes (length_limited.h) the
+// fallback never triggers and decoding is one table hit per symbol — the
+// standard construction used by production decompressors (zlib, zstd's
+// Huffman stage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "huffman/canonical.h"
+#include "huffman/decoder.h"
+
+namespace huff {
+
+class FastDecoder {
+ public:
+  /// Builds the lookup table. `window` ∈ [1, 16]; table memory is
+  /// 2^window × 2 bytes-ish entries.
+  explicit FastDecoder(const CodeTable& table, std::uint8_t window = 12);
+
+  /// Decodes exactly `n_symbols` from `data` starting at `start_bit`.
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> data, std::size_t n_symbols,
+      std::uint64_t start_bit = 0) const;
+
+  [[nodiscard]] std::uint8_t window() const { return window_; }
+
+  /// True iff every code fits the window (no slow path possible).
+  [[nodiscard]] bool fully_tabled() const { return fully_tabled_; }
+
+ private:
+  struct Entry {
+    std::uint8_t symbol = 0;
+    std::uint8_t length = 0;  ///< 0 = code longer than the window (slow path)
+  };
+
+  std::uint8_t window_;
+  bool fully_tabled_ = true;
+  std::vector<Entry> table_;  ///< 2^window entries
+  Decoder slow_;              ///< fallback for over-window codes
+};
+
+}  // namespace huff

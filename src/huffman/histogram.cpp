@@ -1,0 +1,55 @@
+#include "huffman/histogram.h"
+
+#include <numeric>
+
+namespace huff {
+
+void Histogram::count(std::span<const std::uint8_t> data) {
+  // Four-way unrolled accumulation into separate lanes would avoid
+  // store-forwarding stalls on very hot loops, but Count tasks are
+  // millisecond-scale and this loop is already memory-bound; keep it simple.
+  for (std::uint8_t b : data) {
+    ++counts_[b];
+  }
+}
+
+Histogram& Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kSymbols; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  return *this;
+}
+
+std::uint64_t Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+std::size_t Histogram::distinct_symbols() const {
+  std::size_t n = 0;
+  for (std::uint64_t c : counts_) {
+    if (c != 0) ++n;
+  }
+  return n;
+}
+
+Histogram Histogram::merged(std::span<const Histogram> parts) {
+  Histogram out;
+  for (const Histogram& h : parts) out.merge(h);
+  return out;
+}
+
+Histogram Histogram::of(std::span<const std::uint8_t> data) {
+  Histogram h;
+  h.count(data);
+  return h;
+}
+
+Histogram Histogram::with_floor(std::uint64_t floor) const {
+  Histogram out = *this;
+  for (auto& c : out.counts_) {
+    if (c < floor) c = floor;
+  }
+  return out;
+}
+
+}  // namespace huff

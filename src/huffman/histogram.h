@@ -1,0 +1,66 @@
+// Byte-frequency histograms: the unit of data flowing through the first pass
+// of the Huffman pipeline (paper Fig. 2: Count and Reduce tasks).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace huff {
+
+inline constexpr std::size_t kSymbols = 256;
+
+/// Frequency histogram over the 256 byte values. Merging is commutative and
+/// associative, which is what makes the Reduce tree (and prefix speculation)
+/// valid.
+class Histogram {
+ public:
+  Histogram() { counts_.fill(0); }
+
+  /// Counts every byte of `data` into this histogram (the paper's Count
+  /// task, applied to one 4 KiB block).
+  void count(std::span<const std::uint8_t> data);
+
+  /// Merges `other` into this histogram (the paper's Reduce task).
+  Histogram& merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t at(std::size_t symbol) const {
+    return counts_[symbol];
+  }
+  std::uint64_t& at(std::size_t symbol) { return counts_[symbol]; }
+
+  /// Total number of counted bytes.
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Number of symbols with nonzero frequency.
+  [[nodiscard]] std::size_t distinct_symbols() const;
+
+  [[nodiscard]] bool empty() const { return total() == 0; }
+
+  [[nodiscard]] const std::array<std::uint64_t, kSymbols>& counts() const {
+    return counts_;
+  }
+
+  bool operator==(const Histogram&) const = default;
+
+  /// Merge of a range of histograms (convenience for Reduce tasks).
+  [[nodiscard]] static Histogram merged(std::span<const Histogram> parts);
+
+  /// Histogram of a byte range (Count over a whole buffer).
+  [[nodiscard]] static Histogram of(std::span<const std::uint8_t> data);
+
+  /// Copy of this histogram where every symbol count is at least `floor`.
+  ///
+  /// Speculative trees are built from *prefix* histograms, so symbols that
+  /// only appear later in the stream would otherwise have no code and make
+  /// the speculative encoding undefined. Building speculative trees over a
+  /// floored histogram guarantees total coverage at a negligible size cost
+  /// (add-one smoothing).
+  [[nodiscard]] Histogram with_floor(std::uint64_t floor) const;
+
+ private:
+  std::array<std::uint64_t, kSymbols> counts_;
+};
+
+}  // namespace huff

@@ -1,0 +1,117 @@
+#include "huffman/length_limited.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace huff {
+namespace {
+
+/// Package-merge (Larmore & Hirschberg 1990): the optimal length-limited
+/// prefix code. Each "package" is either an original item (a symbol) or a
+/// pair of packages from the previous level; selecting the 2n−2 cheapest
+/// packages of the final level assigns each symbol a code length equal to
+/// the number of selected packages it appears in.
+struct Package {
+  std::uint64_t weight = 0;
+  std::vector<std::uint16_t> symbols;  ///< leaf symbols contained
+};
+
+std::vector<Package> pair_up(const std::vector<Package>& level) {
+  std::vector<Package> out;
+  out.reserve(level.size() / 2);
+  for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+    Package p;
+    p.weight = level[i].weight + level[i + 1].weight;
+    p.symbols = level[i].symbols;
+    p.symbols.insert(p.symbols.end(), level[i + 1].symbols.begin(),
+                     level[i + 1].symbols.end());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<Package> merge_sorted(const std::vector<Package>& a,
+                                  const std::vector<Package>& b) {
+  std::vector<Package> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].weight <= b[j].weight)) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CodeLengths limit_code_lengths(const CodeLengths& lengths,
+                               const Histogram& hist, std::uint8_t max_bits) {
+  if (max_bits == 0 || max_bits > kMaxCodeBits) {
+    throw std::invalid_argument("limit_code_lengths: bad max_bits");
+  }
+  std::vector<std::uint16_t> used;
+  std::uint8_t longest = 0;
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (lengths[s] != 0) {
+      used.push_back(static_cast<std::uint16_t>(s));
+      longest = std::max(longest, lengths[s]);
+    }
+  }
+  if (used.empty()) return lengths;
+  if (longest <= max_bits) return lengths;  // already within the limit
+  if (max_bits >= 64 ||
+      (std::uint64_t{1} << max_bits) < used.size()) {
+    throw std::invalid_argument(
+        "limit_code_lengths: max_bits cannot cover all symbols");
+  }
+  if (used.size() == 1) {
+    CodeLengths out{};
+    out[used[0]] = 1;
+    return out;
+  }
+
+  // Base items, cheapest first. Zero-frequency symbols (possible when the
+  // caller passes an unfloored histogram with externally forced coverage)
+  // get weight 1 so ordering stays sane.
+  std::vector<Package> items;
+  items.reserve(used.size());
+  for (std::uint16_t s : used) {
+    items.push_back({std::max<std::uint64_t>(hist.at(s), 1), {s}});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Package& a, const Package& b) {
+              return a.weight < b.weight;
+            });
+
+  // L-1 rounds of package + merge; the final list's 2n−2 cheapest packages
+  // define the solution.
+  std::vector<Package> level = items;
+  for (std::uint8_t round = 1; round < max_bits; ++round) {
+    level = merge_sorted(items, pair_up(level));
+  }
+
+  CodeLengths out{};
+  const std::size_t take = 2 * used.size() - 2;
+  if (level.size() < take) {
+    throw std::logic_error("limit_code_lengths: package-merge underflow");
+  }
+  for (std::size_t i = 0; i < take; ++i) {
+    for (std::uint16_t s : level[i].symbols) {
+      ++out[s];
+    }
+  }
+  return out;
+}
+
+CodeLengths build_limited_lengths(const Histogram& hist,
+                                  std::uint8_t max_bits) {
+  const HuffmanTree tree = HuffmanTree::build(hist);
+  return limit_code_lengths(tree.lengths(), hist, max_bits);
+}
+
+}  // namespace huff

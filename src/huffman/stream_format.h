@@ -1,0 +1,85 @@
+// On-disk container for a complete Huffman-compressed stream.
+//
+// Layout (little-endian):
+//   magic   "TVSH" (4 bytes)
+//   version u16    — 2
+//   n_bytes u64    — original (decoded) byte count
+//   n_blocks u32   — block count
+//   block_size u32 — nominal block size (last block may be short)
+//   lengths  256×u8 — canonical code lengths (fully describe the table)
+//   has_index u8   — 1 if a block index follows
+//   [index]  n_blocks×u64 — absolute starting bit of each block
+//   payload_bits u64
+//   payload  ceil(payload_bits/8) bytes
+//
+// The optional block index makes the container *randomly accessible*: any
+// block can be decoded without touching the rest of the payload
+// (decode_block) — the natural companion feature for the paper's "streaming
+// long files" use case, and it falls out for free from the pipeline's
+// Offset phase, which computes exactly these positions.
+//
+// The examples write/read this format so a compressed file is an actual
+// artifact, not just an in-memory buffer; the decoder rebuilds the canonical
+// table from the lengths alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "huffman/canonical.h"
+
+namespace huff {
+
+struct CompressedStream {
+  std::uint64_t original_bytes = 0;
+  std::uint32_t n_blocks = 0;
+  std::uint32_t block_size = 0;
+  CodeLengths lengths{};
+  /// Absolute starting bit per block; empty = no random-access index.
+  std::vector<std::uint64_t> block_offsets;
+  std::uint64_t payload_bits = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] CodeTable table() const {
+    return CodeTable::from_lengths(lengths);
+  }
+  [[nodiscard]] bool has_index() const { return !block_offsets.empty(); }
+
+  /// Decoded size of block `i` (the last block may be short).
+  [[nodiscard]] std::size_t block_bytes(std::size_t i) const;
+
+  /// Container size in bytes (header + index + payload).
+  [[nodiscard]] std::size_t serialized_size() const;
+};
+
+/// Serializes to bytes. Deterministic.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const CompressedStream& s);
+
+/// Parses bytes; throws std::runtime_error on malformed input (bad magic,
+/// truncated payload, invalid code lengths).
+[[nodiscard]] CompressedStream deserialize(std::span<const std::uint8_t> data);
+
+/// Full-buffer convenience: compresses `data` (serial reference path, no
+/// runtime involved) and returns the container bytes. `with_index` embeds
+/// the random-access block index (8 bytes per block).
+[[nodiscard]] std::vector<std::uint8_t> compress_buffer(
+    std::span<const std::uint8_t> data, std::uint32_t block_size = 4096,
+    bool with_index = true);
+
+/// Random access: decodes only block `i` using the embedded index. Throws
+/// std::logic_error if the container carries no index, std::out_of_range on
+/// a bad block number.
+[[nodiscard]] std::vector<std::uint8_t> decode_block(
+    const CompressedStream& stream, std::size_t i);
+
+/// Inverse of compress_buffer / of the pipeline's output.
+[[nodiscard]] std::vector<std::uint8_t> decompress_buffer(
+    std::span<const std::uint8_t> container);
+
+/// File helpers used by the examples.
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace huff

@@ -1,0 +1,113 @@
+#include "huffman/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace huff {
+namespace {
+
+struct HeapEntry {
+  std::uint64_t freq;
+  std::uint64_t seq;    ///< creation order; deterministic tie-break
+  std::size_t pool_ix;  ///< index into the node pool
+};
+
+struct HeapCompare {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.freq != b.freq) return a.freq > b.freq;  // min-heap on freq
+    return a.seq > b.seq;                          // then earliest first
+  }
+};
+
+void assign_lengths(const HuffmanTree::Node* node, std::uint8_t depth,
+                    CodeLengths& lengths, std::uint64_t& cost) {
+  if (node == nullptr) return;
+  if (node->is_leaf()) {
+    // A single-symbol tree has its lone leaf at depth 0; clamp to 1 bit.
+    const std::uint8_t len = std::max<std::uint8_t>(depth, 1);
+    if (len > kMaxCodeBits) {
+      throw std::length_error("HuffmanTree: code length exceeds kMaxCodeBits");
+    }
+    lengths[static_cast<std::size_t>(node->symbol)] = len;
+    cost += node->freq * len;
+    return;
+  }
+  assign_lengths(node->left.get(), depth + 1, lengths, cost);
+  assign_lengths(node->right.get(), depth + 1, lengths, cost);
+}
+
+}  // namespace
+
+HuffmanTree HuffmanTree::build(const Histogram& hist) {
+  HuffmanTree tree;
+  tree.lengths_.fill(0);
+
+  // Pool owns every node until a parent adopts it (ownership is *moved* into
+  // the parent, so each node has exactly one owner at all times).
+  std::vector<std::unique_ptr<Node>> pool;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap;
+  std::uint64_t seq = 0;
+
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (hist.at(s) == 0) continue;
+    auto node = std::make_unique<Node>();
+    node->freq = hist.at(s);
+    node->symbol = static_cast<int>(s);
+    heap.push({node->freq, seq++, pool.size()});
+    pool.push_back(std::move(node));
+  }
+
+  if (pool.empty()) return tree;  // empty histogram → empty tree
+
+  while (heap.size() > 1) {
+    const HeapEntry a = heap.top();
+    heap.pop();
+    const HeapEntry b = heap.top();
+    heap.pop();
+    auto parent = std::make_unique<Node>();
+    parent->freq = a.freq + b.freq;
+    // Deterministic orientation: the earlier (lower-seq) child on the left.
+    parent->left = std::move(pool[a.pool_ix]);
+    parent->right = std::move(pool[b.pool_ix]);
+    heap.push({parent->freq, seq++, pool.size()});
+    pool.push_back(std::move(parent));
+  }
+
+  tree.root_ = std::move(pool[heap.top().pool_ix]);
+  assign_lengths(tree.root_.get(), 0, tree.lengths_, tree.cost_);
+  return tree;
+}
+
+std::uint64_t HuffmanTree::encoded_bits(const Histogram& hist) const {
+  return huff::encoded_bits(lengths_, hist);
+}
+
+bool HuffmanTree::covers(const Histogram& hist) const {
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (hist.at(s) != 0 && lengths_[s] == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t encoded_bits(const CodeLengths& lengths, const Histogram& hist) {
+  std::uint64_t bits = 0;
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    bits += hist.at(s) * lengths[s];
+  }
+  return bits;
+}
+
+double entropy_bits(const Histogram& hist) {
+  const auto total = static_cast<double>(hist.total());
+  if (total == 0.0) return 0.0;
+  double bits = 0.0;
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    const auto c = static_cast<double>(hist.at(s));
+    if (c > 0.0) bits -= c * std::log2(c / total);
+  }
+  return bits;
+}
+
+}  // namespace huff

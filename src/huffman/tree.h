@@ -1,0 +1,79 @@
+// Huffman tree construction (Huffman 1952): from a byte histogram to
+// per-symbol code lengths.
+//
+// The pipeline never walks tree nodes while encoding; it uses canonical codes
+// derived from the lengths (see canonical.h). The explicit node form is kept
+// for inspection, tests and the decoder's reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "huffman/histogram.h"
+
+namespace huff {
+
+/// Per-symbol code lengths in bits. Symbols absent from the histogram get
+/// length 0 and must never appear in the encoded stream.
+using CodeLengths = std::array<std::uint8_t, kSymbols>;
+
+/// Maximum code length we ever produce. 64 would be the hard bound for a
+/// 2^64-count histogram; byte streams of the sizes we process stay far below
+/// this, and the bit I/O layer relies on codes fitting one 64-bit word.
+inline constexpr std::uint8_t kMaxCodeBits = 58;
+
+class HuffmanTree {
+ public:
+  struct Node {
+    std::uint64_t freq = 0;
+    int symbol = -1;  ///< leaf: byte value; internal: -1
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    [[nodiscard]] bool is_leaf() const { return symbol >= 0; }
+  };
+
+  /// Builds the optimal prefix tree for `hist`.
+  ///
+  /// Edge cases, resolved the standard way:
+  ///  * empty histogram → empty tree, all lengths 0;
+  ///  * single distinct symbol → that symbol gets a 1-bit code (a 0-bit code
+  ///    cannot delimit repetitions).
+  /// Ties are broken deterministically (lower symbol / earlier creation
+  /// first) so identical histograms always give identical trees.
+  static HuffmanTree build(const Histogram& hist);
+
+  [[nodiscard]] const Node* root() const { return root_.get(); }
+
+  /// Depth of each leaf = code length of each symbol.
+  [[nodiscard]] const CodeLengths& lengths() const { return lengths_; }
+
+  /// Exact compressed payload size, in bits, of data distributed per `hist`
+  /// when encoded with *this* tree: sum over symbols of freq × length.
+  ///
+  /// This is the quantity the paper's Check task computes for both the
+  /// speculative and the current tree to evaluate tolerance (§IV-B).
+  [[nodiscard]] std::uint64_t encoded_bits(const Histogram& hist) const;
+
+  /// True iff `hist` only uses symbols this tree can encode (length > 0).
+  [[nodiscard]] bool covers(const Histogram& hist) const;
+
+  [[nodiscard]] bool empty() const { return root_ == nullptr; }
+
+  /// Total weighted path length of the tree itself (optimality metric).
+  [[nodiscard]] std::uint64_t cost() const { return cost_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+  CodeLengths lengths_{};
+  std::uint64_t cost_ = 0;
+};
+
+/// Exact compressed size in bits for `hist` under explicit code `lengths`.
+[[nodiscard]] std::uint64_t encoded_bits(const CodeLengths& lengths,
+                                         const Histogram& hist);
+
+/// Shannon entropy lower bound, in bits, for data distributed per `hist`.
+[[nodiscard]] double entropy_bits(const Histogram& hist);
+
+}  // namespace huff

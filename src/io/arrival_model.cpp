@@ -1,0 +1,28 @@
+#include "io/arrival_model.h"
+
+#include <algorithm>
+
+namespace sio {
+namespace {
+
+/// splitmix64: small, high-quality deterministic mixer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Micros SocketArrival::arrival_us(std::size_t i) const {
+  // Monotone base schedule plus bounded jitter. Jitter is clamped so the
+  // sequence stays strictly increasing (TCP delivers in order).
+  const Micros base = per_block_us_ * (static_cast<Micros>(i) + 1);
+  if (jitter_us_ == 0) return base;
+  const Micros j = mix(seed_ ^ static_cast<std::uint64_t>(i)) %
+                   std::min(jitter_us_, per_block_us_ - 1);
+  return base + j;
+}
+
+}  // namespace sio

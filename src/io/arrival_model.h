@@ -1,0 +1,70 @@
+// Arrival models: when each input block becomes available to the runtime.
+//
+// The paper's two I/O scenarios (§V-A):
+//  1. "reading from a hard disk cache" — very low I/O latency; blocks are
+//     effectively all available almost immediately;
+//  2. "data is streamed via a tunneled SSH socket connection over a long
+//     distance" — blocks trickle in at WAN pace (Fig. 7 shows ~6–7 s for a
+//     4 MB stream, i.e. several ms per 4 KiB block).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sio {
+
+using Micros = std::uint64_t;
+
+/// Maps block index → arrival time (µs). Implementations must be
+/// deterministic: the figure benchmarks rely on reproducible schedules.
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  [[nodiscard]] virtual Micros arrival_us(std::size_t block_index) const = 0;
+};
+
+/// Disk-cache model: small fixed per-block service time (~340 MB/s for
+/// 4 KiB blocks — a warm disk cache, still far from instantaneous).
+class DiskArrival final : public ArrivalModel {
+ public:
+  explicit DiskArrival(Micros per_block_us = 12) : per_block_us_(per_block_us) {}
+  [[nodiscard]] Micros arrival_us(std::size_t i) const override {
+    return per_block_us_ * (static_cast<Micros>(i) + 1);
+  }
+
+ private:
+  Micros per_block_us_;
+};
+
+/// Long-distance socket model: milliseconds per block plus deterministic
+/// pseudo-random jitter (WAN delivery is bursty, but a seeded hash keeps
+/// runs reproducible).
+class SocketArrival final : public ArrivalModel {
+ public:
+  explicit SocketArrival(Micros per_block_us = 5500, Micros jitter_us = 900,
+                         std::uint64_t seed = 0x5eedULL)
+      : per_block_us_(per_block_us), jitter_us_(jitter_us), seed_(seed) {}
+
+  [[nodiscard]] Micros arrival_us(std::size_t i) const override;
+
+ private:
+  Micros per_block_us_;
+  Micros jitter_us_;
+  std::uint64_t seed_;
+};
+
+/// Replays an explicit schedule (tests; captured traces).
+class ExplicitArrival final : public ArrivalModel {
+ public:
+  explicit ExplicitArrival(std::vector<Micros> times)
+      : times_(std::move(times)) {}
+  [[nodiscard]] Micros arrival_us(std::size_t i) const override {
+    return times_.at(i);
+  }
+
+ private:
+  std::vector<Micros> times_;
+};
+
+}  // namespace sio

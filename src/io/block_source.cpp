@@ -1,0 +1,40 @@
+#include "io/block_source.h"
+
+#include <stdexcept>
+
+namespace sio {
+
+BlockSource::BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
+                         std::shared_ptr<const ArrivalModel> arrivals)
+    : data_(std::move(data)),
+      block_size_(block_size),
+      arrivals_(std::move(arrivals)) {
+  if (block_size_ == 0) {
+    throw std::invalid_argument("BlockSource: zero block size");
+  }
+  if (data_.empty()) {
+    throw std::invalid_argument("BlockSource: empty input");
+  }
+  if (!arrivals_) {
+    throw std::invalid_argument("BlockSource: null arrival model");
+  }
+  n_blocks_ = (data_.size() + block_size_ - 1) / block_size_;
+}
+
+std::span<const std::uint8_t> BlockSource::block(std::size_t i) const {
+  if (i >= n_blocks_) {
+    throw std::out_of_range("BlockSource: block index out of range");
+  }
+  const std::size_t begin = i * block_size_;
+  const std::size_t len = std::min(block_size_, data_.size() - begin);
+  return std::span<const std::uint8_t>(data_).subspan(begin, len);
+}
+
+void BlockSource::for_each_arrival(
+    const std::function<void(std::size_t, Micros)>& fn) const {
+  for (std::size_t i = 0; i < n_blocks_; ++i) {
+    fn(i, arrival_us(i));
+  }
+}
+
+}  // namespace sio

@@ -1,0 +1,59 @@
+// BlockSource: a stream of fixed-size input blocks with an arrival schedule.
+//
+// Owns the input bytes, carves them into blocks (the paper uses 4 KiB), and
+// pairs each block with the time its bytes become available under the chosen
+// ArrivalModel. Executors consume the schedule through for_each_arrival.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "io/arrival_model.h"
+
+namespace sio {
+
+inline constexpr std::size_t kDefaultBlockSize = 4096;
+
+class BlockSource {
+ public:
+  /// Takes ownership of `data`; the final block may be shorter than
+  /// `block_size`. Throws std::invalid_argument on empty data or zero block
+  /// size.
+  BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
+              std::shared_ptr<const ArrivalModel> arrivals);
+
+  [[nodiscard]] std::size_t n_blocks() const { return n_blocks_; }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t total_bytes() const { return data_.size(); }
+
+  /// View of block `i`'s bytes (valid for the source's lifetime).
+  [[nodiscard]] std::span<const std::uint8_t> block(std::size_t i) const;
+
+  /// Arrival time of block `i` under the model.
+  [[nodiscard]] Micros arrival_us(std::size_t i) const {
+    return arrivals_->arrival_us(i);
+  }
+
+  /// Arrival time of the final block (the stream's transfer completion).
+  [[nodiscard]] Micros last_arrival_us() const {
+    return arrival_us(n_blocks_ - 1);
+  }
+
+  /// Invokes `fn(block_index, arrival_us)` for every block in index order.
+  void for_each_arrival(
+      const std::function<void(std::size_t, Micros)>& fn) const;
+
+  /// Whole-input view (reference encoders, verification).
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t block_size_;
+  std::size_t n_blocks_;
+  std::shared_ptr<const ArrivalModel> arrivals_;
+};
+
+}  // namespace sio

@@ -1,0 +1,157 @@
+#include "kmeans/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "workload/rng.h"
+
+namespace km {
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Box–Muller from our deterministic RNG.
+double gaussian(wl::Rng& rng) {
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+Dataset make_blobs(std::size_t n, std::size_t dims, std::size_t clusters,
+                   std::uint64_t seed, double spread) {
+  if (dims == 0 || clusters == 0) {
+    throw std::invalid_argument("make_blobs: zero dims or clusters");
+  }
+  wl::Rng rng(wl::splitmix64(seed ^ 0x4a3aULL));
+
+  // Blob centers on a deterministic lattice-ish layout, well separated.
+  std::vector<double> centers(clusters * dims);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centers[c * dims + d] =
+          static_cast<double>((c * 7 + d * 3) % clusters) * 2.0 +
+          rng.uniform() * 0.5;
+    }
+  }
+
+  Dataset data;
+  data.dims = dims;
+  data.values.resize(n * dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % clusters;  // interleaved: every prefix is fair
+    for (std::size_t d = 0; d < dims; ++d) {
+      data.values[i * dims + d] =
+          centers[c * dims + d] + spread * gaussian(rng);
+    }
+  }
+  return data;
+}
+
+std::uint32_t nearest(const Centroids& c, std::span<const double> point) {
+  std::uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < c.k(); ++i) {
+    const double d = sq_dist(c.centroid(i), point);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::uint32_t>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> label(const Centroids& c, const Dataset& data,
+                                 std::size_t begin, std::size_t end) {
+  std::vector<std::uint32_t> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.push_back(nearest(c, data.point(i)));
+  }
+  return out;
+}
+
+double inertia(const Centroids& c, const Dataset& data) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto p = data.point(i);
+    total += sq_dist(c.centroid(nearest(c, p)), p);
+  }
+  return total;
+}
+
+Centroids init_centroids(const Dataset& sample, std::size_t k) {
+  if (k == 0 || sample.size() < k) {
+    throw std::invalid_argument("init_centroids: need at least k points");
+  }
+  Centroids c;
+  c.dims = sample.dims;
+  c.values.reserve(k * sample.dims);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto p = sample.point(i);
+    c.values.insert(c.values.end(), p.begin(), p.end());
+  }
+  return c;
+}
+
+Centroids lloyd_step(const Centroids& c, const Dataset& sample) {
+  const std::size_t k = c.k();
+  const std::size_t dims = c.dims;
+  std::vector<double> sums(k * dims, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const auto p = sample.point(i);
+    const std::uint32_t a = nearest(c, p);
+    ++counts[a];
+    for (std::size_t d = 0; d < dims; ++d) {
+      sums[a * dims + d] += p[d];
+    }
+  }
+  Centroids next;
+  next.dims = dims;
+  next.values.resize(k * dims);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (counts[i] == 0) {
+      // Empty cluster: keep the previous centroid.
+      const auto prev = c.centroid(i);
+      std::copy(prev.begin(), prev.end(), next.values.begin() +
+                                              static_cast<std::ptrdiff_t>(i * dims));
+      continue;
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+      next.values[i * dims + d] =
+          sums[i * dims + d] / static_cast<double>(counts[i]);
+    }
+  }
+  return next;
+}
+
+Centroids solve(const Dataset& sample, std::size_t k, std::size_t iterations) {
+  Centroids c = init_centroids(sample, k);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    c = lloyd_step(c, sample);
+  }
+  return c;
+}
+
+double assignment_disagreement(const Centroids& guess, const Centroids& current,
+                               const Dataset& sample) {
+  if (sample.size() == 0) return 0.0;
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const auto p = sample.point(i);
+    if (nearest(guess, p) != nearest(current, p)) ++differ;
+  }
+  return static_cast<double>(differ) / static_cast<double>(sample.size());
+}
+
+}  // namespace km

@@ -1,0 +1,84 @@
+// Lloyd's k-means: the substrate for the third speculation scenario.
+//
+// The paper's introduction names k-means among the "iterative algorithms
+// ... commonly used in large computations" whose early iterates are
+// speculation fodder. The streaming shape mirrors Fig. 1: a serial chain of
+// Lloyd iterations (over a training sample) refines the centroids; a
+// parallel labelling pass then assigns every data block. Speculating on
+// early-iteration centroids lets labelling start while the solver still
+// runs; the tolerance is *semantic* — the fraction of sample points whose
+// assignment would change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace km {
+
+/// Row-major points: `dims` doubles per point.
+struct Dataset {
+  std::vector<double> values;
+  std::size_t dims = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return dims == 0 ? 0 : values.size() / dims;
+  }
+  [[nodiscard]] std::span<const double> point(std::size_t i) const {
+    return std::span<const double>(values).subspan(i * dims, dims);
+  }
+};
+
+/// Centroids: k rows of `dims` doubles.
+struct Centroids {
+  std::vector<double> values;
+  std::size_t dims = 0;
+
+  [[nodiscard]] std::size_t k() const {
+    return dims == 0 ? 0 : values.size() / dims;
+  }
+  [[nodiscard]] std::span<const double> centroid(std::size_t c) const {
+    return std::span<const double>(values).subspan(c * dims, dims);
+  }
+  bool operator==(const Centroids&) const = default;
+};
+
+/// Deterministic Gaussian-mixture dataset: `clusters` blobs in `dims`
+/// dimensions, `n` points, interleaved so every prefix sees all blobs.
+[[nodiscard]] Dataset make_blobs(std::size_t n, std::size_t dims,
+                                 std::size_t clusters, std::uint64_t seed,
+                                 double spread = 0.35);
+
+/// Index of the nearest centroid (squared euclidean); ties break low.
+[[nodiscard]] std::uint32_t nearest(const Centroids& c,
+                                    std::span<const double> point);
+
+/// Labels every point of `data` (the parallel second pass, per block).
+[[nodiscard]] std::vector<std::uint32_t> label(const Centroids& c,
+                                               const Dataset& data,
+                                               std::size_t begin,
+                                               std::size_t end);
+
+/// Sum of squared distances of points to their nearest centroid.
+[[nodiscard]] double inertia(const Centroids& c, const Dataset& data);
+
+/// Deterministic initialization: first-k distinct sample points.
+[[nodiscard]] Centroids init_centroids(const Dataset& sample, std::size_t k);
+
+/// One Lloyd sweep over `sample`: assign + recompute. Empty clusters keep
+/// their previous centroid.
+[[nodiscard]] Centroids lloyd_step(const Centroids& c, const Dataset& sample);
+
+/// `iterations` sweeps from init_centroids.
+[[nodiscard]] Centroids solve(const Dataset& sample, std::size_t k,
+                              std::size_t iterations);
+
+/// The speculation check: fraction of `sample` points whose assignment
+/// differs between `guess` and `current` centroids — a semantic tolerance
+/// in the paper's sense.
+[[nodiscard]] double assignment_disagreement(const Centroids& guess,
+                                             const Centroids& current,
+                                             const Dataset& sample);
+
+}  // namespace km

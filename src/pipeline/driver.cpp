@@ -1,0 +1,122 @@
+#include "pipeline/driver.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "huffman/stream_format.h"
+#include "huffman/tree.h"
+#include "io/block_source.h"
+#include "pipeline/huffman_pipeline.h"
+#include "sim/sim_executor.h"
+#include "sre/threaded_executor.h"
+
+namespace pipeline {
+namespace {
+
+std::shared_ptr<const sio::ArrivalModel> make_arrivals(const RunConfig& cfg) {
+  switch (cfg.io) {
+    case IoMode::Disk:
+      return std::make_shared<sio::DiskArrival>();
+    case IoMode::Socket:
+      return std::make_shared<sio::SocketArrival>(cfg.socket_per_block_us,
+                                                  cfg.socket_jitter_us);
+  }
+  throw std::invalid_argument("make_arrivals: unknown IO mode");
+}
+
+sio::BlockSource make_source(const RunConfig& cfg) {
+  auto data = cfg.input_path.empty()
+                  ? wl::make_corpus(cfg.file, cfg.bytes, cfg.seed)
+                  : huff::read_file(cfg.input_path);
+  return sio::BlockSource(std::move(data), cfg.ratios.block_size,
+                          make_arrivals(cfg));
+}
+
+RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
+                  sre::Runtime& rt, stats::Micros makespan) {
+  pl.validate_complete();
+  RunResult res;
+  res.trace = pl.trace();
+  res.counters = rt.counters();
+  res.makespan_us = makespan;
+  res.spec_committed = pl.speculation_committed();
+  res.rollbacks = pl.rollbacks();
+  res.wait_discarded = pl.wait_discarded();
+  res.output_bits = pl.output_bits();
+  res.natural_dispatches = rt.pool().natural_pops();
+  res.spec_dispatches = rt.pool().speculative_pops();
+  res.input.assign(src.bytes().begin(), src.bytes().end());
+  res.container = pl.assemble_output();
+  return res;
+}
+
+}  // namespace
+
+double RunResult::avg_latency_us() const {
+  const auto lats = trace.latencies();
+  if (lats.empty()) return 0.0;
+  double sum = 0.0;
+  for (auto l : lats) sum += static_cast<double>(l);
+  return sum / static_cast<double>(lats.size());
+}
+
+stats::Summary RunResult::latency_summary() const {
+  return stats::summarize(trace.latencies());
+}
+
+RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
+  sio::BlockSource src = make_source(config);
+  sre::Runtime rt(config.policy, config.priority_mode);
+  if (observer) rt.set_observer(observer);
+  sim::SimExecutor ex(rt, config.platform);
+  HuffmanPipeline pl(rt, src, config);
+
+  src.for_each_arrival([&](std::size_t i, sio::Micros at) {
+    ex.schedule_arrival(at, [&pl, i](sim::Micros now) {
+      pl.on_block_arrival(i, now);
+    });
+  });
+  ex.run();
+  return collect(src, pl, rt, ex.makespan_us());
+}
+
+RunResult run_threaded(const RunConfig& config, unsigned workers,
+                       double arrival_time_scale) {
+  sio::BlockSource src = make_source(config);
+  sre::Runtime rt(config.policy, config.priority_mode);
+  sre::ThreadedExecutor::Options opts;
+  opts.workers = workers;
+  opts.arrival_time_scale = arrival_time_scale;
+  sre::ThreadedExecutor ex(rt, opts);
+  HuffmanPipeline pl(rt, src, config);
+
+  src.for_each_arrival([&](std::size_t i, sio::Micros at) {
+    ex.schedule_arrival(at, [&pl, i](std::uint64_t now) {
+      pl.on_block_arrival(i, now);
+    });
+  });
+  ex.run();
+  return collect(src, pl, rt, rt.counters().total_runtime_us);
+}
+
+void verify_roundtrip(const RunResult& result) {
+  const auto decoded = huff::decompress_buffer(result.container);
+  if (decoded.size() != result.input.size()) {
+    throw std::logic_error("verify_roundtrip: size mismatch (" +
+                           std::to_string(decoded.size()) + " vs " +
+                           std::to_string(result.input.size()) + ")");
+  }
+  if (decoded != result.input) {
+    throw std::logic_error("verify_roundtrip: content mismatch");
+  }
+}
+
+double size_overhead_vs_optimal(const RunResult& result) {
+  const huff::Histogram hist = huff::Histogram::of(result.input);
+  const huff::HuffmanTree tree = huff::HuffmanTree::build(hist);
+  const auto optimal = static_cast<double>(tree.encoded_bits(hist));
+  if (optimal == 0.0) return 0.0;
+  return (static_cast<double>(result.output_bits) - optimal) / optimal;
+}
+
+}  // namespace pipeline

@@ -1,0 +1,60 @@
+// Driver: runs one configured scenario end-to-end and collects results.
+//
+// Two engines:
+//  * run_sim      — deterministic virtual-time simulation (figure benches);
+//  * run_threaded — real worker threads (examples, correctness tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/run_config.h"
+#include "sre/observer.h"
+#include "stats/summary.h"
+#include "stats/trace.h"
+
+namespace pipeline {
+
+struct RunResult {
+  stats::BlockTrace trace;
+  stats::RunCounters counters;
+  stats::Micros makespan_us = 0;  ///< completion time of the last task
+  bool spec_committed = false;
+  std::uint64_t rollbacks = 0;
+  std::size_t wait_discarded = 0;
+  std::uint64_t output_bits = 0;
+  std::uint64_t natural_dispatches = 0;   ///< pool pops of natural tasks
+  std::uint64_t spec_dispatches = 0;      ///< pool pops of speculative tasks
+
+  std::vector<std::uint8_t> input;      ///< the generated workload bytes
+  std::vector<std::uint8_t> container;  ///< assembled compressed stream
+
+  /// Mean per-block latency (the paper's headline metric).
+  [[nodiscard]] double avg_latency_us() const;
+
+  /// Latency summary over all blocks.
+  [[nodiscard]] stats::Summary latency_summary() const;
+};
+
+/// Runs `config` on the virtual-time simulator. Deterministic. An optional
+/// observer (e.g. tracelog::Recorder) sees every runtime event.
+[[nodiscard]] RunResult run_sim(const RunConfig& config,
+                                sre::Observer* observer = nullptr);
+
+/// Runs `config` on real threads. `workers` threads execute tasks;
+/// `arrival_time_scale` compresses the arrival schedule (e.g. 0.01 turns a
+/// 6 s socket trace into 60 ms of wall-clock). Latency values are wall-clock
+/// and thus noisy; use run_sim for figures.
+[[nodiscard]] RunResult run_threaded(const RunConfig& config,
+                                     unsigned workers = 4,
+                                     double arrival_time_scale = 1.0);
+
+/// Verifies that `result.container` decodes back to `result.input`.
+/// Throws std::logic_error on mismatch.
+void verify_roundtrip(const RunResult& result);
+
+/// Compressed-size overhead of `result` relative to the optimal
+/// (non-speculative, exact-tree) encoding of the same input: fraction ≥ ~0.
+[[nodiscard]] double size_overhead_vs_optimal(const RunResult& result);
+
+}  // namespace pipeline

@@ -1,0 +1,567 @@
+#include "pipeline/huffman_pipeline.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "huffman/offsets.h"
+#include "huffman/stream_format.h"
+#include "huffman/tree.h"
+#include "sim/cost_model.h"
+
+namespace pipeline {
+
+using sim::TaskKind;
+
+/// Active speculative second pass: one epoch's tree, serial offset chain
+/// tail, and per-block offset store. Destroyed on rollback; survives commit
+/// (later arrivals pass through the wait buffer).
+struct HuffmanPipeline::Chain {
+  sre::Epoch epoch = 0;
+  std::shared_ptr<const huff::CodeTable> table;
+  sre::TaskPtr prev_offset;  ///< tail of the serial offset chain
+  std::shared_ptr<sre::Slot<std::uint64_t>> prev_end;  ///< bits after tail group
+  std::shared_ptr<std::vector<std::uint64_t>> offsets; ///< absolute start bits
+  std::size_t next_group = 0;
+  std::size_t counted_blocks = 0;  ///< prefix of blocks with completed counts
+};
+
+struct HuffmanPipeline::State {
+  State(sre::Runtime& runtime, const sio::BlockSource& source, RunConfig config)
+      : rt(runtime),
+        src(source),
+        cfg(std::move(config)),
+        root("huffman"),
+        first_pass(&root.add_child("first-pass")),
+        second_pass(&root.add_child("second-pass")) {}
+
+  sre::Runtime& rt;
+  const sio::BlockSource& src;
+  RunConfig cfg;
+
+  // SuperTask hierarchy (paper §III-A): the root directs data between the
+  // two passes. The first pass's histogram port is flagged as a speculation
+  // basis (§III-B), so each publication both advances normal execution
+  // (chain bookkeeping, natural path at the final estimate) and triggers
+  // the speculative side (prediction tasks).
+  sre::SuperTask root;
+  sre::SuperTask* first_pass;
+  sre::SuperTask* second_pass;
+
+  std::size_t n_blocks = 0;
+  std::size_t n_reduces = 0;
+
+  std::mutex mu;
+
+  /// Blocks whose counts are transitively complete (updated by the serial
+  /// reduce chain). Authoritative for chain extension: a speculative chain
+  /// built from an older estimate must still cover everything counted by
+  /// the time it is wired up.
+  std::size_t counted_blocks = 0;
+
+  // First pass.
+  std::vector<huff::Histogram> block_hists;  ///< written by count bodies
+  std::vector<sre::TaskPtr> count_tasks;
+  sre::TaskPtr prev_reduce;
+  huff::Histogram prefix;  ///< mutated only by the serial reduce chain
+  std::vector<std::shared_ptr<const huff::Histogram>> snapshots;
+
+  // Results.
+  stats::BlockTrace trace;
+  std::vector<std::optional<huff::EncodedBlock>> out_blocks;
+  std::vector<std::uint64_t> out_offsets;
+  huff::CodeLengths out_lengths{};
+  bool have_table = false;
+  bool spec_committed = false;
+  std::uint64_t rollbacks = 0;
+  bool natural_built = false;
+
+  // Speculation.
+  std::optional<Chain> chain;
+  std::unique_ptr<tvs::WaitBuffer<std::size_t, SpecResult>> buffer;
+  std::unique_ptr<tvs::Speculator<TreeEstimate>> spec;
+
+  [[nodiscard]] std::size_t group_begin(std::size_t g) const {
+    return g * cfg.ratios.offset_group;
+  }
+  [[nodiscard]] std::size_t group_end(std::size_t g) const {
+    return std::min((g + 1) * cfg.ratios.offset_group, n_blocks);
+  }
+  [[nodiscard]] std::uint64_t cost(TaskKind kind, std::size_t n = 1) const {
+    return cfg.platform.cost.cost(kind, n);
+  }
+};
+
+HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
+                                 const sio::BlockSource& source,
+                                 const RunConfig& config)
+    : st_(std::make_shared<State>(runtime, source, config)) {
+  State& st = *st_;
+  st.n_blocks = source.n_blocks();
+  const std::size_t R = config.ratios.reduce_ratio;
+  if (R == 0 || config.ratios.offset_group == 0) {
+    throw std::invalid_argument("HuffmanPipeline: zero ratio");
+  }
+  st.n_reduces = (st.n_blocks + R - 1) / R;
+  st.block_hists.resize(st.n_blocks);
+  st.count_tasks.resize(st.n_blocks);
+  st.snapshots.resize(st.n_reduces);
+  st.trace = stats::BlockTrace(st.n_blocks);
+  st.out_blocks.resize(st.n_blocks);
+  st.out_offsets.resize(st.n_blocks, 0);
+
+  // Wait buffer: commits release speculative results into the output arrays.
+  auto stp = st_;
+  st.buffer = std::make_unique<tvs::WaitBuffer<std::size_t, SpecResult>>(
+      [stp](const std::size_t& block, SpecResult&& r, std::uint64_t) {
+        std::scoped_lock lk(stp->mu);
+        stp->out_blocks[block] = std::move(r.enc);
+        stp->out_offsets[block] = r.offset;
+      });
+
+  if (config.speculation_enabled()) {
+    tvs::Speculator<TreeEstimate>::Callbacks cb;
+    cb.build_chain = [stp, this](const TreeEstimate& guess, sre::Epoch epoch,
+                                 std::uint32_t gix) {
+      build_spec_chain(guess, epoch, gix);
+    };
+    cb.within_tolerance = [tol = config.spec.tolerance](
+                              const TreeEstimate& guess,
+                              const TreeEstimate& cur) {
+      // The paper's check (§IV-B): compare the compressed size of the data
+      // seen so far under both trees; reject when the difference exceeds the
+      // tolerance fraction of the newer tree's size.
+      const std::uint64_t cur_bits = cur.table->encoded_bits(*cur.hist);
+      const std::uint64_t guess_bits = guess.table->encoded_bits(*cur.hist);
+      const std::uint64_t diff =
+          guess_bits > cur_bits ? guess_bits - cur_bits : cur_bits - guess_bits;
+      return static_cast<double>(diff) <=
+             tol * static_cast<double>(cur_bits);
+    };
+    cb.on_commit = [stp](sre::Epoch epoch, std::uint64_t now_us) {
+      {
+        std::scoped_lock lk(stp->mu);
+        assert(stp->chain && stp->chain->epoch == epoch);
+        stp->spec_committed = true;
+        stp->out_lengths = stp->chain->table->lengths();
+        stp->have_table = true;
+      }
+      stp->buffer->commit(epoch, now_us);
+    };
+    cb.on_rollback = [stp](sre::Epoch epoch, std::uint64_t /*now_us*/) {
+      {
+        std::scoped_lock lk(stp->mu);
+        ++stp->rollbacks;
+        if (stp->chain && stp->chain->epoch == epoch) {
+          stp->chain.reset();
+        }
+      }
+      stp->buffer->drop(epoch);
+    };
+    cb.build_natural = [this](const TreeEstimate& final_value,
+                              std::uint64_t now_us) {
+      build_natural(final_value, now_us);
+    };
+    st.spec = std::make_unique<tvs::Speculator<TreeEstimate>>(
+        runtime, config.spec, std::move(cb), st.cost(TaskKind::Check));
+  }
+
+  // --- SuperTask wiring ------------------------------------------------
+  // Normal-execution subscriber: every new prefix histogram advances the
+  // first pass's bookkeeping; the final one feeds the natural second pass
+  // when no speculation is running.
+  auto self = this;
+  st.first_pass->subscribe_value<EstimateMsg>(
+      "histogram", [stp, self](const EstimateMsg& msg, std::uint64_t now_us) {
+        const bool is_final = (msg.reduce_index + 1 == stp->n_reduces);
+        {
+          std::unique_lock lk(stp->mu);
+          const std::size_t counted = std::min(
+              (msg.reduce_index + 1) * stp->cfg.ratios.reduce_ratio,
+              stp->n_blocks);
+          stp->counted_blocks = std::max(stp->counted_blocks, counted);
+          if (stp->chain) {
+            stp->chain->counted_blocks =
+                std::max(stp->chain->counted_blocks, stp->counted_blocks);
+            self->extend_chain_locked(lk);
+          }
+        }
+        if (!stp->spec && is_final) {
+          TreeEstimate final_est{stp->snapshots[msg.reduce_index], nullptr};
+          self->build_natural(final_est, now_us);
+        }
+      });
+
+  if (st.spec) {
+    // Speculative side: the histogram port is a flagged speculation basis;
+    // each publication may spawn a Control-class prediction task that
+    // builds the prefix tree and feeds the Speculator.
+    st.first_pass->mark_speculation_basis("histogram");
+    st.first_pass->set_speculation_trigger(
+        [stp](const sre::SuperTask::Payload& payload, std::uint64_t) {
+          const auto& msg =
+              *std::static_pointer_cast<const EstimateMsg>(payload);
+          const std::size_t r = msg.reduce_index;
+          const bool is_final = (r + 1 == stp->n_reduces);
+          const auto k = static_cast<std::uint32_t>(r + 1);
+          if (!stp->spec->wants_estimate(k, is_final)) return;
+
+          // "trees are created with every new histogram that in turn
+          // generate checking tasks" (paper Fig. 2 caption) — here, only
+          // for estimates the speculator will actually consume.
+          auto snapshot = stp->snapshots[r];
+          auto cell = std::make_shared<TreeEstimate>();
+          auto predict = stp->rt.make_task(
+              "tree[" + std::to_string(k) + (is_final ? ",final]" : "]"),
+              sre::TaskClass::Control, sre::kNaturalEpoch, /*depth=*/1000,
+              stp->cost(TaskKind::TreeBuild),
+              [snapshot, cell](sre::TaskContext&) {
+                // Flooring guarantees every byte value has a code, so a
+                // tree built from a prefix can encode later symbols too.
+                const huff::HuffmanTree tree =
+                    huff::HuffmanTree::build(snapshot->with_floor(1));
+                cell->hist = snapshot;
+                cell->table = std::make_shared<const huff::CodeTable>(
+                    huff::CodeTable::from_lengths(tree.lengths()));
+              });
+          predict->set_mem_bytes(2 * sizeof(huff::Histogram));
+          auto spec = stp->spec.get();
+          predict->add_completion_hook(
+              [spec, cell, k, is_final](sre::Task&, std::uint64_t done_us) {
+                spec->on_estimate(*cell, k, is_final, done_us);
+              });
+          stp->rt.submit(predict);
+        });
+  }
+}
+
+void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
+  auto st = st_;
+  const std::size_t R = st->cfg.ratios.reduce_ratio;
+
+  sre::TaskPtr count;
+  sre::TaskPtr reduce;
+  {
+    std::scoped_lock lk(st->mu);
+    st->trace.record_arrival(i, now_us);
+
+    count = st->rt.make_task(
+        "count[" + std::to_string(i) + "]", sre::TaskClass::Natural,
+        sre::kNaturalEpoch, /*depth=*/1, st->cost(TaskKind::Count),
+        [st, i](sre::TaskContext&) {
+          st->block_hists[i] = huff::Histogram::of(st->src.block(i));
+        });
+    count->set_mem_bytes(st->src.block_size() + sizeof(huff::Histogram));
+    st->count_tasks[i] = count;
+
+    // The last block of a reduce group (or of the stream) closes that group:
+    // create the serial Reduce task folding the group into the prefix.
+    const bool closes_group = ((i + 1) % R == 0) || (i + 1 == st->n_blocks);
+    if (closes_group) {
+      const std::size_t r = i / R;
+      const std::size_t begin = r * R;
+      const std::size_t end = i + 1;
+      auto self = this;
+      reduce = st->rt.make_task(
+          "reduce[" + std::to_string(r) + "]", sre::TaskClass::Natural,
+          sre::kNaturalEpoch, /*depth=*/2,
+          st->cost(TaskKind::Reduce, end - begin),
+          [st, r, begin, end](sre::TaskContext&) {
+            for (std::size_t b = begin; b < end; ++b) {
+              st->prefix.merge(st->block_hists[b]);
+            }
+            st->snapshots[r] = std::make_shared<huff::Histogram>(st->prefix);
+          });
+      reduce->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
+      reduce->add_completion_hook(
+          [self, r](sre::Task&, std::uint64_t done_us) {
+            self->on_reduce_done(r, done_us);
+          });
+      for (std::size_t b = begin; b < end; ++b) {
+        st->rt.add_dependency(st->count_tasks[b], reduce);
+      }
+      if (st->prev_reduce) {
+        st->rt.add_dependency(st->prev_reduce, reduce);
+      }
+      st->prev_reduce = reduce;
+    }
+  }
+  st->rt.submit(count);
+  if (reduce) st->rt.submit(reduce);
+}
+
+void HuffmanPipeline::on_reduce_done(std::size_t r, std::uint64_t now_us) {
+  // A Reduce produced a fresh prefix histogram: publish it through the
+  // SuperTask hierarchy. The flagged port advances normal execution AND
+  // triggers the speculative side (paper §III-B: "the expected data has
+  // arrived and should advance normal program execution, and ... trigger a
+  // speculative task").
+  st_->first_pass->publish_value<EstimateMsg>("histogram", {r}, now_us);
+}
+
+void HuffmanPipeline::build_spec_chain(const TreeEstimate& guess,
+                                       sre::Epoch epoch,
+                                       std::uint32_t estimate_index) {
+  auto st = st_;
+  std::unique_lock lk(st->mu);
+  Chain chain;
+  chain.epoch = epoch;
+  chain.table = guess.table;
+  chain.offsets = std::make_shared<std::vector<std::uint64_t>>(st->n_blocks, 0);
+  // Cover everything counted so far, not just the estimate's prefix: more
+  // reduces may have completed while the prediction task was in flight.
+  chain.counted_blocks = std::max(
+      std::min(static_cast<std::size_t>(estimate_index) *
+                   st->cfg.ratios.reduce_ratio,
+               st->n_blocks),
+      st->counted_blocks);
+  st->chain = std::move(chain);
+  extend_chain_locked(lk);
+}
+
+void HuffmanPipeline::extend_chain_locked(std::unique_lock<std::mutex>& lk) {
+  auto st = st_;
+  assert(lk.owns_lock());
+  (void)lk;
+  Chain& chain = *st->chain;
+  const std::size_t G = st->cfg.ratios.offset_group;
+
+  while (chain.next_group * G < st->n_blocks &&
+         st->group_end(chain.next_group) <= chain.counted_blocks) {
+    const std::size_t g = chain.next_group++;
+    const std::size_t begin = st->group_begin(g);
+    const std::size_t end = st->group_end(g);
+    const sre::Epoch epoch = chain.epoch;
+    auto table = chain.table;
+    auto offsets = chain.offsets;
+    auto prev_end = chain.prev_end;
+    auto group_end_slot = sre::make_slot<std::uint64_t>();
+
+    auto offset_task = st->rt.make_task(
+        "spec-offset[" + std::to_string(g) + ",e" + std::to_string(epoch) + "]",
+        sre::TaskClass::Speculative, epoch, /*depth=*/4,
+        st->cost(TaskKind::Offset, end - begin),
+        [st, begin, end, table, offsets, prev_end, group_end_slot](
+            sre::TaskContext&) {
+          const std::uint64_t start = prev_end ? prev_end->get() : 0;
+          const huff::OffsetGroup og = huff::compute_offsets(
+              std::span<const huff::Histogram>(st->block_hists)
+                  .subspan(begin, end - begin),
+              *table, start);
+          for (std::size_t b = begin; b < end; ++b) {
+            (*offsets)[b] = og.block_offsets[b - begin];
+          }
+          group_end_slot->set(og.end_offset);
+        });
+    offset_task->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
+    for (std::size_t b = begin; b < end; ++b) {
+      st->rt.add_dependency(st->count_tasks[b], offset_task);
+    }
+    if (chain.prev_offset) {
+      st->rt.add_dependency(chain.prev_offset, offset_task);
+    }
+    chain.prev_offset = offset_task;
+    chain.prev_end = group_end_slot;
+    st->rt.submit(offset_task);
+
+    for (std::size_t b = begin; b < end; ++b) {
+      auto enc = std::make_shared<huff::EncodedBlock>();
+      auto encode_task = st->rt.make_task(
+          "spec-encode[" + std::to_string(b) + ",e" + std::to_string(epoch) +
+              "]",
+          sre::TaskClass::Speculative, epoch, /*depth=*/5,
+          st->cost(TaskKind::Encode),
+          [st, b, table, enc](sre::TaskContext&) {
+            *enc = huff::encode_block(st->src.block(b), *table);
+          });
+      encode_task->set_mem_bytes(3 * st->src.block_size() +
+                                 sizeof(huff::CodeTable));
+      encode_task->add_completion_hook(
+          [st, b, enc, offsets, epoch](sre::Task&, std::uint64_t done_us) {
+            std::uint64_t offset = 0;
+            {
+              std::scoped_lock hlk(st->mu);
+              st->trace.record_done(b, done_us, /*speculative=*/true);
+              offset = (*offsets)[b];
+            }
+            st->buffer->add(epoch, b, SpecResult{std::move(*enc), offset},
+                            done_us);
+            st->second_pass->publish_value<BlockDoneMsg>("block-done",
+                                                         {b, true}, done_us);
+          });
+      st->rt.add_dependency(offset_task, encode_task);
+      st->rt.submit(encode_task);
+    }
+  }
+}
+
+void HuffmanPipeline::build_natural(const TreeEstimate& final_value,
+                                    std::uint64_t /*now_us*/) {
+  auto st = st_;
+  {
+    std::scoped_lock lk(st->mu);
+    if (st->natural_built) {
+      throw std::logic_error("HuffmanPipeline: natural path built twice");
+    }
+    st->natural_built = true;
+  }
+
+  // Natural tree task: exact (unfloored) table from the complete histogram.
+  auto hist = final_value.hist;
+  auto table_cell = std::make_shared<std::shared_ptr<const huff::CodeTable>>();
+  auto tree_task = st->rt.make_task(
+      "tree[natural]", sre::TaskClass::Natural, sre::kNaturalEpoch,
+      /*depth=*/3, st->cost(TaskKind::TreeBuild),
+      [hist, table_cell](sre::TaskContext&) {
+        *table_cell = std::make_shared<const huff::CodeTable>(
+            huff::CodeTable::from_histogram(*hist));
+      });
+  tree_task->set_mem_bytes(2 * sizeof(huff::Histogram));
+
+  auto self = this;
+  tree_task->add_completion_hook([st, self, table_cell](sre::Task&,
+                                                        std::uint64_t) {
+    // All counts finished (the final reduce ran), so the whole natural
+    // second pass can be laid out at once: serial offset chain, parallel
+    // encodes.
+    auto table = *table_cell;
+    {
+      std::scoped_lock lk(st->mu);
+      st->out_lengths = table->lengths();
+      st->have_table = true;
+    }
+    const std::size_t G = st->cfg.ratios.offset_group;
+    const std::size_t n_groups = (st->n_blocks + G - 1) / G;
+    auto offsets = std::make_shared<std::vector<std::uint64_t>>(st->n_blocks, 0);
+    sre::TaskPtr prev_offset;
+    std::shared_ptr<sre::Slot<std::uint64_t>> prev_end;
+
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t begin = st->group_begin(g);
+      const std::size_t end = st->group_end(g);
+      auto group_end_slot = sre::make_slot<std::uint64_t>();
+      auto prev_end_cap = prev_end;
+      auto offset_task = st->rt.make_task(
+          "offset[" + std::to_string(g) + "]", sre::TaskClass::Natural,
+          sre::kNaturalEpoch, /*depth=*/4, st->cost(TaskKind::Offset, end - begin),
+          [st, begin, end, table, offsets, prev_end_cap, group_end_slot](
+              sre::TaskContext&) {
+            const std::uint64_t start = prev_end_cap ? prev_end_cap->get() : 0;
+            const huff::OffsetGroup og = huff::compute_offsets(
+                std::span<const huff::Histogram>(st->block_hists)
+                    .subspan(begin, end - begin),
+                *table, start);
+            for (std::size_t b = begin; b < end; ++b) {
+              (*offsets)[b] = og.block_offsets[b - begin];
+            }
+            group_end_slot->set(og.end_offset);
+          });
+      offset_task->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
+      if (prev_offset) st->rt.add_dependency(prev_offset, offset_task);
+      prev_offset = offset_task;
+      prev_end = group_end_slot;
+      st->rt.submit(offset_task);
+
+      for (std::size_t b = begin; b < end; ++b) {
+        auto enc = std::make_shared<huff::EncodedBlock>();
+        auto encode_task = st->rt.make_task(
+            "encode[" + std::to_string(b) + "]", sre::TaskClass::Natural,
+            sre::kNaturalEpoch, /*depth=*/5, st->cost(TaskKind::Encode),
+            [st, b, table, enc](sre::TaskContext&) {
+              *enc = huff::encode_block(st->src.block(b), *table);
+            });
+        encode_task->set_mem_bytes(3 * st->src.block_size() +
+                                   sizeof(huff::CodeTable));
+        encode_task->add_completion_hook(
+            [st, b, enc, offsets](sre::Task&, std::uint64_t done_us) {
+              {
+                std::scoped_lock lk(st->mu);
+                st->trace.record_done(b, done_us, /*speculative=*/false);
+                st->out_blocks[b] = std::move(*enc);
+                st->out_offsets[b] = (*offsets)[b];
+              }
+              st->second_pass->publish_value<BlockDoneMsg>(
+                  "block-done", {b, false}, done_us);
+            });
+        st->rt.add_dependency(offset_task, encode_task);
+        st->rt.submit(encode_task);
+      }
+    }
+    (void)self;
+  });
+  st->rt.submit(tree_task);
+}
+
+const stats::BlockTrace& HuffmanPipeline::trace() const { return st_->trace; }
+
+sre::SuperTask& HuffmanPipeline::root_supertask() { return st_->root; }
+
+bool HuffmanPipeline::speculation_committed() const {
+  std::scoped_lock lk(st_->mu);
+  return st_->spec_committed;
+}
+
+std::size_t HuffmanPipeline::wait_discarded() const {
+  return st_->buffer->discarded();
+}
+
+std::uint64_t HuffmanPipeline::rollbacks() const {
+  std::scoped_lock lk(st_->mu);
+  return st_->rollbacks;
+}
+
+void HuffmanPipeline::validate_complete() const {
+  std::scoped_lock lk(st_->mu);
+  if (!st_->have_table) {
+    throw std::logic_error("HuffmanPipeline: run produced no code table");
+  }
+  for (std::size_t b = 0; b < st_->n_blocks; ++b) {
+    if (!st_->out_blocks[b].has_value()) {
+      throw std::logic_error("HuffmanPipeline: block " + std::to_string(b) +
+                             " has no committed encoding");
+    }
+    if (!st_->trace.at(b).completed()) {
+      throw std::logic_error("HuffmanPipeline: block " + std::to_string(b) +
+                             " missing completion timestamp");
+    }
+  }
+}
+
+std::uint64_t HuffmanPipeline::output_bits() const {
+  std::scoped_lock lk(st_->mu);
+  std::uint64_t end = 0;
+  for (std::size_t b = 0; b < st_->n_blocks; ++b) {
+    if (st_->out_blocks[b]) {
+      end = std::max(end, st_->out_offsets[b] + st_->out_blocks[b]->bit_count);
+    }
+  }
+  return end;
+}
+
+std::vector<std::uint8_t> HuffmanPipeline::assemble_output() const {
+  std::scoped_lock lk(st_->mu);
+  huff::CompressedStream s;
+  s.original_bytes = st_->src.total_bytes();
+  s.n_blocks = static_cast<std::uint32_t>(st_->n_blocks);
+  s.block_size = static_cast<std::uint32_t>(st_->src.block_size());
+  s.lengths = st_->out_lengths;
+
+  std::vector<huff::EncodedBlock> blocks;
+  blocks.reserve(st_->n_blocks);
+  std::uint64_t end_bit = 0;
+  for (std::size_t b = 0; b < st_->n_blocks; ++b) {
+    if (!st_->out_blocks[b]) {
+      throw std::logic_error("assemble_output: incomplete run");
+    }
+    blocks.push_back(*st_->out_blocks[b]);
+    end_bit = std::max(end_bit,
+                       st_->out_offsets[b] + st_->out_blocks[b]->bit_count);
+  }
+  s.payload = huff::assemble(blocks, st_->out_offsets);
+  s.payload_bits = end_bit;
+  // The Offset phase computed every block's position anyway: embed the
+  // random-access index for free.
+  s.block_offsets = st_->out_offsets;
+  return huff::serialize(s);
+}
+
+}  // namespace pipeline

@@ -1,0 +1,117 @@
+// HuffmanPipeline: the paper's benchmark, built as a dynamic DFG on the SRE.
+//
+// Mirrors Fig. 2 of the paper. First pass: a Count task per arriving 4 KiB
+// block; a serial chain of Reduce tasks, each folding `reduce_ratio` block
+// histograms into the running prefix histogram. Each Reduce completion is an
+// *estimate* in the tolerant-value-speculation sense; when the Speculator
+// wants one, a Control-class prediction task builds the prefix Huffman tree.
+// Second pass: Offset tasks (one per group of `offset_group` blocks, serially
+// chained — variable-length codes make block positions a prefix computation)
+// feeding parallel Encode tasks. The speculative second pass runs under an
+// epoch from a predicted tree; its results wait in a WaitBuffer until a
+// passing final check commits them. A failed check rolls the epoch back and
+// re-speculates from the newest prefix (or falls back to the natural second
+// pass if the final histogram is already known).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/speculator.h"
+#include "core/wait_buffer.h"
+#include "huffman/canonical.h"
+#include "huffman/encoder.h"
+#include "huffman/histogram.h"
+#include "io/block_source.h"
+#include "pipeline/run_config.h"
+#include "sre/runtime.h"
+#include "sre/slot.h"
+#include "sre/supertask.h"
+#include "stats/trace.h"
+
+namespace pipeline {
+
+/// The speculated value: a prefix histogram and the canonical table implied
+/// by it. Tables for speculation are built over a floored histogram so every
+/// byte value is encodable regardless of what arrives later.
+struct TreeEstimate {
+  std::shared_ptr<const huff::Histogram> hist;
+  std::shared_ptr<const huff::CodeTable> table;
+};
+
+/// Published on the first pass's "histogram" SuperTask port, one per Reduce
+/// completion (the snapshot itself lives in the pipeline state).
+struct EstimateMsg {
+  std::size_t reduce_index = 0;
+};
+
+/// Published on the second pass's "block-done" SuperTask port.
+struct BlockDoneMsg {
+  std::size_t block = 0;
+  bool speculative = false;
+};
+
+class HuffmanPipeline {
+ public:
+  /// `source` must outlive the pipeline. Cost/memory attributes come from
+  /// `config.platform.cost`; speculation is controlled by `config.policy`
+  /// and `config.spec`.
+  HuffmanPipeline(sre::Runtime& runtime, const sio::BlockSource& source,
+                  const RunConfig& config);
+
+  /// Arrival entry point: the executor calls this (from its feeder/event
+  /// schedule) when block `i`'s bytes become available.
+  void on_block_arrival(std::size_t i, std::uint64_t now_us);
+
+  // --- Results (valid after the executor's run() returns) -----------------
+
+  [[nodiscard]] const stats::BlockTrace& trace() const;
+
+  /// True iff the committed output came from a speculative epoch.
+  [[nodiscard]] bool speculation_committed() const;
+
+  /// Entries discarded from the wait buffer by rollbacks.
+  [[nodiscard]] std::size_t wait_discarded() const;
+
+  /// Number of rollback events observed by the pipeline.
+  [[nodiscard]] std::uint64_t rollbacks() const;
+
+  /// Throws std::logic_error if any block has no committed encoding — a run
+  /// that loses blocks is a correctness bug.
+  void validate_complete() const;
+
+  /// Assembles the complete compressed container (header + spliced payload).
+  [[nodiscard]] std::vector<std::uint8_t> assemble_output() const;
+
+  /// Compressed payload size in bits of the committed output.
+  [[nodiscard]] std::uint64_t output_bits() const;
+
+  /// The pipeline's SuperTask hierarchy (paper §III-A/B): the root routes
+  /// data between the two passes; the first pass's "histogram" port is the
+  /// flagged speculation basis that feeds the tvs layer. Exposed for
+  /// observation (tests subscribe to ports to watch data flow).
+  [[nodiscard]] sre::SuperTask& root_supertask();
+
+ private:
+  struct SpecResult {
+    huff::EncodedBlock enc;
+    std::uint64_t offset = 0;
+  };
+
+  struct Chain;
+  struct State;
+
+  // Wiring helpers (definitions in the .cpp).
+  void on_reduce_done(std::size_t r, std::uint64_t now_us);
+  void build_spec_chain(const TreeEstimate& guess, sre::Epoch epoch,
+                        std::uint32_t estimate_index);
+  void extend_chain_locked(std::unique_lock<std::mutex>& lk);
+  void build_natural(const TreeEstimate& final_value, std::uint64_t now_us);
+
+  std::shared_ptr<State> st_;
+};
+
+}  // namespace pipeline

@@ -1,0 +1,59 @@
+#include "pipeline/run_config.h"
+
+#include <sstream>
+
+namespace pipeline {
+
+std::string to_string(IoMode m) {
+  return m == IoMode::Disk ? "disk" : "socket";
+}
+
+std::string RunConfig::label() const {
+  std::ostringstream os;
+  os << wl::to_string(file) << "/" << platform.name << "/" << to_string(io)
+     << "/" << sre::to_string(policy);
+  if (speculation_enabled()) os << "/" << spec.to_string();
+  return os.str();
+}
+
+RunConfig RunConfig::x86_disk(wl::FileKind f, sre::DispatchPolicy policy) {
+  RunConfig c;
+  c.file = f;
+  c.io = IoMode::Disk;
+  c.platform = sim::PlatformConfig::x86();
+  c.ratios = {4096, 16, 64};
+  c.policy = policy;
+  return c;
+}
+
+RunConfig RunConfig::cell_disk(wl::FileKind f, sre::DispatchPolicy policy) {
+  RunConfig c;
+  c.file = f;
+  c.io = IoMode::Disk;
+  c.platform = sim::PlatformConfig::cell();
+  c.ratios = {4096, 16, 16};
+  c.policy = policy;
+  return c;
+}
+
+RunConfig RunConfig::x86_socket(wl::FileKind f, sre::DispatchPolicy policy) {
+  RunConfig c;
+  c.file = f;
+  c.io = IoMode::Socket;
+  c.platform = sim::PlatformConfig::x86();
+  c.ratios = {4096, 8, 8};
+  c.policy = policy;
+  return c;
+}
+
+RunConfig RunConfig::cell_socket(wl::FileKind f, sre::DispatchPolicy policy) {
+  RunConfig c;
+  c.file = f;
+  c.io = IoMode::Socket;
+  c.platform = sim::PlatformConfig::cell();
+  c.ratios = {4096, 16, 16};
+  c.policy = policy;
+  return c;
+}
+
+}  // namespace pipeline

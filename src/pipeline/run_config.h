@@ -1,0 +1,82 @@
+// Scenario configuration: everything that defines one experimental run.
+//
+// The presets encode the paper's parametrization (§V-A):
+//  * 4 KiB input blocks;
+//  * x86 disk: reduce 16:1, offset feeds 64 encodes;
+//  * Cell: 16:1 for both ratios (32 KiB local-store budget);
+//  * socket: both ratios 8:1 "in order to reduce average latency";
+//  * baseline verification every 8th reduce result, tolerance 1 %.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "sim/platform.h"
+#include "sre/ids.h"
+#include "workload/corpus.h"
+
+namespace pipeline {
+
+enum class IoMode : std::uint8_t { Disk, Socket };
+
+[[nodiscard]] std::string to_string(IoMode m);
+
+/// Structural parameters of the Huffman pipeline DFG.
+struct PipelineRatios {
+  std::size_t block_size = 4096;
+  std::size_t reduce_ratio = 16;  ///< count histograms merged per reduce
+  std::size_t offset_group = 64;  ///< encode tasks fed per offset task
+};
+
+/// One experimental run, fully specified.
+struct RunConfig {
+  wl::FileKind file = wl::FileKind::Txt;
+  std::size_t bytes = 0;  ///< 0 = the paper's size for `file`
+  std::uint64_t seed = 42;
+  /// Non-empty: compress this file from disk instead of a synthetic corpus
+  /// (`file`/`bytes`/`seed` are then ignored).
+  std::string input_path;
+
+  IoMode io = IoMode::Disk;
+  /// Socket pacing (ignored for disk): microseconds per 4 KiB block and
+  /// jitter bound. The default matches Fig. 7's long-distance tunnel (~6 s
+  /// for 4 MB); Fig. 8 uses a faster link where compute queueing matters.
+  std::uint64_t socket_per_block_us = 5500;
+  std::uint64_t socket_jitter_us = 900;
+  sim::PlatformConfig platform = sim::PlatformConfig::x86();
+  PipelineRatios ratios;
+
+  sre::DispatchPolicy policy = sre::DispatchPolicy::Balanced;
+  /// Intra-queue ordering; Fcfs is the breadth-first strawman of §III-A,
+  /// kept for the ablation bench.
+  sre::PriorityMode priority_mode = sre::PriorityMode::DepthFirst;
+  tvs::SpecConfig spec;  ///< step/verify/tolerance; ignored when disabled
+
+  /// False = non-speculative baseline (policy forced to NonSpeculative).
+  [[nodiscard]] bool speculation_enabled() const {
+    return policy != sre::DispatchPolicy::NonSpeculative;
+  }
+
+  [[nodiscard]] std::string label() const;
+
+  // --- The paper's configurations -----------------------------------------
+
+  /// x86, disk input: reduce 16:1, offset 64:1.
+  [[nodiscard]] static RunConfig x86_disk(wl::FileKind file,
+                                          sre::DispatchPolicy policy);
+
+  /// Cell, disk input: both ratios 16:1, staging depth 4.
+  [[nodiscard]] static RunConfig cell_disk(wl::FileKind file,
+                                           sre::DispatchPolicy policy);
+
+  /// x86, socket input: both ratios 8:1.
+  [[nodiscard]] static RunConfig x86_socket(wl::FileKind file,
+                                            sre::DispatchPolicy policy);
+
+  /// Cell, socket input: both ratios 16:1 (local-store constraint).
+  [[nodiscard]] static RunConfig cell_socket(wl::FileKind file,
+                                             sre::DispatchPolicy policy);
+};
+
+}  // namespace pipeline

@@ -1,0 +1,49 @@
+#include "sim/cost_model.h"
+
+namespace sim {
+
+std::uint64_t CostModel::cost(TaskKind kind, std::size_t n) const {
+  std::uint64_t base = 0;
+  switch (kind) {
+    case TaskKind::Count:
+      base = count_us;
+      break;
+    case TaskKind::Reduce:
+      base = reduce_per_input_us * n;
+      break;
+    case TaskKind::TreeBuild:
+      base = tree_build_us;
+      break;
+    case TaskKind::Offset:
+      base = offset_per_block_us * n;
+      break;
+    case TaskKind::Encode:
+      base = encode_us;
+      break;
+    case TaskKind::Check:
+      base = check_us;
+      break;
+    case TaskKind::Sink:
+      base = sink_us;
+      break;
+  }
+  return base + dma_overhead_us;
+}
+
+CostModel CostModel::x86() { return CostModel{}; }
+
+CostModel CostModel::cell() {
+  CostModel m;
+  // SPEs pay a DMA charge per task to move the working set through the
+  // local store, and byte-granular scalar work (histogram counting, tree
+  // build) runs poorly on them — unlike the SIMD-friendly encode kernel.
+  // The slow Count keeps the first pass compute-saturated, which is what
+  // starves the conservative policy of idle slots on this platform.
+  m.count_us = 180;
+  m.encode_us = 200;
+  m.tree_build_us = 330;
+  m.dma_overhead_us = 25;
+  return m;
+}
+
+}  // namespace sim

@@ -1,0 +1,51 @@
+// Cost model: virtual execution time charged per task kind.
+//
+// The defaults are calibrated so a 16-CPU x86-disk run lands in the same
+// regime the paper reports (tens of milliseconds end-to-end for a 4 MB file
+// in 4 KiB blocks): coarse-grain tasks in the high-microsecond to millisecond
+// range (paper §II-A cites task granularity in the millisecond range).
+// Absolute values are not meant to match the authors' testbed — only the
+// ratios between phases and the resulting scheduling shapes matter.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sim {
+
+/// Task kinds of the Huffman pipeline plus the generic speculation-control
+/// kinds. Other pipelines may use `custom_us` directly.
+enum class TaskKind : std::uint8_t {
+  Count,      ///< histogram of one input block
+  Reduce,     ///< merge of up to `reduce_ratio` histograms
+  TreeBuild,  ///< Huffman tree + canonical table construction
+  Offset,     ///< bit offsets for one group of blocks
+  Encode,     ///< encode one block
+  Check,      ///< tolerance verification (paper: "simple and run very quickly")
+  Sink,       ///< commit/buffer bookkeeping at the output boundary
+};
+
+struct CostModel {
+  // Per-kind base costs in virtual microseconds, for the nominal 4 KiB block.
+  std::uint64_t count_us = 150;
+  std::uint64_t reduce_per_input_us = 4;   ///< × number of merged histograms
+  std::uint64_t tree_build_us = 260;
+  std::uint64_t offset_per_block_us = 3;   ///< × blocks in the group
+  std::uint64_t encode_us = 240;
+  std::uint64_t check_us = 12;
+  std::uint64_t sink_us = 2;
+
+  /// Extra per-task charge modeling DMA-in/out on software-managed local
+  /// stores (Cell). Zero on cache-based platforms.
+  std::uint64_t dma_overhead_us = 0;
+
+  /// Cost of a task of `kind` whose size parameter (blocks merged, group
+  /// size…) is `n`.
+  [[nodiscard]] std::uint64_t cost(TaskKind kind, std::size_t n = 1) const;
+
+  /// The paper's two machines.
+  [[nodiscard]] static CostModel x86();
+  [[nodiscard]] static CostModel cell();
+};
+
+}  // namespace sim

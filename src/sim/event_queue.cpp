@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sim {
+
+void EventQueue::schedule(Micros at, Action action) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a temporary pop.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.at;
+  e.action(now_);
+  return true;
+}
+
+Micros EventQueue::next_time() const {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: next_time on empty queue");
+  }
+  return heap_.top().at;
+}
+
+}  // namespace sim

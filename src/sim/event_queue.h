@@ -1,0 +1,57 @@
+// Deterministic discrete-event queue for the virtual-time executor.
+//
+// Events at equal timestamps fire in insertion order (stable), which makes
+// whole simulations bit-reproducible for identical inputs — the property the
+// figure benchmarks and the determinism tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sim {
+
+using Micros = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void(Micros now)>;
+
+  /// Schedules `action` at absolute virtual time `at`. Scheduling into the
+  /// past (at < now of the last popped event) throws std::logic_error —
+  /// causality violations are bugs, not data.
+  void schedule(Micros at, Action action);
+
+  /// Pops and runs the earliest event; advances now(). Returns false when
+  /// empty.
+  bool run_one();
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Virtual time of the most recently fired event (0 before any).
+  [[nodiscard]] Micros now() const { return now_; }
+
+  /// Timestamp of the next pending event; throws if empty.
+  [[nodiscard]] Micros next_time() const;
+
+ private:
+  struct Entry {
+    Micros at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // min-heap: earliest time, then insertion order
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  Micros now_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,25 @@
+#include "sim/platform.h"
+
+namespace sim {
+
+PlatformConfig PlatformConfig::x86(unsigned cpus) {
+  PlatformConfig p;
+  p.name = "x86";
+  p.cpus = cpus;
+  p.staging_depth = 0;
+  p.task_mem_limit = 0;
+  p.cost = CostModel::x86();
+  return p;
+}
+
+PlatformConfig PlatformConfig::cell(unsigned cpus) {
+  PlatformConfig p;
+  p.name = "cell";
+  p.cpus = cpus;
+  p.staging_depth = 4;            // multiple buffering: 4 tasks per local store
+  p.task_mem_limit = 32 * 1024;   // 256 KiB local store / 4 overlaid tasks
+  p.cost = CostModel::cell();
+  return p;
+}
+
+}  // namespace sim

@@ -1,0 +1,46 @@
+// Platform configurations for the virtual-time executor.
+//
+// Models the paper's two machines (§V-A):
+//  * x86: 8×Quad-Core Opteron CMP — cache-based, workers pull tasks one at a
+//    time (simple polling).
+//  * Cell BE: SPEs with 256 KiB software-managed local stores. The runtime
+//    uses *multiple buffering* (paper §III-A): up to four tasks' worth of
+//    data are committed to a local store ahead of execution, limiting task
+//    memory to 32 KiB and — crucially for the conservative-policy result —
+//    binding tasks to a CPU before newer, higher-priority work can displace
+//    them. We model this with a per-CPU staging queue of depth 4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/cost_model.h"
+
+namespace sim {
+
+struct PlatformConfig {
+  std::string name = "x86";
+  unsigned cpus = 16;  ///< both machines run 16 worker threads in the paper
+
+  /// Depth of the per-CPU staging queue. 0 = no staging (cache-based x86);
+  /// >0 = multiple buffering with that many task slots per CPU.
+  std::size_t staging_depth = 0;
+
+  /// Per-task working-set budget in bytes; 0 = unlimited. On Cell a task must
+  /// fit a quarter of the 256 KiB local store minus code/runtime: 32 KiB.
+  std::size_t task_mem_limit = 0;
+
+  CostModel cost;
+
+  [[nodiscard]] static PlatformConfig x86(unsigned cpus = 16);
+  [[nodiscard]] static PlatformConfig cell(unsigned cpus = 16);
+
+  /// Validates a task's memory footprint against the platform budget.
+  /// Returns true if acceptable (always true when task_mem_limit == 0).
+  [[nodiscard]] bool fits_memory(std::size_t task_bytes) const {
+    return task_mem_limit == 0 || task_bytes <= task_mem_limit;
+  }
+};
+
+}  // namespace sim

@@ -1,0 +1,165 @@
+#include "sim/sim_executor.h"
+
+#include <stdexcept>
+
+namespace sim {
+
+SimExecutor::SimExecutor(sre::Runtime& runtime, PlatformConfig platform)
+    : runtime_(runtime), platform_(std::move(platform)) {
+  if (platform_.cpus == 0) {
+    throw std::invalid_argument("SimExecutor: need at least one CPU");
+  }
+  cpus_.resize(platform_.cpus);
+  busy_us_.resize(platform_.cpus, 0);
+}
+
+void SimExecutor::schedule_arrival(Micros at, std::function<void(Micros)> fn) {
+  events_.schedule(at, std::move(fn));
+}
+
+void SimExecutor::check_memory(const sre::TaskPtr& task) const {
+  if (!platform_.fits_memory(task->mem_bytes())) {
+    throw std::logic_error("SimExecutor: task '" + task->name() + "' needs " +
+                           std::to_string(task->mem_bytes()) +
+                           " bytes, over the " + platform_.name +
+                           " local-store budget of " +
+                           std::to_string(platform_.task_mem_limit));
+  }
+}
+
+void SimExecutor::dispatch(Micros now) {
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    Cpu& cpu = cpus_[i];
+    if (cpu.busy) continue;
+
+    if (platform_.staging_depth == 0) {
+      // Cache-based platform: pull one task straight from the pool.
+      sre::TaskPtr task = runtime_.next_task(now, static_cast<unsigned>(i));
+      if (!task) return;  // pool drained; later CPUs stay idle too
+      check_memory(task);
+      cpus_[i].busy = true;
+      // next_task() already marked it Running; execute and schedule finish.
+      sre::TaskContext ctx{runtime_, *task, now};
+      task->run(ctx);
+      const Micros finish_at = now + task->cost_us();
+      busy_us_[i] += task->cost_us();
+      events_.schedule(finish_at, [this, i, task](Micros t) {
+        cpus_[i].busy = false;
+        makespan_us_ = std::max(makespan_us_, t);
+        runtime_.on_task_finished(task, t);
+        dispatch(t);
+      });
+      continue;
+    }
+
+    // Multiple buffering: commit tasks into this CPU's staging queue up to
+    // the platform depth, then execute from the front in FIFO order.
+    //
+    // Under the conservative policy, "no non-speculative task available"
+    // must include naturals already committed to staging queues — the deep
+    // dispatch queue almost always holds one, which is exactly why the
+    // paper observes conservative speculating so rarely on Cell (§V-B).
+    while (cpu.staged.size() < platform_.staging_depth) {
+      const bool spec_allowed =
+          runtime_.pool().policy() != sre::DispatchPolicy::Conservative ||
+          staged_naturals_ == 0;
+      sre::TaskPtr task = runtime_.locked(
+          [this, spec_allowed] { return runtime_.pool().pop(spec_allowed); });
+      if (!task) break;
+      check_memory(task);
+      runtime_.mark_staged(task);
+      if (task->task_class() != sre::TaskClass::Speculative) {
+        ++staged_naturals_;
+      }
+      cpu.staged.push_back(std::move(task));
+    }
+
+    // Discard staged tasks whose epoch rolled back while they sat in the
+    // local store: they are "deleted with their content when they complete"
+    // — here completion is the moment the SPE would have started them.
+    for (auto it = cpu.staged.begin(); it != cpu.staged.end();) {
+      if (!(*it)->abort_requested()) {
+        ++it;
+        continue;
+      }
+      sre::TaskPtr dead = std::move(*it);
+      it = cpu.staged.erase(it);
+      if (dead->task_class() != sre::TaskClass::Speculative) {
+        --staged_naturals_;
+      }
+      runtime_.on_task_finished(dead, now);
+    }
+
+    if (cpu.staged.empty()) continue;
+    // Multiple buffering commits the *data transfers*; among the tasks whose
+    // data already sits in the local store, the SPE still picks by the same
+    // rules as the pool — Control first, then the policy's class
+    // preference, then deepest-stage/FCFS. Without this, a serial-chain
+    // task (e.g. the next Reduce) would queue behind prefetched Counts and
+    // the staging depth would artificially stretch every serial chain.
+    const auto class_rank = [this](const sre::TaskPtr& t) {
+      if (t->task_class() == sre::TaskClass::Control) return 0;
+      const bool spec = t->task_class() == sre::TaskClass::Speculative;
+      switch (runtime_.pool().policy()) {
+        case sre::DispatchPolicy::Conservative:
+          return spec ? 2 : 1;
+        case sre::DispatchPolicy::Aggressive:
+          return spec ? 1 : 2;
+        case sre::DispatchPolicy::NonSpeculative:
+        case sre::DispatchPolicy::Balanced:
+          return 1;  // no class preference; depth/FCFS decide
+      }
+      return 1;
+    };
+    auto best = cpu.staged.begin();
+    for (auto it = std::next(cpu.staged.begin()); it != cpu.staged.end();
+         ++it) {
+      const auto& a = *it;
+      const auto& b = *best;
+      bool higher = false;
+      if (class_rank(a) != class_rank(b)) {
+        higher = class_rank(a) < class_rank(b);
+      } else if (a->depth() != b->depth()) {
+        higher = a->depth() > b->depth();
+      } else {
+        higher = a->ready_seq() < b->ready_seq();
+      }
+      if (higher) best = it;
+    }
+    sre::TaskPtr task = std::move(*best);
+    cpu.staged.erase(best);
+    if (task->task_class() != sre::TaskClass::Speculative) {
+      --staged_naturals_;
+    }
+    runtime_.mark_running(task, now, static_cast<unsigned>(i));
+    cpu.busy = true;
+    sre::TaskContext ctx{runtime_, *task, now};
+    task->run(ctx);
+    const Micros finish_at = now + task->cost_us();
+    busy_us_[i] += task->cost_us();
+    events_.schedule(finish_at, [this, i, task](Micros t) {
+      cpus_[i].busy = false;
+      makespan_us_ = std::max(makespan_us_, t);
+      runtime_.on_task_finished(task, t);
+      dispatch(t);
+    });
+  }
+}
+
+void SimExecutor::run() {
+  dispatch(0);
+  while (events_.run_one()) {
+    // Arrival actions and finish events both end by calling dispatch();
+    // arrivals scheduled by the harness are plain actions, so dispatch here
+    // as well to cover them.
+    dispatch(events_.now());
+  }
+  if (!runtime_.quiescent()) {
+    throw std::logic_error(
+        "SimExecutor: simulation ended with work outstanding (ready=" +
+        std::to_string(runtime_.ready_count()) +
+        ", running=" + std::to_string(runtime_.running_count()) + ")");
+  }
+}
+
+}  // namespace sim

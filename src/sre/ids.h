@@ -1,0 +1,71 @@
+// Shared identifier and enum types for the Streaming Runtime Environment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sre {
+
+using TaskId = std::uint64_t;
+
+/// Speculation epoch. Epoch 0 is the natural (non-speculative) execution
+/// path; each speculative attempt opens a fresh nonzero epoch, and rollback
+/// destroys everything tagged with it.
+using Epoch = std::uint32_t;
+inline constexpr Epoch kNaturalEpoch = 0;
+
+/// Scheduling class of a task (paper §III-A):
+///  * Natural     — the normal execution path;
+///  * Speculative — tagged with a nonzero epoch, destroyable by rollback;
+///  * Control     — value-predicting / checking tasks; always dispatched
+///                  first regardless of pipeline position ("we try to
+///                  optimize for latency, and these tasks should have a high
+///                  impact thereupon").
+enum class TaskClass : std::uint8_t { Natural, Speculative, Control };
+
+/// Lifecycle of a task.
+///
+///   Created → Blocked → Ready → (Staged →) Running → Done
+///                  \________\______\_________\→ Aborted
+///
+/// Staged exists only under platforms with multiple buffering (Cell): the
+/// task has been committed to a specific CPU's local store ahead of
+/// execution and can no longer be re-prioritized.
+enum class TaskState : std::uint8_t {
+  Created,
+  Blocked,
+  Ready,
+  Staged,
+  Running,
+  Done,
+  Aborted,
+};
+
+/// Resource-allocation policy for choosing between ready natural and ready
+/// speculative tasks (paper §V-B "Scheduling Policies"):
+///  * NonSpeculative — speculation disabled entirely (baseline runs);
+///  * Conservative   — speculative tasks dispatched only when no natural
+///                     task is ready;
+///  * Aggressive     — speculative tasks actively preferred;
+///  * Balanced       — equal dispatch counts of both kinds.
+enum class DispatchPolicy : std::uint8_t {
+  NonSpeculative,
+  Conservative,
+  Aggressive,
+  Balanced,
+};
+
+/// Intra-queue ordering (paper §III-A). The SRE favors pipeline depth with
+/// FCFS tie-break; pure FCFS is the breadth-first strawman the paper calls
+/// out ("this breadth-first approach certainly extends latency and tends to
+/// be toxic to memory locality") — kept for the ablation benchmark.
+enum class PriorityMode : std::uint8_t {
+  DepthFirst,  ///< deeper pipeline stage first, FCFS among equals (default)
+  Fcfs,        ///< pure submission order
+};
+
+[[nodiscard]] std::string to_string(TaskClass c);
+[[nodiscard]] std::string to_string(TaskState s);
+[[nodiscard]] std::string to_string(DispatchPolicy p);
+
+}  // namespace sre

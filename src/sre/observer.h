@@ -1,0 +1,53 @@
+// Runtime observability: a passive event stream of everything the SRE does.
+//
+// An Observer sees task lifecycle events (creation, dependence edges,
+// dispatch, completion/abort) and speculation epoch events. The trace layer
+// (src/trace) builds Chrome-trace timelines, Graphviz DFG dumps and
+// utilization charts from it; tests use it to assert scheduling behaviour.
+//
+// Contract: callbacks may be invoked while the runtime lock is held — an
+// observer must record and return, never call back into the Runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sre/ids.h"
+
+namespace sre {
+
+struct TaskInfo {
+  TaskId id = 0;
+  std::string name;
+  TaskClass cls = TaskClass::Natural;
+  Epoch epoch = kNaturalEpoch;
+  int depth = 0;
+  std::uint64_t cost_us = 0;
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A task object was created (not yet submitted).
+  virtual void on_task_created(const TaskInfo& /*task*/) {}
+
+  /// A dependence edge producer → consumer was declared.
+  virtual void on_edge(TaskId /*producer*/, TaskId /*consumer*/) {}
+
+  /// The task started executing on `cpu` at engine time `now_us`. For the
+  /// threaded engine, `cpu` is the worker index.
+  virtual void on_dispatched(TaskId /*task*/, std::uint64_t /*now_us*/,
+                             unsigned /*cpu*/) {}
+
+  /// The task's completion was processed. `aborted` means a rollback caught
+  /// it and its effects were discarded.
+  virtual void on_finished(TaskId /*task*/, std::uint64_t /*now_us*/,
+                           bool /*aborted*/) {}
+
+  virtual void on_epoch_opened(Epoch /*epoch*/) {}
+  virtual void on_epoch_committed(Epoch /*epoch*/) {}
+  virtual void on_epoch_aborted(Epoch /*epoch*/) {}
+};
+
+}  // namespace sre

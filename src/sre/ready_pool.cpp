@@ -1,0 +1,99 @@
+#include "sre/ready_pool.h"
+
+#include <stdexcept>
+
+namespace sre {
+
+ReadyPool::Queue& ReadyPool::queue_for(const TaskPtr& task) {
+  switch (task->task_class()) {
+    case TaskClass::Control:
+      return control_;
+    case TaskClass::Speculative:
+      return spec_;
+    case TaskClass::Natural:
+      return natural_;
+  }
+  throw std::logic_error("ReadyPool: unknown task class");
+}
+
+void ReadyPool::push(const TaskPtr& task) {
+  if (task->task_class() == TaskClass::Speculative &&
+      policy_ == DispatchPolicy::NonSpeculative) {
+    throw std::logic_error(
+        "ReadyPool: speculative task submitted under NonSpeculative policy");
+  }
+  queue_for(task).insert(task);
+}
+
+bool ReadyPool::erase(const TaskPtr& task) {
+  return queue_for(task).erase(task) > 0;
+}
+
+TaskPtr ReadyPool::pop_from(Queue& q, bool is_spec) {
+  if (q.empty()) return nullptr;
+  TaskPtr task = *q.begin();
+  q.erase(q.begin());
+  if (is_spec) {
+    ++spec_pops_;
+  } else {
+    ++natural_pops_;
+  }
+  return task;
+}
+
+TaskPtr ReadyPool::pop(bool spec_allowed) {
+  // Control tasks always win; they are counted on neither side of the
+  // natural/speculative balance.
+  if (!control_.empty()) {
+    TaskPtr task = *control_.begin();
+    control_.erase(control_.begin());
+    return task;
+  }
+  if (!spec_allowed) {
+    return pop_from(natural_, false);
+  }
+
+  switch (policy_) {
+    case DispatchPolicy::NonSpeculative:
+      return pop_from(natural_, false);
+
+    case DispatchPolicy::Conservative: {
+      if (TaskPtr t = pop_from(natural_, false)) return t;
+      return pop_from(spec_, true);
+    }
+
+    case DispatchPolicy::Aggressive: {
+      if (TaskPtr t = pop_from(spec_, true)) return t;
+      return pop_from(natural_, false);
+    }
+
+    case DispatchPolicy::Balanced: {
+      // Strict alternation; fall through to the other queue when the
+      // preferred one is empty (without flipping the preference, so the
+      // long-run dispatch counts stay equal while both have work).
+      if (balanced_prefer_spec_) {
+        if (TaskPtr t = pop_from(spec_, true)) {
+          balanced_prefer_spec_ = false;
+          return t;
+        }
+        return pop_from(natural_, false);
+      }
+      if (TaskPtr t = pop_from(natural_, false)) {
+        balanced_prefer_spec_ = true;
+        return t;
+      }
+      return pop_from(spec_, true);
+    }
+  }
+  return nullptr;
+}
+
+bool ReadyPool::empty() const {
+  return control_.empty() && natural_.empty() && spec_.empty();
+}
+
+std::size_t ReadyPool::size() const {
+  return control_.size() + natural_.size() + spec_.size();
+}
+
+}  // namespace sre

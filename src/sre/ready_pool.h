@@ -1,0 +1,85 @@
+// ReadyPool: the SRE's scheduler data structure.
+//
+// Three queues — Control, Natural, Speculative. Control tasks are always
+// dispatched first (paper: prediction/verification tasks get highest
+// priority). Between Natural and Speculative, the DispatchPolicy decides.
+// Within each queue, ordering is deepest-pipeline-stage-first with FCFS
+// tie-break (paper §III-A: "a priority-based scheduling policy where depth
+// is favored, but uses FCFS for tasks of equal priority").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sre/ids.h"
+#include "sre/task.h"
+
+namespace sre {
+
+class ReadyPool {
+ public:
+  explicit ReadyPool(DispatchPolicy policy,
+                     PriorityMode mode = PriorityMode::DepthFirst)
+      : policy_(policy),
+        control_(Order{mode}),
+        natural_(Order{mode}),
+        spec_(Order{mode}) {}
+
+  [[nodiscard]] DispatchPolicy policy() const { return policy_; }
+
+  /// Inserts a ready task (its ready_seq must already be assigned).
+  void push(const TaskPtr& task);
+
+  /// Removes a specific task (rollback of a Ready task). Returns true if the
+  /// task was present.
+  bool erase(const TaskPtr& task);
+
+  /// Pops the next task to dispatch per the policy, or nullptr if empty.
+  ///
+  /// `spec_allowed` lets the executor veto speculative dispatch for this pop
+  /// even when the policy would permit it. Platforms with multiple buffering
+  /// use this for the conservative policy: "no non-speculative task
+  /// available" must account for naturals already committed to staging
+  /// queues (paper §V-B's Cell observation), which only the executor can see.
+  TaskPtr pop(bool spec_allowed = true);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t natural_size() const { return natural_.size(); }
+  [[nodiscard]] std::size_t speculative_size() const { return spec_.size(); }
+  [[nodiscard]] std::size_t control_size() const { return control_.size(); }
+
+  /// Dispatch counters (used by tests to verify policy behaviour).
+  [[nodiscard]] std::uint64_t natural_pops() const { return natural_pops_; }
+  [[nodiscard]] std::uint64_t speculative_pops() const { return spec_pops_; }
+
+ private:
+  struct Order {
+    PriorityMode mode = PriorityMode::DepthFirst;
+    // DepthFirst: higher depth first, then earlier ready_seq; Fcfs: ready
+    // order only. TaskId gives a total order in both cases.
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const {
+      if (mode == PriorityMode::DepthFirst && a->depth() != b->depth()) {
+        return a->depth() > b->depth();
+      }
+      if (a->ready_seq() != b->ready_seq()) return a->ready_seq() < b->ready_seq();
+      return a->id() < b->id();
+    }
+  };
+  using Queue = std::set<TaskPtr, Order>;
+
+  TaskPtr pop_from(Queue& q, bool is_spec);
+  Queue& queue_for(const TaskPtr& task);
+
+  DispatchPolicy policy_;
+  Queue control_;
+  Queue natural_;
+  Queue spec_;
+  bool balanced_prefer_spec_ = true;  ///< Balanced policy alternation state
+  std::uint64_t natural_pops_ = 0;
+  std::uint64_t spec_pops_ = 0;
+};
+
+}  // namespace sre

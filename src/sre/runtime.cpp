@@ -1,0 +1,317 @@
+#include "sre/runtime.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sre {
+
+std::string to_string(TaskClass c) {
+  switch (c) {
+    case TaskClass::Natural: return "natural";
+    case TaskClass::Speculative: return "speculative";
+    case TaskClass::Control: return "control";
+  }
+  return "?";
+}
+
+std::string to_string(TaskState s) {
+  switch (s) {
+    case TaskState::Created: return "created";
+    case TaskState::Blocked: return "blocked";
+    case TaskState::Ready: return "ready";
+    case TaskState::Staged: return "staged";
+    case TaskState::Running: return "running";
+    case TaskState::Done: return "done";
+    case TaskState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+std::string to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::NonSpeculative: return "non-spec";
+    case DispatchPolicy::Conservative: return "conservative";
+    case DispatchPolicy::Aggressive: return "aggressive";
+    case DispatchPolicy::Balanced: return "balanced";
+  }
+  return "?";
+}
+
+TaskPtr Runtime::make_task(std::string name, TaskClass cls, Epoch epoch,
+                           int depth, std::uint64_t cost_us, Task::Body body) {
+  std::scoped_lock lk(mu_);
+  auto task = std::make_shared<Task>(next_id_++, std::move(name), cls, epoch,
+                                     depth, cost_us, std::move(body));
+  if (observer_) {
+    observer_->on_task_created(
+        {task->id(), task->name(), cls, epoch, depth, cost_us});
+  }
+  return task;
+}
+
+void Runtime::add_dependency(const TaskPtr& producer, const TaskPtr& consumer) {
+  std::scoped_lock lk(mu_);
+  if (consumer->state_.load() != TaskState::Created) {
+    throw std::logic_error(
+        "add_dependency: consumer already submitted (" + consumer->name() + ")");
+  }
+  const TaskState ps = producer->state_.load();
+  if (ps == TaskState::Done) {
+    return;  // already satisfied
+  }
+  if (ps == TaskState::Aborted) {
+    // Destroy signal: depending on rolled-back data kills the consumer.
+    abort_task_locked(consumer);
+    return;
+  }
+  producer->successors_.push_back(consumer);
+  ++consumer->unmet_deps_;
+  if (observer_) observer_->on_edge(producer->id(), consumer->id());
+}
+
+void Runtime::submit(const TaskPtr& task) {
+  bool notify = false;
+  {
+    std::scoped_lock lk(mu_);
+    if (task->state_.load() == TaskState::Aborted) {
+      return;  // killed by a dependency on rolled-back data before submission
+    }
+    if (task->state_.load() != TaskState::Created) {
+      throw std::logic_error("submit: task submitted twice (" + task->name() + ")");
+    }
+    if (task->epoch() != kNaturalEpoch) {
+      epoch_tasks_[task->epoch()][task->id()] = task;
+    }
+    if (task->unmet_deps_ == 0) {
+      make_ready_locked(task);
+      notify = true;
+    } else {
+      task->state_.store(TaskState::Blocked);
+      ++blocked_;
+    }
+  }
+  if (notify) signal_ready();
+}
+
+void Runtime::make_ready_locked(const TaskPtr& task) {
+  task->ready_seq_ = next_ready_seq_++;
+  task->state_.store(TaskState::Ready);
+  pool_.push(task);
+}
+
+void Runtime::on_task_finished(const TaskPtr& task, std::uint64_t now_us) {
+  std::vector<Task::CompletionHook> hooks;
+  bool notify = false;
+  {
+    std::scoped_lock lk(mu_);
+    assert(task->state_.load() == TaskState::Running ||
+           task->state_.load() == TaskState::Staged);
+    --running_;
+
+    if (task->epoch() != kNaturalEpoch) {
+      auto it = epoch_tasks_.find(task->epoch());
+      if (it != epoch_tasks_.end()) it->second.erase(task->id());
+    }
+
+    if (observer_) {
+      observer_->on_finished(task->id(), now_us, task->abort_requested());
+    }
+    if (task->abort_requested()) {
+      // Rollback caught this task in flight: discard its results, propagate
+      // the destroy signal to anything that was wired to consume them.
+      task->state_.store(TaskState::Aborted);
+      ++counters_.tasks_aborted;
+      for (const TaskPtr& succ : task->successors_) {
+        abort_task_locked(succ);
+      }
+      task->successors_.clear();
+      task->hooks_.clear();
+      task->body_ = nullptr;
+      return;
+    }
+
+    task->state_.store(TaskState::Done);
+    if (task->epoch() != kNaturalEpoch && task->rollback_routine_) {
+      // The task performed a reversible side effect; log the compensation
+      // so a later rollback of this epoch can undo it.
+      epoch_undo_log_[task->epoch()].push_back(
+          std::move(task->rollback_routine_));
+      task->rollback_routine_ = nullptr;
+    }
+    ++counters_.tasks_executed;
+    if (task->speculative()) ++counters_.spec_tasks_executed;
+    if (task->task_class() == TaskClass::Control) ++counters_.checks_executed;
+    counters_.total_runtime_us = std::max(counters_.total_runtime_us, now_us);
+
+    for (const TaskPtr& succ : task->successors_) {
+      if (succ->state_.load() == TaskState::Aborted) continue;
+      assert(succ->unmet_deps_ > 0);
+      if (--succ->unmet_deps_ == 0 &&
+          succ->state_.load() == TaskState::Blocked) {
+        --blocked_;
+        make_ready_locked(succ);
+        notify = true;
+      }
+    }
+    task->successors_.clear();
+    hooks = std::move(task->hooks_);
+    task->hooks_.clear();
+    task->body_ = nullptr;
+  }
+  // Hooks run outside the lock: they are allowed to create and submit new
+  // tasks (dynamic DFG growth) and to trigger commits/rollbacks.
+  for (auto& hook : hooks) {
+    hook(*task, now_us);
+  }
+  if (notify) signal_ready();
+}
+
+Epoch Runtime::open_epoch() {
+  std::scoped_lock lk(mu_);
+  ++counters_.epochs_opened;
+  const Epoch epoch = next_epoch_++;
+  if (observer_) observer_->on_epoch_opened(epoch);
+  return epoch;
+}
+
+void Runtime::abort_task_locked(const TaskPtr& task) {
+  switch (task->state_.load()) {
+    case TaskState::Created:
+      task->state_.store(TaskState::Aborted);
+      ++counters_.tasks_aborted;
+      if (observer_) observer_->on_finished(task->id(), 0, /*aborted=*/true);
+      break;
+    case TaskState::Blocked:
+      --blocked_;
+      task->state_.store(TaskState::Aborted);
+      ++counters_.tasks_aborted;
+      if (observer_) observer_->on_finished(task->id(), 0, /*aborted=*/true);
+      break;
+    case TaskState::Ready:
+      pool_.erase(task);
+      task->state_.store(TaskState::Aborted);
+      ++counters_.tasks_aborted;
+      if (observer_) observer_->on_finished(task->id(), 0, /*aborted=*/true);
+      break;
+    case TaskState::Staged:
+    case TaskState::Running:
+      // Cannot delete a launched task; flag it for disposal at completion
+      // (paper §III-B).
+      task->request_abort();
+      return;  // keep hooks/successors until it completes
+    case TaskState::Done:
+    case TaskState::Aborted:
+      return;
+  }
+  // Propagate the destroy signal down the dependence chain and reclaim the
+  // task's payload ("deletes them with their content").
+  for (const TaskPtr& succ : task->successors_) {
+    abort_task_locked(succ);
+  }
+  task->successors_.clear();
+  task->hooks_.clear();
+  task->body_ = nullptr;
+}
+
+void Runtime::abort_epoch(Epoch epoch) {
+  std::vector<Task::RollbackRoutine> undo;
+  {
+    std::scoped_lock lk(mu_);
+    if (observer_) observer_->on_epoch_aborted(epoch);
+    auto it = epoch_tasks_.find(epoch);
+    if (it != epoch_tasks_.end()) {
+      // Copy out: abort_task_locked mutates the registry's tasks' successor
+      // lists, and recursion may revisit tasks in this same epoch.
+      std::vector<TaskPtr> tasks;
+      tasks.reserve(it->second.size());
+      for (auto& [id, t] : it->second) tasks.push_back(t);
+      epoch_tasks_.erase(it);
+      for (const TaskPtr& t : tasks) {
+        abort_task_locked(t);
+      }
+    }
+    auto log = epoch_undo_log_.find(epoch);
+    if (log != epoch_undo_log_.end()) {
+      undo = std::move(log->second);
+      epoch_undo_log_.erase(log);
+    }
+  }
+  // Compensate completed side effects in reverse completion order, outside
+  // the lock (routines are user code and may touch the runtime).
+  for (auto rit = undo.rbegin(); rit != undo.rend(); ++rit) {
+    (*rit)();
+  }
+}
+
+void Runtime::note_rollback() {
+  std::scoped_lock lk(mu_);
+  ++counters_.rollbacks;
+}
+
+void Runtime::mark_epoch_committed(Epoch epoch) {
+  std::scoped_lock lk(mu_);
+  epoch_undo_log_.erase(epoch);  // committed side effects are permanent
+  ++counters_.epochs_committed;
+  if (observer_) observer_->on_epoch_committed(epoch);
+}
+
+TaskPtr Runtime::next_task(std::uint64_t now_us, unsigned cpu) {
+  std::scoped_lock lk(mu_);
+  TaskPtr task = pool_.pop();
+  if (task) {
+    task->state_.store(TaskState::Running);
+    ++running_;
+    if (observer_) observer_->on_dispatched(task->id(), now_us, cpu);
+  }
+  return task;
+}
+
+void Runtime::mark_running(const TaskPtr& task, std::uint64_t now_us,
+                           unsigned cpu) {
+  std::scoped_lock lk(mu_);
+  if (observer_) observer_->on_dispatched(task->id(), now_us, cpu);
+  const TaskState s = task->state_.load();
+  if (s == TaskState::Staged) {
+    task->state_.store(TaskState::Running);
+    return;  // already counted as in-flight when staged
+  }
+  task->state_.store(TaskState::Running);
+  ++running_;
+}
+
+void Runtime::mark_staged(const TaskPtr& task) {
+  std::scoped_lock lk(mu_);
+  task->state_.store(TaskState::Staged);
+  ++running_;
+}
+
+stats::RunCounters Runtime::counters() const {
+  std::scoped_lock lk(mu_);
+  return counters_;
+}
+
+std::size_t Runtime::blocked_count() const {
+  std::scoped_lock lk(mu_);
+  return blocked_;
+}
+
+std::size_t Runtime::ready_count() const {
+  std::scoped_lock lk(mu_);
+  return pool_.size();
+}
+
+std::size_t Runtime::running_count() const {
+  std::scoped_lock lk(mu_);
+  return running_;
+}
+
+bool Runtime::quiescent() const {
+  std::scoped_lock lk(mu_);
+  return pool_.empty() && running_ == 0;
+}
+
+void Runtime::signal_ready() {
+  if (ready_signal_) ready_signal_();
+}
+
+}  // namespace sre

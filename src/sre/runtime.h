@@ -1,0 +1,146 @@
+// Runtime: the SRE's dependence tracker and speculation-aware task registry.
+//
+// The Runtime owns the dynamic Data Flow Graph: tasks are created while the
+// program runs (as data arrives), dependencies added, and tasks submitted.
+// When a producer finishes, its consumers' unmet-dependence counters drop and
+// newly-ready tasks enter the ReadyPool. Rollback (abort_epoch) removes every
+// task of a speculation epoch: ready tasks are deleted from the pool, blocked
+// ones are marked dead, and running ones are flagged to be discarded on
+// completion — "launched tasks cannot be deleted; the system marks them with
+// an abort flag, and deletes them with their content when they complete"
+// (paper §III-B).
+//
+// Thread safety: all mutating operations take the runtime lock; the threaded
+// executor calls them from worker/director threads, the simulator from its
+// single event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sre/ids.h"
+#include "sre/observer.h"
+#include "sre/ready_pool.h"
+#include "sre/task.h"
+#include "stats/trace.h"
+
+namespace sre {
+
+class Runtime {
+ public:
+  explicit Runtime(DispatchPolicy policy,
+                   PriorityMode mode = PriorityMode::DepthFirst)
+      : pool_(policy, mode) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Creates a task (not yet submitted). `depth` is the pipeline-depth
+  /// priority; `cost_us` is the virtual-time execution cost (ignored by the
+  /// threaded executor, which measures real time).
+  TaskPtr make_task(std::string name, TaskClass cls, Epoch epoch, int depth,
+                    std::uint64_t cost_us, Task::Body body);
+
+  /// Declares that `consumer` needs `producer`'s output. Must be called
+  /// before submit(consumer). If the producer already finished, the
+  /// dependence is immediately satisfied; if it was aborted, the consumer is
+  /// aborted too (the destroy signal propagates through the DFG).
+  void add_dependency(const TaskPtr& producer, const TaskPtr& consumer);
+
+  /// Hands the task to the scheduler: Ready if all dependencies are met,
+  /// Blocked otherwise.
+  void submit(const TaskPtr& task);
+
+  /// Executor interface: called when a dispatched task's execution completes
+  /// at engine time `now_us`. Fires completion hooks and releases consumers,
+  /// or — if the task was flagged during a rollback — discards its effects.
+  void on_task_finished(const TaskPtr& task, std::uint64_t now_us);
+
+  // --- Speculation support -------------------------------------------------
+
+  /// Allocates a fresh speculation epoch id.
+  Epoch open_epoch();
+
+  /// Rolls back a speculation epoch: destroys every task tagged with it.
+  void abort_epoch(Epoch epoch);
+
+  void mark_epoch_committed(Epoch epoch);
+
+  /// Bumps the rollback counter (called by the speculation layer when a
+  /// check verdict rejects an epoch).
+  void note_rollback();
+
+  // --- Scheduling ----------------------------------------------------------
+
+  /// Pops the next task to run under the configured policy. `now_us`/`cpu`
+  /// are bookkeeping for the observer (executors pass their engine time and
+  /// CPU/worker index).
+  TaskPtr next_task(std::uint64_t now_us = 0, unsigned cpu = 0);
+
+  /// Installs a passive event observer (see observer.h; may be null).
+  /// Not thread-safe against a running executor: install before run().
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+  [[nodiscard]] ReadyPool& pool() { return pool_; }
+
+  /// Signal installed by an executor; invoked (outside the lock) whenever new
+  /// work may be available for dispatch.
+  void set_ready_signal(std::function<void()> signal) {
+    ready_signal_ = std::move(signal);
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] stats::RunCounters counters() const;
+  [[nodiscard]] std::size_t blocked_count() const;
+  [[nodiscard]] std::size_t ready_count() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+  /// True when no task is ready, staged or running. (Blocked tasks may still
+  /// exist if the program is waiting for external arrivals.)
+  [[nodiscard]] bool quiescent() const;
+
+  /// Runs `fn` under the runtime lock (executors use this to make
+  /// dispatch-and-mark-running atomic).
+  template <typename Fn>
+  auto locked(Fn&& fn) {
+    std::scoped_lock lk(mu_);
+    return fn();
+  }
+
+  /// Executor interface: transition a popped task to Running / Staged.
+  void mark_running(const TaskPtr& task, std::uint64_t now_us = 0,
+                    unsigned cpu = 0);
+  void mark_staged(const TaskPtr& task);
+
+ private:
+  void make_ready_locked(const TaskPtr& task);
+  void abort_task_locked(const TaskPtr& task);
+  void signal_ready();
+
+  mutable std::mutex mu_;
+  ReadyPool pool_;
+  TaskId next_id_ = 1;
+  Epoch next_epoch_ = 1;
+  std::uint64_t next_ready_seq_ = 0;
+
+  /// Live (not finished, not aborted) tasks per epoch — the index used to
+  /// propagate destroy signals on rollback.
+  std::unordered_map<Epoch, std::unordered_map<TaskId, TaskPtr>> epoch_tasks_;
+
+  /// Undo log per epoch: rollback routines of *completed* speculative tasks
+  /// in completion order. abort_epoch replays it in reverse; committing an
+  /// epoch discards it.
+  std::unordered_map<Epoch, std::vector<Task::RollbackRoutine>> epoch_undo_log_;
+
+  stats::RunCounters counters_;
+  std::size_t blocked_ = 0;
+  std::size_t running_ = 0;  // includes Staged
+  std::function<void()> ready_signal_;
+  Observer* observer_ = nullptr;
+};
+
+}  // namespace sre

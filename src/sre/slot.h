@@ -1,0 +1,51 @@
+// Slot<T>: single-writer value cell connecting producer and consumer tasks.
+//
+// A producer task's body sets the slot; consumer bodies read it. Ordering is
+// guaranteed by the dependence edge (a consumer only becomes ready after the
+// producer finished, and the runtime lock provides the memory fence), so the
+// cell itself needs no synchronization.
+//
+// Slots are shared_ptr-owned by the closures of the tasks that touch them;
+// when a rollback destroys a speculative chain, dropping the task bodies
+// releases the slots — this is the "proper garbage collection" of §III-B.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace sre {
+
+template <typename T>
+class Slot {
+ public:
+  void set(T value) {
+    if (value_.has_value()) {
+      throw std::logic_error("Slot: set twice");
+    }
+    value_.emplace(std::move(value));
+  }
+
+  [[nodiscard]] const T& get() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Slot: read before set");
+    }
+    return *value_;
+  }
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <typename T>
+using SlotPtr = std::shared_ptr<Slot<T>>;
+
+template <typename T>
+[[nodiscard]] SlotPtr<T> make_slot() {
+  return std::make_shared<Slot<T>>();
+}
+
+}  // namespace sre

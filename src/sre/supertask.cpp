@@ -1,0 +1,44 @@
+#include "sre/supertask.h"
+
+namespace sre {
+
+SuperTask& SuperTask::add_child(std::string child_name) {
+  children_.push_back(
+      std::make_unique<SuperTask>(std::move(child_name), this));
+  return *children_.back();
+}
+
+void SuperTask::subscribe(const std::string& port, Handler handler) {
+  subscribers_[port].push_back(std::move(handler));
+}
+
+std::size_t SuperTask::publish(const std::string& port, const Payload& payload,
+                               std::uint64_t now_us) {
+  std::size_t fired = 0;
+  if (speculation_basis_ports_.contains(port) && speculation_trigger_) {
+    speculation_trigger_(payload, now_us);
+    ++fired;
+  }
+  auto it = subscribers_.find(port);
+  if (it != subscribers_.end() && !it->second.empty()) {
+    for (const Handler& h : it->second) {
+      h(payload, now_us);
+      ++fired;
+    }
+    return fired;
+  }
+  if (parent_ != nullptr) {
+    return fired + parent_->publish(port, payload, now_us);
+  }
+  return fired;
+}
+
+void SuperTask::mark_speculation_basis(const std::string& port) {
+  speculation_basis_ports_.insert(port);
+}
+
+bool SuperTask::is_speculation_basis(const std::string& port) const {
+  return speculation_basis_ports_.contains(port);
+}
+
+}  // namespace sre

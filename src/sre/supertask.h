@@ -1,0 +1,88 @@
+// SuperTask: the SRE's hierarchical data-routing node.
+//
+// "Our SRE defines a hierarchy of node SuperTasks whose sole purpose is to
+//  direct the flow of data between its child Tasks and SuperTasks, and
+//  eventually to its parent as it completes." (paper §III-A)
+//
+// A SuperTask routes type-erased payloads by port name: children publish to
+// ports; subscribers on the same SuperTask receive the payload; ports with no
+// local subscriber forward to the parent. Ports may be flagged as a
+// *speculation basis* (paper §III-B): payloads published there additionally
+// fire the speculation trigger, which is how the tolerant-value-speculation
+// layer learns that a new estimate exists while normal execution advances.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sre {
+
+class SuperTask {
+ public:
+  using Payload = std::shared_ptr<const void>;
+  /// Handler receives the payload and the engine time of publication.
+  using Handler = std::function<void(const Payload&, std::uint64_t now_us)>;
+
+  explicit SuperTask(std::string name, SuperTask* parent = nullptr)
+      : name_(std::move(name)), parent_(parent) {}
+
+  SuperTask(const SuperTask&) = delete;
+  SuperTask& operator=(const SuperTask&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] SuperTask* parent() const { return parent_; }
+
+  /// Creates a child SuperTask; the parent owns it.
+  SuperTask& add_child(std::string child_name);
+  [[nodiscard]] const std::vector<std::unique_ptr<SuperTask>>& children() const {
+    return children_;
+  }
+
+  /// Registers a handler for payloads published on `port`.
+  void subscribe(const std::string& port, Handler handler);
+
+  /// Publishes a payload on `port`: local subscribers fire; if there are
+  /// none, the payload escalates to the parent ("eventually to its parent as
+  /// it completes"). Returns the number of handlers that fired.
+  std::size_t publish(const std::string& port, const Payload& payload,
+                      std::uint64_t now_us);
+
+  /// Flags `port` as a basis for speculation: publications on it also invoke
+  /// the speculation trigger (if installed), without disturbing normal
+  /// routing.
+  void mark_speculation_basis(const std::string& port);
+  [[nodiscard]] bool is_speculation_basis(const std::string& port) const;
+
+  void set_speculation_trigger(Handler trigger) {
+    speculation_trigger_ = std::move(trigger);
+  }
+
+  /// Typed publish/subscribe conveniences.
+  template <typename T>
+  std::size_t publish_value(const std::string& port, T value,
+                            std::uint64_t now_us) {
+    return publish(port, std::make_shared<const T>(std::move(value)), now_us);
+  }
+
+  template <typename T>
+  void subscribe_value(const std::string& port,
+                       std::function<void(const T&, std::uint64_t)> fn) {
+    subscribe(port, [fn = std::move(fn)](const Payload& p, std::uint64_t t) {
+      fn(*std::static_pointer_cast<const T>(p), t);
+    });
+  }
+
+ private:
+  std::string name_;
+  SuperTask* parent_;
+  std::vector<std::unique_ptr<SuperTask>> children_;
+  std::unordered_map<std::string, std::vector<Handler>> subscribers_;
+  std::unordered_set<std::string> speculation_basis_ports_;
+  Handler speculation_trigger_;
+};
+
+}  // namespace sre

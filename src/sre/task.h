@@ -1,0 +1,126 @@
+// Task: the coarse-grain, side-effect-free unit of computation of the SRE.
+//
+// A task carries its dependence bookkeeping (unmet-producer count, successor
+// list), its scheduling attributes (class, epoch, pipeline depth, FCFS
+// sequence number), an abort flag used for rollback of in-flight work, and a
+// simulated cost used by the virtual-time executor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sre/ids.h"
+
+namespace sre {
+
+class Task;
+class Runtime;
+using TaskPtr = std::shared_ptr<Task>;
+
+/// Execution context handed to a task body.
+struct TaskContext {
+  Runtime& runtime;
+  Task& self;
+  /// Engine time (µs) at which the task was dispatched. Virtual time under
+  /// the simulator, steady-clock time under the threaded executor.
+  std::uint64_t now_us = 0;
+};
+
+class Task {
+ public:
+  using Body = std::function<void(TaskContext&)>;
+  /// Completion hook: fired by the runtime when the task *successfully*
+  /// finishes (not when aborted), with the engine time of completion.
+  using CompletionHook = std::function<void(Task&, std::uint64_t done_us)>;
+
+  Task(TaskId id, std::string name, TaskClass cls, Epoch epoch, int depth,
+       std::uint64_t cost_us, Body body)
+      : id_(id),
+        name_(std::move(name)),
+        cls_(cls),
+        epoch_(epoch),
+        depth_(depth),
+        cost_us_(cost_us),
+        body_(std::move(body)) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  [[nodiscard]] TaskId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TaskClass task_class() const { return cls_; }
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] bool speculative() const { return epoch_ != kNaturalEpoch; }
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t cost_us() const { return cost_us_; }
+  [[nodiscard]] TaskState state() const { return state_.load(std::memory_order_acquire); }
+
+  /// FCFS tie-break sequence, assigned when the task becomes ready.
+  [[nodiscard]] std::uint64_t ready_seq() const { return ready_seq_; }
+
+  /// Rollback support: mark an in-flight task for disposal at completion.
+  void request_abort() { abort_requested_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool abort_requested() const {
+    return abort_requested_.load(std::memory_order_acquire);
+  }
+
+  /// User-defined rollback routine (the extension of paper §II-A: "our
+  /// framework can be extended to support user-defined rollback routines,
+  /// to enable more tasks to execute speculatively").
+  ///
+  /// A speculative task that *does* perform a reversible side effect may
+  /// register the compensating action here. If the task completed and its
+  /// epoch is later rolled back, the runtime invokes the routines of the
+  /// epoch's completed tasks in reverse completion order. Committing the
+  /// epoch discards them.
+  using RollbackRoutine = std::function<void()>;
+  void set_rollback_routine(RollbackRoutine undo) {
+    rollback_routine_ = std::move(undo);
+  }
+  [[nodiscard]] bool has_rollback_routine() const {
+    return static_cast<bool>(rollback_routine_);
+  }
+
+  /// Approximate working-set size; platforms with software-managed local
+  /// stores (Cell) budget-check this (paper §III-A: 32 KiB per task).
+  void set_mem_bytes(std::size_t n) { mem_bytes_ = n; }
+  [[nodiscard]] std::size_t mem_bytes() const { return mem_bytes_; }
+
+  void add_completion_hook(CompletionHook hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  /// Executes the task body (executors only). A task whose body was already
+  /// reclaimed (rollback) is a no-op.
+  void run(TaskContext& ctx) {
+    if (body_) body_(ctx);
+  }
+
+ private:
+  friend class Runtime;
+
+  const TaskId id_;
+  const std::string name_;
+  const TaskClass cls_;
+  const Epoch epoch_;
+  const int depth_;
+  const std::uint64_t cost_us_;
+  Body body_;
+
+  std::atomic<TaskState> state_{TaskState::Created};
+  std::atomic<bool> abort_requested_{false};
+  std::uint64_t ready_seq_ = 0;
+  std::size_t mem_bytes_ = 0;
+
+  // Dependence bookkeeping — owned by the Runtime, guarded by its lock.
+  int unmet_deps_ = 0;
+  std::vector<TaskPtr> successors_;
+  std::vector<CompletionHook> hooks_;
+  RollbackRoutine rollback_routine_;
+};
+
+}  // namespace sre

@@ -1,0 +1,187 @@
+#include "sre/threaded_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sre {
+
+ThreadedExecutor::ThreadedExecutor(Runtime& runtime, Options options)
+    : runtime_(runtime),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.workers == 0) {
+    throw std::invalid_argument("ThreadedExecutor: need at least one worker");
+  }
+  runtime_.set_ready_signal([this] {
+    std::scoped_lock lk(mu_);
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+  });
+}
+
+ThreadedExecutor::~ThreadedExecutor() {
+  {
+    std::scoped_lock lk(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    director_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (director_.joinable()) director_.join();
+  if (feeder_.joinable()) feeder_.join();
+  runtime_.set_ready_signal(nullptr);
+}
+
+std::uint64_t ThreadedExecutor::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void ThreadedExecutor::schedule_arrival(std::uint64_t at_us, Arrival fn) {
+  std::scoped_lock lk(mu_);
+  const auto scaled = static_cast<std::uint64_t>(
+      static_cast<double>(at_us) * options_.arrival_time_scale);
+  arrivals_.emplace_back(scaled, std::move(fn));
+}
+
+bool ThreadedExecutor::finished_locked() const {
+  return feeder_done_ && completions_.empty() && in_flight_ == 0 &&
+         runtime_.quiescent();
+}
+
+void ThreadedExecutor::feeder_loop() {
+  std::vector<std::pair<std::uint64_t, Arrival>> schedule;
+  {
+    std::scoped_lock lk(mu_);
+    schedule = std::move(arrivals_);
+    arrivals_.clear();
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [at_us, fn] : schedule) {
+    {
+      std::scoped_lock lk(mu_);
+      if (stopping_) break;
+    }
+    std::this_thread::sleep_until(start_ + std::chrono::microseconds(at_us));
+    fn(now_us());
+  }
+  {
+    std::scoped_lock lk(mu_);
+    feeder_done_ = true;
+    done_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+}
+
+void ThreadedExecutor::worker_loop(unsigned worker_ix) {
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stopping_ || runtime_.ready_count() > 0;
+      });
+      if (stopping_) return;
+      ++in_flight_;  // claimed below; released if the pop loses the race
+    }
+    TaskPtr task = runtime_.next_task(now_us(), worker_ix);
+    if (!task) {
+      std::scoped_lock lk(mu_);
+      --in_flight_;
+      done_cv_.notify_all();
+      continue;
+    }
+    try {
+      // Simple polling model of the paper's x86 backend: the worker runs the
+      // assigned task to completion; abort flags are honoured by the runtime
+      // when the completion is directed.
+      TaskContext ctx{runtime_, *task, now_us()};
+      task->run(ctx);
+    } catch (const std::exception& e) {
+      std::scoped_lock lk(mu_);
+      if (error_.empty()) {
+        error_ = "task '" + task->name() + "' threw: " + e.what();
+      }
+      stopping_ = true;
+      work_cv_.notify_all();
+      director_cv_.notify_all();
+      done_cv_.notify_all();
+      return;
+    }
+    {
+      std::scoped_lock lk(mu_);
+      completions_.push_back({std::move(task), now_us()});
+      director_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadedExecutor::director_loop() {
+  for (;;) {
+    Completion c;
+    {
+      std::unique_lock lk(mu_);
+      director_cv_.wait(lk, [this] {
+        return stopping_ || !completions_.empty();
+      });
+      if (completions_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      c = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    // Dependence propagation and completion hooks run on the director thread,
+    // matching the paper's dedicated scheduling/data-directing thread.
+    runtime_.on_task_finished(c.task, c.done_us);
+    {
+      std::scoped_lock lk(mu_);
+      --in_flight_;
+      work_cv_.notify_all();
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadedExecutor::run() {
+  {
+    std::scoped_lock lk(mu_);
+    feeder_done_ = false;
+    stopping_ = false;
+  }
+  feeder_ = std::thread([this] { feeder_loop(); });
+  director_ = std::thread([this] { director_loop(); });
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  {
+    std::unique_lock lk(mu_);
+    // Periodic recheck guards against rare wakeup races between the two
+    // mutexes (runtime's and ours).
+    while (!finished_locked() && error_.empty()) {
+      done_cv_.wait_for(lk, std::chrono::milliseconds(10));
+    }
+    stopping_ = true;
+    work_cv_.notify_all();
+    director_cv_.notify_all();
+  }
+
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  director_.join();
+  feeder_.join();
+
+  std::scoped_lock lk(mu_);
+  if (!error_.empty()) {
+    throw std::runtime_error("ThreadedExecutor: " + error_);
+  }
+}
+
+}  // namespace sre

@@ -1,0 +1,88 @@
+// ThreadedExecutor: real-thread engine for the SRE.
+//
+// Mirrors the paper's x86 runtime structure (§III-A): one *feeder* thread
+// receives data from the parent application and injects it into the system,
+// one *director* thread manages scheduling bookkeeping and directs data
+// (dependence propagation, completion hooks), and N worker threads execute
+// computational tasks, polling for assignments.
+//
+// Used by the examples and tests; the figure benchmarks use the
+// deterministic virtual-time sim::SimExecutor instead (see DESIGN.md §3).
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sre/runtime.h"
+
+namespace sre {
+
+class ThreadedExecutor {
+ public:
+  struct Options {
+    unsigned workers = 4;
+    /// Multiplier applied to scheduled arrival times; tests use < 1.0 to
+    /// compress slow-I/O scenarios into fast wall-clock runs.
+    double arrival_time_scale = 1.0;
+  };
+
+  /// Arrival callback: receives the engine time (µs) at which it fired.
+  using Arrival = std::function<void(std::uint64_t now_us)>;
+
+  ThreadedExecutor(Runtime& runtime, Options options);
+  ~ThreadedExecutor();
+
+  ThreadedExecutor(const ThreadedExecutor&) = delete;
+  ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
+
+  /// Engine time: microseconds since construction (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Schedules `fn` to run on the feeder thread at engine time `at_us`
+  /// (scaled by arrival_time_scale). Must be called before run().
+  void schedule_arrival(std::uint64_t at_us, Arrival fn);
+
+  /// Runs to completion: returns when all scheduled arrivals have fired, all
+  /// dispatched tasks have completed and been processed, and the runtime is
+  /// quiescent. Throws std::runtime_error if a task body throws.
+  void run();
+
+ private:
+  void worker_loop(unsigned worker_ix);
+  void director_loop();
+  void feeder_loop();
+  [[nodiscard]] bool finished_locked() const;
+
+  Runtime& runtime_;
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      ///< wakes workers
+  std::condition_variable director_cv_;  ///< wakes the director
+  std::condition_variable done_cv_;      ///< wakes run()
+
+  struct Completion {
+    TaskPtr task;
+    std::uint64_t done_us;
+  };
+  std::deque<Completion> completions_;
+  std::vector<std::pair<std::uint64_t, Arrival>> arrivals_;  // sorted by time
+
+  std::size_t in_flight_ = 0;  ///< popped by a worker, not yet directed
+  bool feeder_done_ = false;
+  bool stopping_ = false;
+  std::string error_;
+
+  std::vector<std::thread> workers_;
+  std::thread director_;
+  std::thread feeder_;
+};
+
+}  // namespace sre

@@ -1,0 +1,104 @@
+#include "stats/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace stats {
+namespace {
+
+constexpr const char* kGlyphs = "*+ox#@%&";
+
+double sample_at(const std::vector<Micros>& v, std::size_t col,
+                 std::size_t width) {
+  // Average the bucket of elements that maps to this column so narrow spikes
+  // still show up.
+  if (v.empty()) return 0.0;
+  const double per_col = static_cast<double>(v.size()) / static_cast<double>(width);
+  const auto lo = static_cast<std::size_t>(std::floor(static_cast<double>(col) * per_col));
+  auto hi = static_cast<std::size_t>(std::floor(static_cast<double>(col + 1) * per_col));
+  hi = std::min(std::max(hi, lo + 1), v.size());
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += static_cast<double>(v[i]);
+  return sum / static_cast<double>(hi - lo);
+}
+
+}  // namespace
+
+std::string plot_series(const std::vector<SeriesView>& series,
+                        std::size_t width, std::size_t height) {
+  if (series.empty() || width == 0 || height == 0) return {};
+
+  double maxv = 1.0;
+  for (const auto& s : series) {
+    if (!s.values) continue;
+    for (Micros v : *s.values) {
+      maxv = std::max(maxv, static_cast<double>(v));
+    }
+  }
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (!s.values || s.values->empty()) continue;
+    const char glyph = kGlyphs[si % 8];
+    for (std::size_t col = 0; col < width; ++col) {
+      const double v = sample_at(*s.values, col, width);
+      auto row = static_cast<std::size_t>(
+          std::llround(v / maxv * static_cast<double>(height - 1)));
+      row = std::min(row, height - 1);
+      grid[height - 1 - row][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(0);
+  os << "  y-max = " << maxv << " us\n";
+  for (const auto& line : grid) {
+    os << "  |" << line << "|\n";
+  }
+  os << "  +" << std::string(width, '-') << "+\n";
+  os << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  [" << kGlyphs[si % 8] << "] " << series[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string sparkline(const std::vector<Micros>& values, std::size_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty() || width == 0) return {};
+  double maxv = 1.0;
+  for (Micros v : values) maxv = std::max(maxv, static_cast<double>(v));
+  std::ostringstream os;
+  for (std::size_t col = 0; col < width; ++col) {
+    const double v = sample_at(values, col, width);
+    auto lvl = static_cast<std::size_t>(std::llround(v / maxv * 7.0));
+    os << kLevels[std::min<std::size_t>(lvl, 7)];
+  }
+  return os.str();
+}
+
+std::string bar_chart(const std::vector<Bar>& bars, const std::string& unit,
+                      std::size_t width) {
+  if (bars.empty()) return {};
+  double maxv = 1.0;
+  std::size_t label_w = 0;
+  for (const auto& b : bars) {
+    maxv = std::max(maxv, b.value);
+    label_w = std::max(label_w, b.label.size());
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(0);
+  for (const auto& b : bars) {
+    const auto n = static_cast<std::size_t>(
+        std::llround(b.value / maxv * static_cast<double>(width)));
+    os << "  " << std::setw(static_cast<int>(label_w)) << std::left << b.label
+       << "  " << std::string(n, '#') << " " << b.value << ' ' << unit << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace stats

@@ -1,0 +1,42 @@
+// Terminal-friendly series plots for benchmark binaries.
+//
+// The paper's figures are latency-vs-element line charts; the bench binaries
+// render the same series as compact ASCII charts so the shape is visible in
+// a terminal without external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/trace.h"
+
+namespace stats {
+
+struct SeriesView {
+  std::string name;
+  const std::vector<Micros>* values = nullptr;
+};
+
+/// Renders multiple series (same x-axis: element index) as an ASCII chart of
+/// `width` columns × `height` rows. Each series gets a distinct glyph; the
+/// legend is appended below the chart. Y axis is shared and auto-scaled.
+[[nodiscard]] std::string plot_series(const std::vector<SeriesView>& series,
+                                      std::size_t width = 96,
+                                      std::size_t height = 20);
+
+/// One-line sparkline of a single series (8-level block glyphs).
+[[nodiscard]] std::string sparkline(const std::vector<Micros>& values,
+                                    std::size_t width = 80);
+
+/// Renders a labelled horizontal bar chart (used for the run-time panels,
+/// e.g. Fig. 3d / 4d / 6d).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+[[nodiscard]] std::string bar_chart(const std::vector<Bar>& bars,
+                                    const std::string& unit,
+                                    std::size_t width = 60);
+
+}  // namespace stats

@@ -1,0 +1,33 @@
+// Minimal CSV emission for benchmark series (one file per figure panel).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stats {
+
+/// Writes rows of comma-separated values. Cells containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Each cell is escaped independently.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& names) { row(names); }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace stats

@@ -1,0 +1,80 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stats {
+
+Micros percentile(std::vector<Micros> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty series");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("percentile: q out of [0,100]");
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = (q / 100.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return values[lo];
+  const double frac = pos - static_cast<double>(lo);
+  const double v = static_cast<double>(values[lo]) * (1.0 - frac) +
+                   static_cast<double>(values[hi]) * frac;
+  return static_cast<Micros>(std::llround(v));
+}
+
+Summary summarize(const std::vector<Micros>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  for (Micros v : values) sum += static_cast<double>(v);
+  s.mean = sum / static_cast<double>(values.size());
+
+  double var = 0.0;
+  for (Micros v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  s.stddev = std::sqrt(var);
+
+  std::vector<Micros> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(values, 50.0);
+  s.p90 = percentile(values, 90.0);
+  s.p95 = percentile(values, 95.0);
+  s.p99 = percentile(values, 99.0);
+  return s;
+}
+
+double percent_change(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a * 100.0;
+}
+
+std::vector<std::pair<std::size_t, Micros>> downsample(
+    const std::vector<Micros>& values, std::size_t max_points) {
+  std::vector<std::pair<std::size_t, Micros>> out;
+  if (values.empty() || max_points == 0) return out;
+  const std::size_t stride = std::max<std::size_t>(1, values.size() / max_points);
+  for (std::size_t i = 0; i < values.size(); i += stride) {
+    out.emplace_back(i, values[i]);
+  }
+  if (out.back().first != values.size() - 1) {
+    out.emplace_back(values.size() - 1, values.back());
+  }
+  return out;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << static_cast<std::uint64_t>(mean)
+     << "us p50=" << p50 << "us p95=" << p95 << "us max=" << max << "us";
+  return os.str();
+}
+
+}  // namespace stats

@@ -1,0 +1,41 @@
+// Order statistics and moments over latency series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/trace.h"
+
+namespace stats {
+
+/// Summary statistics of a latency (or any nonnegative microsecond) series.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  Micros min = 0;
+  Micros p50 = 0;
+  Micros p90 = 0;
+  Micros p95 = 0;
+  Micros p99 = 0;
+  Micros max = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes a Summary over `values` (copied; input order preserved).
+[[nodiscard]] Summary summarize(const std::vector<Micros>& values);
+
+/// Percentile with linear index interpolation, q in [0,100].
+[[nodiscard]] Micros percentile(std::vector<Micros> values, double q);
+
+/// Relative change (a→b) in percent; negative means b is smaller (improved).
+[[nodiscard]] double percent_change(double a, double b);
+
+/// Downsamples a series to at most `max_points` by striding, always keeping
+/// the final point. Used when printing long per-element series in benches.
+[[nodiscard]] std::vector<std::pair<std::size_t, Micros>> downsample(
+    const std::vector<Micros>& values, std::size_t max_points);
+
+}  // namespace stats

@@ -1,0 +1,65 @@
+#include "stats/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace stats {
+
+std::vector<Micros> BlockTrace::latencies() const {
+  std::vector<Micros> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (!r.done_us) {
+      throw std::logic_error("BlockTrace::latencies: block " +
+                             std::to_string(r.index) + " never completed");
+    }
+    out.push_back(r.latency_us());
+  }
+  return out;
+}
+
+std::vector<Micros> BlockTrace::arrivals() const {
+  std::vector<Micros> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.arrival_us);
+  return out;
+}
+
+bool BlockTrace::complete() const {
+  return std::all_of(records_.begin(), records_.end(),
+                     [](const BlockRecord& r) { return r.completed(); });
+}
+
+Micros BlockTrace::last_done_us() const {
+  Micros last = 0;
+  for (const auto& r : records_) {
+    if (r.done_us) last = std::max(last, *r.done_us);
+  }
+  return last;
+}
+
+std::size_t BlockTrace::speculative_commits() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const BlockRecord& r) { return r.speculative; }));
+}
+
+std::uint64_t BlockTrace::wasted_encodes() const {
+  std::uint64_t waste = 0;
+  for (const auto& r : records_) {
+    if (r.encode_count > 1) waste += r.encode_count - 1;
+  }
+  return waste;
+}
+
+std::string to_string(const RunCounters& c) {
+  std::ostringstream os;
+  os << "tasks=" << c.tasks_executed << " spec=" << c.spec_tasks_executed
+     << " aborted=" << c.tasks_aborted << " checks=" << c.checks_executed
+     << " rollbacks=" << c.rollbacks << " epochs=" << c.epochs_opened << "/"
+     << c.epochs_committed << " runtime_us=" << c.total_runtime_us;
+  return os.str();
+}
+
+}  // namespace stats

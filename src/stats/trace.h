@@ -1,0 +1,110 @@
+// Per-block latency traces: the paper's primary evaluation criterion.
+//
+// "Our main evaluation criterion is per block latency. We measure it by
+//  subtracting the time a data block arrives from the time we complete its
+//  processing." (paper §V-A)
+//
+// A BlockTrace records, per data block (element), the virtual or wall-clock
+// microsecond timestamps of arrival and completion, plus bookkeeping used by
+// the evaluation harness (how many times the block was encoded, whether its
+// final encoding was produced speculatively).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stats {
+
+/// Timestamps are microseconds on the executing engine's clock (virtual time
+/// for the simulator, steady-clock time for the threaded runtime).
+using Micros = std::uint64_t;
+
+/// One record per data block / element of the stream.
+struct BlockRecord {
+  std::uint32_t index = 0;       ///< element index within the stream
+  Micros arrival_us = 0;         ///< when the block's bytes became available
+  std::optional<Micros> done_us; ///< when its (committed) encoding completed
+  std::uint32_t encode_count = 0;///< total encode executions incl. rollbacks
+  bool speculative = false;      ///< final encoding came from a committed
+                                 ///< speculative task
+
+  /// Per-block latency (paper's metric). Requires completion.
+  [[nodiscard]] Micros latency_us() const { return *done_us - arrival_us; }
+  [[nodiscard]] bool completed() const { return done_us.has_value(); }
+};
+
+/// Trace of a full run over a stream of blocks.
+class BlockTrace {
+ public:
+  BlockTrace() = default;
+  explicit BlockTrace(std::size_t n_blocks) : records_(n_blocks) {
+    for (std::size_t i = 0; i < n_blocks; ++i) {
+      records_[i].index = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  BlockRecord& at(std::size_t i) { return records_.at(i); }
+  [[nodiscard]] const BlockRecord& at(std::size_t i) const {
+    return records_.at(i);
+  }
+
+  void record_arrival(std::size_t i, Micros t) { records_.at(i).arrival_us = t; }
+
+  /// Records completion of block i; later completions overwrite earlier ones
+  /// (a rollback re-encodes the block, and the committed time is what counts).
+  void record_done(std::size_t i, Micros t, bool speculative) {
+    auto& r = records_.at(i);
+    r.done_us = t;
+    r.speculative = speculative;
+    ++r.encode_count;
+  }
+
+  [[nodiscard]] const std::vector<BlockRecord>& records() const {
+    return records_;
+  }
+
+  /// All per-block latencies, in element order. Throws if any block never
+  /// completed (a run that loses blocks is a correctness bug, not a data
+  /// point).
+  [[nodiscard]] std::vector<Micros> latencies() const;
+
+  /// Arrival times in element order.
+  [[nodiscard]] std::vector<Micros> arrivals() const;
+
+  /// True iff every block has a completion timestamp.
+  [[nodiscard]] bool complete() const;
+
+  /// Completion time of the last block (the run's makespan endpoint).
+  [[nodiscard]] Micros last_done_us() const;
+
+  /// Number of blocks whose committed encoding came from speculation.
+  [[nodiscard]] std::size_t speculative_commits() const;
+
+  /// Total extra encode executions beyond one per block (rollback waste).
+  [[nodiscard]] std::uint64_t wasted_encodes() const;
+
+ private:
+  std::vector<BlockRecord> records_;
+};
+
+/// Aggregate counters for one run, reported next to the latency series.
+struct RunCounters {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_aborted = 0;     ///< tasks destroyed by rollback
+  std::uint64_t spec_tasks_executed = 0;
+  std::uint64_t checks_executed = 0;
+  std::uint64_t rollbacks = 0;         ///< failed speculation verdicts
+  std::uint64_t epochs_opened = 0;     ///< speculation attempts
+  std::uint64_t epochs_committed = 0;
+  Micros total_runtime_us = 0;         ///< completion time of the whole run
+};
+
+/// Human-readable one-line rendering for bench logs.
+[[nodiscard]] std::string to_string(const RunCounters& c);
+
+}  // namespace stats

@@ -1,0 +1,122 @@
+#include "trace/exporters.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tracelog {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* class_color(const TaskRecord& t) {
+  if (t.aborted) return "thread_state_iowait";          // red-ish
+  switch (t.cls) {
+    case sre::TaskClass::Control: return "thread_state_runnable";
+    case sre::TaskClass::Speculative: return "thread_state_running";
+    case sre::TaskClass::Natural: return "thread_state_unknown";
+  }
+  return "generic_work";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Recorder& recorder) {
+  const auto tasks = recorder.tasks();
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const auto& t : tasks) {
+    if (!t.dispatched || !t.finished) continue;
+    if (!first) os << ",\n";
+    first = false;
+    const std::uint64_t dur =
+        t.finish_us > t.dispatch_us ? t.finish_us - t.dispatch_us : 1;
+    os << "  {\"name\":\"" << json_escape(t.name) << "\",\"cat\":\""
+       << sre::to_string(t.cls) << (t.aborted ? ",aborted" : "")
+       << "\",\"ph\":\"X\",\"ts\":" << t.dispatch_us << ",\"dur\":" << dur
+       << ",\"pid\":1,\"tid\":" << t.cpu << ",\"cname\":\"" << class_color(t)
+       << "\",\"args\":{\"epoch\":" << t.epoch << ",\"depth\":" << t.depth
+       << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::string to_dot(const Recorder& recorder, std::size_t max_tasks) {
+  const auto tasks = recorder.tasks();
+  const auto edges = recorder.edges();
+  const std::size_t limit =
+      max_tasks == 0 ? tasks.size() : std::min(max_tasks, tasks.size());
+
+  // Only emit edges between included tasks.
+  std::unordered_map<sre::TaskId, const TaskRecord*> included;
+  for (std::size_t i = 0; i < limit; ++i) {
+    included[tasks[i].id] = &tasks[i];
+  }
+
+  std::ostringstream os;
+  os << "digraph dfg {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& t = tasks[i];
+    const char* shape = t.cls == sre::TaskClass::Control ? "diamond" : "box";
+    const char* style = t.cls == sre::TaskClass::Speculative
+                            ? "dashed"  // the paper draws speculation dashed
+                            : "solid";
+    const char* color = t.aborted ? "red"
+                        : t.cls == sre::TaskClass::Control ? "blue"
+                                                           : "black";
+    os << "  t" << t.id << " [label=\"" << t.name << "\",shape=" << shape
+       << ",style=" << style << ",color=" << color << "];\n";
+  }
+  for (const auto& e : edges) {
+    if (included.contains(e.producer) && included.contains(e.consumer)) {
+      os << "  t" << e.producer << " -> t" << e.consumer << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string utilization_timeline(const Recorder& recorder, std::size_t width) {
+  const auto tasks = recorder.tasks();
+  const unsigned cpus = recorder.cpus_observed();
+  const std::uint64_t end = recorder.end_time_us();
+  if (cpus == 0 || end == 0 || width == 0) return "(no executed tasks)\n";
+
+  std::vector<std::string> rows(cpus, std::string(width, '.'));
+  for (const auto& t : tasks) {
+    if (!t.dispatched || !t.finished) continue;
+    char glyph = '#';
+    if (t.cls == sre::TaskClass::Control) glyph = 'c';
+    if (t.cls == sre::TaskClass::Speculative) glyph = t.aborted ? 'x' : 's';
+    const auto col0 = static_cast<std::size_t>(t.dispatch_us * width / end);
+    auto col1 = static_cast<std::size_t>(t.finish_us * width / end);
+    col1 = std::min(std::max(col1, col0 + 1), width);
+    for (std::size_t c = col0; c < col1; ++c) {
+      rows[t.cpu][c] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << "  0us" << std::string(width > 16 ? width - 14 : 0, ' ') << end
+     << "us\n";
+  for (unsigned c = 0; c < cpus; ++c) {
+    os << "  cpu" << (c < 10 ? " " : "") << c << " |" << rows[c] << "|\n";
+  }
+  os << "  [#] natural  [s] speculative  [x] aborted  [c] control  [.] idle\n";
+  return os.str();
+}
+
+}  // namespace tracelog

@@ -1,0 +1,31 @@
+// Trace exporters: turn a Recorder capture into artifacts a human can open.
+//
+//  * Chrome trace-event JSON — load in chrome://tracing or Perfetto: one
+//    row per CPU, one slice per task, colored by class, with speculation
+//    epochs as metadata.
+//  * Graphviz DOT — the observed dynamic DFG (the paper's Fig. 1/2 style
+//    diagrams, but generated from an actual run).
+//  * ASCII utilization timeline — per-CPU busy bars over time, with
+//    speculative work marked, for terminal inspection.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace tracelog {
+
+/// Chrome trace-event format (JSON array of "X" complete events).
+[[nodiscard]] std::string to_chrome_trace(const Recorder& recorder);
+
+/// Graphviz digraph. Tasks are nodes (shape/color by class & fate), edges
+/// are dependences. `max_tasks` caps output size for huge runs (0 = all).
+[[nodiscard]] std::string to_dot(const Recorder& recorder,
+                                 std::size_t max_tasks = 0);
+
+/// Per-CPU timeline of `width` columns: '#' natural, 's' speculative,
+/// 'x' aborted-speculative, 'c' control, '.' idle.
+[[nodiscard]] std::string utilization_timeline(const Recorder& recorder,
+                                               std::size_t width = 96);
+
+}  // namespace tracelog

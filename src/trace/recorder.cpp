@@ -1,0 +1,125 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+namespace tracelog {
+
+void Recorder::on_task_created(const sre::TaskInfo& task) {
+  std::scoped_lock lk(mu_);
+  TaskRecord rec;
+  rec.id = task.id;
+  rec.name = task.name;
+  rec.cls = task.cls;
+  rec.epoch = task.epoch;
+  rec.depth = task.depth;
+  rec.cost_us = task.cost_us;
+  by_id_[task.id] = tasks_.size();
+  tasks_.push_back(std::move(rec));
+}
+
+void Recorder::on_edge(sre::TaskId producer, sre::TaskId consumer) {
+  std::scoped_lock lk(mu_);
+  edges_.push_back({producer, consumer});
+}
+
+void Recorder::on_dispatched(sre::TaskId task, std::uint64_t now_us,
+                             unsigned cpu) {
+  std::scoped_lock lk(mu_);
+  auto it = by_id_.find(task);
+  if (it == by_id_.end()) return;
+  TaskRecord& rec = tasks_[it->second];
+  rec.dispatched = true;
+  rec.dispatch_us = now_us;
+  rec.cpu = cpu;
+}
+
+void Recorder::on_finished(sre::TaskId task, std::uint64_t now_us,
+                           bool aborted) {
+  std::scoped_lock lk(mu_);
+  auto it = by_id_.find(task);
+  if (it == by_id_.end()) return;
+  TaskRecord& rec = tasks_[it->second];
+  // A task aborted before ever dispatching reports completion time 0: keep
+  // it as "aborted" bookkeeping without inventing an execution interval.
+  rec.finished = rec.dispatched || !aborted;
+  rec.finish_us = now_us;
+  rec.aborted = aborted;
+}
+
+void Recorder::on_epoch_opened(sre::Epoch epoch) {
+  std::scoped_lock lk(mu_);
+  epochs_.push_back({epoch, false, false});
+}
+
+void Recorder::on_epoch_committed(sre::Epoch epoch) {
+  std::scoped_lock lk(mu_);
+  for (auto& e : epochs_) {
+    if (e.epoch == epoch) e.committed = true;
+  }
+}
+
+void Recorder::on_epoch_aborted(sre::Epoch epoch) {
+  std::scoped_lock lk(mu_);
+  for (auto& e : epochs_) {
+    if (e.epoch == epoch) e.aborted = true;
+  }
+}
+
+std::vector<TaskRecord> Recorder::tasks() const {
+  std::scoped_lock lk(mu_);
+  return tasks_;
+}
+
+std::vector<Edge> Recorder::edges() const {
+  std::scoped_lock lk(mu_);
+  return edges_;
+}
+
+std::vector<EpochRecord> Recorder::epochs() const {
+  std::scoped_lock lk(mu_);
+  return epochs_;
+}
+
+std::size_t Recorder::task_count() const {
+  std::scoped_lock lk(mu_);
+  return tasks_.size();
+}
+
+std::size_t Recorder::executed_count() const {
+  std::scoped_lock lk(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(), [](const TaskRecord& t) {
+        return t.finished && !t.aborted && t.dispatched;
+      }));
+}
+
+std::size_t Recorder::aborted_count() const {
+  std::scoped_lock lk(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(),
+                    [](const TaskRecord& t) { return t.aborted; }));
+}
+
+unsigned Recorder::cpus_observed() const {
+  std::scoped_lock lk(mu_);
+  unsigned max_cpu = 0;
+  bool any = false;
+  for (const auto& t : tasks_) {
+    if (t.dispatched) {
+      max_cpu = std::max(max_cpu, t.cpu);
+      any = true;
+    }
+  }
+  return any ? max_cpu + 1 : 0;
+}
+
+std::uint64_t Recorder::end_time_us() const {
+  std::scoped_lock lk(mu_);
+  std::uint64_t end = 0;
+  for (const auto& t : tasks_) {
+    if (t.finished) end = std::max(end, t.finish_us);
+  }
+  return end;
+}
+
+}  // namespace tracelog

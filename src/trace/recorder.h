@@ -1,0 +1,80 @@
+// Recorder: an sre::Observer that captures a full execution trace —
+// task intervals per CPU, the dependence graph, and speculation epochs —
+// for post-run analysis and export (see exporters.h).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sre/observer.h"
+
+namespace tracelog {
+
+struct TaskRecord {
+  sre::TaskId id = 0;
+  std::string name;
+  sre::TaskClass cls = sre::TaskClass::Natural;
+  sre::Epoch epoch = sre::kNaturalEpoch;
+  int depth = 0;
+  std::uint64_t cost_us = 0;
+
+  bool dispatched = false;
+  bool finished = false;
+  bool aborted = false;
+  std::uint64_t dispatch_us = 0;
+  std::uint64_t finish_us = 0;
+  unsigned cpu = 0;
+};
+
+struct Edge {
+  sre::TaskId producer = 0;
+  sre::TaskId consumer = 0;
+};
+
+struct EpochRecord {
+  sre::Epoch epoch = 0;
+  bool committed = false;
+  bool aborted = false;
+};
+
+class Recorder final : public sre::Observer {
+ public:
+  // Observer interface — thread-safe, records and returns.
+  void on_task_created(const sre::TaskInfo& task) override;
+  void on_edge(sre::TaskId producer, sre::TaskId consumer) override;
+  void on_dispatched(sre::TaskId task, std::uint64_t now_us,
+                     unsigned cpu) override;
+  void on_finished(sre::TaskId task, std::uint64_t now_us,
+                   bool aborted) override;
+  void on_epoch_opened(sre::Epoch epoch) override;
+  void on_epoch_committed(sre::Epoch epoch) override;
+  void on_epoch_aborted(sre::Epoch epoch) override;
+
+  // --- Post-run access (copy out under the lock) --------------------------
+
+  [[nodiscard]] std::vector<TaskRecord> tasks() const;
+  [[nodiscard]] std::vector<Edge> edges() const;
+  [[nodiscard]] std::vector<EpochRecord> epochs() const;
+
+  [[nodiscard]] std::size_t task_count() const;
+  [[nodiscard]] std::size_t executed_count() const;
+  [[nodiscard]] std::size_t aborted_count() const;
+
+  /// Highest CPU index observed + 1 (0 if nothing ran).
+  [[nodiscard]] unsigned cpus_observed() const;
+
+  /// Engine time of the last completion.
+  [[nodiscard]] std::uint64_t end_time_us() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskRecord> tasks_;                      // by creation order
+  std::unordered_map<sre::TaskId, std::size_t> by_id_; // id → index
+  std::vector<Edge> edges_;
+  std::vector<EpochRecord> epochs_;
+};
+
+}  // namespace tracelog

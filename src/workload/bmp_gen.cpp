@@ -1,0 +1,95 @@
+#include "workload/bmp_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/rng.h"
+
+namespace wl {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_bmp(std::size_t bytes, std::uint64_t seed,
+                                       const BmpParams& params) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes);
+
+  // --- BITMAPFILEHEADER + BITMAPINFOHEADER (54 bytes) ---------------------
+  const std::uint32_t width = 1024;
+  const std::uint32_t pixel_bytes =
+      bytes > 54 ? static_cast<std::uint32_t>(bytes - 54) : 0;
+  const std::uint32_t height = pixel_bytes / (width * 3) + 1;
+  out.push_back('B');
+  out.push_back('M');
+  put_u32(out, static_cast<std::uint32_t>(bytes));  // file size
+  put_u16(out, 0);
+  put_u16(out, 0);
+  put_u32(out, 54);  // pixel data offset
+  put_u32(out, 40);  // BITMAPINFOHEADER size
+  put_u32(out, width);
+  put_u32(out, height);
+  put_u16(out, 1);   // planes
+  put_u16(out, 24);  // bpp
+  put_u32(out, 0);   // BI_RGB
+  put_u32(out, pixel_bytes);
+  put_u32(out, 2835);  // x ppm
+  put_u32(out, 2835);  // y ppm
+  put_u32(out, 0);
+  put_u32(out, 0);
+
+  // --- Pixel data ----------------------------------------------------------
+  // Sky-to-ground composition: the probability that a pixel belongs to the
+  // smooth (sky/gradient) process decays exponentially with file position,
+  // so prefix histograms over-weight the smooth distribution early and
+  // converge once the texture process dominates. The decay constant sets
+  // where the speculation-step threshold lands (paper Fig. 5b: around 8
+  // estimates of 64 KiB each).
+  Rng rng(splitmix64(seed ^ 0xb3bULL));
+  const double chunk = 64.0 * 1024.0;  // one estimate's worth of bytes
+  double phase = 0.0;
+  std::uint8_t base = 96;
+  std::size_t run = 0;
+
+  while (out.size() < bytes) {
+    const double x = static_cast<double>(out.size() - 54) / chunk;
+    const double smooth_p =
+        params.smooth_floor +
+        (params.smooth_start - params.smooth_floor) *
+            std::exp(-x / params.smooth_decay_chunks);
+
+    if (rng.uniform() < smooth_p) {
+      // Smooth process: slow sinusoidal gradient, narrow dither.
+      phase += 0.00035;
+      const double center = 128.0 + 48.0 * std::sin(phase);
+      const auto spread = static_cast<std::uint64_t>(params.gradient_spread);
+      out.push_back(static_cast<std::uint8_t>(
+          std::clamp(center + static_cast<double>(rng.below(2 * spread + 1)) -
+                         static_cast<double>(spread),
+                     0.0, 255.0)));
+    } else {
+      // Texture process: macroblock base color plus strong wide noise.
+      if (run == 0) {
+        base = static_cast<std::uint8_t>(rng.below(256));
+        run = 512 + rng.below(1536);
+      }
+      --run;
+      const auto noise = static_cast<int>(rng.below(160)) - 80;
+      const int mixed = (rng.below(5) == 0)
+                            ? static_cast<int>(rng.below(256))
+                            : static_cast<int>(base) + noise;
+      out.push_back(static_cast<std::uint8_t>(std::clamp(mixed, 0, 255)));
+    }
+  }
+  return out;
+}
+
+}  // namespace wl

@@ -1,0 +1,34 @@
+// Synthetic bitmap image (the paper's BMP workload).
+//
+// A real BMP layout: 54-byte header, then raw 24-bit pixel rows. The image
+// content is chosen to give the convergence profile the paper observes: an
+// initial *smooth* region (sky-like gradients — narrow byte range, low
+// entropy) followed by a *textured* region (wide range, high entropy). The
+// prefix histogram therefore misrepresents the file until the texture starts
+// streaming in, producing rollbacks for small speculation step sizes and
+// clean runs once the step jumps past the transient (paper Fig. 5b: the
+// threshold sits around step 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wl {
+
+struct BmpParams {
+  /// Probability a pixel comes from the smooth process at file start / in
+  /// the limit; the decay constant is in 64 KiB chunks (one estimate).
+  double smooth_start = 0.97;
+  double smooth_floor = 0.04;
+  double smooth_decay_chunks = 3.0;
+  /// Byte-range half-width of the gradient dither (small = low entropy).
+  unsigned gradient_spread = 24;
+};
+
+/// Generates a BMP-like byte stream of exactly `bytes` bytes (header
+/// included), deterministic in `seed`.
+[[nodiscard]] std::vector<std::uint8_t> generate_bmp(std::size_t bytes,
+                                                     std::uint64_t seed,
+                                                     const BmpParams& params = {});
+
+}  // namespace wl

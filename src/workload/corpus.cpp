@@ -1,0 +1,45 @@
+#include "workload/corpus.h"
+
+#include <stdexcept>
+
+#include "workload/bmp_gen.h"
+#include "workload/pdf_gen.h"
+#include "workload/text_gen.h"
+
+namespace wl {
+
+std::string to_string(FileKind kind) {
+  switch (kind) {
+    case FileKind::Txt: return "TXT";
+    case FileKind::Bmp: return "BMP";
+    case FileKind::Pdf: return "PDF";
+  }
+  return "?";
+}
+
+std::size_t paper_size(FileKind kind) {
+  switch (kind) {
+    case FileKind::Txt:
+    case FileKind::Pdf:
+      return 4u * 1024 * 1024;
+    case FileKind::Bmp:
+      return 2u * 1024 * 1024;
+  }
+  throw std::invalid_argument("paper_size: unknown kind");
+}
+
+std::vector<std::uint8_t> make_corpus(FileKind kind, std::size_t bytes,
+                                      std::uint64_t seed) {
+  if (bytes == 0) bytes = paper_size(kind);
+  switch (kind) {
+    case FileKind::Txt:
+      return generate_text(bytes, seed);
+    case FileKind::Bmp:
+      return generate_bmp(bytes, seed);
+    case FileKind::Pdf:
+      return generate_pdf(bytes, seed);
+  }
+  throw std::invalid_argument("make_corpus: unknown kind");
+}
+
+}  // namespace wl

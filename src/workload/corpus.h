@@ -1,0 +1,32 @@
+// Corpus: the three benchmark inputs at the paper's sizes.
+//
+// "the encoder parses 4MB of both the text and PDF files, while parsing only
+//  2MB of the BMP file" (paper §V-A). With the paper's 4 KiB blocks this
+//  gives the 1024-element (TXT/PDF) and 512-element (BMP) x-axes of the
+//  latency figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wl {
+
+enum class FileKind : std::uint8_t { Txt, Bmp, Pdf };
+
+[[nodiscard]] std::string to_string(FileKind kind);
+
+/// The paper's input size for `kind` (4 MiB for TXT/PDF, 2 MiB for BMP).
+[[nodiscard]] std::size_t paper_size(FileKind kind);
+
+/// Generates the workload for `kind`: `bytes` bytes, deterministic in
+/// `seed`. Pass bytes = 0 to use the paper's size.
+[[nodiscard]] std::vector<std::uint8_t> make_corpus(FileKind kind,
+                                                    std::size_t bytes = 0,
+                                                    std::uint64_t seed = 42);
+
+[[nodiscard]] inline std::vector<FileKind> all_kinds() {
+  return {FileKind::Txt, FileKind::Bmp, FileKind::Pdf};
+}
+
+}  // namespace wl

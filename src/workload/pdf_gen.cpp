@@ -1,0 +1,117 @@
+#include "workload/pdf_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "workload/rng.h"
+#include "workload/text_gen.h"
+
+namespace wl {
+namespace {
+
+void append_str(std::vector<std::uint8_t>& out, const std::string& s,
+                std::size_t limit) {
+  for (char c : s) {
+    if (out.size() >= limit) return;
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+}
+
+/// ASCII object: PDF dictionary syntax plus embedded page text.
+void append_text_object(std::vector<std::uint8_t>& out, std::size_t limit,
+                        Rng& rng, std::size_t obj_id) {
+  append_str(out,
+             std::to_string(obj_id) + " 0 obj\n<< /Type /Page /Parent " +
+                 std::to_string(obj_id / 7 + 1) + " 0 R /Contents [ ",
+             limit);
+  const std::size_t text_len = 800 + rng.below(2400);
+  const auto text = generate_text(text_len, rng.next());
+  const std::size_t room = out.size() < limit ? limit - out.size() : 0;
+  out.insert(out.end(), text.begin(),
+             text.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(text.size(), room)));
+  append_str(out, " ] >>\nendobj\n", limit);
+}
+
+/// Binary stream object of roughly `body` bytes: near-uniform, as Flate
+/// output looks, with mild byte biases.
+void append_stream_object(std::vector<std::uint8_t>& out, std::size_t limit,
+                          Rng& rng, std::size_t obj_id, std::size_t body) {
+  append_str(out,
+             std::to_string(obj_id) + " 0 obj\n<< /Length " +
+                 std::to_string(body) + " /Filter /FlateDecode >>\nstream\n",
+             limit);
+  for (std::size_t i = 0; i < body && out.size() < limit; ++i) {
+    const std::uint64_t r = rng.next();
+    auto b = static_cast<std::uint8_t>(r);
+    if ((r >> 56) < 12) b = static_cast<std::uint8_t>(b & 0x7F);
+    out.push_back(b);
+  }
+  append_str(out, "\nendstream\nendobj\n", limit);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_pdf(std::size_t bytes, std::uint64_t seed,
+                                       const PdfParams& params) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes);
+  Rng rng(splitmix64(seed ^ 0x9dfULL));
+
+  append_str(out, "%PDF-1.7\n%\xE2\xE3\xCF\xD3\n", bytes);
+
+  // Composition control: the document starts text-heavy (front matter —
+  // catalog, outlines, fonts, page dictionaries) and big compressed streams
+  // take over in two bursts. We target the *prefix-average* text share
+  // θ̄(s), because that is the quantity the speculation check compares, and
+  // derive each chunk's text fraction from the target's derivative. See
+  // PdfParams for the paper-shape rationale.
+  const double chunk = 64.0 * 1024.0;
+  std::size_t obj_id = 1;
+
+  const auto theta_bar = [&params](double s) {
+    const auto lerp = [](double a, double b, double t) {
+      return a + (b - a) * t;
+    };
+    if (s <= params.burst1_begin) return params.theta_start;
+    if (s <= params.burst1_end) {
+      return lerp(params.theta_start, params.theta_mid,
+                  (s - params.burst1_begin) /
+                      (params.burst1_end - params.burst1_begin));
+    }
+    if (s <= params.burst2_begin) return params.theta_mid;
+    if (s <= params.burst2_end) {
+      return lerp(params.theta_mid, params.theta_end,
+                  (s - params.burst2_begin) /
+                      (params.burst2_end - params.burst2_begin));
+    }
+    return params.theta_end;
+  };
+
+  while (out.size() < bytes) {
+    const double x = static_cast<double>(out.size()) / chunk;
+    // g(s) = d/ds [s·θ̄(s)] keeps the realized prefix average on target.
+    const double text_frac = std::clamp(
+        (x + 1.0) * theta_bar(x + 1.0) - x * theta_bar(x), 0.02, 0.98);
+
+    // Fill one ~8 KiB slice with the planned mixture: text objects and a
+    // stream object interleaved at sub-block granularity.
+    const std::size_t slice_end = std::min(bytes, out.size() + 8 * 1024);
+    const auto text_budget = static_cast<std::size_t>(
+        text_frac * static_cast<double>(slice_end - out.size()));
+    const std::size_t text_end = std::min(slice_end, out.size() + text_budget);
+    while (out.size() < text_end) {
+      append_text_object(out, text_end, rng, obj_id++);
+    }
+    if (out.size() < slice_end) {
+      append_stream_object(out, slice_end, rng, obj_id++,
+                           slice_end - out.size());
+    }
+  }
+  append_str(out, "%%EOF\n", bytes);
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace wl

@@ -1,0 +1,45 @@
+// Synthetic PDF-like document (the paper's PDF workload).
+//
+// PDFs interleave ASCII object/dictionary syntax with Flate-compressed
+// stream objects that look near-uniform. The mixture ratio seen by a prefix
+// therefore keeps drifting as big binary streams come and go, so prefix
+// histograms converge late — "BMPs and PDFs generally have a high entropy
+// resulting in frequent rollbacks" (paper §V-A), with the PDF threshold at a
+// larger step size than BMP (Fig. 5c: around 16).
+//
+// The section plan is deterministic in the seed; early sections are
+// text-heavier and stream sections grow toward the end, which both delays
+// convergence and leaves a final-tree gap in the low-percent range — the
+// property the tolerance experiment (Fig. 9) depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wl {
+
+struct PdfParams {
+  /// The generator controls the *prefix-average* text share θ̄(s) (s in
+  /// 64 KiB chunks — one estimate each) because that is exactly what the
+  /// speculation check sees. The profile is piecewise linear through these
+  /// breakpoints and flat afterwards; per-chunk text fractions are derived
+  /// as g(s) = (s+1)·θ̄(s+1) − s·θ̄(s).
+  ///
+  /// Two drift bursts sized to the paper's behaviour: a first-estimate guess
+  /// fails its check near estimate 8, the re-speculated guess fails again
+  /// near 16, and guesses from estimate 16 on hold — while the total drift
+  /// keeps the first guess inside a 5 % tolerance (Fig. 9).
+  double theta_start = 0.80;  ///< θ̄ up to burst 1
+  double theta_mid = 0.645;   ///< θ̄ after burst 1 (chunks 8–9)
+  double theta_end = 0.433;   ///< θ̄ after burst 2 (chunk 16 on)
+  double burst1_begin = 2.0;
+  double burst1_end = 8.0;
+  double burst2_begin = 9.0;
+  double burst2_end = 16.0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> generate_pdf(std::size_t bytes,
+                                                     std::uint64_t seed,
+                                                     const PdfParams& params = {});
+
+}  // namespace wl

@@ -1,0 +1,44 @@
+#include "workload/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wl {
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("DiscreteSampler: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("DiscreteSampler: all-zero weights");
+  }
+  cumulative_.reserve(weights.size());
+  double run = 0.0;
+  for (double w : weights) {
+    run += w / total;
+    cumulative_.push_back(run);
+  }
+  cumulative_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  return w;
+}
+
+}  // namespace wl

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random generation for synthetic workloads.
+//
+// Not <random>: libstdc++'s distributions are not guaranteed stable across
+// versions, and every byte of a workload must be reproducible from its seed
+// alone — the figure benchmarks and the golden tests depend on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wl {
+
+/// splitmix64 — used for seeding and one-off hashes.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Lemire-style rejection-free reduction is overkill here; modulo bias is
+    // negligible for bounds ≪ 2^64 and determinism is all we need.
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples indices from an explicit weight table (linear scan; tables here
+/// are ≤ a few thousand entries and generation is not on any measured path).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights);
+
+  /// Index in [0, weights.size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized inclusive prefix sums
+};
+
+/// Zipf(s) weights over `n` ranks: weight(r) ∝ 1/(r+1)^s.
+[[nodiscard]] std::vector<double> zipf_weights(std::size_t n, double s);
+
+}  // namespace wl

@@ -1,0 +1,89 @@
+#include "workload/text_gen.h"
+
+#include <array>
+#include <string>
+
+#include "workload/rng.h"
+
+namespace wl {
+namespace {
+
+// Approximate English letter frequencies (per mille).
+constexpr std::array<std::pair<char, double>, 26> kLetterFreq = {{
+    {'e', 127}, {'t', 91}, {'a', 82}, {'o', 75}, {'i', 70}, {'n', 67},
+    {'s', 63},  {'h', 61}, {'r', 60}, {'d', 43}, {'l', 40}, {'c', 28},
+    {'u', 28},  {'m', 24}, {'w', 24}, {'f', 22}, {'g', 20}, {'y', 20},
+    {'p', 19},  {'b', 15}, {'v', 10}, {'k', 8},  {'j', 2},  {'x', 2},
+    {'q', 1},   {'z', 1},
+}};
+
+std::vector<std::string> build_vocabulary(std::size_t n, Rng& rng) {
+  std::vector<double> letter_w;
+  letter_w.reserve(kLetterFreq.size());
+  for (const auto& [c, w] : kLetterFreq) letter_w.push_back(w);
+  const DiscreteSampler letters(letter_w);
+
+  std::vector<std::string> vocab;
+  vocab.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Word lengths roughly geometric, 2..12 characters; frequent (low-rank)
+    // words skew shorter, like real English.
+    const std::size_t base = 1 + (i < n / 20 ? rng.below(4) : rng.below(9));
+    std::string word;
+    for (std::size_t j = 0; j <= base; ++j) {
+      word += kLetterFreq[letters.sample(rng)].first;
+    }
+    vocab.push_back(std::move(word));
+  }
+  return vocab;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_text(std::size_t bytes, std::uint64_t seed,
+                                        const TextParams& params) {
+  Rng rng(splitmix64(seed ^ 0x7e87ULL));
+  const auto vocab = build_vocabulary(params.vocabulary, rng);
+  const DiscreteSampler word_ranks(zipf_weights(params.vocabulary, params.zipf_s));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 16);
+  std::size_t words_in_paragraph = 0;
+  std::size_t words_in_sentence = 0;
+  bool capitalize = true;
+
+  while (out.size() < bytes) {
+    std::string word = vocab[word_ranks.sample(rng)];
+    if (capitalize) {
+      word[0] = static_cast<char>(word[0] - 'a' + 'A');
+      capitalize = false;
+    }
+    out.insert(out.end(), word.begin(), word.end());
+
+    ++words_in_sentence;
+    ++words_in_paragraph;
+
+    if (words_in_paragraph >= params.paragraph_words && rng.below(4) == 0) {
+      out.push_back('.');
+      out.push_back('\n');
+      out.push_back('\n');
+      words_in_paragraph = 0;
+      words_in_sentence = 0;
+      capitalize = true;
+    } else if (words_in_sentence >= 6 && rng.below(9) == 0) {
+      out.push_back(rng.below(8) == 0 ? ';' : '.');
+      out.push_back(' ');
+      words_in_sentence = 0;
+      capitalize = true;
+    } else if (rng.below(14) == 0) {
+      out.push_back(',');
+      out.push_back(' ');
+    } else {
+      out.push_back(' ');
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace wl

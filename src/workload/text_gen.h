@@ -1,0 +1,27 @@
+// Synthetic e-book text (the paper's TXT workload).
+//
+// A stationary word model: a Zipf-distributed vocabulary whose words are
+// drawn from English letter frequencies, joined with spaces, punctuation and
+// paragraph breaks. Stationarity is the property that matters for the
+// experiments — the prefix histogram converges almost immediately, so
+// speculation on TXT never rolls back (paper §V-A: "The text file
+// demonstrates the advantages of speculation in no-rollback scenarios").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wl {
+
+struct TextParams {
+  std::size_t vocabulary = 2000;
+  double zipf_s = 1.05;           ///< word-rank skew
+  std::size_t paragraph_words = 90;
+};
+
+/// Generates `bytes` bytes of text, deterministic in `seed`.
+[[nodiscard]] std::vector<std::uint8_t> generate_text(std::size_t bytes,
+                                                      std::uint64_t seed,
+                                                      const TextParams& params = {});
+
+}  // namespace wl

@@ -1,0 +1,208 @@
+// Simulated-annealing TSP substrate and the speculative matching pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "anneal/anneal_pipeline.h"
+#include "anneal/tsp.h"
+#include "sim/sim_executor.h"
+#include "sre/runtime.h"
+
+namespace {
+
+using ann::Annealer;
+using ann::Cities;
+using ann::Tour;
+
+TEST(Tsp, MakeCitiesDeterministic) {
+  const Cities a = ann::make_cities(50, 1);
+  const Cities b = ann::make_cities(50, 1);
+  const Cities c = ann::make_cities(50, 2);
+  EXPECT_EQ(a.xy, b.xy);
+  EXPECT_NE(a.xy, c.xy);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_THROW(ann::make_cities(2, 1), std::invalid_argument);
+}
+
+TEST(Tsp, TourCostOfSquare) {
+  Cities c;
+  c.xy = {0, 0, 1, 0, 1, 1, 0, 1};  // unit square
+  const Tour t = ann::initial_tour(4);
+  EXPECT_DOUBLE_EQ(ann::tour_cost(c, t), 4.0);
+}
+
+TEST(Tsp, AnnealingImprovesTheTour) {
+  const Cities cities = ann::make_cities(80, 5);
+  Annealer solver(cities, 9);
+  const double initial = solver.current_cost();
+  for (int i = 0; i < 30; ++i) solver.sweep();
+  EXPECT_LT(solver.current_cost(), initial * 0.6)
+      << "30 sweeps must cut the random tour substantially";
+  // The cached incremental cost must match a fresh evaluation.
+  EXPECT_NEAR(solver.current_cost(),
+              ann::tour_cost(cities, solver.current()), 1e-6);
+  // The tour stays a permutation.
+  auto order = solver.current().order;
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Tsp, SweepsAreNonMonotoneEarly) {
+  // The property this scenario exists for: annealing cost jitters.
+  const Cities cities = ann::make_cities(80, 5);
+  Annealer solver(cities, 9);
+  bool any_increase = false;
+  double prev = solver.current_cost();
+  for (int i = 0; i < 10; ++i) {
+    const double cur = solver.sweep();
+    if (cur > prev + 1e-9) any_increase = true;
+    prev = cur;
+  }
+  EXPECT_TRUE(any_increase) << "early sweeps should sometimes regress";
+}
+
+TEST(Tsp, DeterministicPerSeed) {
+  const Cities cities = ann::make_cities(40, 3);
+  Annealer a(cities, 7);
+  Annealer b(cities, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.sweep(), b.sweep());
+  }
+  EXPECT_EQ(a.current(), b.current());
+}
+
+TEST(Tsp, MatchPointsFindsNearestEdge) {
+  Cities c;
+  c.xy = {0, 0, 10, 0, 10, 10, 0, 10};  // square, side 10
+  const Tour t = ann::initial_tour(4);
+  // A point just above the bottom edge (edge 0: city0→city1).
+  const std::vector<double> q = {5.0, 0.5, /* near right edge: */ 9.9, 5.0};
+  const auto m = ann::match_points(c, t, q, 0, 2);
+  EXPECT_EQ(m[0], 0u);
+  EXPECT_EQ(m[1], 1u);
+}
+
+// --- Pipeline ---------------------------------------------------------
+
+struct Scenario {
+  Cities cities = ann::make_cities(60, 17);
+  std::vector<double> queries = ann::make_queries(cities, 8192, 4);
+  ann::AnnealPipelineConfig cfg;
+
+  Scenario() {
+    cfg.sweeps = 24;
+    cfg.block_points = 512;
+    cfg.spec.step_size = 1;
+    cfg.spec.verify = tvs::VerificationPolicy::every_kth(3);
+    cfg.spec.tolerance = 0.05;
+  }
+};
+
+TEST(AnnealPipeline, NaturalMatchesSerialReference) {
+  Scenario s;
+  sre::Runtime rt(sre::DispatchPolicy::NonSpeculative);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+  ann::AnnealPipeline pl(rt, s.cities, s.queries, s.cfg, false);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+
+  Annealer ref(s.cities, s.cfg.solver_seed);
+  for (std::size_t i = 0; i < s.cfg.sweeps; ++i) ref.sweep();
+  EXPECT_EQ(pl.committed_tour(), ref.current());
+  EXPECT_EQ(pl.matches(), ann::match_points(s.cities, ref.current(),
+                                            s.queries, 0, 8192));
+}
+
+TEST(AnnealPipeline, TightToleranceCausesRepeatedRollbacks) {
+  // Annealing keeps improving well past the first sweeps; a tight relative
+  // cost tolerance must trigger more than one rollback cycle — the
+  // behaviour that distinguishes this scenario from CG/Lloyd.
+  Scenario s;
+  s.cfg.spec.tolerance = 0.01;
+  s.cfg.spec.verify = tvs::VerificationPolicy::full();
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+  ann::AnnealPipeline pl(rt, s.cities, s.queries, s.cfg, true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_GE(pl.rollbacks(), 2u);
+  EXPECT_EQ(pl.matches(), ann::match_points(s.cities, pl.committed_tour(),
+                                            s.queries, 0, 8192));
+}
+
+TEST(AnnealPipeline, LooseToleranceCommitsAndSavesTime) {
+  Scenario s;
+  s.cfg.spec.tolerance = 0.60;  // generous: an early tour is fine to match on
+  auto run = [&](bool speculation) {
+    sre::Runtime rt(speculation ? sre::DispatchPolicy::Balanced
+                                : sre::DispatchPolicy::NonSpeculative);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+    ann::AnnealPipeline pl(rt, s.cities, s.queries, s.cfg, speculation);
+    pl.start();
+    ex.run();
+    pl.validate_complete();
+    return std::make_pair(ex.makespan_us(), pl.speculation_committed());
+  };
+  const auto [nat_time, nat_commit] = run(false);
+  const auto [spec_time, spec_commit] = run(true);
+  EXPECT_FALSE(nat_commit);
+  EXPECT_TRUE(spec_commit);
+  EXPECT_LT(spec_time, nat_time);
+}
+
+TEST(AnnealPipeline, CommittedMatchingStaysWithinSemanticTolerance) {
+  // The whole point of the semantic check: if a speculative tour commits
+  // under an X% sample-re-match tolerance, the *full* dataset's matching
+  // disagreement vs the final tour stays near X% (sampling error aside).
+  Scenario s;
+  s.cfg.spec.tolerance = 0.30;
+  auto run = [&](bool speculation) {
+    sre::Runtime rt(speculation ? sre::DispatchPolicy::Balanced
+                                : sre::DispatchPolicy::NonSpeculative);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+    ann::AnnealPipeline pl(rt, s.cities, s.queries, s.cfg, speculation);
+    pl.start();
+    ex.run();
+    pl.validate_complete();
+    return std::pair{pl.matches(), pl.committed_tour()};
+  };
+  const auto [nmatch, ntour] = run(false);
+  const auto [smatch, stour] = run(true);
+
+  const auto edge_cities = [](const ann::Tour& t, std::uint32_t e) {
+    const std::size_t n = t.order.size();
+    std::uint32_t u = t.order[e];
+    std::uint32_t v = t.order[(e + 1) % n];
+    if (u > v) std::swap(u, v);
+    return std::pair{u, v};
+  };
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < nmatch.size(); ++i) {
+    if (edge_cities(ntour, nmatch[i]) != edge_cities(stour, smatch[i])) {
+      ++differ;
+    }
+  }
+  const double frac =
+      static_cast<double>(differ) / static_cast<double>(nmatch.size());
+  EXPECT_LE(frac, s.cfg.spec.tolerance + 0.10)
+      << "full-dataset disagreement must track the sampled tolerance";
+}
+
+TEST(AnnealPipeline, ValidatesInputs) {
+  Scenario s;
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  std::vector<double> odd = {1.0, 2.0, 3.0};
+  EXPECT_THROW(ann::AnnealPipeline(rt, s.cities, odd, s.cfg, true),
+               std::invalid_argument);
+  auto bad = s.cfg;
+  bad.sweeps = 0;
+  EXPECT_THROW(ann::AnnealPipeline(rt, s.cities, s.queries, bad, true),
+               std::invalid_argument);
+}
+
+}  // namespace

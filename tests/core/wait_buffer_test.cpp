@@ -1,0 +1,95 @@
+#include "core/wait_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using Buffer = tvs::WaitBuffer<int, std::string>;
+
+struct Sunk {
+  int key;
+  std::string payload;
+  std::uint64_t time;
+};
+
+struct BufferFixture : ::testing::Test {
+  std::vector<Sunk> sunk;
+  Buffer buffer{[this](const int& k, std::string&& p, std::uint64_t t) {
+    sunk.push_back({k, std::move(p), t});
+  }};
+};
+
+TEST_F(BufferFixture, NullSinkRejected) {
+  EXPECT_THROW(Buffer(nullptr), std::invalid_argument);
+}
+
+TEST_F(BufferFixture, BuffersUntilCommit) {
+  buffer.add(1, 5, "five", 10);
+  buffer.add(1, 3, "three", 11);
+  EXPECT_TRUE(sunk.empty());
+  EXPECT_EQ(buffer.pending(1), 2u);
+
+  buffer.commit(1, 20);
+  ASSERT_EQ(sunk.size(), 2u);
+  // Flush in key order.
+  EXPECT_EQ(sunk[0].key, 3);
+  EXPECT_EQ(sunk[1].key, 5);
+  EXPECT_EQ(sunk[0].time, 20u);
+  EXPECT_EQ(buffer.pending(1), 0u);
+}
+
+TEST_F(BufferFixture, PassThroughAfterCommit) {
+  buffer.commit(7, 5);
+  buffer.add(7, 1, "late", 9);
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0].payload, "late");
+  EXPECT_EQ(sunk[0].time, 9u) << "pass-through keeps the arrival time";
+}
+
+TEST_F(BufferFixture, DropDiscardsPendingAndFuture) {
+  buffer.add(2, 1, "a", 1);
+  buffer.add(2, 2, "b", 2);
+  buffer.drop(2);
+  EXPECT_TRUE(sunk.empty());
+  EXPECT_EQ(buffer.discarded(), 2u);
+  // A racing producer that completes after the rollback:
+  buffer.add(2, 3, "c", 3);
+  EXPECT_TRUE(sunk.empty());
+  EXPECT_EQ(buffer.discarded(), 3u);
+}
+
+TEST_F(BufferFixture, EpochsAreIndependent) {
+  buffer.add(1, 1, "e1", 1);
+  buffer.add(2, 1, "e2", 1);
+  buffer.drop(1);
+  buffer.commit(2, 10);
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0].payload, "e2");
+  EXPECT_EQ(buffer.discarded(), 1u);
+}
+
+TEST_F(BufferFixture, TotalPendingAcrossEpochs) {
+  buffer.add(1, 1, "a", 1);
+  buffer.add(2, 1, "b", 1);
+  buffer.add(2, 2, "c", 1);
+  EXPECT_EQ(buffer.total_pending(), 3u);
+}
+
+TEST_F(BufferFixture, CommitEmptyEpochIsFine) {
+  buffer.commit(42, 1);
+  EXPECT_TRUE(sunk.empty());
+  buffer.drop(43);
+  EXPECT_EQ(buffer.discarded(), 0u);
+}
+
+TEST_F(BufferFixture, LastWriteWinsPerKey) {
+  // Re-encodes within one epoch (shouldn't normally happen, but the map
+  // semantics should be deterministic): the latest payload for a key wins.
+  buffer.add(1, 9, "first", 1);
+  buffer.add(1, 9, "second", 2);
+  buffer.commit(1, 5);
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0].payload, "second");
+}
+
+}  // namespace

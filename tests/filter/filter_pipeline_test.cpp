@@ -1,0 +1,153 @@
+// FilterPipeline: the Fig. 1 scenario end-to-end on both executors —
+// proving the tvs:: speculation layer is not Huffman-specific.
+#include "filter/filter_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/fir.h"
+#include "filter/iterative_design.h"
+#include "sim/sim_executor.h"
+#include "sre/threaded_executor.h"
+
+namespace {
+
+using filt::FilterPipeline;
+using filt::FilterPipelineConfig;
+
+struct Scenario {
+  std::vector<double> input;
+  std::vector<double> target;
+  FilterPipelineConfig cfg;
+};
+
+Scenario make_scenario(double tolerance, std::size_t iterations = 12) {
+  Scenario s;
+  s.input = filt::make_signal(32768, 11, 0.7);
+  s.target = filt::make_signal(32768, 11, 0.0);
+  s.cfg.taps = 12;
+  s.cfg.iterations = iterations;
+  s.cfg.block_samples = 4096;
+  s.cfg.spec.tolerance = tolerance;
+  s.cfg.spec.step_size = 1;
+  s.cfg.spec.verify = tvs::VerificationPolicy::every_kth(3);
+  return s;
+}
+
+std::vector<double> reference_output(const Scenario& s) {
+  const auto prob =
+      filt::estimate_problem(s.input, s.target, s.cfg.taps);
+  const auto taps = filt::solve(prob, s.cfg.iterations);
+  return filt::apply_fir(s.input, taps);
+}
+
+/// rel-L2 distance of the first iterate from the converged coefficients:
+/// tolerances above this commit the earliest guess, tolerances below force
+/// a rollback.
+double first_iterate_gap(const Scenario& s) {
+  const auto prob = filt::estimate_problem(s.input, s.target, s.cfg.taps);
+  return filt::convergence_profile(prob, s.cfg.iterations).front();
+}
+
+TEST(FilterPipeline, NonSpeculativeMatchesSerialReference) {
+  Scenario s = make_scenario(0.05);
+  sre::Runtime rt(sre::DispatchPolicy::NonSpeculative);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(4));
+  FilterPipeline pl(rt, s.input, s.target, s.cfg, /*speculation=*/false);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_FALSE(pl.speculation_committed());
+  EXPECT_EQ(pl.output(), reference_output(s));
+}
+
+TEST(FilterPipeline, LooseToleranceCommitsEarlyIterate) {
+  // A tolerance above the first iterate's distance-to-converged accepts the
+  // earliest guess: output differs from the fully converged filter but only
+  // within the tolerance in coefficients.
+  Scenario s = make_scenario(0.5);
+  s.cfg.spec.tolerance = first_iterate_gap(s) * 2.0;
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(4));
+  FilterPipeline pl(rt, s.input, s.target, s.cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_TRUE(pl.speculation_committed());
+  EXPECT_EQ(pl.rollbacks(), 0u);
+  const auto ref_taps = filt::solve(
+      filt::estimate_problem(s.input, s.target, s.cfg.taps), s.cfg.iterations);
+  EXPECT_LE(filt::rel_l2_diff(pl.final_coefficients(), ref_taps),
+            s.cfg.spec.tolerance + 1e-9);
+}
+
+TEST(FilterPipeline, TightToleranceRollsBackThenRecovers) {
+  // Iterate 1 is far from convergence; with a tight margin the early guess
+  // must be rolled back, and the run must still finish with valid output.
+  Scenario s = make_scenario(0.0005);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(4));
+  FilterPipeline pl(rt, s.input, s.target, s.cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_GE(pl.rollbacks(), 1u);
+  // Whatever path won, output must be the filter of the committed taps.
+  EXPECT_EQ(pl.output(), filt::apply_fir(s.input, pl.final_coefficients()));
+}
+
+TEST(FilterPipeline, SpeculationReducesVirtualMakespan) {
+  // The serial iteration chain is the Amdahl bottleneck; speculation should
+  // overlap filtering with it and cut the virtual makespan.
+  Scenario s = make_scenario(0.5, 16);
+  s.cfg.spec.tolerance = first_iterate_gap(s) * 2.0;  // commit, no rollbacks
+
+  auto run = [&](bool speculation) {
+    sre::Runtime rt(speculation ? sre::DispatchPolicy::Balanced
+                                : sre::DispatchPolicy::NonSpeculative);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+    FilterPipeline pl(rt, s.input, s.target, s.cfg, speculation);
+    pl.start();
+    ex.run();
+    pl.validate_complete();
+    return ex.makespan_us();
+  };
+
+  const auto natural = run(false);
+  const auto speculative = run(true);
+  EXPECT_LT(speculative, natural);
+}
+
+TEST(FilterPipeline, ThreadedExecutorProducesSameOutput) {
+  Scenario s = make_scenario(0.5);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sre::ThreadedExecutor ex(rt, {.workers = 4});
+  FilterPipeline pl(rt, s.input, s.target, s.cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_EQ(pl.output(), filt::apply_fir(s.input, pl.final_coefficients()));
+}
+
+TEST(FilterPipeline, TraceCoversEveryBlock) {
+  Scenario s = make_scenario(0.5);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(4));
+  FilterPipeline pl(rt, s.input, s.target, s.cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  EXPECT_TRUE(pl.trace().complete());
+  EXPECT_EQ(pl.trace().size(), (s.input.size() + 4095) / 4096);
+}
+
+TEST(FilterPipeline, ValidatesConfig) {
+  std::vector<double> x(100, 0.0);
+  std::vector<double> short_y(10, 0.0);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  FilterPipelineConfig cfg;
+  EXPECT_THROW(FilterPipeline(rt, x, short_y, cfg, true),
+               std::invalid_argument);
+  cfg.iterations = 0;
+  EXPECT_THROW(FilterPipeline(rt, x, x, cfg, true), std::invalid_argument);
+}
+
+}  // namespace

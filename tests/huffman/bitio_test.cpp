@@ -1,0 +1,172 @@
+#include "huffman/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/rng.h"
+
+namespace {
+
+using huff::BitReader;
+using huff::BitWriter;
+
+TEST(BitWriter, MsbFirstWithinByte) {
+  BitWriter w;
+  w.put(0b1, 1);
+  w.put(0b0, 1);
+  w.put(0b1, 1);
+  EXPECT_EQ(w.bit_size(), 3u);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, MultiBitPutUsesLowBits) {
+  BitWriter w;
+  w.put(0b101101, 6);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes[0], 0b10110100);
+}
+
+TEST(BitWriter, ZeroBitsIsNoop) {
+  BitWriter w;
+  w.put(0xFFFF, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_TRUE(w.take().empty());
+}
+
+TEST(BitWriter, RejectsOver64Bits) {
+  BitWriter w;
+  EXPECT_THROW(w.put(0, 65), std::invalid_argument);
+}
+
+TEST(BitWriter, TakeResetsState) {
+  BitWriter w;
+  w.put(0xAB, 8);
+  (void)w.take();
+  EXPECT_EQ(w.bit_size(), 0u);
+  w.put(0x1, 1);
+  EXPECT_EQ(w.take()[0], 0b10000000);
+}
+
+TEST(BitReader, ReadsBackWriterOutput) {
+  BitWriter w;
+  w.put(0b110, 3);
+  w.put(0b01, 2);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.get_bit(), 0u);
+  EXPECT_EQ(r.get(2), 0b01u);
+}
+
+TEST(BitReader, SeekRepositions) {
+  BitWriter w;
+  w.put(0b10110011, 8);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.seek(4);
+  EXPECT_EQ(r.get(4), 0b0011u);
+  r.seek(0);
+  EXPECT_EQ(r.get(2), 0b10u);
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  const std::vector<std::uint8_t> bytes = {0xFF};
+  BitReader r(bytes);
+  r.get(8);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.get_bit(), std::out_of_range);
+}
+
+class BitIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitIoRoundTrip, RandomChunksRoundTrip) {
+  wl::Rng rng(GetParam());
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> chunks;
+  for (int i = 0; i < 500; ++i) {
+    const auto nbits = static_cast<std::uint8_t>(1 + rng.below(63));
+    const std::uint64_t value =
+        nbits == 64 ? rng.next() : (rng.next() & ((1ULL << nbits) - 1));
+    chunks.emplace_back(value, nbits);
+    w.put(value, nbits);
+  }
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const auto& [value, nbits] : chunks) {
+    EXPECT_EQ(r.get(nbits), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+TEST(SpliceBits, ByteAlignedFastPath) {
+  std::vector<std::uint8_t> dst(4, 0);
+  const std::vector<std::uint8_t> src = {0xAB, 0xCD};
+  huff::splice_bits(dst, 8, src, 12);
+  EXPECT_EQ(dst[0], 0x00);
+  EXPECT_EQ(dst[1], 0xAB);
+  EXPECT_EQ(dst[2], 0xC0);  // only top 4 bits of 0xCD
+  EXPECT_EQ(dst[3], 0x00);
+}
+
+TEST(SpliceBits, UnalignedShiftMerge) {
+  std::vector<std::uint8_t> dst(3, 0);
+  const std::vector<std::uint8_t> src = {0b11111111};
+  huff::splice_bits(dst, 3, src, 8);
+  EXPECT_EQ(dst[0], 0b00011111);
+  EXPECT_EQ(dst[1], 0b11100000);
+}
+
+TEST(SpliceBits, MergesIntoExistingBits) {
+  std::vector<std::uint8_t> dst = {0b10000000, 0};
+  const std::vector<std::uint8_t> src = {0b01000000};
+  huff::splice_bits(dst, 1, src, 2);
+  EXPECT_EQ(dst[0], 0b10100000);
+}
+
+TEST(SpliceBits, BoundsChecked) {
+  std::vector<std::uint8_t> dst(1, 0);
+  const std::vector<std::uint8_t> src = {0xFF};
+  EXPECT_THROW(huff::splice_bits(dst, 4, src, 8), std::out_of_range);
+  EXPECT_THROW(huff::splice_bits(dst, 0, src, 16), std::out_of_range);
+}
+
+class SpliceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpliceProperty, SplicedStreamsEqualSequentialWrites) {
+  // Writing chunks sequentially must equal splicing each chunk at its
+  // pre-computed bit offset into a zeroed buffer — the parallel-encode
+  // correctness property.
+  wl::Rng rng(GetParam());
+  BitWriter seq;
+  std::vector<std::vector<std::uint8_t>> parts;
+  std::vector<std::uint64_t> part_bits;
+  std::vector<std::uint64_t> offsets;
+  for (int i = 0; i < 40; ++i) {
+    BitWriter part;
+    const int n = 1 + static_cast<int>(rng.below(30));
+    for (int j = 0; j < n; ++j) {
+      const auto nbits = static_cast<std::uint8_t>(1 + rng.below(16));
+      const std::uint64_t v = rng.next() & ((1ULL << nbits) - 1);
+      part.put(v, nbits);
+      seq.put(v, nbits);
+    }
+    offsets.push_back(seq.bit_size() - part.bit_size());
+    part_bits.push_back(part.bit_size());
+    parts.push_back(part.take());
+  }
+  const auto expected = seq.take();
+  std::vector<std::uint8_t> spliced(expected.size(), 0);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    huff::splice_bits(spliced, offsets[i], parts[i], part_bits[i]);
+  }
+  EXPECT_EQ(spliced, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpliceProperty,
+                         ::testing::Values(17, 34, 51, 68, 85, 102));
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "huffman/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/corpus.h"
+#include "workload/rng.h"
+
+namespace {
+
+using huff::CodeLengths;
+using huff::CodeTable;
+using huff::Histogram;
+
+std::string code_bits(const CodeTable& t, std::size_t sym) {
+  std::string s;
+  for (int i = t.length(sym) - 1; i >= 0; --i) {
+    s += ((t.code(sym) >> i) & 1) ? '1' : '0';
+  }
+  return s;
+}
+
+TEST(KraftValid, AcceptsExactAndSlackCodes) {
+  CodeLengths lens{};
+  lens[0] = 1;
+  lens[1] = 2;
+  lens[2] = 2;  // exact: 1/2 + 1/4 + 1/4 = 1
+  EXPECT_TRUE(huff::kraft_valid(lens));
+  lens[2] = 3;  // slack
+  EXPECT_TRUE(huff::kraft_valid(lens));
+}
+
+TEST(KraftValid, RejectsOverfullCodes) {
+  CodeLengths lens{};
+  lens[0] = 1;
+  lens[1] = 1;
+  lens[2] = 1;  // 3/2 > 1
+  EXPECT_FALSE(huff::kraft_valid(lens));
+}
+
+TEST(KraftValid, RejectsOverlongCodes) {
+  CodeLengths lens{};
+  lens[0] = huff::kMaxCodeBits + 1;
+  EXPECT_FALSE(huff::kraft_valid(lens));
+}
+
+TEST(CodeTable, ThrowsOnInvalidLengths) {
+  CodeLengths lens{};
+  lens[0] = 1;
+  lens[1] = 1;
+  lens[2] = 1;
+  EXPECT_THROW(CodeTable::from_lengths(lens), std::invalid_argument);
+}
+
+TEST(CodeTable, CanonicalAssignmentKnownExample) {
+  // Lengths a=1, b=3, c=3, d=3, e=3 → canonical: a=0, b=100, c=101, d=110,
+  // e=111.
+  CodeLengths lens{};
+  lens['a'] = 1;
+  lens['b'] = 3;
+  lens['c'] = 3;
+  lens['d'] = 3;
+  lens['e'] = 3;
+  const CodeTable t = CodeTable::from_lengths(lens);
+  EXPECT_EQ(code_bits(t, 'a'), "0");
+  EXPECT_EQ(code_bits(t, 'b'), "100");
+  EXPECT_EQ(code_bits(t, 'c'), "101");
+  EXPECT_EQ(code_bits(t, 'd'), "110");
+  EXPECT_EQ(code_bits(t, 'e'), "111");
+}
+
+TEST(CodeTable, EqualLengthCodesOrderedBySymbol) {
+  CodeLengths lens{};
+  lens[200] = 2;
+  lens[3] = 2;
+  lens[100] = 2;
+  const CodeTable t = CodeTable::from_lengths(lens);
+  EXPECT_LT(t.code(3), t.code(100));
+  EXPECT_LT(t.code(100), t.code(200));
+}
+
+class CanonicalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanonicalProperty, CodesArePrefixFree) {
+  const Histogram h = Histogram::of(
+      wl::make_corpus(wl::FileKind::Pdf, 20000, GetParam()));
+  const CodeTable t = CodeTable::from_histogram(h);
+
+  std::vector<std::string> codes;
+  for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+    if (t.has_code(s)) codes.push_back(code_bits(t, s));
+  }
+  ASSERT_GT(codes.size(), 1u);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(codes[j].starts_with(codes[i]))
+          << codes[i] << " prefixes " << codes[j];
+    }
+  }
+}
+
+TEST_P(CanonicalProperty, PreservesTreeLengths) {
+  const Histogram h = Histogram::of(
+      wl::make_corpus(wl::FileKind::Txt, 20000, GetParam()));
+  const huff::HuffmanTree tree = huff::HuffmanTree::build(h);
+  const CodeTable t = CodeTable::from_lengths(tree.lengths());
+  EXPECT_EQ(t.lengths(), tree.lengths());
+  EXPECT_EQ(t.encoded_bits(h), tree.cost());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(CodeTable, CoversMatchesHasCode) {
+  Histogram h;
+  h.at('x') = 5;
+  h.at('y') = 3;
+  const CodeTable t = CodeTable::from_histogram(h);
+  EXPECT_TRUE(t.has_code('x'));
+  EXPECT_FALSE(t.has_code('z'));
+  Histogram with_z;
+  with_z.at('z') = 1;
+  EXPECT_FALSE(t.covers(with_z));
+  EXPECT_EQ(t.coded_symbols(), 2u);
+}
+
+TEST(CodeTable, FlooredHistogramCoversEverything) {
+  Histogram h;
+  h.at('q') = 1000;
+  const CodeTable t = CodeTable::from_histogram(h.with_floor(1));
+  EXPECT_EQ(t.coded_symbols(), huff::kSymbols);
+  for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+    EXPECT_TRUE(t.has_code(s));
+  }
+}
+
+}  // namespace

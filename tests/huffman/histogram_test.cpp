@@ -1,0 +1,120 @@
+#include "huffman/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/rng.h"
+
+namespace {
+
+using huff::Histogram;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  wl::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+TEST(Histogram, StartsEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.distinct_symbols(), 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, CountsEveryByte) {
+  const std::vector<std::uint8_t> data = {0, 0, 1, 255, 255, 255};
+  const Histogram h = Histogram::of(data);
+  EXPECT_EQ(h.at(0), 2u);
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(255), 3u);
+  EXPECT_EQ(h.at(7), 0u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.distinct_symbols(), 3u);
+}
+
+TEST(Histogram, CountAccumulatesAcrossCalls) {
+  Histogram h;
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {3, 4};
+  h.count(a);
+  h.count(b);
+  EXPECT_EQ(h.at(3), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  const std::vector<std::uint8_t> a = {10, 10, 20};
+  const std::vector<std::uint8_t> b = {20, 30};
+  Histogram ha = Histogram::of(a);
+  const Histogram hb = Histogram::of(b);
+  ha.merge(hb);
+  EXPECT_EQ(ha.at(10), 2u);
+  EXPECT_EQ(ha.at(20), 2u);
+  EXPECT_EQ(ha.at(30), 1u);
+  EXPECT_EQ(ha.total(), 5u);
+}
+
+TEST(Histogram, MergeMatchesWholeBufferCount) {
+  // Core property behind the Reduce tree and prefix speculation: counting
+  // parts and merging equals counting the whole.
+  const auto data = random_bytes(10000, 77);
+  const std::size_t split = 3777;
+  Histogram parts = Histogram::of(std::span(data).first(split));
+  parts.merge(Histogram::of(std::span(data).subspan(split)));
+  EXPECT_EQ(parts, Histogram::of(data));
+}
+
+class HistogramMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramMergeProperty, MergeIsCommutativeAndAssociative) {
+  const std::uint64_t seed = GetParam();
+  const Histogram a = Histogram::of(random_bytes(500, seed));
+  const Histogram b = Histogram::of(random_bytes(300, seed + 1));
+  const Histogram c = Histogram::of(random_bytes(700, seed + 2));
+
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  Histogram ab_c = ab;
+  ab_c.merge(c);
+  Histogram bc = b;
+  bc.merge(c);
+  Histogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Histogram, MergedSpan) {
+  std::vector<Histogram> parts;
+  std::vector<std::uint8_t> all;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    auto bytes = random_bytes(100, s);
+    parts.push_back(Histogram::of(bytes));
+    all.insert(all.end(), bytes.begin(), bytes.end());
+  }
+  EXPECT_EQ(Histogram::merged(parts), Histogram::of(all));
+}
+
+TEST(Histogram, WithFloorRaisesOnlyLowCounts) {
+  std::vector<std::uint8_t> data = {5, 5, 5, 9};
+  const Histogram h = Histogram::of(data);
+  const Histogram f = h.with_floor(2);
+  EXPECT_EQ(f.at(5), 3u);   // already above floor
+  EXPECT_EQ(f.at(9), 2u);   // raised
+  EXPECT_EQ(f.at(0), 2u);   // absent symbol floored
+  EXPECT_EQ(f.distinct_symbols(), huff::kSymbols);
+}
+
+TEST(Histogram, WithFloorZeroIsIdentity) {
+  const Histogram h = Histogram::of(random_bytes(100, 9));
+  EXPECT_EQ(h.with_floor(0), h);
+}
+
+}  // namespace

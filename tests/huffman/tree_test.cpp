@@ -1,0 +1,155 @@
+#include "huffman/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/corpus.h"
+#include "workload/rng.h"
+
+namespace {
+
+using huff::CodeLengths;
+using huff::Histogram;
+using huff::HuffmanTree;
+
+Histogram hist_of(std::initializer_list<std::pair<int, std::uint64_t>> pairs) {
+  Histogram h;
+  for (const auto& [sym, count] : pairs) {
+    h.at(static_cast<std::size_t>(sym)) = count;
+  }
+  return h;
+}
+
+TEST(HuffmanTree, EmptyHistogramGivesEmptyTree) {
+  const HuffmanTree t = HuffmanTree::build(Histogram{});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.cost(), 0u);
+  for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+    EXPECT_EQ(t.lengths()[s], 0);
+  }
+}
+
+TEST(HuffmanTree, SingleSymbolGetsOneBit) {
+  const HuffmanTree t = HuffmanTree::build(hist_of({{'a', 42}}));
+  EXPECT_EQ(t.lengths()['a'], 1);
+  EXPECT_EQ(t.cost(), 42u);
+}
+
+TEST(HuffmanTree, TwoSymbolsGetOneBitEach) {
+  const HuffmanTree t = HuffmanTree::build(hist_of({{'a', 100}, {'b', 1}}));
+  EXPECT_EQ(t.lengths()['a'], 1);
+  EXPECT_EQ(t.lengths()['b'], 1);
+}
+
+TEST(HuffmanTree, ClassicTextbookExample) {
+  // Frequencies 5,9,12,13,16,45 → known optimal cost 224 bits.
+  const HuffmanTree t = HuffmanTree::build(hist_of(
+      {{'a', 45}, {'b', 13}, {'c', 12}, {'d', 16}, {'e', 9}, {'f', 5}}));
+  EXPECT_EQ(t.cost(), 224u);
+  EXPECT_EQ(t.lengths()['a'], 1);
+  // The remaining lengths depend on tie-breaks but the multiset is fixed.
+  std::vector<int> lens;
+  for (char c : {'b', 'c', 'd', 'e', 'f'}) {
+    lens.push_back(t.lengths()[static_cast<std::size_t>(c)]);
+  }
+  std::sort(lens.begin(), lens.end());
+  EXPECT_EQ(lens, (std::vector<int>{3, 3, 3, 4, 4}));
+}
+
+TEST(HuffmanTree, MoreFrequentSymbolsGetShorterOrEqualCodes) {
+  const HuffmanTree t = HuffmanTree::build(
+      hist_of({{1, 1000}, {2, 500}, {3, 100}, {4, 10}, {5, 1}}));
+  EXPECT_LE(t.lengths()[1], t.lengths()[2]);
+  EXPECT_LE(t.lengths()[2], t.lengths()[3]);
+  EXPECT_LE(t.lengths()[3], t.lengths()[4]);
+  EXPECT_LE(t.lengths()[4], t.lengths()[5]);
+}
+
+TEST(HuffmanTree, DeterministicForEqualHistograms) {
+  wl::Rng rng(123);
+  Histogram h;
+  for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+    h.at(s) = rng.below(1000);
+  }
+  const HuffmanTree a = HuffmanTree::build(h);
+  const HuffmanTree b = HuffmanTree::build(h);
+  EXPECT_EQ(a.lengths(), b.lengths());
+  EXPECT_EQ(a.cost(), b.cost());
+}
+
+TEST(HuffmanTree, EncodedBitsEqualsCostOnOwnHistogram) {
+  const Histogram h = Histogram::of(wl::make_corpus(wl::FileKind::Txt, 50000));
+  const HuffmanTree t = HuffmanTree::build(h);
+  EXPECT_EQ(t.encoded_bits(h), t.cost());
+}
+
+TEST(HuffmanTree, CoversDetectsMissingSymbols) {
+  const HuffmanTree t = HuffmanTree::build(hist_of({{'a', 3}, {'b', 2}}));
+  EXPECT_TRUE(t.covers(hist_of({{'a', 1}})));
+  EXPECT_FALSE(t.covers(hist_of({{'a', 1}, {'z', 1}})));
+}
+
+class TreeOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeOptimality, WithinOneBitPerSymbolOfEntropy) {
+  // Shannon bound: H ≤ huffman cost < H + 1 bit per symbol.
+  wl::Rng rng(GetParam());
+  Histogram h;
+  const std::size_t n_syms = 2 + rng.below(254);
+  for (std::size_t i = 0; i < n_syms; ++i) {
+    h.at(rng.below(256)) += 1 + rng.below(5000);
+  }
+  const HuffmanTree t = HuffmanTree::build(h);
+  const double entropy = huff::entropy_bits(h);
+  const auto cost = static_cast<double>(t.cost());
+  EXPECT_GE(cost + 1e-6, entropy);
+  EXPECT_LT(cost, entropy + static_cast<double>(h.total()));
+}
+
+TEST_P(TreeOptimality, NoOtherLengthAssignmentBeats) {
+  // Kraft-feasible perturbations of the optimal lengths cannot reduce cost:
+  // spot-check by comparing against the uniform ceil(log2(n)) assignment.
+  wl::Rng rng(GetParam() + 1000);
+  Histogram h;
+  const std::size_t n_syms = 2 + rng.below(64);
+  std::vector<std::size_t> used;
+  for (std::size_t i = 0; i < n_syms; ++i) {
+    const std::size_t s = rng.below(256);
+    if (h.at(s) == 0) used.push_back(s);
+    h.at(s) += 1 + rng.below(1000);
+  }
+  const HuffmanTree t = HuffmanTree::build(h);
+
+  const auto uniform_len = static_cast<std::uint8_t>(
+      std::ceil(std::log2(static_cast<double>(used.size()))));
+  CodeLengths uniform{};
+  for (std::size_t s : used) {
+    uniform[s] = std::max<std::uint8_t>(uniform_len, 1);
+  }
+  EXPECT_LE(t.cost(), huff::encoded_bits(uniform, h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeOptimality,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(EntropyBits, UniformDistribution) {
+  Histogram h;
+  for (std::size_t s = 0; s < 256; ++s) h.at(s) = 7;
+  EXPECT_NEAR(huff::entropy_bits(h), 8.0 * 256 * 7, 1e-6);
+}
+
+TEST(EntropyBits, SingleSymbolIsZero) {
+  EXPECT_EQ(huff::entropy_bits(hist_of({{'x', 999}})), 0.0);
+}
+
+TEST(EncodedBitsFree, MatchesPerSymbolSum) {
+  CodeLengths lens{};
+  lens['a'] = 2;
+  lens['b'] = 5;
+  const Histogram h = hist_of({{'a', 10}, {'b', 3}});
+  EXPECT_EQ(huff::encoded_bits(lens, h), 10u * 2 + 3u * 5);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Integration: the paper's qualitative claims, asserted on full-size runs.
+// These are the shapes EXPERIMENTS.md reports; if a refactor breaks one, the
+// reproduction is broken even if unit tests stay green.
+//
+// Full-size deterministic sims run in ~0.3 s each on the virtual-time engine.
+#include <gtest/gtest.h>
+
+#include "pipeline/driver.h"
+
+namespace {
+
+using pipeline::RunConfig;
+using pipeline::RunResult;
+
+RunResult x86(wl::FileKind f, sre::DispatchPolicy p) {
+  return pipeline::run_sim(RunConfig::x86_disk(f, p));
+}
+
+TEST(FigureShapes, Fig3TxtSpeculationBeatsNonSpec) {
+  const auto base = x86(wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative);
+  const auto balanced = x86(wl::FileKind::Txt, sre::DispatchPolicy::Balanced);
+  const auto aggressive = x86(wl::FileKind::Txt, sre::DispatchPolicy::Aggressive);
+  const auto conservative =
+      x86(wl::FileKind::Txt, sre::DispatchPolicy::Conservative);
+
+  // No rollbacks on text; every speculative policy wins on latency.
+  EXPECT_EQ(balanced.rollbacks, 0u);
+  EXPECT_LT(balanced.avg_latency_us(), base.avg_latency_us() * 0.75);
+  EXPECT_LT(aggressive.avg_latency_us(), base.avg_latency_us() * 0.75);
+  EXPECT_LT(conservative.avg_latency_us(), base.avg_latency_us());
+  // Aggressive ≤ balanced < conservative when nothing rolls back.
+  EXPECT_LE(aggressive.avg_latency_us(), balanced.avg_latency_us() * 1.02);
+  EXPECT_LT(balanced.avg_latency_us(), conservative.avg_latency_us());
+  // Run-time speedup (paper: up to ~20 % on TXT disk).
+  EXPECT_LT(balanced.makespan_us, base.makespan_us * 0.92);
+}
+
+TEST(FigureShapes, Fig3PdfRollbacksPunishAggression) {
+  const auto base = x86(wl::FileKind::Pdf, sre::DispatchPolicy::NonSpeculative);
+  const auto balanced = x86(wl::FileKind::Pdf, sre::DispatchPolicy::Balanced);
+  const auto aggressive = x86(wl::FileKind::Pdf, sre::DispatchPolicy::Aggressive);
+  const auto conservative =
+      x86(wl::FileKind::Pdf, sre::DispatchPolicy::Conservative);
+
+  EXPECT_GE(balanced.rollbacks, 1u);
+  // With rollbacks, aggressive wastes the most work and has the worst tail.
+  EXPECT_GT(aggressive.trace.wasted_encodes(), balanced.trace.wasted_encodes());
+  EXPECT_GT(aggressive.latency_summary().max, balanced.latency_summary().max);
+  // Conservative and balanced keep runtime near (or better than) non-spec.
+  EXPECT_LT(conservative.makespan_us, base.makespan_us);
+  EXPECT_LT(balanced.makespan_us, base.makespan_us * 1.02);
+}
+
+TEST(FigureShapes, Fig4CellConservativeDoesLittleSpeculation) {
+  const auto base = pipeline::run_sim(
+      RunConfig::cell_disk(wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative));
+  const auto conservative = pipeline::run_sim(
+      RunConfig::cell_disk(wl::FileKind::Txt, sre::DispatchPolicy::Conservative));
+  const auto balanced = pipeline::run_sim(
+      RunConfig::cell_disk(wl::FileKind::Txt, sre::DispatchPolicy::Balanced));
+
+  // "Conservative speculation yields poor results, whereas the balanced
+  //  policy remains efficient." — conservative within a few % of non-spec.
+  EXPECT_GT(conservative.avg_latency_us(), base.avg_latency_us() * 0.9);
+  EXPECT_LT(balanced.avg_latency_us(), base.avg_latency_us() * 0.8);
+}
+
+TEST(FigureShapes, Fig5StepThresholds) {
+  auto with_step = [](wl::FileKind f, std::uint32_t step) {
+    auto cfg = RunConfig::x86_disk(f, sre::DispatchPolicy::Balanced);
+    cfg.spec.step_size = step;
+    return pipeline::run_sim(cfg);
+  };
+  // BMP: rollbacks below step 8, none from 8 up (paper Fig. 5b).
+  EXPECT_GE(with_step(wl::FileKind::Bmp, 1).rollbacks, 1u);
+  EXPECT_GE(with_step(wl::FileKind::Bmp, 4).rollbacks, 1u);
+  EXPECT_EQ(with_step(wl::FileKind::Bmp, 8).rollbacks, 0u);
+  // PDF: rollbacks below step 16, none from 16 up (paper Fig. 5c).
+  EXPECT_GE(with_step(wl::FileKind::Pdf, 8).rollbacks, 1u);
+  EXPECT_EQ(with_step(wl::FileKind::Pdf, 16).rollbacks, 0u);
+  // TXT: no rollbacks at any step; latency degrades as the step grows.
+  const auto s1 = with_step(wl::FileKind::Txt, 1);
+  const auto s32 = with_step(wl::FileKind::Txt, 32);
+  EXPECT_EQ(s1.rollbacks, 0u);
+  EXPECT_EQ(s32.rollbacks, 0u);
+  EXPECT_LT(s1.avg_latency_us(), s32.avg_latency_us());
+}
+
+TEST(FigureShapes, Fig6OptimisticWinsCleanAndLosesDirty) {
+  auto with_verify = [](wl::FileKind f, tvs::VerificationPolicy v) {
+    auto cfg = RunConfig::x86_disk(f, sre::DispatchPolicy::Balanced);
+    cfg.spec.verify = v;
+    return pipeline::run_sim(cfg);
+  };
+  const auto txt_base = x86(wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative);
+  const auto txt_opt =
+      with_verify(wl::FileKind::Txt, tvs::VerificationPolicy::optimistic());
+  const auto txt_full =
+      with_verify(wl::FileKind::Txt, tvs::VerificationPolicy::full());
+  // Clean input: optimistic cuts average latency hard (paper: up to 51 %).
+  EXPECT_LT(txt_opt.avg_latency_us(), txt_base.avg_latency_us() * 0.6);
+  // Checks are cheap: full within ~10 % of optimistic.
+  EXPECT_LT(txt_full.avg_latency_us(), txt_opt.avg_latency_us() * 1.1);
+
+  const auto pdf_base = x86(wl::FileKind::Pdf, sre::DispatchPolicy::NonSpeculative);
+  const auto pdf_opt =
+      with_verify(wl::FileKind::Pdf, tvs::VerificationPolicy::optimistic());
+  // Dirty input: optimistic re-starts a large amount of computation.
+  EXPECT_GT(pdf_opt.avg_latency_us(), pdf_base.avg_latency_us() * 1.3);
+  EXPECT_GT(pdf_opt.makespan_us, pdf_base.makespan_us);
+}
+
+TEST(FigureShapes, Fig7SocketLatencyNegligibleWithoutRollbacks) {
+  const auto res = pipeline::run_sim(
+      RunConfig::x86_socket(wl::FileKind::Txt, sre::DispatchPolicy::Balanced));
+  EXPECT_EQ(res.rollbacks, 0u);
+  const auto transfer = res.trace.arrivals().back();
+  EXPECT_LT(res.avg_latency_us(), static_cast<double>(transfer) * 0.01)
+      << "latency should be ~negligible relative to the transfer time";
+}
+
+TEST(FigureShapes, Fig7SocketPdfShowsRollbackBurst) {
+  const auto res = pipeline::run_sim(
+      RunConfig::x86_socket(wl::FileKind::Pdf, sre::DispatchPolicy::Balanced));
+  EXPECT_GE(res.rollbacks, 1u);
+  // Early blocks wait for the corrected tree: the worst latency dwarfs the
+  // median (the paper's "flat portion" burst).
+  const auto s = res.latency_summary();
+  EXPECT_GT(s.max, s.p50 * 10);
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(FigureShapes, Fig8MoreCpusLowerLatency) {
+  auto with_cpus = [](unsigned n) {
+    auto cfg = RunConfig::x86_socket(wl::FileKind::Txt,
+                                     sre::DispatchPolicy::Balanced);
+    cfg.socket_per_block_us = 250;
+    cfg.socket_jitter_us = 120;
+    cfg.platform = sim::PlatformConfig::x86(n);
+    return pipeline::run_sim(cfg).avg_latency_us();
+  };
+  const double l2 = with_cpus(2);
+  const double l4 = with_cpus(4);
+  const double l8 = with_cpus(8);
+  EXPECT_LT(l4, l2);
+  EXPECT_LT(l8, l4);
+}
+
+TEST(FigureShapes, Fig9ToleranceFivePercentEliminatesRollbacks) {
+  auto with_tol = [](double tol) {
+    auto cfg = RunConfig::x86_disk(wl::FileKind::Pdf,
+                                   sre::DispatchPolicy::Balanced);
+    cfg.spec.tolerance = tol;
+    return pipeline::run_sim(cfg);
+  };
+  const auto t1 = with_tol(0.01);
+  const auto t2 = with_tol(0.02);
+  const auto t5 = with_tol(0.05);
+  EXPECT_GE(t1.rollbacks, 1u);
+  EXPECT_GE(t2.rollbacks, 1u);
+  EXPECT_EQ(t5.rollbacks, 0u);
+  // 2 % detects the misprediction later than 1 % does (fewer, later checks
+  // fail) — visible as at least as many wasted early encodes.
+  EXPECT_LE(t2.rollbacks, t1.rollbacks);
+  // 5 % commits the early tree: fastest, at a bounded compression cost.
+  EXPECT_LT(t5.avg_latency_us(), t1.avg_latency_us());
+  EXPECT_LT(pipeline::size_overhead_vs_optimal(t5), 0.05 + 0.005);
+  EXPECT_LT(pipeline::size_overhead_vs_optimal(t1), 0.01 + 0.005);
+}
+
+TEST(FigureShapes, HeadlineLatencyReductionAtLeastForty) {
+  // Paper abstract: "speculation can improve average latency by a whopping
+  // 51%". Our best scenario (optimistic TXT) must show the same order.
+  const auto base = x86(wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative);
+  auto cfg = RunConfig::x86_disk(wl::FileKind::Txt,
+                                 sre::DispatchPolicy::Aggressive);
+  cfg.spec.verify = tvs::VerificationPolicy::optimistic();
+  const auto best = pipeline::run_sim(cfg);
+  const double reduction =
+      1.0 - best.avg_latency_us() / base.avg_latency_us();
+  EXPECT_GT(reduction, 0.40);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Configuration fuzz: random-but-deterministic sweeps over the whole
+// configuration space. Every combination must round-trip, complete its
+// trace, respect the tolerance bound, and leave the runtime clean — no
+// matter how odd the block/ratio/step choices are.
+#include <gtest/gtest.h>
+
+#include "pipeline/driver.h"
+#include "workload/rng.h"
+
+namespace {
+
+pipeline::RunConfig random_config(std::uint64_t seed) {
+  wl::Rng rng(wl::splitmix64(seed));
+
+  const wl::FileKind kinds[] = {wl::FileKind::Txt, wl::FileKind::Bmp,
+                                wl::FileKind::Pdf};
+  const sre::DispatchPolicy policies[] = {
+      sre::DispatchPolicy::NonSpeculative, sre::DispatchPolicy::Conservative,
+      sre::DispatchPolicy::Aggressive, sre::DispatchPolicy::Balanced};
+  const tvs::VerificationPolicy verifies[] = {
+      tvs::VerificationPolicy::every_kth(1 + static_cast<std::uint32_t>(rng.below(12))),
+      tvs::VerificationPolicy::optimistic(),
+      tvs::VerificationPolicy::full()};
+
+  pipeline::RunConfig cfg;
+  cfg.file = kinds[rng.below(3)];
+  cfg.seed = rng.next();
+  cfg.bytes = 16 * 1024 + rng.below(640) * 1024;  // 16 KiB .. 656 KiB
+  cfg.policy = policies[rng.below(4)];
+  cfg.priority_mode = rng.below(4) == 0 ? sre::PriorityMode::Fcfs
+                                        : sre::PriorityMode::DepthFirst;
+  cfg.io = rng.below(3) == 0 ? pipeline::IoMode::Socket : pipeline::IoMode::Disk;
+  cfg.socket_per_block_us = 50 + rng.below(500);
+  cfg.socket_jitter_us = rng.below(40);
+
+  const bool cell = rng.below(3) == 0;
+  cfg.platform = cell
+                     ? sim::PlatformConfig::cell(1 + static_cast<unsigned>(rng.below(24)))
+                     : sim::PlatformConfig::x86(1 + static_cast<unsigned>(rng.below(24)));
+  cfg.ratios.block_size = 1024 << rng.below(3);  // 1/2/4 KiB
+  cfg.ratios.reduce_ratio = std::size_t{1} << rng.below(5);   // 1..16
+  cfg.ratios.offset_group = std::size_t{1} << rng.below(5);   // 1..16 (Cell-safe)
+
+  cfg.spec.step_size = 1 + static_cast<std::uint32_t>(rng.below(20));
+  cfg.spec.verify = verifies[rng.below(3)];
+  cfg.spec.tolerance = static_cast<double>(rng.below(60)) / 1000.0;  // 0..5.9%
+  return cfg;
+}
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, EveryConfigurationIsCorrect) {
+  const auto cfg = random_config(GetParam());
+  SCOPED_TRACE(cfg.label() + " bytes=" + std::to_string(cfg.bytes) +
+               " blocks=" + std::to_string(cfg.ratios.block_size) +
+               " R=" + std::to_string(cfg.ratios.reduce_ratio) +
+               " G=" + std::to_string(cfg.ratios.offset_group));
+  const auto res = pipeline::run_sim(cfg);
+
+  pipeline::verify_roundtrip(res);
+  EXPECT_TRUE(res.trace.complete());
+  const double overhead = pipeline::size_overhead_vs_optimal(res);
+  EXPECT_GE(overhead, -1e-9);
+  EXPECT_LT(overhead, cfg.spec.tolerance + 0.01)
+      << "committed output may only be suboptimal within the tolerance";
+  if (!cfg.speculation_enabled()) {
+    EXPECT_EQ(res.rollbacks, 0u);
+    EXPECT_FALSE(res.spec_committed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(ConfigFuzz, SimAndThreadedAgreeOnOutputValidity) {
+  // Same configuration on both engines: outputs may differ in which tree
+  // was committed (timing-dependent), but both must be valid encodings of
+  // the same input within tolerance.
+  for (std::uint64_t seed : {3ULL, 7ULL, 11ULL}) {
+    auto cfg = random_config(seed);
+    cfg.bytes = std::min<std::size_t>(cfg.bytes, 256 * 1024);
+    cfg.io = pipeline::IoMode::Disk;  // keep wall-clock time sane
+    const auto sim_res = pipeline::run_sim(cfg);
+    const auto thr_res = pipeline::run_threaded(cfg, 4, 0.02);
+    pipeline::verify_roundtrip(sim_res);
+    pipeline::verify_roundtrip(thr_res);
+    EXPECT_EQ(sim_res.input, thr_res.input);
+  }
+}
+
+}  // namespace

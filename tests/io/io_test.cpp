@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "io/arrival_model.h"
+#include "io/block_source.h"
+
+namespace {
+
+using sio::BlockSource;
+
+TEST(DiskArrival, LinearSchedule) {
+  const sio::DiskArrival d(10);
+  EXPECT_EQ(d.arrival_us(0), 10u);
+  EXPECT_EQ(d.arrival_us(9), 100u);
+}
+
+TEST(SocketArrival, StrictlyIncreasingDespiteJitter) {
+  const sio::SocketArrival s(5500, 900, 12345);
+  sio::Micros prev = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const sio::Micros t = s.arrival_us(i);
+    EXPECT_GT(t, prev) << i;
+    prev = t;
+  }
+}
+
+TEST(SocketArrival, DeterministicPerSeed) {
+  const sio::SocketArrival a(5500, 900, 1);
+  const sio::SocketArrival b(5500, 900, 1);
+  const sio::SocketArrival c(5500, 900, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.arrival_us(i), b.arrival_us(i));
+    any_diff |= (a.arrival_us(i) != c.arrival_us(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SocketArrival, ZeroJitterIsLinear) {
+  const sio::SocketArrival s(100, 0, 7);
+  EXPECT_EQ(s.arrival_us(0), 100u);
+  EXPECT_EQ(s.arrival_us(4), 500u);
+}
+
+TEST(ExplicitArrival, ReplaysSchedule) {
+  const sio::ExplicitArrival e({5, 9, 40});
+  EXPECT_EQ(e.arrival_us(1), 9u);
+  EXPECT_THROW(e.arrival_us(3), std::out_of_range);
+}
+
+TEST(BlockSource, SplitsIntoBlocks) {
+  std::vector<std::uint8_t> data(10000, 7);
+  const BlockSource src(std::move(data), 4096,
+                        std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(src.n_blocks(), 3u);
+  EXPECT_EQ(src.block(0).size(), 4096u);
+  EXPECT_EQ(src.block(2).size(), 10000u - 2 * 4096u);
+  EXPECT_EQ(src.total_bytes(), 10000u);
+  EXPECT_THROW(src.block(3), std::out_of_range);
+}
+
+TEST(BlockSource, ValidatesInputs) {
+  EXPECT_THROW(BlockSource({}, 4096, std::make_shared<sio::DiskArrival>()),
+               std::invalid_argument);
+  EXPECT_THROW(BlockSource({1, 2}, 0, std::make_shared<sio::DiskArrival>()),
+               std::invalid_argument);
+  EXPECT_THROW(BlockSource({1, 2}, 4096, nullptr), std::invalid_argument);
+}
+
+TEST(BlockSource, ForEachArrivalVisitsAllInOrder) {
+  std::vector<std::uint8_t> data(4096 * 5, 1);
+  const BlockSource src(std::move(data), 4096,
+                        std::make_shared<sio::DiskArrival>(3));
+  std::vector<std::pair<std::size_t, sio::Micros>> seen;
+  src.for_each_arrival([&seen](std::size_t i, sio::Micros t) {
+    seen.emplace_back(i, t);
+  });
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(seen[i].first, i);
+    EXPECT_EQ(seen[i].second, (i + 1) * 3);
+  }
+  EXPECT_EQ(src.last_arrival_us(), 15u);
+}
+
+TEST(BlockSource, BlockViewsAliasTheData) {
+  std::vector<std::uint8_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const BlockSource src(std::move(data), 4096,
+                        std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(src.block(1)[0], static_cast<std::uint8_t>(4096));
+  EXPECT_EQ(src.bytes().size(), 8192u);
+}
+
+}  // namespace

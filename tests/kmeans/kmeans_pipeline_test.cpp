@@ -1,0 +1,127 @@
+// Speculative k-means pipeline end-to-end on both executors.
+#include "kmeans/kmeans_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_executor.h"
+#include "sre/threaded_executor.h"
+
+namespace {
+
+using km::Dataset;
+using km::KmeansPipeline;
+using km::KmeansPipelineConfig;
+
+Dataset dataset() { return km::make_blobs(64 * 1024, 4, 8, 21); }
+
+KmeansPipelineConfig config(double tolerance) {
+  KmeansPipelineConfig cfg;
+  cfg.k = 8;
+  cfg.iterations = 15;
+  cfg.sample_points = 2048;
+  cfg.block_points = 4096;
+  cfg.spec.tolerance = tolerance;
+  cfg.spec.step_size = 1;
+  cfg.spec.verify = tvs::VerificationPolicy::every_kth(4);
+  return cfg;
+}
+
+TEST(KmeansPipeline, NaturalPathMatchesSerialReference) {
+  const Dataset data = dataset();
+  const auto cfg = config(0.05);
+  sre::Runtime rt(sre::DispatchPolicy::NonSpeculative);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+  KmeansPipeline pl(rt, data, cfg, /*speculation=*/false);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_FALSE(pl.speculation_committed());
+
+  Dataset sample;
+  sample.dims = data.dims;
+  sample.values.assign(data.values.begin(),
+                       data.values.begin() + 2048 * 4);
+  const auto ref = km::solve(sample, cfg.k, cfg.iterations);
+  EXPECT_EQ(pl.committed_centroids(), ref);
+  EXPECT_EQ(pl.labels(), km::label(ref, data, 0, data.size()));
+}
+
+TEST(KmeansPipeline, SpeculationCommitsOnWellSeparatedData) {
+  // Well-separated blobs: assignments stabilize after very few Lloyd
+  // sweeps, so the early guess survives every check.
+  const Dataset data = dataset();
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+  KmeansPipeline pl(rt, data, config(0.02), /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_TRUE(pl.speculation_committed());
+  // Labels must be the labelling of the committed centroids.
+  EXPECT_EQ(pl.labels(),
+            km::label(pl.committed_centroids(), data, 0, data.size()));
+}
+
+TEST(KmeansPipeline, ZeroToleranceForcesRollbackOnNoisyData) {
+  // Overlapping blobs + zero tolerance: the first-iterate guess must fail
+  // a check, and the run must still complete correctly.
+  const Dataset data = km::make_blobs(32 * 1024, 4, 8, 33, /*spread=*/1.6);
+  auto cfg = config(0.0);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+  KmeansPipeline pl(rt, data, cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_GE(pl.rollbacks(), 1u);
+  EXPECT_EQ(pl.labels(),
+            km::label(pl.committed_centroids(), data, 0, data.size()));
+}
+
+TEST(KmeansPipeline, SpeculationShortensMakespan) {
+  const Dataset data = dataset();
+  auto run = [&](bool speculation) {
+    sre::Runtime rt(speculation ? sre::DispatchPolicy::Balanced
+                                : sre::DispatchPolicy::NonSpeculative);
+    sim::SimExecutor ex(rt, sim::PlatformConfig::x86(8));
+    KmeansPipeline pl(rt, data, config(0.02), speculation);
+    pl.start();
+    ex.run();
+    pl.validate_complete();
+    return ex.makespan_us();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(KmeansPipeline, ThreadedExecutorAgrees) {
+  const Dataset data = km::make_blobs(16 * 1024, 3, 5, 8);
+  auto cfg = config(0.02);
+  cfg.k = 5;
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  sre::ThreadedExecutor ex(rt, {.workers = 4});
+  KmeansPipeline pl(rt, data, cfg, /*speculation=*/true);
+  pl.start();
+  ex.run();
+  pl.validate_complete();
+  EXPECT_EQ(pl.labels(),
+            km::label(pl.committed_centroids(), data, 0, data.size()));
+  EXPECT_TRUE(pl.trace().complete());
+}
+
+TEST(KmeansPipeline, ValidatesConfig) {
+  const Dataset data = km::make_blobs(100, 2, 2, 1);
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  auto cfg = config(0.1);
+  cfg.k = 0;
+  EXPECT_THROW(KmeansPipeline(rt, data, cfg, true), std::invalid_argument);
+  cfg = config(0.1);
+  cfg.sample_points = 4;
+  cfg.k = 8;
+  EXPECT_THROW(KmeansPipeline(rt, data, cfg, true), std::invalid_argument);
+  Dataset empty;
+  empty.dims = 2;
+  EXPECT_THROW(KmeansPipeline(rt, empty, config(0.1), true),
+               std::invalid_argument);
+}
+
+}  // namespace

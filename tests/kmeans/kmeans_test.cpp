@@ -1,0 +1,121 @@
+// Lloyd's k-means substrate.
+#include "kmeans/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using km::Centroids;
+using km::Dataset;
+
+Dataset tiny() {
+  // Two obvious clusters on a line: {0, 0.1, 0.2} and {10, 10.1, 10.2}.
+  Dataset d;
+  d.dims = 1;
+  d.values = {0.0, 10.0, 0.1, 10.1, 0.2, 10.2};
+  return d;
+}
+
+TEST(Kmeans, MakeBlobsDeterministicAndSized) {
+  const Dataset a = km::make_blobs(1000, 4, 5, 42);
+  const Dataset b = km::make_blobs(1000, 4, 5, 42);
+  const Dataset c = km::make_blobs(1000, 4, 5, 43);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a.dims, 4u);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_NE(a.values, c.values);
+  EXPECT_THROW(km::make_blobs(10, 0, 2, 1), std::invalid_argument);
+}
+
+TEST(Kmeans, NearestPicksClosestCentroid) {
+  Centroids c;
+  c.dims = 2;
+  c.values = {0.0, 0.0, 5.0, 5.0};
+  const std::vector<double> near_first = {1.0, 1.0};
+  const std::vector<double> near_second = {4.0, 6.0};
+  EXPECT_EQ(km::nearest(c, near_first), 0u);
+  EXPECT_EQ(km::nearest(c, near_second), 1u);
+}
+
+TEST(Kmeans, SolveSeparatesObviousClusters) {
+  const Dataset d = tiny();
+  const Centroids c = km::solve(d, 2, 10);
+  // One centroid near 0.1, the other near 10.1 (order depends on init).
+  const double c0 = c.centroid(0)[0];
+  const double c1 = c.centroid(1)[0];
+  const double lo = std::min(c0, c1);
+  const double hi = std::max(c0, c1);
+  EXPECT_NEAR(lo, 0.1, 1e-9);
+  EXPECT_NEAR(hi, 10.1, 1e-9);
+  // All points of each cluster share a label.
+  const auto labels = km::label(c, d, 0, d.size());
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[1], labels[3]);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(Kmeans, LloydStepNeverIncreasesInertia) {
+  const Dataset d = km::make_blobs(2000, 3, 6, 7);
+  Centroids c = km::init_centroids(d, 6);
+  double prev = km::inertia(c, d);
+  for (int i = 0; i < 12; ++i) {
+    c = km::lloyd_step(c, d);
+    const double cur = km::inertia(c, d);
+    EXPECT_LE(cur, prev + 1e-9) << "Lloyd iteration " << i;
+    prev = cur;
+  }
+}
+
+TEST(Kmeans, ConvergedStepIsFixedPoint) {
+  const Dataset d = km::make_blobs(1500, 2, 4, 9);
+  Centroids c = km::solve(d, 4, 60);
+  const Centroids next = km::lloyd_step(c, d);
+  EXPECT_EQ(next, c);
+}
+
+TEST(Kmeans, EmptyClusterKeepsCentroid) {
+  Dataset d;
+  d.dims = 1;
+  d.values = {0.0, 0.1};
+  Centroids c;
+  c.dims = 1;
+  c.values = {0.05, 99.0};  // second centroid captures nothing
+  const Centroids next = km::lloyd_step(c, d);
+  EXPECT_DOUBLE_EQ(next.centroid(1)[0], 99.0);
+}
+
+TEST(Kmeans, AssignmentDisagreementBounds) {
+  const Dataset d = km::make_blobs(1000, 3, 5, 11);
+  const Centroids a = km::solve(d, 5, 20);
+  EXPECT_DOUBLE_EQ(km::assignment_disagreement(a, a, d), 0.0);
+  Centroids shifted = a;
+  for (auto& v : shifted.values) v += 100.0;  // everything reassigns weirdly
+  const double dis = km::assignment_disagreement(a, shifted, d);
+  EXPECT_GE(dis, 0.0);
+  EXPECT_LE(dis, 1.0);
+}
+
+TEST(Kmeans, DisagreementShrinksAcrossIterations) {
+  // The speculation precondition: later iterates disagree less with the
+  // final result than early ones.
+  const Dataset d = km::make_blobs(4000, 4, 6, 13, /*spread=*/0.8);
+  const Centroids final_c = km::solve(d, 6, 30);
+  Centroids c = km::init_centroids(d, 6);
+  double prev = 2.0;
+  for (int i = 0; i < 8; ++i) {
+    c = km::lloyd_step(c, d);
+    const double dis = km::assignment_disagreement(c, final_c, d);
+    EXPECT_LE(dis, prev + 0.05) << i;  // mostly decreasing
+    prev = dis;
+  }
+  EXPECT_LT(prev, 0.02);
+}
+
+TEST(Kmeans, InitValidates) {
+  const Dataset d = km::make_blobs(5, 2, 2, 1);
+  EXPECT_THROW(km::init_centroids(d, 6), std::invalid_argument);
+  EXPECT_THROW(km::init_centroids(d, 0), std::invalid_argument);
+}
+
+}  // namespace

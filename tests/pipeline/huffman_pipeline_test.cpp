@@ -1,0 +1,200 @@
+// End-to-end pipeline correctness across the configuration grid.
+//
+// The invariants (DESIGN.md §6): every run round-trips; committed
+// speculative output stays within the tolerance of optimal; rollbacks leave
+// no stray tasks; traces are complete.
+#include <gtest/gtest.h>
+
+#include "pipeline/driver.h"
+
+namespace {
+
+using pipeline::RunConfig;
+using pipeline::RunResult;
+
+RunConfig small(wl::FileKind file, sre::DispatchPolicy policy,
+                std::size_t kib = 512) {
+  RunConfig cfg = RunConfig::x86_disk(file, policy);
+  cfg.bytes = kib * 1024;
+  return cfg;
+}
+
+struct GridCase {
+  wl::FileKind file;
+  sre::DispatchPolicy policy;
+  std::uint32_t step;
+  tvs::VerifyMode verify;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  const auto& p = info.param;
+  std::string name = wl::to_string(p.file) + "_" + sre::to_string(p.policy) +
+                     "_s" + std::to_string(p.step) + "_" +
+                     tvs::to_string(p.verify);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class PipelineGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PipelineGrid, SimRunRoundTripsAndIsComplete) {
+  const auto& p = GetParam();
+  RunConfig cfg = small(p.file, p.policy);
+  cfg.spec.step_size = p.step;
+  cfg.spec.verify = tvs::VerificationPolicy{p.verify, 8};
+  const RunResult res = pipeline::run_sim(cfg);
+
+  pipeline::verify_roundtrip(res);
+  EXPECT_TRUE(res.trace.complete());
+  EXPECT_EQ(res.trace.size(), cfg.bytes / 4096);
+
+  // Committed output can be suboptimal only within tolerance (plus the
+  // tiny floored-histogram overhead).
+  const double overhead = pipeline::size_overhead_vs_optimal(res);
+  EXPECT_GE(overhead, -1e-9);
+  EXPECT_LT(overhead, cfg.spec.tolerance + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineGrid,
+    ::testing::Values(
+        GridCase{wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative, 1,
+                 tvs::VerifyMode::EveryKth},
+        GridCase{wl::FileKind::Txt, sre::DispatchPolicy::Balanced, 1,
+                 tvs::VerifyMode::EveryKth},
+        GridCase{wl::FileKind::Txt, sre::DispatchPolicy::Aggressive, 1,
+                 tvs::VerifyMode::Optimistic},
+        GridCase{wl::FileKind::Txt, sre::DispatchPolicy::Conservative, 2,
+                 tvs::VerifyMode::Full},
+        GridCase{wl::FileKind::Bmp, sre::DispatchPolicy::Balanced, 1,
+                 tvs::VerifyMode::EveryKth},
+        GridCase{wl::FileKind::Bmp, sre::DispatchPolicy::Aggressive, 1,
+                 tvs::VerifyMode::Full},
+        GridCase{wl::FileKind::Bmp, sre::DispatchPolicy::Balanced, 4,
+                 tvs::VerifyMode::Optimistic},
+        GridCase{wl::FileKind::Pdf, sre::DispatchPolicy::Balanced, 1,
+                 tvs::VerifyMode::EveryKth},
+        GridCase{wl::FileKind::Pdf, sre::DispatchPolicy::Aggressive, 1,
+                 tvs::VerifyMode::Full},
+        GridCase{wl::FileKind::Pdf, sre::DispatchPolicy::Conservative, 1,
+                 tvs::VerifyMode::Optimistic},
+        GridCase{wl::FileKind::Pdf, sre::DispatchPolicy::Balanced, 8,
+                 tvs::VerifyMode::EveryKth}),
+    case_name);
+
+TEST(Pipeline, NonSpecOutputIsExactlyOptimal) {
+  const auto res =
+      pipeline::run_sim(small(wl::FileKind::Txt, sre::DispatchPolicy::NonSpeculative));
+  EXPECT_FALSE(res.spec_committed);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_NEAR(pipeline::size_overhead_vs_optimal(res), 0.0, 1e-12);
+}
+
+TEST(Pipeline, TxtCommitsSpeculationWithoutRollbacks) {
+  const auto res =
+      pipeline::run_sim(small(wl::FileKind::Txt, sre::DispatchPolicy::Balanced));
+  EXPECT_TRUE(res.spec_committed);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_EQ(res.wait_discarded, 0u);
+  EXPECT_GT(res.trace.speculative_commits(), 0u);
+}
+
+TEST(Pipeline, CellPlatformRespectsMemoryBudget) {
+  auto cfg = pipeline::RunConfig::cell_disk(wl::FileKind::Txt,
+                                            sre::DispatchPolicy::Balanced);
+  cfg.bytes = 512 * 1024;
+  // Must not throw: every task the builder creates fits 32 KiB.
+  const auto res = pipeline::run_sim(cfg);
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(Pipeline, OversizedRatioViolatesCellBudget) {
+  auto cfg = pipeline::RunConfig::cell_disk(wl::FileKind::Txt,
+                                            sre::DispatchPolicy::Balanced);
+  cfg.bytes = 512 * 1024;
+  cfg.ratios.reduce_ratio = 64;  // 64 histograms = 128 KiB > 32 KiB budget
+  EXPECT_THROW(pipeline::run_sim(cfg), std::logic_error);
+}
+
+TEST(Pipeline, SocketModeRoundTrips) {
+  auto cfg = pipeline::RunConfig::x86_socket(wl::FileKind::Txt,
+                                             sre::DispatchPolicy::Balanced);
+  cfg.bytes = 256 * 1024;
+  const auto res = pipeline::run_sim(cfg);
+  pipeline::verify_roundtrip(res);
+  // Arrivals must be strictly increasing (TCP ordering).
+  const auto arrivals = res.trace.arrivals();
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LT(arrivals[i - 1], arrivals[i]);
+  }
+}
+
+TEST(Pipeline, RollbackRunStillProducesValidOutput) {
+  // BMP at step 1 rolls back at least once; the final artifact must still
+  // decode and the trace must show re-encodes.
+  auto cfg = small(wl::FileKind::Bmp, sre::DispatchPolicy::Balanced, 2048);
+  const auto res = pipeline::run_sim(cfg);
+  EXPECT_GE(res.rollbacks, 1u);
+  EXPECT_GT(res.trace.wasted_encodes() + res.wait_discarded, 0u);
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(Pipeline, AbortedTasksAreAccounted) {
+  auto cfg = small(wl::FileKind::Bmp, sre::DispatchPolicy::Aggressive, 2048);
+  const auto res = pipeline::run_sim(cfg);
+  ASSERT_GE(res.rollbacks, 1u);
+  EXPECT_GT(res.counters.tasks_aborted, 0u)
+      << "a rollback must destroy outstanding speculative tasks";
+}
+
+TEST(Pipeline, TinyInputsWork) {
+  for (std::size_t bytes : {1ul, 4095ul, 4096ul, 4097ul, 65536ul}) {
+    RunConfig cfg = small(wl::FileKind::Txt, sre::DispatchPolicy::Balanced);
+    cfg.bytes = bytes;
+    const auto res = pipeline::run_sim(cfg);
+    pipeline::verify_roundtrip(res);
+    EXPECT_EQ(res.trace.size(), (bytes + 4095) / 4096) << bytes;
+  }
+}
+
+TEST(Pipeline, ThreadedEngineMatchesOutputAcrossPolicies) {
+  for (auto policy : {sre::DispatchPolicy::NonSpeculative,
+                      sre::DispatchPolicy::Conservative,
+                      sre::DispatchPolicy::Aggressive,
+                      sre::DispatchPolicy::Balanced}) {
+    auto cfg = small(wl::FileKind::Txt, policy, 256);
+    const auto res = pipeline::run_threaded(cfg, 4, /*time_scale=*/0.02);
+    pipeline::verify_roundtrip(res);
+    EXPECT_TRUE(res.trace.complete()) << sre::to_string(policy);
+  }
+}
+
+TEST(Pipeline, ThreadedRollbackScenarioRoundTrips) {
+  auto cfg = small(wl::FileKind::Pdf, sre::DispatchPolicy::Balanced, 2048);
+  const auto res = pipeline::run_threaded(cfg, 4, /*time_scale=*/0.005);
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(Pipeline, DeterministicSimTraces) {
+  const auto cfg = small(wl::FileKind::Pdf, sre::DispatchPolicy::Balanced, 1024);
+  const auto a = pipeline::run_sim(cfg);
+  const auto b = pipeline::run_sim(cfg);
+  EXPECT_EQ(a.trace.latencies(), b.trace.latencies());
+  EXPECT_EQ(a.container, b.container);
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+}
+
+TEST(RunResult, LatencyHelpers) {
+  const auto res =
+      pipeline::run_sim(small(wl::FileKind::Txt, sre::DispatchPolicy::Balanced, 128));
+  const auto summary = res.latency_summary();
+  EXPECT_EQ(summary.count, res.trace.size());
+  EXPECT_NEAR(res.avg_latency_us(), summary.mean, 1.0);
+  EXPECT_LE(summary.p50, summary.p95);
+  EXPECT_LE(summary.p95, summary.max);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// The Huffman pipeline's SuperTask hierarchy: data really flows through the
+// ports, and the flagged speculation-basis port drives the tvs layer.
+#include <gtest/gtest.h>
+
+#include "io/block_source.h"
+#include "pipeline/huffman_pipeline.h"
+#include "sim/sim_executor.h"
+#include "workload/corpus.h"
+
+namespace {
+
+struct Harness {
+  explicit Harness(sre::DispatchPolicy policy, std::size_t kib = 512)
+      : cfg(pipeline::RunConfig::x86_disk(wl::FileKind::Txt, policy)),
+        src(wl::make_corpus(wl::FileKind::Txt, kib * 1024), 4096,
+            std::make_shared<sio::DiskArrival>()),
+        rt(policy),
+        ex(rt, cfg.platform),
+        pl(rt, src, cfg) {}
+
+  void run() {
+    src.for_each_arrival([this](std::size_t i, sio::Micros at) {
+      ex.schedule_arrival(at, [this, i](sim::Micros now) {
+        pl.on_block_arrival(i, now);
+      });
+    });
+    ex.run();
+  }
+
+  pipeline::RunConfig cfg;
+  sio::BlockSource src;
+  sre::Runtime rt;
+  sim::SimExecutor ex;
+  pipeline::HuffmanPipeline pl;
+};
+
+TEST(SupertaskWiring, HierarchyHasTwoPasses) {
+  Harness h(sre::DispatchPolicy::Balanced);
+  auto& root = h.pl.root_supertask();
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.children()[0]->name(), "first-pass");
+  EXPECT_EQ(root.children()[1]->name(), "second-pass");
+  EXPECT_TRUE(root.children()[0]->is_speculation_basis("histogram"));
+}
+
+TEST(SupertaskWiring, NonSpecHistogramPortNotFlagged) {
+  Harness h(sre::DispatchPolicy::NonSpeculative);
+  EXPECT_FALSE(h.pl.root_supertask().children()[0]->is_speculation_basis(
+      "histogram"));
+}
+
+TEST(SupertaskWiring, BlockCompletionsEscalateToRoot) {
+  Harness h(sre::DispatchPolicy::Balanced, 256);
+  // "block-done" has no subscriber on the second pass, so it must escalate
+  // to the root ("eventually to its parent as it completes").
+  std::size_t done = 0;
+  std::size_t speculative = 0;
+  h.pl.root_supertask().subscribe_value<pipeline::BlockDoneMsg>(
+      "block-done",
+      [&](const pipeline::BlockDoneMsg& msg, std::uint64_t) {
+        ++done;
+        if (msg.speculative) ++speculative;
+      });
+  h.run();
+  h.pl.validate_complete();
+  EXPECT_GE(done, h.src.n_blocks());  // every block completed at least once
+  EXPECT_GT(speculative, 0u) << "TXT commits speculation, so speculative "
+                                "encodes must dominate";
+}
+
+TEST(SupertaskWiring, HistogramPortFiresOncePerReduce) {
+  Harness h(sre::DispatchPolicy::Balanced, 512);
+  std::size_t estimates = 0;
+  h.pl.root_supertask().children()[0]->subscribe(
+      "histogram",
+      [&estimates](const sre::SuperTask::Payload&, std::uint64_t) {
+        ++estimates;
+      });
+  h.run();
+  // 512 KiB / 4 KiB = 128 blocks, reduce ratio 16 → 8 reduces.
+  EXPECT_EQ(estimates, 8u);
+}
+
+}  // namespace

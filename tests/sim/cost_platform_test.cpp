@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/platform.h"
+
+namespace {
+
+using sim::CostModel;
+using sim::PlatformConfig;
+using sim::TaskKind;
+
+TEST(CostModel, ScalesWithInputCount) {
+  const CostModel m = CostModel::x86();
+  EXPECT_EQ(m.cost(TaskKind::Reduce, 16), m.reduce_per_input_us * 16);
+  EXPECT_EQ(m.cost(TaskKind::Offset, 64), m.offset_per_block_us * 64);
+}
+
+TEST(CostModel, FixedKindsIgnoreCount) {
+  const CostModel m = CostModel::x86();
+  EXPECT_EQ(m.cost(TaskKind::Count, 1), m.cost(TaskKind::Count, 99));
+  EXPECT_EQ(m.cost(TaskKind::TreeBuild), m.tree_build_us);
+  EXPECT_EQ(m.cost(TaskKind::Check), m.check_us);
+  EXPECT_EQ(m.cost(TaskKind::Sink), m.sink_us);
+  EXPECT_EQ(m.cost(TaskKind::Encode), m.encode_us);
+}
+
+TEST(CostModel, ChecksAreCheapRelativeToWork) {
+  // "Check tasks are simple and run very quickly." (paper §IV-B)
+  for (const CostModel& m : {CostModel::x86(), CostModel::cell()}) {
+    EXPECT_LT(m.cost(TaskKind::Check) * 5, m.cost(TaskKind::Encode));
+    EXPECT_LT(m.cost(TaskKind::Check) * 5, m.cost(TaskKind::Count));
+  }
+}
+
+TEST(CostModel, CellAddsDmaOverhead) {
+  const CostModel cell = CostModel::cell();
+  EXPECT_GT(cell.dma_overhead_us, 0u);
+  EXPECT_EQ(cell.cost(TaskKind::Sink), cell.sink_us + cell.dma_overhead_us);
+}
+
+TEST(PlatformConfig, X86HasNoStagingOrMemoryLimit) {
+  const auto p = PlatformConfig::x86();
+  EXPECT_EQ(p.cpus, 16u);  // the paper uses 16 worker threads
+  EXPECT_EQ(p.staging_depth, 0u);
+  EXPECT_TRUE(p.fits_memory(1u << 30));
+}
+
+TEST(PlatformConfig, CellModelsLocalStores) {
+  const auto p = PlatformConfig::cell();
+  EXPECT_EQ(p.cpus, 16u);
+  EXPECT_EQ(p.staging_depth, 4u);       // multiple buffering of four tasks
+  EXPECT_EQ(p.task_mem_limit, 32u * 1024);  // 256 KiB / 4 overlaid tasks
+  EXPECT_TRUE(p.fits_memory(32 * 1024));
+  EXPECT_FALSE(p.fits_memory(32 * 1024 + 1));
+}
+
+TEST(PlatformConfig, ReduceSixteenToOneFitsCellBudget) {
+  // The paper's stated reason for 16:1 ratios on Cell: 16 histograms of
+  // 256×8 bytes exactly fill the 32 KiB task budget.
+  const auto p = PlatformConfig::cell();
+  EXPECT_TRUE(p.fits_memory(16 * 256 * 8));
+  EXPECT_FALSE(p.fits_memory(17 * 256 * 8));
+}
+
+TEST(PlatformConfig, CpuCountConfigurable) {
+  EXPECT_EQ(PlatformConfig::x86(4).cpus, 4u);
+  EXPECT_EQ(PlatformConfig::cell(8).cpus, 8u);
+}
+
+}  // namespace

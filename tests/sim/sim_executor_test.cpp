@@ -1,0 +1,211 @@
+#include "sim/sim_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.h"
+#include "sre/runtime.h"
+
+namespace {
+
+using sim::PlatformConfig;
+using sim::SimExecutor;
+using sre::DispatchPolicy;
+using sre::Runtime;
+using sre::TaskClass;
+using sre::TaskContext;
+
+sre::TaskPtr timed(Runtime& rt, const std::string& name, std::uint64_t cost,
+                   TaskClass cls = TaskClass::Natural, sre::Epoch epoch = 0,
+                   int depth = 1) {
+  return rt.make_task(name, cls, epoch, depth, cost, [](TaskContext&) {});
+}
+
+PlatformConfig cpus(unsigned n) {
+  auto p = PlatformConfig::x86(n);
+  return p;
+}
+
+TEST(SimExecutor, IndependentTasksPackOntoCpus) {
+  // 8 tasks of 100 us on 4 CPUs → exactly two waves → makespan 200 us.
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, cpus(4));
+  for (int i = 0; i < 8; ++i) {
+    rt.submit(timed(rt, "t" + std::to_string(i), 100));
+  }
+  ex.run();
+  EXPECT_EQ(ex.makespan_us(), 200u);
+  for (auto busy : ex.busy_us()) {
+    EXPECT_EQ(busy, 200u);
+  }
+}
+
+TEST(SimExecutor, SerialChainAccumulatesTime) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, cpus(4));
+  sre::TaskPtr prev;
+  for (int i = 0; i < 5; ++i) {
+    auto t = timed(rt, "link", 50);
+    if (prev) rt.add_dependency(prev, t);
+    rt.submit(t);
+    prev = t;
+  }
+  ex.run();
+  EXPECT_EQ(ex.makespan_us(), 250u);
+}
+
+TEST(SimExecutor, ArrivalsInjectAtVirtualTimes) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, cpus(1));
+  std::vector<sim::Micros> seen;
+  ex.schedule_arrival(1000, [&rt, &seen](sim::Micros now) {
+    seen.push_back(now);
+    rt.submit(rt.make_task("a", TaskClass::Natural, 0, 1, 10,
+                           [](TaskContext&) {}));
+  });
+  ex.schedule_arrival(5000, [&seen](sim::Micros now) { seen.push_back(now); });
+  ex.run();
+  EXPECT_EQ(seen, (std::vector<sim::Micros>{1000, 5000}));
+  EXPECT_EQ(ex.makespan_us(), 1010u);
+}
+
+TEST(SimExecutor, CompletionTimesVisibleToHooks) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, cpus(1));
+  std::uint64_t done_at = 0;
+  auto t = timed(rt, "t", 123);
+  t->add_completion_hook(
+      [&done_at](sre::Task&, std::uint64_t now) { done_at = now; });
+  rt.submit(t);
+  ex.run();
+  EXPECT_EQ(done_at, 123u);
+}
+
+TEST(SimExecutor, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Runtime rt(DispatchPolicy::Balanced);
+    SimExecutor ex(rt, cpus(3));
+    std::vector<std::string> order;
+    for (int i = 0; i < 20; ++i) {
+      auto t = rt.make_task("t" + std::to_string(i), TaskClass::Natural, 0,
+                            i % 4, 10 + static_cast<std::uint64_t>(i) * 3,
+                            [](TaskContext&) {});
+      t->add_completion_hook([&order](sre::Task& task, std::uint64_t) {
+        order.push_back(task.name());
+      });
+      rt.submit(t);
+    }
+    ex.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimExecutor, ZeroCpusRejected) {
+  Runtime rt(DispatchPolicy::Balanced);
+  EXPECT_THROW(SimExecutor(rt, cpus(0)), std::invalid_argument);
+}
+
+TEST(SimExecutor, MemoryBudgetEnforced) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, PlatformConfig::cell(2));
+  auto big = timed(rt, "big", 10);
+  big->set_mem_bytes(64 * 1024);  // over the 32 KiB local-store budget
+  rt.submit(big);
+  EXPECT_THROW(ex.run(), std::logic_error);
+}
+
+TEST(SimExecutor, MemoryWithinBudgetRuns) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, PlatformConfig::cell(2));
+  auto ok = timed(rt, "ok", 10);
+  ok->set_mem_bytes(32 * 1024);
+  rt.submit(ok);
+  ex.run();
+  EXPECT_EQ(rt.counters().tasks_executed, 1u);
+}
+
+// --- Staging (multiple buffering) ------------------------------------------
+
+TEST(SimExecutor, StagedAbortedTasksAreDiscardedUnrun) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, PlatformConfig::cell(1));
+  const sre::Epoch e = rt.open_epoch();
+
+  // One long natural task occupies the CPU while speculative tasks stage
+  // behind it; the rollback fires mid-run via a completion hook.
+  bool spec_ran = false;
+  auto blocker = rt.make_task("blocker", TaskClass::Natural, 0, 9, 1000,
+                              [](TaskContext&) {});
+  blocker->add_completion_hook([&rt, e](sre::Task&, std::uint64_t) {
+    rt.abort_epoch(e);
+  });
+  rt.submit(blocker);
+  for (int i = 0; i < 3; ++i) {
+    auto s = rt.make_task("spec" + std::to_string(i), TaskClass::Speculative,
+                          e, 1, 100,
+                          [&spec_ran](TaskContext&) { spec_ran = true; });
+    rt.submit(s);
+  }
+  ex.run();
+  EXPECT_FALSE(spec_ran) << "staged tasks of a rolled-back epoch must die";
+  EXPECT_EQ(rt.counters().tasks_aborted, 3u);
+}
+
+TEST(SimExecutor, ConservativeWithStagingStarvesSpeculation) {
+  // With naturals continuously staged, the conservative policy must not
+  // dispatch a speculative task until the naturals are exhausted.
+  Runtime rt(DispatchPolicy::Conservative);
+  SimExecutor ex(rt, PlatformConfig::cell(1));
+  const sre::Epoch e = rt.open_epoch();
+
+  std::vector<std::string> order;
+  auto track = [&order](const sre::TaskPtr& t) {
+    t->add_completion_hook([&order](sre::Task& task, std::uint64_t) {
+      order.push_back(task.name());
+    });
+  };
+  // Speculative task is deeper (would win on depth) and submitted first.
+  auto spec = timed(rt, "spec", 10, TaskClass::Speculative, e, /*depth=*/99);
+  track(spec);
+  rt.submit(spec);
+  for (int i = 0; i < 4; ++i) {
+    auto n = timed(rt, "nat" + std::to_string(i), 10, TaskClass::Natural, 0, 1);
+    track(n);
+    rt.submit(n);
+  }
+  ex.run();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), "spec");
+}
+
+TEST(SimExecutor, AggressiveWithStagingPrefersSpeculation) {
+  Runtime rt(DispatchPolicy::Aggressive);
+  SimExecutor ex(rt, PlatformConfig::cell(1));
+  const sre::Epoch e = rt.open_epoch();
+  std::vector<std::string> order;
+  auto spec = timed(rt, "spec", 10, TaskClass::Speculative, e, 1);
+  spec->add_completion_hook([&order](sre::Task& t, std::uint64_t) {
+    order.push_back(t.name());
+  });
+  auto nat = timed(rt, "nat", 10, TaskClass::Natural, 0, 99);
+  nat->add_completion_hook([&order](sre::Task& t, std::uint64_t) {
+    order.push_back(t.name());
+  });
+  rt.submit(nat);
+  rt.submit(spec);
+  ex.run();
+  EXPECT_EQ(order.front(), "spec");
+}
+
+TEST(SimExecutor, StagingStillCompletesEverything) {
+  Runtime rt(DispatchPolicy::Balanced);
+  SimExecutor ex(rt, PlatformConfig::cell(3));
+  for (int i = 0; i < 100; ++i) {
+    rt.submit(timed(rt, "t", 7));
+  }
+  ex.run();
+  EXPECT_EQ(rt.counters().tasks_executed, 100u);
+  EXPECT_TRUE(rt.quiescent());
+}
+
+}  // namespace

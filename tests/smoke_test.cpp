@@ -1,0 +1,31 @@
+// End-to-end smoke: small Huffman pipeline runs under both executors.
+#include <gtest/gtest.h>
+
+#include "pipeline/driver.h"
+
+namespace {
+
+pipeline::RunConfig small_config(sre::DispatchPolicy policy) {
+  pipeline::RunConfig cfg = pipeline::RunConfig::x86_disk(wl::FileKind::Txt, policy);
+  cfg.bytes = 256 * 1024;  // 64 blocks: fast
+  return cfg;
+}
+
+TEST(Smoke, NonSpeculativeSimRoundTrips) {
+  const auto res = pipeline::run_sim(small_config(sre::DispatchPolicy::NonSpeculative));
+  EXPECT_FALSE(res.spec_committed);
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(Smoke, BalancedSimRoundTrips) {
+  const auto res = pipeline::run_sim(small_config(sre::DispatchPolicy::Balanced));
+  pipeline::verify_roundtrip(res);
+}
+
+TEST(Smoke, BalancedThreadedRoundTrips) {
+  const auto res = pipeline::run_threaded(small_config(sre::DispatchPolicy::Balanced),
+                                      /*workers=*/4, /*arrival_time_scale=*/0.05);
+  pipeline::verify_roundtrip(res);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Runtime unit tests: dependence tracking, dynamic graph growth, epoch
+// rollback semantics. Tasks are driven manually (next_task + run +
+// on_task_finished), which is exactly the executor contract.
+#include "sre/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "sre/slot.h"
+
+namespace {
+
+using sre::DispatchPolicy;
+using sre::Runtime;
+using sre::TaskClass;
+using sre::TaskContext;
+using sre::TaskPtr;
+using sre::TaskState;
+
+TaskPtr noop(Runtime& rt, const std::string& name,
+             TaskClass cls = TaskClass::Natural, sre::Epoch epoch = 0) {
+  return rt.make_task(name, cls, epoch, 1, 10, [](TaskContext&) {});
+}
+
+/// Runs tasks to quiescence; returns execution order by name.
+std::vector<std::string> drain(Runtime& rt, std::uint64_t start_time = 0) {
+  std::vector<std::string> order;
+  std::uint64_t t = start_time;
+  while (TaskPtr task = rt.next_task()) {
+    TaskContext ctx{rt, *task, t};
+    task->run(ctx);
+    order.push_back(task->name());
+    rt.on_task_finished(task, ++t);
+  }
+  return order;
+}
+
+TEST(Runtime, TaskWithNoDepsIsImmediatelyReady) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto t = noop(rt, "a");
+  EXPECT_EQ(t->state(), TaskState::Created);
+  rt.submit(t);
+  EXPECT_EQ(t->state(), TaskState::Ready);
+  EXPECT_EQ(rt.ready_count(), 1u);
+}
+
+TEST(Runtime, DependenciesGateReadiness) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto producer = noop(rt, "p");
+  auto consumer = noop(rt, "c");
+  rt.add_dependency(producer, consumer);
+  rt.submit(consumer);
+  rt.submit(producer);
+  EXPECT_EQ(consumer->state(), TaskState::Blocked);
+  EXPECT_EQ(rt.blocked_count(), 1u);
+  EXPECT_EQ(drain(rt), (std::vector<std::string>{"p", "c"}));
+  EXPECT_EQ(rt.blocked_count(), 0u);
+  EXPECT_TRUE(rt.quiescent());
+}
+
+TEST(Runtime, DiamondDependency) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto a = noop(rt, "a");
+  auto b = rt.make_task("b", TaskClass::Natural, 0, 2, 10, [](TaskContext&) {});
+  auto c = rt.make_task("c", TaskClass::Natural, 0, 2, 10, [](TaskContext&) {});
+  auto d = rt.make_task("d", TaskClass::Natural, 0, 3, 10, [](TaskContext&) {});
+  rt.add_dependency(a, b);
+  rt.add_dependency(a, c);
+  rt.add_dependency(b, d);
+  rt.add_dependency(c, d);
+  for (auto& t : {d, c, b, a}) rt.submit(t);
+  const auto order = drain(rt);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), "a");
+  EXPECT_EQ(order.back(), "d");
+}
+
+TEST(Runtime, DependencyOnFinishedProducerIsSatisfied) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto p = noop(rt, "p");
+  rt.submit(p);
+  drain(rt);
+  ASSERT_EQ(p->state(), TaskState::Done);
+  auto c = noop(rt, "c");
+  rt.add_dependency(p, c);
+  rt.submit(c);
+  EXPECT_EQ(c->state(), TaskState::Ready);
+}
+
+TEST(Runtime, DynamicGraphGrowthFromHooks) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto first = noop(rt, "first");
+  first->add_completion_hook([&rt](sre::Task&, std::uint64_t) {
+    auto second = rt.make_task("second", TaskClass::Natural, 0, 1, 10,
+                               [](TaskContext&) {});
+    rt.submit(second);
+  });
+  rt.submit(first);
+  EXPECT_EQ(drain(rt), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Runtime, HooksReceiveCompletionTime) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto t = noop(rt, "t");
+  std::uint64_t seen = 0;
+  t->add_completion_hook(
+      [&seen](sre::Task&, std::uint64_t done) { seen = done; });
+  rt.submit(t);
+  drain(rt, 100);
+  EXPECT_EQ(seen, 101u);
+}
+
+TEST(Runtime, DoubleSubmitThrows) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto t = noop(rt, "t");
+  rt.submit(t);
+  EXPECT_THROW(rt.submit(t), std::logic_error);
+}
+
+TEST(Runtime, AddDependencyAfterSubmitThrows) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto p = noop(rt, "p");
+  auto c = noop(rt, "c");
+  rt.submit(c);
+  EXPECT_THROW(rt.add_dependency(p, c), std::logic_error);
+}
+
+TEST(Runtime, SlotsCarryValuesAlongEdges) {
+  Runtime rt(DispatchPolicy::Balanced);
+  auto slot = sre::make_slot<int>();
+  auto p = rt.make_task("p", TaskClass::Natural, 0, 1, 10,
+                        [slot](TaskContext&) { slot->set(42); });
+  int seen = 0;
+  auto c = rt.make_task("c", TaskClass::Natural, 0, 2, 10,
+                        [slot, &seen](TaskContext&) { seen = slot->get(); });
+  rt.add_dependency(p, c);
+  rt.submit(p);
+  rt.submit(c);
+  drain(rt);
+  EXPECT_EQ(seen, 42);
+}
+
+// --- Rollback -------------------------------------------------------------
+
+TEST(Runtime, AbortEpochRemovesReadyTasks) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  auto spec = noop(rt, "spec", TaskClass::Speculative, e);
+  rt.submit(spec);
+  EXPECT_EQ(rt.ready_count(), 1u);
+  rt.abort_epoch(e);
+  EXPECT_EQ(rt.ready_count(), 0u);
+  EXPECT_EQ(spec->state(), TaskState::Aborted);
+  EXPECT_EQ(rt.counters().tasks_aborted, 1u);
+}
+
+TEST(Runtime, AbortEpochKillsBlockedChain) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  auto a = noop(rt, "a", TaskClass::Speculative, e);
+  auto b = noop(rt, "b", TaskClass::Speculative, e);
+  auto c = noop(rt, "c", TaskClass::Speculative, e);
+  rt.add_dependency(a, b);
+  rt.add_dependency(b, c);
+  for (auto& t : {c, b, a}) rt.submit(t);
+  rt.abort_epoch(e);
+  EXPECT_EQ(a->state(), TaskState::Aborted);
+  EXPECT_EQ(b->state(), TaskState::Aborted);
+  EXPECT_EQ(c->state(), TaskState::Aborted);
+  EXPECT_TRUE(rt.quiescent());
+}
+
+TEST(Runtime, RunningTaskIsFlaggedNotDeleted) {
+  // "Launched tasks cannot be deleted; the system marks them with an abort
+  // flag, and deletes them with their content when they complete."
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  bool hook_fired = false;
+  auto spec = noop(rt, "spec", TaskClass::Speculative, e);
+  spec->add_completion_hook(
+      [&hook_fired](sre::Task&, std::uint64_t) { hook_fired = true; });
+  rt.submit(spec);
+  TaskPtr running = rt.next_task();
+  ASSERT_EQ(running, spec);
+  EXPECT_EQ(spec->state(), TaskState::Running);
+
+  rt.abort_epoch(e);
+  EXPECT_EQ(spec->state(), TaskState::Running);  // still in flight
+  EXPECT_TRUE(spec->abort_requested());
+
+  rt.on_task_finished(running, 5);
+  EXPECT_EQ(spec->state(), TaskState::Aborted);
+  EXPECT_FALSE(hook_fired) << "aborted tasks must not fire hooks";
+  EXPECT_EQ(rt.counters().tasks_aborted, 1u);
+  EXPECT_EQ(rt.counters().tasks_executed, 0u);
+}
+
+TEST(Runtime, DestroySignalPropagatesThroughInFlightTask) {
+  // A consumer wired to an in-flight aborted task dies when the producer's
+  // completion is processed.
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  auto spec = noop(rt, "spec", TaskClass::Speculative, e);
+  rt.submit(spec);
+  TaskPtr running = rt.next_task();
+
+  // Downstream natural-epoch task depending on the speculative value (e.g.
+  // a commit step wired before the rollback hit).
+  auto downstream = noop(rt, "down");
+  rt.add_dependency(spec, downstream);
+  rt.submit(downstream);
+
+  rt.abort_epoch(e);
+  rt.on_task_finished(running, 5);
+  EXPECT_EQ(downstream->state(), TaskState::Aborted);
+  EXPECT_TRUE(rt.quiescent());
+}
+
+TEST(Runtime, DependencyOnAbortedProducerKillsConsumer) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  auto spec = noop(rt, "spec", TaskClass::Speculative, e);
+  rt.submit(spec);
+  rt.abort_epoch(e);
+  auto late = noop(rt, "late", TaskClass::Speculative, e);
+  rt.add_dependency(spec, late);
+  rt.submit(late);  // silently dropped: it was aborted before submission
+  EXPECT_EQ(late->state(), TaskState::Aborted);
+  EXPECT_EQ(rt.ready_count(), 0u);
+}
+
+TEST(Runtime, AbortedEpochDoesNotTouchOtherEpochs) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e1 = rt.open_epoch();
+  const sre::Epoch e2 = rt.open_epoch();
+  auto s1 = noop(rt, "s1", TaskClass::Speculative, e1);
+  auto s2 = noop(rt, "s2", TaskClass::Speculative, e2);
+  auto n = noop(rt, "n");
+  for (auto& t : {s1, s2, n}) rt.submit(t);
+  rt.abort_epoch(e1);
+  EXPECT_EQ(s1->state(), TaskState::Aborted);
+  EXPECT_EQ(s2->state(), TaskState::Ready);
+  EXPECT_EQ(n->state(), TaskState::Ready);
+}
+
+TEST(Runtime, CountersTrackClasses) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  rt.submit(noop(rt, "n", TaskClass::Natural));
+  rt.submit(noop(rt, "s", TaskClass::Speculative, e));
+  rt.submit(noop(rt, "c", TaskClass::Control));
+  drain(rt);
+  const auto counters = rt.counters();
+  EXPECT_EQ(counters.tasks_executed, 3u);
+  EXPECT_EQ(counters.spec_tasks_executed, 1u);
+  EXPECT_EQ(counters.checks_executed, 1u);
+  EXPECT_EQ(counters.epochs_opened, 1u);
+  rt.note_rollback();
+  EXPECT_EQ(rt.counters().rollbacks, 1u);
+  rt.mark_epoch_committed(e);
+  EXPECT_EQ(rt.counters().epochs_committed, 1u);
+}
+
+TEST(Runtime, AbortedBodyIsNoopWhenRun) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch e = rt.open_epoch();
+  bool executed = false;
+  auto spec = rt.make_task("s", TaskClass::Speculative, e, 1, 10,
+                           [&executed](TaskContext&) { executed = true; });
+  rt.submit(spec);
+  rt.abort_epoch(e);
+  // The body was reclaimed; even if an executor raced and runs it, nothing
+  // happens.
+  TaskContext ctx{rt, *spec, 0};
+  spec->run(ctx);
+  EXPECT_FALSE(executed);
+}
+
+}  // namespace

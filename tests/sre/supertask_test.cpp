@@ -1,0 +1,97 @@
+#include "sre/supertask.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sre::SuperTask;
+
+TEST(SuperTask, LocalSubscribersReceivePayloads) {
+  SuperTask root("root");
+  int received = 0;
+  root.subscribe_value<int>("port", [&received](const int& v, std::uint64_t) {
+    received = v;
+  });
+  EXPECT_EQ(root.publish_value<int>("port", 42, 0), 1u);
+  EXPECT_EQ(received, 42);
+}
+
+TEST(SuperTask, MultipleSubscribersAllFire) {
+  SuperTask root("root");
+  int count = 0;
+  for (int i = 0; i < 3; ++i) {
+    root.subscribe("p", [&count](const SuperTask::Payload&, std::uint64_t) {
+      ++count;
+    });
+  }
+  EXPECT_EQ(root.publish("p", std::make_shared<const int>(1), 0), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SuperTask, UnmatchedPortEscalatesToParent) {
+  // "direct the flow of data between its child Tasks and SuperTasks, and
+  //  eventually to its parent as it completes."
+  SuperTask root("root");
+  SuperTask& child = root.add_child("child");
+  SuperTask& grandchild = child.add_child("grandchild");
+
+  std::string seen;
+  root.subscribe_value<std::string>(
+      "result", [&seen](const std::string& v, std::uint64_t) { seen = v; });
+
+  EXPECT_EQ(grandchild.publish_value<std::string>("result", "done", 7), 1u);
+  EXPECT_EQ(seen, "done");
+}
+
+TEST(SuperTask, LocalSubscriberStopsEscalation) {
+  SuperTask root("root");
+  SuperTask& child = root.add_child("child");
+  int at_root = 0;
+  int at_child = 0;
+  root.subscribe("p", [&](const SuperTask::Payload&, std::uint64_t) { ++at_root; });
+  child.subscribe("p", [&](const SuperTask::Payload&, std::uint64_t) { ++at_child; });
+  child.publish("p", std::make_shared<const int>(0), 0);
+  EXPECT_EQ(at_child, 1);
+  EXPECT_EQ(at_root, 0);
+}
+
+TEST(SuperTask, UnroutablePayloadFiresNothing) {
+  SuperTask root("root");
+  EXPECT_EQ(root.publish("nowhere", std::make_shared<const int>(0), 0), 0u);
+}
+
+TEST(SuperTask, SpeculationBasisTriggersSpeculation) {
+  // "We append a flag to tasks that produce data that can be a basis for
+  //  speculation. When this flag is asserted, the SRE understands that it
+  //  must ... advance normal program execution, and ... trigger a
+  //  speculative task."
+  SuperTask root("root");
+  root.mark_speculation_basis("histogram");
+  EXPECT_TRUE(root.is_speculation_basis("histogram"));
+  EXPECT_FALSE(root.is_speculation_basis("other"));
+
+  int normal = 0;
+  int speculative = 0;
+  root.subscribe("histogram",
+                 [&](const SuperTask::Payload&, std::uint64_t) { ++normal; });
+  root.set_speculation_trigger(
+      [&](const SuperTask::Payload&, std::uint64_t) { ++speculative; });
+
+  root.publish("histogram", std::make_shared<const int>(1), 0);
+  EXPECT_EQ(normal, 1) << "normal execution must still advance";
+  EXPECT_EQ(speculative, 1) << "and the speculative task must be triggered";
+
+  root.publish("other-port", std::make_shared<const int>(1), 0);
+  EXPECT_EQ(speculative, 1) << "unflagged ports must not trigger speculation";
+}
+
+TEST(SuperTask, ChildrenAreOwnedAndNamed) {
+  SuperTask root("root");
+  SuperTask& a = root.add_child("a");
+  SuperTask& b = root.add_child("b");
+  EXPECT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(a.name(), "a");
+  EXPECT_EQ(b.parent(), &root);
+}
+
+}  // namespace

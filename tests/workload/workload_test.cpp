@@ -1,0 +1,225 @@
+// Workload generators: determinism, surface realism, and — critically — the
+// prefix-convergence profiles the experiments depend on (DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include "huffman/canonical.h"
+#include "huffman/tree.h"
+#include "workload/bmp_gen.h"
+#include "workload/corpus.h"
+#include "workload/pdf_gen.h"
+#include "workload/rng.h"
+#include "workload/text_gen.h"
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  wl::Rng a(42);
+  wl::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  wl::Rng a(1);
+  wl::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  wl::Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const wl::DiscreteSampler sampler({1.0, 0.0, 3.0});
+  wl::Rng rng(5);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    counts[sampler.sample(rng)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(DiscreteSampler, RejectsBadWeights) {
+  EXPECT_THROW(wl::DiscreteSampler({}), std::invalid_argument);
+  EXPECT_THROW(wl::DiscreteSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(wl::DiscreteSampler({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ZipfWeights, Decreasing) {
+  const auto w = wl::zipf_weights(10, 1.1);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LT(w[i], w[i - 1]);
+  }
+}
+
+class GeneratorBasics : public ::testing::TestWithParam<wl::FileKind> {};
+
+TEST_P(GeneratorBasics, ExactSizeAndDeterminism) {
+  const auto kind = GetParam();
+  const auto a = wl::make_corpus(kind, 100000, 7);
+  const auto b = wl::make_corpus(kind, 100000, 7);
+  const auto c = wl::make_corpus(kind, 100000, 8);
+  EXPECT_EQ(a.size(), 100000u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_P(GeneratorBasics, PaperSizes) {
+  const auto kind = GetParam();
+  const std::size_t expected =
+      kind == wl::FileKind::Bmp ? 2u * 1024 * 1024 : 4u * 1024 * 1024;
+  EXPECT_EQ(wl::paper_size(kind), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GeneratorBasics,
+                         ::testing::Values(wl::FileKind::Txt, wl::FileKind::Bmp,
+                                           wl::FileKind::Pdf));
+
+TEST(TextGen, LooksLikeText) {
+  const auto data = wl::generate_text(50000, 3);
+  std::size_t printable = 0;
+  std::size_t letters = 0;
+  for (std::uint8_t b : data) {
+    if (b >= 32 || b == '\n') ++printable;
+    if ((b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')) ++letters;
+  }
+  EXPECT_EQ(printable, data.size());
+  EXPECT_GT(letters, data.size() * 3 / 4);
+  // Stationary text should use well under 100 distinct byte values
+  // (paper §IV-A: "text files use only around 70 characters").
+  EXPECT_LT(huff::Histogram::of(data).distinct_symbols(), 100u);
+}
+
+TEST(BmpGen, HasValidHeader) {
+  const auto data = wl::generate_bmp(100000, 3);
+  ASSERT_GE(data.size(), 54u);
+  EXPECT_EQ(data[0], 'B');
+  EXPECT_EQ(data[1], 'M');
+  // Declared file size (little-endian u32 at offset 2).
+  const std::uint32_t declared = data[2] | (data[3] << 8) |
+                                 (data[4] << 16) |
+                                 (static_cast<std::uint32_t>(data[5]) << 24);
+  EXPECT_EQ(declared, data.size());
+}
+
+TEST(BmpGen, HeadIsSmootherThanTail) {
+  // The head mixes mostly-smooth pixels, the tail is mostly texture: the
+  // image is high-entropy overall (paper: "BMPs ... generally have a high
+  // entropy"), but the distribution shifts from head to tail — the property
+  // that drives early-speculation rollbacks.
+  const auto data = wl::generate_bmp(wl::paper_size(wl::FileKind::Bmp), 42);
+  const auto head = huff::Histogram::of(std::span(data).subspan(54, 65536));
+  const auto tail = huff::Histogram::of(
+      std::span(data).subspan(data.size() - 65536, 65536));
+  const double head_rate = huff::entropy_bits(head) / 65536.0;
+  const double tail_rate = huff::entropy_bits(tail) / 65536.0;
+  EXPECT_GT(tail_rate, 6.5);
+  EXPECT_GT(tail_rate, head_rate);
+  // The head tree must misprice the tail by well over the 1 % tolerance.
+  const auto head_table = huff::CodeTable::from_lengths(
+      huff::HuffmanTree::build(head.with_floor(1)).lengths());
+  const auto tail_table = huff::CodeTable::from_lengths(
+      huff::HuffmanTree::build(tail.with_floor(1)).lengths());
+  const auto tail_bits = tail_table.encoded_bits(tail);
+  EXPECT_GT(static_cast<double>(head_table.encoded_bits(tail)),
+            static_cast<double>(tail_bits) * 1.05);
+}
+
+TEST(PdfGen, ContainsPdfMarkers) {
+  const auto data = wl::generate_pdf(200000, 4);
+  const std::string s(data.begin(), data.begin() + 2000);
+  EXPECT_EQ(s.substr(0, 8), "%PDF-1.7");
+  const std::string whole(data.begin(), data.end());
+  EXPECT_NE(whole.find(" 0 obj"), std::string::npos);
+  EXPECT_NE(whole.find("stream"), std::string::npos);
+  EXPECT_NE(whole.find("FlateDecode"), std::string::npos);
+}
+
+// --- Convergence profiles: the experimental preconditions ------------------
+//
+// delta(s, k) is the tolerance-check quantity (relative size difference
+// between the tree guessed at estimate s and the tree at estimate k, over
+// the data seen by k). One estimate = 16 blocks of 4 KiB = 64 KiB.
+
+double delta_pct(const std::vector<huff::Histogram>& prefixes,
+                 const std::vector<huff::CodeTable>& tables, std::size_t s,
+                 std::size_t k) {
+  const auto cur = tables[k].encoded_bits(prefixes[k]);
+  const auto guess = tables[s].encoded_bits(prefixes[k]);
+  const auto diff = guess > cur ? guess - cur : cur - guess;
+  return static_cast<double>(diff) / static_cast<double>(cur) * 100.0;
+}
+
+struct Profile {
+  std::vector<huff::Histogram> prefixes;
+  std::vector<huff::CodeTable> tables;
+};
+
+Profile profile_of(wl::FileKind kind) {
+  const auto data = wl::make_corpus(kind);
+  constexpr std::size_t kChunk = 64 * 1024;
+  Profile p;
+  huff::Histogram prefix;
+  for (std::size_t off = 0; off < data.size(); off += kChunk) {
+    prefix.count(std::span(data).subspan(off, std::min(kChunk, data.size() - off)));
+    p.prefixes.push_back(prefix);
+    p.tables.push_back(huff::CodeTable::from_lengths(
+        huff::HuffmanTree::build(prefix.with_floor(1)).lengths()));
+  }
+  return p;
+}
+
+double max_delta_from(const Profile& p, std::size_t s) {
+  double m = 0.0;
+  for (std::size_t k = s; k < p.prefixes.size(); ++k) {
+    m = std::max(m, delta_pct(p.prefixes, p.tables, s, k));
+  }
+  return m;
+}
+
+TEST(ConvergenceProfile, TxtNeverExceedsOnePercent) {
+  const Profile p = profile_of(wl::FileKind::Txt);
+  EXPECT_LT(max_delta_from(p, 0), 1.0);  // even the first guess holds
+}
+
+TEST(ConvergenceProfile, BmpThresholdAtStepEight) {
+  const Profile p = profile_of(wl::FileKind::Bmp);
+  EXPECT_GT(max_delta_from(p, 0), 1.0);   // step 1 rolls back
+  EXPECT_GT(max_delta_from(p, 3), 1.0);   // step 4 rolls back
+  EXPECT_LT(max_delta_from(p, 7), 1.0);   // step 8 holds
+  EXPECT_LT(max_delta_from(p, 15), 1.0);  // step 16 holds
+}
+
+TEST(ConvergenceProfile, PdfThresholdAtStepSixteen) {
+  const Profile p = profile_of(wl::FileKind::Pdf);
+  EXPECT_GT(max_delta_from(p, 0), 1.0);    // step 1 rolls back
+  EXPECT_GT(max_delta_from(p, 7), 1.0);    // step 8 rolls back
+  EXPECT_LT(max_delta_from(p, 15), 1.0);   // step 16 holds
+  EXPECT_LT(max_delta_from(p, 31), 1.0);   // step 32 holds
+}
+
+TEST(ConvergenceProfile, PdfToleranceBand) {
+  // The Fig. 9 preconditions: the first guess fails 1 % early (at the k=8
+  // check), fails 2 % only later, and never exceeds 5 %.
+  const Profile p = profile_of(wl::FileKind::Pdf);
+  EXPECT_GT(delta_pct(p.prefixes, p.tables, 0, 7), 1.0);
+  EXPECT_LT(delta_pct(p.prefixes, p.tables, 0, 7), 2.0);
+  EXPECT_GT(delta_pct(p.prefixes, p.tables, 0, 15), 2.0);
+  EXPECT_LT(max_delta_from(p, 0), 5.0);
+}
+
+}  // namespace
