@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applications_summary.dir/applications_summary.cpp.o"
+  "CMakeFiles/applications_summary.dir/applications_summary.cpp.o.d"
+  "applications_summary"
+  "applications_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applications_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_x86_policies.dir/fig3_x86_policies.cpp.o"
+  "CMakeFiles/fig3_x86_policies.dir/fig3_x86_policies.cpp.o.d"
+  "fig3_x86_policies"
+  "fig3_x86_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_x86_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

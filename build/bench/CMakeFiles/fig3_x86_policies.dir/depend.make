@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_x86_policies.
+# This may be replaced when dependencies are built.

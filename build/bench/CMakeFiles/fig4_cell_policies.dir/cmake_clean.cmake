@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cell_policies.dir/fig4_cell_policies.cpp.o"
+  "CMakeFiles/fig4_cell_policies.dir/fig4_cell_policies.cpp.o.d"
+  "fig4_cell_policies"
+  "fig4_cell_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cell_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_step_size.dir/fig5_step_size.cpp.o"
+  "CMakeFiles/fig5_step_size.dir/fig5_step_size.cpp.o.d"
+  "fig5_step_size"
+  "fig5_step_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_step_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_verification.dir/fig6_verification.cpp.o"
+  "CMakeFiles/fig6_verification.dir/fig6_verification.cpp.o.d"
+  "fig6_verification"
+  "fig6_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_socket.dir/fig7_socket.cpp.o"
+  "CMakeFiles/fig7_socket.dir/fig7_socket.cpp.o.d"
+  "fig7_socket"
+  "fig7_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

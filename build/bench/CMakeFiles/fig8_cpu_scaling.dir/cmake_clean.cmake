@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cpu_scaling.dir/fig8_cpu_scaling.cpp.o"
+  "CMakeFiles/fig8_cpu_scaling.dir/fig8_cpu_scaling.cpp.o.d"
+  "fig8_cpu_scaling"
+  "fig8_cpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

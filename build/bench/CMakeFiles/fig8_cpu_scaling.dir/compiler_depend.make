@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_cpu_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tolerance.dir/fig9_tolerance.cpp.o"
+  "CMakeFiles/fig9_tolerance.dir/fig9_tolerance.cpp.o.d"
+  "fig9_tolerance"
+  "fig9_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

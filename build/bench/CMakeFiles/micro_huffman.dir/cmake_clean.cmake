@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_huffman.dir/micro_huffman.cpp.o"
+  "CMakeFiles/micro_huffman.dir/micro_huffman.cpp.o.d"
+  "micro_huffman"
+  "micro_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_filter.dir/iterative_filter.cpp.o"
+  "CMakeFiles/iterative_filter.dir/iterative_filter.cpp.o.d"
+  "iterative_filter"
+  "iterative_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_planner.dir/route_planner.cpp.o"
+  "CMakeFiles/route_planner.dir/route_planner.cpp.o.d"
+  "route_planner"
+  "route_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

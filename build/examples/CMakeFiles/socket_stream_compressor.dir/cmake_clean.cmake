@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_stream_compressor.dir/socket_stream_compressor.cpp.o"
+  "CMakeFiles/socket_stream_compressor.dir/socket_stream_compressor.cpp.o.d"
+  "socket_stream_compressor"
+  "socket_stream_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_stream_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("huffman")
+subdirs("workload")
+subdirs("sre")
+subdirs("sim")
+subdirs("io")
+subdirs("core")
+subdirs("pipeline")
+subdirs("filter")
+subdirs("kmeans")
+subdirs("anneal")
+subdirs("trace")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/anneal_pipeline.cpp" "src/anneal/CMakeFiles/tvs_anneal.dir/anneal_pipeline.cpp.o" "gcc" "src/anneal/CMakeFiles/tvs_anneal.dir/anneal_pipeline.cpp.o.d"
+  "/root/repo/src/anneal/tsp.cpp" "src/anneal/CMakeFiles/tvs_anneal.dir/tsp.cpp.o" "gcc" "src/anneal/CMakeFiles/tvs_anneal.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sre/CMakeFiles/tvs_sre.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tvs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_anneal.dir/anneal_pipeline.cpp.o"
+  "CMakeFiles/tvs_anneal.dir/anneal_pipeline.cpp.o.d"
+  "CMakeFiles/tvs_anneal.dir/tsp.cpp.o"
+  "CMakeFiles/tvs_anneal.dir/tsp.cpp.o.d"
+  "libtvs_anneal.a"
+  "libtvs_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

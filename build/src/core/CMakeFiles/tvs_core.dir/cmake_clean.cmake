@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_core.dir/config.cpp.o"
+  "CMakeFiles/tvs_core.dir/config.cpp.o.d"
+  "libtvs_core.a"
+  "libtvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

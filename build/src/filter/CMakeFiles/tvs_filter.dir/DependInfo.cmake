@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/filter_pipeline.cpp" "src/filter/CMakeFiles/tvs_filter.dir/filter_pipeline.cpp.o" "gcc" "src/filter/CMakeFiles/tvs_filter.dir/filter_pipeline.cpp.o.d"
+  "/root/repo/src/filter/fir.cpp" "src/filter/CMakeFiles/tvs_filter.dir/fir.cpp.o" "gcc" "src/filter/CMakeFiles/tvs_filter.dir/fir.cpp.o.d"
+  "/root/repo/src/filter/iterative_design.cpp" "src/filter/CMakeFiles/tvs_filter.dir/iterative_design.cpp.o" "gcc" "src/filter/CMakeFiles/tvs_filter.dir/iterative_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sre/CMakeFiles/tvs_sre.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tvs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_filter.dir/filter_pipeline.cpp.o"
+  "CMakeFiles/tvs_filter.dir/filter_pipeline.cpp.o.d"
+  "CMakeFiles/tvs_filter.dir/fir.cpp.o"
+  "CMakeFiles/tvs_filter.dir/fir.cpp.o.d"
+  "CMakeFiles/tvs_filter.dir/iterative_design.cpp.o"
+  "CMakeFiles/tvs_filter.dir/iterative_design.cpp.o.d"
+  "libtvs_filter.a"
+  "libtvs_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtvs_filter.a"
+)

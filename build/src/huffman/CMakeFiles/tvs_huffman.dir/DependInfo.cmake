@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/huffman/bitio.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/bitio.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/bitio.cpp.o.d"
+  "/root/repo/src/huffman/canonical.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/canonical.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/canonical.cpp.o.d"
+  "/root/repo/src/huffman/decoder.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/decoder.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/decoder.cpp.o.d"
+  "/root/repo/src/huffman/encoder.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/encoder.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/encoder.cpp.o.d"
+  "/root/repo/src/huffman/fast_decoder.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/fast_decoder.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/fast_decoder.cpp.o.d"
+  "/root/repo/src/huffman/histogram.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/histogram.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/histogram.cpp.o.d"
+  "/root/repo/src/huffman/length_limited.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/length_limited.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/length_limited.cpp.o.d"
+  "/root/repo/src/huffman/offsets.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/offsets.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/offsets.cpp.o.d"
+  "/root/repo/src/huffman/stream_format.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/stream_format.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/stream_format.cpp.o.d"
+  "/root/repo/src/huffman/tree.cpp" "src/huffman/CMakeFiles/tvs_huffman.dir/tree.cpp.o" "gcc" "src/huffman/CMakeFiles/tvs_huffman.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

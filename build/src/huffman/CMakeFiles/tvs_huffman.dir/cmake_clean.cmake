@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_huffman.dir/bitio.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/bitio.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/canonical.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/canonical.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/decoder.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/decoder.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/encoder.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/encoder.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/fast_decoder.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/fast_decoder.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/histogram.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/histogram.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/length_limited.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/length_limited.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/offsets.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/offsets.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/stream_format.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/stream_format.cpp.o.d"
+  "CMakeFiles/tvs_huffman.dir/tree.cpp.o"
+  "CMakeFiles/tvs_huffman.dir/tree.cpp.o.d"
+  "libtvs_huffman.a"
+  "libtvs_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/arrival_model.cpp" "src/io/CMakeFiles/tvs_io.dir/arrival_model.cpp.o" "gcc" "src/io/CMakeFiles/tvs_io.dir/arrival_model.cpp.o.d"
+  "/root/repo/src/io/block_source.cpp" "src/io/CMakeFiles/tvs_io.dir/block_source.cpp.o" "gcc" "src/io/CMakeFiles/tvs_io.dir/block_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

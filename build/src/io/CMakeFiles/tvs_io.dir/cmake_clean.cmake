@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_io.dir/arrival_model.cpp.o"
+  "CMakeFiles/tvs_io.dir/arrival_model.cpp.o.d"
+  "CMakeFiles/tvs_io.dir/block_source.cpp.o"
+  "CMakeFiles/tvs_io.dir/block_source.cpp.o.d"
+  "libtvs_io.a"
+  "libtvs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmeans/kmeans.cpp" "src/kmeans/CMakeFiles/tvs_kmeans.dir/kmeans.cpp.o" "gcc" "src/kmeans/CMakeFiles/tvs_kmeans.dir/kmeans.cpp.o.d"
+  "/root/repo/src/kmeans/kmeans_pipeline.cpp" "src/kmeans/CMakeFiles/tvs_kmeans.dir/kmeans_pipeline.cpp.o" "gcc" "src/kmeans/CMakeFiles/tvs_kmeans.dir/kmeans_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sre/CMakeFiles/tvs_sre.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tvs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

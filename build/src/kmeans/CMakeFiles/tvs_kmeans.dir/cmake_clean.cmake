@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_kmeans.dir/kmeans.cpp.o"
+  "CMakeFiles/tvs_kmeans.dir/kmeans.cpp.o.d"
+  "CMakeFiles/tvs_kmeans.dir/kmeans_pipeline.cpp.o"
+  "CMakeFiles/tvs_kmeans.dir/kmeans_pipeline.cpp.o.d"
+  "libtvs_kmeans.a"
+  "libtvs_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

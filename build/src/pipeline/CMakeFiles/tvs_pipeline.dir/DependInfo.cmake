@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/driver.cpp" "src/pipeline/CMakeFiles/tvs_pipeline.dir/driver.cpp.o" "gcc" "src/pipeline/CMakeFiles/tvs_pipeline.dir/driver.cpp.o.d"
+  "/root/repo/src/pipeline/huffman_pipeline.cpp" "src/pipeline/CMakeFiles/tvs_pipeline.dir/huffman_pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/tvs_pipeline.dir/huffman_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/run_config.cpp" "src/pipeline/CMakeFiles/tvs_pipeline.dir/run_config.cpp.o" "gcc" "src/pipeline/CMakeFiles/tvs_pipeline.dir/run_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sre/CMakeFiles/tvs_sre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tvs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/tvs_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_pipeline.dir/driver.cpp.o"
+  "CMakeFiles/tvs_pipeline.dir/driver.cpp.o.d"
+  "CMakeFiles/tvs_pipeline.dir/huffman_pipeline.cpp.o"
+  "CMakeFiles/tvs_pipeline.dir/huffman_pipeline.cpp.o.d"
+  "CMakeFiles/tvs_pipeline.dir/run_config.cpp.o"
+  "CMakeFiles/tvs_pipeline.dir/run_config.cpp.o.d"
+  "libtvs_pipeline.a"
+  "libtvs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/tvs_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/tvs_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/tvs_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/tvs_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/tvs_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/tvs_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/sim_executor.cpp" "src/sim/CMakeFiles/tvs_sim.dir/sim_executor.cpp.o" "gcc" "src/sim/CMakeFiles/tvs_sim.dir/sim_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sre/CMakeFiles/tvs_sre.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/tvs_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tvs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tvs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tvs_sim.dir/platform.cpp.o"
+  "CMakeFiles/tvs_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/tvs_sim.dir/sim_executor.cpp.o"
+  "CMakeFiles/tvs_sim.dir/sim_executor.cpp.o.d"
+  "libtvs_sim.a"
+  "libtvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

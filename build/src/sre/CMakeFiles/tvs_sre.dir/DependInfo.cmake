@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sre/ready_pool.cpp" "src/sre/CMakeFiles/tvs_sre.dir/ready_pool.cpp.o" "gcc" "src/sre/CMakeFiles/tvs_sre.dir/ready_pool.cpp.o.d"
+  "/root/repo/src/sre/runtime.cpp" "src/sre/CMakeFiles/tvs_sre.dir/runtime.cpp.o" "gcc" "src/sre/CMakeFiles/tvs_sre.dir/runtime.cpp.o.d"
+  "/root/repo/src/sre/supertask.cpp" "src/sre/CMakeFiles/tvs_sre.dir/supertask.cpp.o" "gcc" "src/sre/CMakeFiles/tvs_sre.dir/supertask.cpp.o.d"
+  "/root/repo/src/sre/threaded_executor.cpp" "src/sre/CMakeFiles/tvs_sre.dir/threaded_executor.cpp.o" "gcc" "src/sre/CMakeFiles/tvs_sre.dir/threaded_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tvs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

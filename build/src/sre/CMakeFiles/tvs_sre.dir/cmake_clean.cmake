@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_sre.dir/ready_pool.cpp.o"
+  "CMakeFiles/tvs_sre.dir/ready_pool.cpp.o.d"
+  "CMakeFiles/tvs_sre.dir/runtime.cpp.o"
+  "CMakeFiles/tvs_sre.dir/runtime.cpp.o.d"
+  "CMakeFiles/tvs_sre.dir/supertask.cpp.o"
+  "CMakeFiles/tvs_sre.dir/supertask.cpp.o.d"
+  "CMakeFiles/tvs_sre.dir/threaded_executor.cpp.o"
+  "CMakeFiles/tvs_sre.dir/threaded_executor.cpp.o.d"
+  "libtvs_sre.a"
+  "libtvs_sre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_sre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

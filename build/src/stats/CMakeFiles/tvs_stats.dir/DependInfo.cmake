@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ascii_plot.cpp" "src/stats/CMakeFiles/tvs_stats.dir/ascii_plot.cpp.o" "gcc" "src/stats/CMakeFiles/tvs_stats.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "src/stats/CMakeFiles/tvs_stats.dir/csv.cpp.o" "gcc" "src/stats/CMakeFiles/tvs_stats.dir/csv.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/tvs_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/tvs_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/trace.cpp" "src/stats/CMakeFiles/tvs_stats.dir/trace.cpp.o" "gcc" "src/stats/CMakeFiles/tvs_stats.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

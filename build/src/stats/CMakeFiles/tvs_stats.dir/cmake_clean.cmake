@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_stats.dir/ascii_plot.cpp.o"
+  "CMakeFiles/tvs_stats.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/tvs_stats.dir/csv.cpp.o"
+  "CMakeFiles/tvs_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/tvs_stats.dir/summary.cpp.o"
+  "CMakeFiles/tvs_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/tvs_stats.dir/trace.cpp.o"
+  "CMakeFiles/tvs_stats.dir/trace.cpp.o.d"
+  "libtvs_stats.a"
+  "libtvs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

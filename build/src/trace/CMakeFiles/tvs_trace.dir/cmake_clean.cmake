@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_trace.dir/exporters.cpp.o"
+  "CMakeFiles/tvs_trace.dir/exporters.cpp.o.d"
+  "CMakeFiles/tvs_trace.dir/recorder.cpp.o"
+  "CMakeFiles/tvs_trace.dir/recorder.cpp.o.d"
+  "libtvs_trace.a"
+  "libtvs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

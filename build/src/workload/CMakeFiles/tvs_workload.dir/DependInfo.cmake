@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bmp_gen.cpp" "src/workload/CMakeFiles/tvs_workload.dir/bmp_gen.cpp.o" "gcc" "src/workload/CMakeFiles/tvs_workload.dir/bmp_gen.cpp.o.d"
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/tvs_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/tvs_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/pdf_gen.cpp" "src/workload/CMakeFiles/tvs_workload.dir/pdf_gen.cpp.o" "gcc" "src/workload/CMakeFiles/tvs_workload.dir/pdf_gen.cpp.o.d"
+  "/root/repo/src/workload/rng.cpp" "src/workload/CMakeFiles/tvs_workload.dir/rng.cpp.o" "gcc" "src/workload/CMakeFiles/tvs_workload.dir/rng.cpp.o.d"
+  "/root/repo/src/workload/text_gen.cpp" "src/workload/CMakeFiles/tvs_workload.dir/text_gen.cpp.o" "gcc" "src/workload/CMakeFiles/tvs_workload.dir/text_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvs_workload.dir/bmp_gen.cpp.o"
+  "CMakeFiles/tvs_workload.dir/bmp_gen.cpp.o.d"
+  "CMakeFiles/tvs_workload.dir/corpus.cpp.o"
+  "CMakeFiles/tvs_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/tvs_workload.dir/pdf_gen.cpp.o"
+  "CMakeFiles/tvs_workload.dir/pdf_gen.cpp.o.d"
+  "CMakeFiles/tvs_workload.dir/rng.cpp.o"
+  "CMakeFiles/tvs_workload.dir/rng.cpp.o.d"
+  "CMakeFiles/tvs_workload.dir/text_gen.cpp.o"
+  "CMakeFiles/tvs_workload.dir/text_gen.cpp.o.d"
+  "libtvs_workload.a"
+  "libtvs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_test.dir/huffman/bitio_test.cpp.o"
+  "CMakeFiles/bitio_test.dir/huffman/bitio_test.cpp.o.d"
+  "bitio_test"
+  "bitio_test.pdb"
+  "bitio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

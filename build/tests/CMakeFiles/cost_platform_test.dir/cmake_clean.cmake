@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_platform_test.dir/sim/cost_platform_test.cpp.o"
+  "CMakeFiles/cost_platform_test.dir/sim/cost_platform_test.cpp.o.d"
+  "cost_platform_test"
+  "cost_platform_test.pdb"
+  "cost_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

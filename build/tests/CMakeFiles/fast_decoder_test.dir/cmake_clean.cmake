@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_decoder_test.dir/huffman/fast_decoder_test.cpp.o"
+  "CMakeFiles/fast_decoder_test.dir/huffman/fast_decoder_test.cpp.o.d"
+  "fast_decoder_test"
+  "fast_decoder_test.pdb"
+  "fast_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_shapes_test.dir/integration/figure_shapes_test.cpp.o"
+  "CMakeFiles/figure_shapes_test.dir/integration/figure_shapes_test.cpp.o.d"
+  "figure_shapes_test"
+  "figure_shapes_test.pdb"
+  "figure_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

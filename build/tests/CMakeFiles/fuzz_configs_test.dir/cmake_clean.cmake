@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_configs_test.dir/integration/fuzz_configs_test.cpp.o"
+  "CMakeFiles/fuzz_configs_test.dir/integration/fuzz_configs_test.cpp.o.d"
+  "fuzz_configs_test"
+  "fuzz_configs_test.pdb"
+  "fuzz_configs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_configs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

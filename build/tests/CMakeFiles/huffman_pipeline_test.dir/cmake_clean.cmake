@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huffman_pipeline_test.dir/pipeline/huffman_pipeline_test.cpp.o"
+  "CMakeFiles/huffman_pipeline_test.dir/pipeline/huffman_pipeline_test.cpp.o.d"
+  "huffman_pipeline_test"
+  "huffman_pipeline_test.pdb"
+  "huffman_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huffman_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

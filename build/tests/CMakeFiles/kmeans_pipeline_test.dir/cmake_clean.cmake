@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_pipeline_test.dir/kmeans/kmeans_pipeline_test.cpp.o"
+  "CMakeFiles/kmeans_pipeline_test.dir/kmeans/kmeans_pipeline_test.cpp.o.d"
+  "kmeans_pipeline_test"
+  "kmeans_pipeline_test.pdb"
+  "kmeans_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

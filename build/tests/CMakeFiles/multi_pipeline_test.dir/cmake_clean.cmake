@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_pipeline_test.dir/integration/multi_pipeline_test.cpp.o"
+  "CMakeFiles/multi_pipeline_test.dir/integration/multi_pipeline_test.cpp.o.d"
+  "multi_pipeline_test"
+  "multi_pipeline_test.pdb"
+  "multi_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ready_pool_test.dir/sre/ready_pool_test.cpp.o"
+  "CMakeFiles/ready_pool_test.dir/sre/ready_pool_test.cpp.o.d"
+  "ready_pool_test"
+  "ready_pool_test.pdb"
+  "ready_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ready_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

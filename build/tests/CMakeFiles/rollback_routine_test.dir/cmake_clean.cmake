@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_routine_test.dir/sre/rollback_routine_test.cpp.o"
+  "CMakeFiles/rollback_routine_test.dir/sre/rollback_routine_test.cpp.o.d"
+  "rollback_routine_test"
+  "rollback_routine_test.pdb"
+  "rollback_routine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_routine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rollback_routine_test.
+# This may be replaced when dependencies are built.

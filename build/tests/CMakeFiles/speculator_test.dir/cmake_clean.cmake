@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculator_test.dir/core/speculator_test.cpp.o"
+  "CMakeFiles/speculator_test.dir/core/speculator_test.cpp.o.d"
+  "speculator_test"
+  "speculator_test.pdb"
+  "speculator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_format_test.dir/huffman/stream_format_test.cpp.o"
+  "CMakeFiles/stream_format_test.dir/huffman/stream_format_test.cpp.o.d"
+  "stream_format_test"
+  "stream_format_test.pdb"
+  "stream_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supertask_test.dir/sre/supertask_test.cpp.o"
+  "CMakeFiles/supertask_test.dir/sre/supertask_test.cpp.o.d"
+  "supertask_test"
+  "supertask_test.pdb"
+  "supertask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supertask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

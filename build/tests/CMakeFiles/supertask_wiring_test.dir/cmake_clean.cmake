@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supertask_wiring_test.dir/pipeline/supertask_wiring_test.cpp.o"
+  "CMakeFiles/supertask_wiring_test.dir/pipeline/supertask_wiring_test.cpp.o.d"
+  "supertask_wiring_test"
+  "supertask_wiring_test.pdb"
+  "supertask_wiring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supertask_wiring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

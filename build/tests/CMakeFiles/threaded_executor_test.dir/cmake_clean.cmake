@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_executor_test.dir/sre/threaded_executor_test.cpp.o"
+  "CMakeFiles/threaded_executor_test.dir/sre/threaded_executor_test.cpp.o.d"
+  "threaded_executor_test"
+  "threaded_executor_test.pdb"
+  "threaded_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

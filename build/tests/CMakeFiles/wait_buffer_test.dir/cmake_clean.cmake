@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_buffer_test.dir/core/wait_buffer_test.cpp.o"
+  "CMakeFiles/wait_buffer_test.dir/core/wait_buffer_test.cpp.o.d"
+  "wait_buffer_test"
+  "wait_buffer_test.pdb"
+  "wait_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvsc.dir/tvsc.cpp.o"
+  "CMakeFiles/tvsc.dir/tvsc.cpp.o.d"
+  "tvsc"
+  "tvsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
