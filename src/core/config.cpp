@@ -13,11 +13,23 @@ std::string to_string(VerifyMode m) {
   return "?";
 }
 
+std::string to_string(PredictorMode m) {
+  switch (m) {
+    case PredictorMode::Baseline: return "baseline";
+    case PredictorMode::Bank: return "bank";
+  }
+  return "?";
+}
+
 std::string SpecConfig::to_string() const {
   std::ostringstream os;
   os << "step=" << step_size << " verify=" << tvs::to_string(verify.mode);
   if (verify.mode == VerifyMode::EveryKth) os << "(" << verify.every << ")";
   os << " tol=" << tolerance * 100.0 << "%";
+  if (predictor != PredictorMode::Baseline) {
+    os << " pred=" << tvs::to_string(predictor);
+    if (confidence_gate > 0.0) os << " gate=" << confidence_gate;
+  }
   return os.str();
 }
 

@@ -54,6 +54,12 @@ struct VerificationPolicy {
   }
 };
 
+/// Where a pipeline's speculation guesses come from.
+enum class PredictorMode : std::uint8_t {
+  Baseline,  ///< hand-rolled: adopt the newest estimate (the paper's path)
+  Bank,      ///< race a predict::PredictorBank and adopt its best guess
+};
+
 struct SpecConfig {
   /// Open a new speculation at estimates step_size, 2·step_size, … (while
   /// none is active). step_size == 0 disables speculation.
@@ -74,6 +80,15 @@ struct SpecConfig {
   /// without knowing it, paying at most a logarithmic number of rollbacks.
   bool adaptive_restart = false;
 
+  /// Estimate source for pipelines that support the predictor subsystem
+  /// (src/predict). Baseline reproduces the paper's figures exactly.
+  PredictorMode predictor = PredictorMode::Baseline;
+
+  /// Confidence gate: with a predictor hook installed, an epoch only opens
+  /// when the predicted confidence (in [0,1]) reaches this threshold.
+  /// 0 disables gating; the hook-less baseline always passes.
+  double confidence_gate = 0.0;
+
   [[nodiscard]] bool speculation_enabled() const { return step_size != 0; }
 
   /// True when estimate `index` should open a fresh speculation (given none
@@ -86,5 +101,6 @@ struct SpecConfig {
 };
 
 [[nodiscard]] std::string to_string(VerifyMode m);
+[[nodiscard]] std::string to_string(PredictorMode m);
 
 }  // namespace tvs

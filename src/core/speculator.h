@@ -57,6 +57,22 @@ class Speculator {
         build_natural;
   };
 
+  /// Optional hook into a value predictor (src/predict). Both members may
+  /// be null independently; installing the hook never changes behaviour
+  /// unless config.confidence_gate > 0 (gating) or refine_guess returns a
+  /// value (guess substitution).
+  struct PredictorHook {
+    /// Predicted confidence, in [0,1], that a guess opened at estimate
+    /// `index` would survive its checks. Compared against
+    /// SpecConfig::confidence_gate before an epoch opens.
+    std::function<double(std::uint32_t index)> confidence;
+
+    /// A refined guess to adopt instead of the raw estimate when the epoch
+    /// opens (e.g. the bank's extrapolation to the final value). Returning
+    /// nullopt keeps the raw estimate.
+    std::function<std::optional<V>(std::uint32_t index)> refine_guess;
+  };
+
   Speculator(sre::Runtime& runtime, SpecConfig config, Callbacks callbacks,
              std::uint64_t check_cost_us = 12)
       : runtime_(runtime),
@@ -69,6 +85,13 @@ class Speculator {
     }
   }
 
+  /// Installs the predictor hook (see PredictorHook). Install before the
+  /// first estimate arrives; not thread-safe against on_estimate.
+  void set_predictor_hook(PredictorHook hook) {
+    std::scoped_lock lk(mu_);
+    hook_ = std::move(hook);
+  }
+
   /// Does the pipeline need to materialize the estimate at `index` at all?
   /// (Estimate materialization — e.g. building a prefix Huffman tree — can
   /// itself be costly; skip it when the speculator would ignore it.)
@@ -77,7 +100,8 @@ class Speculator {
     if (finished_) return false;
     if (is_final) return true;
     if (!active_) {
-      return index >= defer_until_ && config_.should_speculate(index);
+      return index >= defer_until_ && config_.should_speculate(index) &&
+             clears_gate_locked(index);
     }
     return config_.verify.should_check(index, false);
   }
@@ -101,7 +125,8 @@ class Speculator {
         cb_.build_natural(final_copy, now_us);
         return;
       }
-      if (index >= defer_until_ && config_.should_speculate(index)) {
+      if (index >= defer_until_ && config_.should_speculate(index) &&
+          clears_gate_locked(index)) {
         open_epoch_locked(lk, now_us);
       }
       return;
@@ -129,6 +154,12 @@ class Speculator {
   }
   [[nodiscard]] const SpecConfig& config() const { return config_; }
 
+  /// Epoch-opens withheld because predicted confidence missed the gate.
+  [[nodiscard]] std::uint64_t gate_denials() const {
+    std::scoped_lock lk(mu_);
+    return gate_denials_;
+  }
+
  private:
   struct Active {
     sre::Epoch epoch;
@@ -136,12 +167,35 @@ class Speculator {
     std::uint32_t guess_index;
   };
 
+  /// Would a guess at `index` clear the confidence gate? Counts denials
+  /// (once per index) and reports them to the runtime observer. Caller
+  /// holds the lock; the hook and observer must not call back in.
+  [[nodiscard]] bool clears_gate_locked(std::uint32_t index) const {
+    if (config_.confidence_gate <= 0.0 || !hook_.confidence) return true;
+    const double conf = hook_.confidence(index);
+    if (conf >= config_.confidence_gate) return true;
+    if (index != last_denied_index_) {
+      last_denied_index_ = index;
+      ++gate_denials_;
+      if (sre::Observer* obs = runtime_.observer()) {
+        obs->on_speculation_gated(index, conf);
+      }
+    }
+    return false;
+  }
+
   /// Opens a fresh epoch from the newest estimate. Caller holds the lock;
   /// the lock is released around the user callback and re-acquired.
   void open_epoch_locked(std::unique_lock<std::mutex>& lk,
                          std::uint64_t /*now_us*/) {
     const sre::Epoch epoch = runtime_.open_epoch();
-    active_ = Active{epoch, *latest_, latest_index_};
+    V guess_value = *latest_;
+    if (hook_.refine_guess) {
+      if (std::optional<V> refined = hook_.refine_guess(latest_index_)) {
+        guess_value = std::move(*refined);
+      }
+    }
+    active_ = Active{epoch, std::move(guess_value), latest_index_};
     const V guess = active_->guess;
     const std::uint32_t gix = active_->guess_index;
     lk.unlock();
@@ -225,6 +279,7 @@ class Speculator {
   sre::Runtime& runtime_;
   SpecConfig config_;
   Callbacks cb_;
+  PredictorHook hook_;
   std::uint64_t check_cost_us_;
 
   mutable std::mutex mu_;
@@ -235,6 +290,11 @@ class Speculator {
   bool finished_ = false;
   bool committed_ = false;
   std::uint32_t defer_until_ = 0;  ///< adaptive restart: no guesses below this
+
+  // Gate bookkeeping is mutable: wants_estimate (const) is where a denied
+  // index is usually first seen, and each index counts at most once.
+  mutable std::uint64_t gate_denials_ = 0;
+  mutable std::uint32_t last_denied_index_ = 0;
 };
 
 }  // namespace tvs

@@ -6,6 +6,10 @@
 
 #include "core/speculator.h"
 #include "core/wait_buffer.h"
+#include "predict/bank.h"
+#include "predict/ewma.h"
+#include "predict/last_value.h"
+#include "predict/stride.h"
 
 namespace km {
 
@@ -37,6 +41,7 @@ struct KmeansPipeline::State {
   std::unique_ptr<tvs::WaitBuffer<std::size_t, std::vector<std::uint32_t>>>
       buffer;
   std::unique_ptr<tvs::Speculator<Centroids>> spec;
+  std::unique_ptr<predict::PredictorBank<Centroids>> bank;
 
   [[nodiscard]] std::pair<std::size_t, std::size_t> block_range(
       std::size_t b) const {
@@ -104,6 +109,12 @@ KmeansPipeline::KmeansPipeline(sre::Runtime& runtime, const Dataset& data,
         ++stp->rollbacks;
       }
       stp->buffer->drop(epoch);
+      if (stp->bank) {
+        const std::string charged = stp->bank->charge_rollback();
+        if (sre::Observer* obs = stp->rt.observer()) {
+          obs->on_predictor_charged(charged);
+        }
+      }
     };
     cb.build_natural = [this](const Centroids& final_centroids,
                               std::uint64_t) {
@@ -111,6 +122,38 @@ KmeansPipeline::KmeansPipeline(sre::Runtime& runtime, const Dataset& data,
     };
     st.spec = std::make_unique<tvs::Speculator<Centroids>>(
         runtime, st.cfg.spec, std::move(cb), st.cfg.check_cost_us);
+
+    if (st.cfg.spec.predictor == tvs::PredictorMode::Bank) {
+      // Score with the pipeline's own tolerance predicate: the fraction of
+      // sample points a predicted iterate would assign differently.
+      st.bank = std::make_unique<predict::PredictorBank<Centroids>>(
+          st.cfg.spec.tolerance,
+          [stp](const Centroids& pred, const Centroids& actual) {
+            return assignment_disagreement(pred, actual, stp->sample);
+          });
+      st.bank->add(std::make_unique<predict::LastValue<Centroids>>());
+      st.bank->add(std::make_unique<predict::Stride<Centroids>>());
+      st.bank->add(std::make_unique<predict::Ewma<Centroids>>());
+      st.bank->set_score_hook(
+          [rt = &st.rt](const std::string& name, bool hit, double err) {
+            if (sre::Observer* obs = rt->observer()) {
+              obs->on_prediction_scored(name, hit, err);
+            }
+          });
+      tvs::Speculator<Centroids>::PredictorHook hook;
+      const auto target = static_cast<std::uint32_t>(st.cfg.iterations);
+      hook.confidence = [bank = st.bank.get(), target](std::uint32_t) {
+        return bank->confidence(target);
+      };
+      // Adopt the bank's extrapolation toward the converged centroids
+      // instead of the raw early iterate (Stride reaches further down the
+      // Lloyd trajectory; the checks still judge it against real iterates).
+      hook.refine_guess =
+          [bank = st.bank.get(), target](std::uint32_t) -> std::optional<Centroids> {
+        return bank->predict(target).guess;
+      };
+      st.spec->set_predictor_hook(std::move(hook));
+    }
   }
 }
 
@@ -152,6 +195,9 @@ void KmeansPipeline::on_iterate(std::size_t k_iter, std::uint64_t now_us) {
     if (is_final) build_natural(*snapshot);
     return;
   }
+  // The bank sees every iterate (scoring needs the full stream), even the
+  // ones the speculator will not consume.
+  if (st->bank) st->bank->observe(index, *snapshot);
   if (st->spec->wants_estimate(index, is_final)) {
     st->spec->on_estimate(*snapshot, index, is_final, now_us);
   }
@@ -252,6 +298,18 @@ bool KmeansPipeline::speculation_committed() const {
 std::uint64_t KmeansPipeline::rollbacks() const {
   std::scoped_lock lk(st_->mu);
   return st_->rollbacks;
+}
+
+stats::PredictorScoreboard KmeansPipeline::predictor_scoreboard() const {
+  return st_->bank ? st_->bank->scoreboard() : stats::PredictorScoreboard{};
+}
+
+std::uint64_t KmeansPipeline::gate_denials() const {
+  return st_->spec ? st_->spec->gate_denials() : 0;
+}
+
+std::string KmeansPipeline::best_predictor() const {
+  return st_->bank ? st_->bank->best_name() : std::string{};
 }
 
 void KmeansPipeline::validate_complete() const {

@@ -45,6 +45,9 @@ RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
   res.output_bits = pl.output_bits();
   res.natural_dispatches = rt.pool().natural_pops();
   res.spec_dispatches = rt.pool().speculative_pops();
+  res.predictors = pl.predictor_scoreboard();
+  res.best_predictor = pl.best_predictor();
+  res.gate_denials = pl.gate_denials();
   res.input.assign(src.bytes().begin(), src.bytes().end());
   res.container = pl.assemble_output();
   return res;

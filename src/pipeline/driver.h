@@ -8,8 +8,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "pipeline/run_config.h"
 #include "sre/observer.h"
+#include "stats/predictor_stats.h"
 #include "stats/summary.h"
 #include "stats/trace.h"
 
@@ -25,6 +28,11 @@ struct RunResult {
   std::uint64_t output_bits = 0;
   std::uint64_t natural_dispatches = 0;   ///< pool pops of natural tasks
   std::uint64_t spec_dispatches = 0;      ///< pool pops of speculative tasks
+
+  /// Predictor racing results (PredictorMode::Bank only; empty otherwise).
+  stats::PredictorScoreboard predictors;
+  std::string best_predictor;             ///< bank's winner ("" = baseline)
+  std::uint64_t gate_denials = 0;         ///< epoch-opens the gate withheld
 
   std::vector<std::uint8_t> input;      ///< the generated workload bytes
   std::vector<std::uint8_t> container;  ///< assembled compressed stream

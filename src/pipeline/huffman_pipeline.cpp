@@ -1,11 +1,17 @@
 #include "pipeline/huffman_pipeline.h"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "huffman/offsets.h"
 #include "huffman/stream_format.h"
 #include "huffman/tree.h"
+#include "predict/bank.h"
+#include "predict/ewma.h"
+#include "predict/histogram_morph.h"
+#include "predict/last_value.h"
+#include "predict/stride.h"
 #include "sim/cost_model.h"
 
 namespace pipeline {
@@ -79,6 +85,10 @@ struct HuffmanPipeline::State {
   std::optional<Chain> chain;
   std::unique_ptr<tvs::WaitBuffer<std::size_t, SpecResult>> buffer;
   std::unique_ptr<tvs::Speculator<TreeEstimate>> spec;
+
+  /// Predictor racing (PredictorMode::Bank): observes every prefix
+  /// histogram, supplies the speculation basis and the gate confidence.
+  std::unique_ptr<predict::PredictorBank<huff::Histogram>> bank;
 
   [[nodiscard]] std::size_t group_begin(std::size_t g) const {
     return g * cfg.ratios.offset_group;
@@ -156,6 +166,12 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
         }
       }
       stp->buffer->drop(epoch);
+      if (stp->bank) {
+        const std::string charged = stp->bank->charge_rollback();
+        if (sre::Observer* obs = stp->rt.observer()) {
+          obs->on_predictor_charged(charged);
+        }
+      }
     };
     cb.build_natural = [this](const TreeEstimate& final_value,
                               std::uint64_t now_us) {
@@ -163,6 +179,41 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
     };
     st.spec = std::make_unique<tvs::Speculator<TreeEstimate>>(
         runtime, config.spec, std::move(cb), st.cost(TaskKind::Check));
+
+    if (config.spec.predictor == tvs::PredictorMode::Bank) {
+      // Score predictions in the same units as the speculation check: the
+      // relative compressed-size delta between the predicted tree and the
+      // best tree for the data actually seen, so hit rate estimates "would
+      // this predictor's guess have survived a check".
+      st.bank = std::make_unique<predict::PredictorBank<huff::Histogram>>(
+          config.spec.tolerance,
+          [](const huff::Histogram& pred, const huff::Histogram& actual) {
+            const auto t_pred = huff::CodeTable::from_lengths(
+                huff::HuffmanTree::build(pred.with_floor(1)).lengths());
+            const auto t_act = huff::CodeTable::from_lengths(
+                huff::HuffmanTree::build(actual.with_floor(1)).lengths());
+            const double pb = static_cast<double>(t_pred.encoded_bits(actual));
+            const double ab = static_cast<double>(t_act.encoded_bits(actual));
+            return ab <= 0.0 ? 0.0 : std::abs(pb - ab) / ab;
+          });
+      // Registration order is the tie-break: the paper-equivalent baseline
+      // predictor stays the safe default until another one earns the lead.
+      st.bank->add(std::make_unique<predict::LastValue<huff::Histogram>>());
+      st.bank->add(std::make_unique<predict::HistogramMorph>());
+      st.bank->add(std::make_unique<predict::Stride<huff::Histogram>>());
+      st.bank->add(std::make_unique<predict::Ewma<huff::Histogram>>());
+      st.bank->set_score_hook(
+          [rt = &st.rt](const std::string& name, bool hit, double err) {
+            if (sre::Observer* obs = rt->observer()) {
+              obs->on_prediction_scored(name, hit, err);
+            }
+          });
+      tvs::Speculator<TreeEstimate>::PredictorHook hook;
+      hook.confidence = [bank = st.bank.get(),
+                         n = static_cast<std::uint32_t>(st.n_reduces)](
+                            std::uint32_t) { return bank->confidence(n); };
+      st.spec->set_predictor_hook(std::move(hook));
+    }
   }
 
   // --- SuperTask wiring ------------------------------------------------
@@ -203,33 +254,49 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
           const std::size_t r = msg.reduce_index;
           const bool is_final = (r + 1 == stp->n_reduces);
           const auto k = static_cast<std::uint32_t>(r + 1);
+          auto snapshot = stp->snapshots[r];
+          // The bank sees every estimate (scoring needs the full stream),
+          // even the ones the speculator will not consume.
+          if (stp->bank) stp->bank->observe(k, *snapshot);
           if (!stp->spec->wants_estimate(k, is_final)) return;
 
           // "trees are created with every new histogram that in turn
           // generate checking tasks" (paper Fig. 2 caption) — here, only
-          // for estimates the speculator will actually consume.
-          auto snapshot = stp->snapshots[r];
+          // for estimates the speculator will actually consume. Under
+          // PredictorMode::Bank the tree's basis is the bank's
+          // extrapolation to the *final* histogram — the distribution the
+          // final check will actually judge the guess against; the final
+          // estimate always uses the exact histogram.
+          std::shared_ptr<const huff::Histogram> basis = snapshot;
+          if (stp->bank && !is_final) {
+            basis = std::make_shared<const huff::Histogram>(
+                stp->bank
+                    ->predict(static_cast<std::uint32_t>(stp->n_reduces))
+                    .guess);
+          }
           auto cell = std::make_shared<TreeEstimate>();
-          auto predict = stp->rt.make_task(
+          auto tree_task = stp->rt.make_task(
               "tree[" + std::to_string(k) + (is_final ? ",final]" : "]"),
               sre::TaskClass::Control, sre::kNaturalEpoch, /*depth=*/1000,
               stp->cost(TaskKind::TreeBuild),
-              [snapshot, cell](sre::TaskContext&) {
+              [snapshot, basis, cell](sre::TaskContext&) {
                 // Flooring guarantees every byte value has a code, so a
                 // tree built from a prefix can encode later symbols too.
                 const huff::HuffmanTree tree =
-                    huff::HuffmanTree::build(snapshot->with_floor(1));
+                    huff::HuffmanTree::build(basis->with_floor(1));
+                // The estimate's histogram stays the *actual* prefix: the
+                // tolerance check judges trees on data really seen.
                 cell->hist = snapshot;
                 cell->table = std::make_shared<const huff::CodeTable>(
                     huff::CodeTable::from_lengths(tree.lengths()));
               });
-          predict->set_mem_bytes(2 * sizeof(huff::Histogram));
+          tree_task->set_mem_bytes(2 * sizeof(huff::Histogram));
           auto spec = stp->spec.get();
-          predict->add_completion_hook(
+          tree_task->add_completion_hook(
               [spec, cell, k, is_final](sre::Task&, std::uint64_t done_us) {
                 spec->on_estimate(*cell, k, is_final, done_us);
               });
-          stp->rt.submit(predict);
+          stp->rt.submit(tree_task);
         });
   }
 }
@@ -507,6 +574,18 @@ std::size_t HuffmanPipeline::wait_discarded() const {
 std::uint64_t HuffmanPipeline::rollbacks() const {
   std::scoped_lock lk(st_->mu);
   return st_->rollbacks;
+}
+
+stats::PredictorScoreboard HuffmanPipeline::predictor_scoreboard() const {
+  return st_->bank ? st_->bank->scoreboard() : stats::PredictorScoreboard{};
+}
+
+std::uint64_t HuffmanPipeline::gate_denials() const {
+  return st_->spec ? st_->spec->gate_denials() : 0;
+}
+
+std::string HuffmanPipeline::best_predictor() const {
+  return st_->bank ? st_->bank->best_name() : std::string{};
 }
 
 void HuffmanPipeline::validate_complete() const {

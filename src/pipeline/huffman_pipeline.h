@@ -30,6 +30,7 @@
 #include "sre/runtime.h"
 #include "sre/slot.h"
 #include "sre/supertask.h"
+#include "stats/predictor_stats.h"
 #include "stats/trace.h"
 
 namespace pipeline {
@@ -78,6 +79,15 @@ class HuffmanPipeline {
 
   /// Number of rollback events observed by the pipeline.
   [[nodiscard]] std::uint64_t rollbacks() const;
+
+  /// Per-predictor accuracy counters (empty under PredictorMode::Baseline).
+  [[nodiscard]] stats::PredictorScoreboard predictor_scoreboard() const;
+
+  /// Epoch-opens withheld by the confidence gate (0 without a gate).
+  [[nodiscard]] std::uint64_t gate_denials() const;
+
+  /// Name of the bank's current best predictor ("" under Baseline).
+  [[nodiscard]] std::string best_predictor() const;
 
   /// Throws std::logic_error if any block has no committed encoding — a run
   /// that loses blocks is a correctness bug.

@@ -1,0 +1,162 @@
+// PredictorBank<V>: races several predictors on one estimate stream and
+// routes speculation to the current best.
+//
+// On every observe(), each registered predictor is first *scored*: its
+// one-step-ahead prediction (made from everything before this estimate) is
+// compared against the actual value under the pipeline's error metric, and
+// a hit is recorded when the error clears the tolerance — the same
+// predicate the speculation check applies, so hit rate estimates "would
+// this predictor's guess have survived a check". Only then does the
+// estimate feed the predictors. predict()/confidence() consult the
+// predictor with the best (Laplace-smoothed) hit rate; rollbacks are
+// charged to the predictor that supplied the failed guess.
+//
+// Thread safety: all entry points take the bank lock. The bank never calls
+// out while holding it except into the score hook, which must record and
+// return (same contract as sre::Observer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "predict/predictor.h"
+#include "stats/predictor_stats.h"
+
+namespace predict {
+
+template <typename V>
+class PredictorBank {
+ public:
+  /// Pipeline-semantic error metric (e.g. relative compressed-size delta,
+  /// assignment disagreement). Defaults to relative_error() over the
+  /// flattened values.
+  using ErrorFn = std::function<double(const V& predicted, const V& actual)>;
+
+  /// Passive notification per scored prediction (forwarded to the runtime
+  /// observer by pipelines).
+  using ScoreHook =
+      std::function<void(const std::string& name, bool hit, double rel_error)>;
+
+  explicit PredictorBank(double tolerance, ErrorFn error = {})
+      : tolerance_(tolerance),
+        error_(error ? std::move(error)
+                     : [](const V& p, const V& a) {
+                         return relative_error(p, a);
+                       }) {}
+
+  void add(std::unique_ptr<Predictor<V>> predictor) {
+    std::scoped_lock lk(mu_);
+    board_.row(predictor->name());  // fix row order = registration order
+    entries_.push_back(std::move(predictor));
+  }
+
+  void set_score_hook(ScoreHook hook) {
+    std::scoped_lock lk(mu_);
+    score_hook_ = std::move(hook);
+  }
+
+  /// Scores every predictor's standing one-step-ahead prediction against
+  /// the actual estimate, then feeds the estimate to all predictors.
+  void observe(std::uint32_t index, const V& value) {
+    std::scoped_lock lk(mu_);
+    if (entries_.empty()) {
+      throw std::logic_error("PredictorBank: no predictors registered");
+    }
+    for (auto& p : entries_) {
+      if (p->observations() == 0) continue;
+      const Prediction<V> pred = p->predict(index);
+      const double err = error_(pred.guess, value);
+      const bool hit = err <= tolerance_;
+      board_.record_score(p->name(), hit, err);
+      if (score_hook_) score_hook_(p->name(), hit, err);
+    }
+    for (auto& p : entries_) p->observe(index, value);
+  }
+
+  /// The best predictor's extrapolation to `target`, with the bank's
+  /// blended confidence. Records the supplier so a later rollback can be
+  /// charged to the right predictor.
+  [[nodiscard]] Prediction<V> predict(std::uint32_t target) {
+    std::scoped_lock lk(mu_);
+    Predictor<V>& best = best_locked();
+    Prediction<V> p = best.predict(target);
+    p.confidence = blended_confidence_locked(best, p.confidence);
+    last_supplier_ = best.name();
+    board_.note_supplied(last_supplier_);
+    return p;
+  }
+
+  /// Blended confidence the gate compares against, without adopting a guess.
+  [[nodiscard]] double confidence(std::uint32_t target) const {
+    std::scoped_lock lk(mu_);
+    const Predictor<V>& best = best_locked();
+    return blended_confidence_locked(best, best.predict(target).confidence);
+  }
+
+  [[nodiscard]] std::string best_name() const {
+    std::scoped_lock lk(mu_);
+    return best_locked().name();
+  }
+
+  /// Charges the rollback to the predictor whose guess the failed epoch
+  /// adopted (the current best if none was ever supplied). Returns the
+  /// charged name for observer forwarding.
+  std::string charge_rollback() {
+    std::scoped_lock lk(mu_);
+    const std::string name =
+        last_supplier_.empty() ? best_locked().name() : last_supplier_;
+    board_.charge_rollback(name);
+    return name;
+  }
+
+  [[nodiscard]] stats::PredictorScoreboard scoreboard() const {
+    std::scoped_lock lk(mu_);
+    return board_;
+  }
+
+  void reset() {
+    std::scoped_lock lk(mu_);
+    for (auto& p : entries_) p->reset();
+    board_ = stats::PredictorScoreboard{};
+    for (auto& p : entries_) board_.row(p->name());
+    last_supplier_.clear();
+  }
+
+ private:
+  [[nodiscard]] Predictor<V>& best_locked() const {
+    if (entries_.empty()) {
+      throw std::logic_error("PredictorBank: no predictors registered");
+    }
+    const std::string name = board_.best();
+    for (const auto& p : entries_) {
+      if (p->name() == name) return *p;
+    }
+    return *entries_.front();
+  }
+
+  /// Model confidence alone until the record is long enough to trust, then
+  /// an even blend with the observed hit rate — a predictor that *claims*
+  /// certainty but keeps missing checks is distrusted.
+  [[nodiscard]] double blended_confidence_locked(const Predictor<V>& p,
+                                                 double model) const {
+    const auto* row = board_.find(p.name());
+    if (row == nullptr || row->scored < 3) return model;
+    return 0.5 * model + 0.5 * row->hit_rate();
+  }
+
+  mutable std::mutex mu_;
+  double tolerance_;
+  ErrorFn error_;
+  ScoreHook score_hook_;
+  std::vector<std::unique_ptr<Predictor<V>>> entries_;
+  stats::PredictorScoreboard board_;
+  std::string last_supplier_;
+};
+
+}  // namespace predict

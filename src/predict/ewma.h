@@ -1,0 +1,76 @@
+// Ewma<V>: exponentially weighted moving average of the estimate stream.
+//
+// Predicts the smoothed value s_k = α·v_k + (1-α)·s_{k-1}. On noisy
+// estimate streams (jittery prefix statistics) the smoothed value tracks
+// the underlying trend and shrugs off outliers that would make LastValue
+// guess badly; on clean converging streams it lags slightly behind.
+// Confidence is the agreement between the newest estimate and the smoothed
+// value — when they coincide, the stream has settled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace predict {
+
+template <typename V>
+class Ewma final : public Predictor<V> {
+ public:
+  explicit Ewma(double alpha = 0.5) : name_("ewma"), alpha_(alpha) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void observe(std::uint32_t index, const V& value) override {
+    std::vector<double> flat;
+    ValueTraits<V>::flatten(value, flat);
+    if (observed_ == 0) {
+      smoothed_ = flat;
+    } else {
+      smoothed_.resize(flat.size(), 0.0);
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        smoothed_[i] = alpha_ * flat[i] + (1.0 - alpha_) * smoothed_[i];
+      }
+    }
+    last_flat_ = std::move(flat);
+    last_ = value;
+    last_index_ = index;
+    ++observed_;
+  }
+
+  [[nodiscard]] Prediction<V> predict(std::uint32_t /*index*/) const override {
+    Prediction<V> p;
+    if (observed_ == 0) return p;
+    p.guess = ValueTraits<V>::unflatten(last_, smoothed_);
+    if (observed_ >= 2) {
+      p.confidence =
+          stability_confidence(relative_error(p.guess, last_));
+    }
+    return p;
+  }
+
+  void reset() override {
+    observed_ = 0;
+    last_index_ = 0;
+    smoothed_.clear();
+    last_flat_.clear();
+    last_ = V{};
+  }
+
+  [[nodiscard]] std::uint32_t observations() const override {
+    return observed_;
+  }
+
+ private:
+  std::string name_;
+  double alpha_;
+  V last_{};
+  std::vector<double> smoothed_;
+  std::vector<double> last_flat_;
+  std::uint32_t last_index_ = 0;
+  std::uint32_t observed_ = 0;
+};
+
+}  // namespace predict

@@ -1,0 +1,85 @@
+#include "predict/histogram_morph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace predict {
+
+void ValueTraits<huff::Histogram>::flatten(const huff::Histogram& h,
+                                           std::vector<double>& out) {
+  out.resize(huff::kSymbols);
+  for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+    out[s] = static_cast<double>(h.at(s));
+  }
+}
+
+huff::Histogram ValueTraits<huff::Histogram>::unflatten(
+    const huff::Histogram& /*like*/, std::span<const double> flat) {
+  huff::Histogram h;
+  const std::size_t n = std::min<std::size_t>(huff::kSymbols, flat.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    // Extrapolated counts can undershoot zero; a frequency cannot.
+    h.at(s) = static_cast<std::uint64_t>(std::llround(std::max(0.0, flat[s])));
+  }
+  return h;
+}
+
+void HistogramMorph::observe(std::uint32_t index,
+                             const huff::Histogram& value) {
+  const double total = static_cast<double>(value.total());
+  std::vector<double> shape(huff::kSymbols, 0.0);
+  if (total > 0.0) {
+    for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+      shape[s] = static_cast<double>(value.at(s)) / total;
+    }
+  }
+  if (observed_ >= 1 && !last_shape_.empty()) {
+    // Total-variation distance: ½·Σ|p_s − q_s| in [0,1].
+    double tv = 0.0;
+    for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+      tv += std::abs(shape[s] - last_shape_[s]);
+    }
+    shape_drift_ = 0.5 * tv;
+  }
+  last_shape_ = std::move(shape);
+  last_ = value;
+  last_index_ = index;
+  ++observed_;
+}
+
+Prediction<huff::Histogram> HistogramMorph::predict(
+    std::uint32_t index) const {
+  Prediction<huff::Histogram> p;
+  if (observed_ == 0) return p;
+  if (index <= last_index_ || last_index_ == 0) {
+    p.guess = last_;
+  } else {
+    // Scale the prefix toward its asymptote. Reduce indices are (close to)
+    // proportional to bytes counted, so index ratio ≈ data ratio.
+    const double scale = static_cast<double>(index) /
+                         static_cast<double>(last_index_);
+    huff::Histogram h;
+    for (std::size_t s = 0; s < huff::kSymbols; ++s) {
+      h.at(s) = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(last_.at(s)) * scale));
+    }
+    p.guess = h;
+  }
+  if (observed_ >= 2) {
+    // Drift is a fraction of probability mass; magnify it so that a few
+    // percent of moving mass (enough to reshape a Huffman tree) already
+    // reads as low confidence.
+    p.confidence = stability_confidence(8.0 * shape_drift_);
+  }
+  return p;
+}
+
+void HistogramMorph::reset() {
+  observed_ = 0;
+  last_index_ = 0;
+  shape_drift_ = 1.0;
+  last_shape_.clear();
+  last_ = huff::Histogram();
+}
+
+}  // namespace predict

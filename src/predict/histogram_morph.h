@@ -1,0 +1,56 @@
+// HistogramMorph: domain predictor for prefix byte-frequency histograms.
+//
+// A prefix histogram after k of n reduces has counted roughly k/n of the
+// stream. If the byte distribution is stationary (the paper's TXT/BMP
+// corpora largely are), the full-stream histogram is the prefix scaled by
+// n/k — the asymptote the prefix is converging to. Morphing the prefix
+// toward that asymptote gives the Huffman pipeline a tree for the *final*
+// distribution instead of a tree for the prefix, which is what the final
+// check will actually judge the guess against.
+//
+// Confidence is one minus the total-variation distance between the last two
+// *normalized* prefix histograms: a drifting distribution (PDF's mixed
+// text/binary sections) scores low, a stationary one scores high.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "huffman/histogram.h"
+#include "predict/predictor.h"
+
+namespace predict {
+
+/// Flat view of a histogram so the generic predictors (LastValue, Stride,
+/// Ewma) can race HistogramMorph on the same stream.
+template <>
+struct ValueTraits<huff::Histogram> {
+  static void flatten(const huff::Histogram& h, std::vector<double>& out);
+  [[nodiscard]] static huff::Histogram unflatten(const huff::Histogram& like,
+                                                 std::span<const double> flat);
+};
+
+class HistogramMorph final : public Predictor<huff::Histogram> {
+ public:
+  HistogramMorph() : name_("hist-morph") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void observe(std::uint32_t index, const huff::Histogram& value) override;
+  [[nodiscard]] Prediction<huff::Histogram> predict(
+      std::uint32_t index) const override;
+  void reset() override;
+  [[nodiscard]] std::uint32_t observations() const override {
+    return observed_;
+  }
+
+ private:
+  std::string name_;
+  huff::Histogram last_;
+  std::vector<double> last_shape_;  ///< normalized previous histogram
+  double shape_drift_ = 1.0;        ///< TV distance of the last two shapes
+  std::uint32_t last_index_ = 0;
+  std::uint32_t observed_ = 0;
+};
+
+}  // namespace predict

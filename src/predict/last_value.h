@@ -1,0 +1,64 @@
+// LastValue<V>: predicts that the newest estimate already is the final
+// value. This is exactly the paper's hand-rolled speculation basis (adopt
+// the newest prefix result as the guess), packaged as a Predictor so it
+// serves as the baseline every other predictor must beat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace predict {
+
+template <typename V>
+class LastValue final : public Predictor<V> {
+ public:
+  LastValue() : name_("last-value") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void observe(std::uint32_t index, const V& value) override {
+    prev_flat_ = last_flat_;
+    ValueTraits<V>::flatten(value, last_flat_);
+    last_ = value;
+    last_index_ = index;
+    ++observed_;
+  }
+
+  [[nodiscard]] Prediction<V> predict(std::uint32_t /*index*/) const override {
+    Prediction<V> p;
+    if (observed_ == 0) return p;
+    p.guess = last_;
+    // Confidence = how much the value still moved between the last two
+    // estimates: a converged stream barely moves, so repeating it is safe.
+    if (observed_ >= 2) {
+      const V prev = ValueTraits<V>::unflatten(last_, prev_flat_);
+      p.confidence = stability_confidence(relative_error(prev, last_));
+    }
+    return p;
+  }
+
+  void reset() override {
+    observed_ = 0;
+    last_index_ = 0;
+    last_flat_.clear();
+    prev_flat_.clear();
+    last_ = V{};
+  }
+
+  [[nodiscard]] std::uint32_t observations() const override {
+    return observed_;
+  }
+
+ private:
+  std::string name_;
+  V last_{};
+  std::vector<double> last_flat_;
+  std::vector<double> prev_flat_;
+  std::uint32_t last_index_ = 0;
+  std::uint32_t observed_ = 0;
+};
+
+}  // namespace predict

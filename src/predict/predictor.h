@@ -1,0 +1,114 @@
+// Predictor<V>: the pluggable value-prediction interface.
+//
+// The paper's "how to speculate" ingredient (§II-A) is a stream of refining
+// estimates the programmer hand-writes. This subsystem generalizes it: a
+// predictor consumes that stream (observe), extrapolates the value expected
+// at a later estimate index (predict) and reports how sure it is
+// (Prediction::confidence in [0,1]). Pipelines race several predictors in a
+// PredictorBank (bank.h) and the tvs::Speculator consults the winner's
+// confidence before opening an epoch (the confidence gate).
+//
+// Generic predictors (LastValue, Stride, Ewma) work on any value type with a
+// ValueTraits specialization mapping it to/from a flat double vector;
+// domain predictors (HistogramMorph) specialize on the concrete type.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace predict {
+
+/// A predicted value plus the predictor's own belief it will survive the
+/// tolerance check, in [0,1]. Fresh predictors report 0 (no evidence).
+template <typename V>
+struct Prediction {
+  V guess{};
+  double confidence = 0.0;
+};
+
+/// Maps a value type to/from a flat double vector so generic predictors can
+/// do per-component arithmetic. Specialize for each speculated type; the
+/// `like` argument of unflatten carries shape (dims, symbol count, ...).
+template <typename V>
+struct ValueTraits;
+
+template <>
+struct ValueTraits<double> {
+  static void flatten(const double& v, std::vector<double>& out) {
+    out.assign(1, v);
+  }
+  [[nodiscard]] static double unflatten(const double& /*like*/,
+                                        std::span<const double> flat) {
+    return flat.empty() ? 0.0 : flat[0];
+  }
+};
+
+template <>
+struct ValueTraits<std::vector<double>> {
+  static void flatten(const std::vector<double>& v, std::vector<double>& out) {
+    out = v;
+  }
+  [[nodiscard]] static std::vector<double> unflatten(
+      const std::vector<double>& /*like*/, std::span<const double> flat) {
+    return {flat.begin(), flat.end()};
+  }
+};
+
+/// Relative L2 distance ||a-b|| / max(||b||, eps) over the flattened
+/// representations — the default scoring metric when a pipeline does not
+/// supply a semantic one.
+template <typename V>
+[[nodiscard]] double relative_error(const V& predicted, const V& actual) {
+  std::vector<double> a;
+  std::vector<double> b;
+  ValueTraits<V>::flatten(predicted, a);
+  ValueTraits<V>::flatten(actual, b);
+  const std::size_t n = std::max(a.size(), b.size());
+  double diff2 = 0.0;
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = i < a.size() ? a[i] : 0.0;
+    const double bv = i < b.size() ? b[i] : 0.0;
+    diff2 += (av - bv) * (av - bv);
+    norm2 += bv * bv;
+  }
+  constexpr double kEps = 1e-12;
+  return std::sqrt(diff2) / std::max(std::sqrt(norm2), kEps);
+}
+
+/// The predictor interface: observe refining estimates of a value, predict
+/// the value at a later (or the final) estimate index, reset between runs.
+/// Indices are 1-based and strictly increasing within a run, matching
+/// tvs::Speculator::on_estimate.
+template <typename V>
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Feeds the actual estimate at `index`.
+  virtual void observe(std::uint32_t index, const V& value) = 0;
+
+  /// Extrapolates the value expected at estimate `index` (>= the last
+  /// observed index). Implementations must tolerate being called with the
+  /// last observed index itself (extrapolation distance zero).
+  [[nodiscard]] virtual Prediction<V> predict(std::uint32_t index) const = 0;
+
+  /// Forgets all observations (fresh run).
+  virtual void reset() = 0;
+
+  /// Number of estimates observed since the last reset.
+  [[nodiscard]] virtual std::uint32_t observations() const = 0;
+};
+
+/// Clamps a stability ratio into a [0,1] confidence: 0 change → 1.
+[[nodiscard]] inline double stability_confidence(double relative_change) {
+  if (!(relative_change >= 0.0)) return 0.0;  // NaN-safe
+  return 1.0 - std::min(1.0, relative_change);
+}
+
+}  // namespace predict

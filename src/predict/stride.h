@@ -1,0 +1,107 @@
+// Stride<V>: per-component linear extrapolation of the estimate stream.
+//
+// Models the value as moving with a constant per-index delta: from the last
+// two observations (v_prev at k_prev, v_last at k_last) it projects
+//   v(target) = v_last + (target - k_last) · (v_last - v_prev)/(k_last - k_prev).
+// For monotonically converging iterates (Lloyd centroids, filter
+// coefficients) this lands closer to the asymptote than repeating the last
+// value; for stationary streams the learned stride is ~0 and it degrades to
+// LastValue. Confidence comes from stride consistency: if the last two
+// deltas agree, linear extrapolation is trustworthy.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace predict {
+
+template <typename V>
+class Stride final : public Predictor<V> {
+ public:
+  Stride() : name_("stride") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void observe(std::uint32_t index, const V& value) override {
+    std::vector<double> flat;
+    ValueTraits<V>::flatten(value, flat);
+    if (observed_ >= 1 && index > last_index_) {
+      prev_delta_ = delta_;
+      delta_.assign(flat.size(), 0.0);
+      const double span = static_cast<double>(index - last_index_);
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        const double prev = i < last_flat_.size() ? last_flat_[i] : 0.0;
+        delta_[i] = (flat[i] - prev) / span;
+      }
+      have_delta_ = true;
+      have_prev_delta_ = observed_ >= 2;
+    }
+    last_flat_ = std::move(flat);
+    last_ = value;
+    last_index_ = index;
+    ++observed_;
+  }
+
+  [[nodiscard]] Prediction<V> predict(std::uint32_t index) const override {
+    Prediction<V> p;
+    if (observed_ == 0) return p;
+    if (!have_delta_ || index <= last_index_) {
+      p.guess = last_;
+      return p;
+    }
+    const double span = static_cast<double>(index - last_index_);
+    std::vector<double> flat(last_flat_.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      flat[i] = last_flat_[i] + span * delta_[i];
+    }
+    p.guess = ValueTraits<V>::unflatten(last_, flat);
+    if (have_prev_delta_) {
+      // ||d_k - d_{k-1}|| relative to the value scale: consistent strides
+      // justify long extrapolation, erratic ones do not.
+      double diff2 = 0.0;
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < delta_.size(); ++i) {
+        const double pd = i < prev_delta_.size() ? prev_delta_[i] : 0.0;
+        diff2 += (delta_[i] - pd) * (delta_[i] - pd);
+        norm2 += last_flat_[i] * last_flat_[i];
+      }
+      constexpr double kEps = 1e-12;
+      const double rel =
+          std::sqrt(diff2) * span / std::max(std::sqrt(norm2), kEps);
+      p.confidence = stability_confidence(rel);
+    }
+    return p;
+  }
+
+  void reset() override {
+    observed_ = 0;
+    last_index_ = 0;
+    have_delta_ = false;
+    have_prev_delta_ = false;
+    last_flat_.clear();
+    delta_.clear();
+    prev_delta_.clear();
+    last_ = V{};
+  }
+
+  [[nodiscard]] std::uint32_t observations() const override {
+    return observed_;
+  }
+
+ private:
+  std::string name_;
+  V last_{};
+  std::vector<double> last_flat_;
+  std::vector<double> delta_;       ///< per-index delta from the last pair
+  std::vector<double> prev_delta_;  ///< the pair before, for consistency
+  std::uint32_t last_index_ = 0;
+  std::uint32_t observed_ = 0;
+  bool have_delta_ = false;
+  bool have_prev_delta_ = false;
+};
+
+}  // namespace predict

@@ -48,6 +48,20 @@ class Observer {
   virtual void on_epoch_opened(Epoch /*epoch*/) {}
   virtual void on_epoch_committed(Epoch /*epoch*/) {}
   virtual void on_epoch_aborted(Epoch /*epoch*/) {}
+
+  // --- Value-prediction events (src/predict) -----------------------------
+
+  /// A predictor's one-step-ahead prediction was scored against the actual
+  /// estimate; `hit` means the error cleared the tolerance predicate.
+  virtual void on_prediction_scored(const std::string& /*predictor*/,
+                                    bool /*hit*/, double /*rel_error*/) {}
+
+  /// A rollback was charged to the predictor that supplied the failed guess.
+  virtual void on_predictor_charged(const std::string& /*predictor*/) {}
+
+  /// An epoch-open was withheld: predicted confidence missed the gate.
+  virtual void on_speculation_gated(std::uint32_t /*estimate_index*/,
+                                    double /*confidence*/) {}
 };
 
 }  // namespace sre

@@ -84,6 +84,10 @@ class Runtime {
   /// Not thread-safe against a running executor: install before run().
   void set_observer(Observer* observer) { observer_ = observer; }
 
+  /// The installed observer (null if none). The speculation layer uses it
+  /// to report predictor events; the record-and-return contract applies.
+  [[nodiscard]] Observer* observer() const { return observer_; }
+
   [[nodiscard]] ReadyPool& pool() { return pool_; }
 
   /// Signal installed by an executor; invoked (outside the lock) whenever new

@@ -1,0 +1,71 @@
+#include "stats/predictor_stats.h"
+
+#include <cstdio>
+
+namespace stats {
+
+PredictorCounters& PredictorScoreboard::row(const std::string& name) {
+  for (auto& r : rows_) {
+    if (r.name == name) return r;
+  }
+  rows_.push_back(PredictorCounters{name, 0, 0, 0.0, 0, 0});
+  return rows_.back();
+}
+
+const PredictorCounters* PredictorScoreboard::find(
+    const std::string& name) const {
+  for (const auto& r : rows_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void PredictorScoreboard::record_score(const std::string& name, bool hit,
+                                       double rel_error) {
+  auto& r = row(name);
+  ++r.scored;
+  if (hit) ++r.hits;
+  r.rel_error_sum += rel_error;
+}
+
+void PredictorScoreboard::note_supplied(const std::string& name) {
+  ++row(name).guesses_supplied;
+}
+
+void PredictorScoreboard::charge_rollback(const std::string& name) {
+  ++row(name).rollbacks_charged;
+}
+
+std::string PredictorScoreboard::best() const {
+  std::string best_name;
+  double best_score = -1.0;
+  for (const auto& r : rows_) {
+    const double s = r.smoothed_hit_rate();
+    if (s > best_score) {
+      best_score = s;
+      best_name = r.name;
+    }
+  }
+  return best_name;
+}
+
+std::string PredictorScoreboard::to_string() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-12s %7s %9s %11s %8s %9s\n",
+                "predictor", "scored", "hit_rate", "mean_relerr", "supplied",
+                "rollbacks");
+  out += line;
+  for (const auto& r : rows_) {
+    std::snprintf(line, sizeof line,
+                  "  %-12s %7llu %8.1f%% %11.4f %8llu %9llu\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.scored),
+                  100.0 * r.hit_rate(), r.mean_rel_error(),
+                  static_cast<unsigned long long>(r.guesses_supplied),
+                  static_cast<unsigned long long>(r.rollbacks_charged));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace stats

@@ -1,0 +1,68 @@
+// Per-predictor online accuracy counters, reported next to the run's
+// latency series so benches can say which predictor won and why.
+//
+// The PredictorBank (src/predict/bank.h) scores every registered predictor
+// against each arriving estimate (one-step-ahead) and charges rollbacks to
+// the predictor whose guess opened the failed epoch. The scoreboard is the
+// plain-data half of that: counters keyed by predictor name, in
+// registration order, with a deterministic best() selection rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stats {
+
+struct PredictorCounters {
+  std::string name;
+  std::uint64_t scored = 0;  ///< one-step-ahead predictions judged
+  std::uint64_t hits = 0;    ///< judged within the tolerance predicate
+  double rel_error_sum = 0.0;
+  std::uint64_t guesses_supplied = 0;  ///< adopted as a speculation basis
+  std::uint64_t rollbacks_charged = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return scored == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(scored);
+  }
+  [[nodiscard]] double mean_rel_error() const {
+    return scored == 0 ? 0.0 : rel_error_sum / static_cast<double>(scored);
+  }
+  /// Laplace-smoothed hit rate — the selection score. Smoothing keeps a
+  /// predictor with one lucky hit from beating one with a long record.
+  [[nodiscard]] double smoothed_hit_rate() const {
+    return (static_cast<double>(hits) + 1.0) /
+           (static_cast<double>(scored) + 2.0);
+  }
+};
+
+/// Counters for a set of predictors racing on one stream. Row order is
+/// registration order; ties in best() resolve to the earlier row, so banks
+/// should register their safest predictor first.
+class PredictorScoreboard {
+ public:
+  /// Returns the row for `name`, creating it (zeroed) on first use.
+  PredictorCounters& row(const std::string& name);
+  [[nodiscard]] const PredictorCounters* find(const std::string& name) const;
+  [[nodiscard]] const std::vector<PredictorCounters>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  void record_score(const std::string& name, bool hit, double rel_error);
+  void note_supplied(const std::string& name);
+  void charge_rollback(const std::string& name);
+
+  /// Name of the row with the highest smoothed hit rate (earlier row wins
+  /// ties); empty string when no rows exist.
+  [[nodiscard]] std::string best() const;
+
+  /// Multi-line table for bench logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<PredictorCounters> rows_;
+};
+
+}  // namespace stats

@@ -267,6 +267,128 @@ TEST_F(SpeculatorFixture, AdaptiveRestartFallsBackToNaturalWhenDeferred) {
   EXPECT_DOUBLE_EQ(*probe.natural_from, 9.5);
 }
 
+TEST_F(SpeculatorFixture, AdaptiveRestartBacksOffAfterBackToBackRollbacks) {
+  // Satellite regression: wants_estimate must honour the doubled deferral
+  // after each consecutive rollback, not just the first one.
+  auto spec = make({.step_size = 1,
+                    .verify = VerificationPolicy::full(),
+                    .adaptive_restart = true});
+  spec.on_estimate(1.0, 1, false, 0);
+  spec.on_estimate(9.0, 4, false, 1);  // check fails → rollback #1, defer 8
+  drain(rt);
+  ASSERT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_FALSE(spec.wants_estimate(7, false));
+  EXPECT_TRUE(spec.wants_estimate(8, false));
+
+  spec.on_estimate(9.0, 8, false, 2);   // re-opens at the deferral boundary
+  drain(rt);
+  ASSERT_EQ(probe.chains.size(), 2u);
+  spec.on_estimate(25.0, 9, false, 3);  // fails again → rollback #2, defer 18
+  drain(rt);
+  ASSERT_EQ(probe.rollbacks.size(), 2u);
+  for (std::uint32_t k = 10; k < 18; ++k) {
+    EXPECT_FALSE(spec.wants_estimate(k, false)) << "k=" << k;
+    spec.on_estimate(25.0, k, false, k);
+  }
+  drain(rt);
+  EXPECT_EQ(probe.chains.size(), 2u) << "nothing may open inside the backoff";
+  EXPECT_TRUE(spec.wants_estimate(18, false))
+      << "the doubled deferral boundary re-admits speculation";
+  EXPECT_TRUE(spec.wants_estimate(12, true))
+      << "a final estimate is always wanted, even mid-backoff";
+}
+
+TEST_F(SpeculatorFixture, FailedCheckWithFinalKnownGoesNaturalNotReSpec) {
+  // Satellite regression: a failing non-final check whose verdict lands
+  // after the final estimate arrived must fall back to the natural path —
+  // re-speculating would guess at a value that can no longer be checked.
+  auto spec = make({.step_size = 1, .verify = VerificationPolicy::every_kth(2)});
+  spec.on_estimate(1.0, 1, false, 0);
+  const auto first_epoch = spec.active_epoch();
+  spec.on_estimate(5.0, 2, false, 1);  // spawns a check that will fail
+  spec.on_estimate(5.1, 3, true, 2);   // final arrives before the verdict
+  drain(rt);
+  ASSERT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_EQ(probe.rollbacks[0], *first_epoch);
+  EXPECT_EQ(probe.chains.size(), 1u) << "no re-speculation after the final";
+  ASSERT_TRUE(probe.natural_from.has_value());
+  EXPECT_DOUBLE_EQ(*probe.natural_from, 5.1);
+  EXPECT_TRUE(spec.finished());
+  EXPECT_FALSE(spec.committed());
+
+  // And nothing revives it afterwards.
+  spec.on_estimate(7.0, 4, false, 3);
+  drain(rt);
+  EXPECT_EQ(probe.chains.size(), 1u);
+  EXPECT_FALSE(spec.wants_estimate(5, false));
+}
+
+TEST_F(SpeculatorFixture, ConfidenceGateWithholdsEpochs) {
+  auto spec = make({.step_size = 1, .confidence_gate = 0.6});
+  double confidence = 0.2;
+  Speculator<double>::PredictorHook hook;
+  hook.confidence = [&confidence](std::uint32_t) { return confidence; };
+  spec.set_predictor_hook(std::move(hook));
+
+  EXPECT_FALSE(spec.wants_estimate(1, false));
+  spec.on_estimate(1.0, 1, false, 0);
+  EXPECT_TRUE(probe.chains.empty()) << "low confidence: no epoch opens";
+  EXPECT_EQ(spec.gate_denials(), 1u);
+
+  // Repeated queries for the same index count one denial.
+  EXPECT_FALSE(spec.wants_estimate(1, false));
+  EXPECT_EQ(spec.gate_denials(), 1u);
+
+  confidence = 0.9;
+  spec.on_estimate(1.1, 2, false, 1);
+  ASSERT_EQ(probe.chains.size(), 1u) << "confident estimate opens the epoch";
+  EXPECT_DOUBLE_EQ(probe.chains[0].guess, 1.1);
+  EXPECT_EQ(spec.gate_denials(), 1u);
+}
+
+TEST_F(SpeculatorFixture, GateNeverBlocksTheNaturalPath) {
+  auto spec = make({.step_size = 1, .confidence_gate = 0.99});
+  Speculator<double>::PredictorHook hook;
+  hook.confidence = [](std::uint32_t) { return 0.0; };
+  spec.set_predictor_hook(std::move(hook));
+  spec.on_estimate(1.0, 1, false, 0);
+  EXPECT_TRUE(spec.wants_estimate(2, true)) << "the final is always wanted";
+  spec.on_estimate(1.0, 2, true, 1);
+  drain(rt);
+  EXPECT_TRUE(probe.chains.empty());
+  ASSERT_TRUE(probe.natural_from.has_value());
+  EXPECT_DOUBLE_EQ(*probe.natural_from, 1.0);
+  EXPECT_EQ(spec.gate_denials(), 1u);
+}
+
+TEST_F(SpeculatorFixture, RefineGuessOverridesTheRawEstimate) {
+  auto spec = make({.step_size = 1});
+  Speculator<double>::PredictorHook hook;
+  hook.refine_guess = [](std::uint32_t index) -> std::optional<double> {
+    return 100.0 + index;
+  };
+  spec.set_predictor_hook(std::move(hook));
+  spec.on_estimate(1.0, 1, false, 0);
+  ASSERT_EQ(probe.chains.size(), 1u);
+  EXPECT_DOUBLE_EQ(probe.chains[0].guess, 101.0)
+      << "the chain builds from the refined guess, not the raw estimate";
+  // The check still judges the refined guess against real estimates.
+  probe.tolerance = 1000.0;
+  spec.on_estimate(2.0, 2, true, 1);
+  drain(rt);
+  EXPECT_TRUE(spec.committed());
+}
+
+TEST_F(SpeculatorFixture, HookWithoutGateChangesNothing) {
+  auto spec = make({.step_size = 1});  // confidence_gate defaults to 0
+  Speculator<double>::PredictorHook hook;
+  hook.confidence = [](std::uint32_t) { return 0.0; };
+  spec.set_predictor_hook(std::move(hook));
+  spec.on_estimate(1.0, 1, false, 0);
+  EXPECT_EQ(probe.chains.size(), 1u) << "gate 0 admits everything";
+  EXPECT_EQ(spec.gate_denials(), 0u);
+}
+
 TEST_F(SpeculatorFixture, ChecksRunAtControlPriority) {
   auto spec = make({.step_size = 1});
   spec.on_estimate(1.0, 1, false, 0);

@@ -1,0 +1,247 @@
+// src/predict unit tests: the predictor zoo on scalar/vector/histogram
+// streams, and the bank's racing, selection, scoring and rollback charging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "predict/bank.h"
+#include "predict/ewma.h"
+#include "predict/histogram_morph.h"
+#include "predict/last_value.h"
+#include "predict/predictor.h"
+#include "predict/stride.h"
+
+namespace {
+
+using predict::Ewma;
+using predict::HistogramMorph;
+using predict::LastValue;
+using predict::Prediction;
+using predict::PredictorBank;
+using predict::Stride;
+
+TEST(LastValue, PredictsNewestObservation) {
+  LastValue<double> p;
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(5).confidence, 0.0);
+  p.observe(1, 10.0);
+  p.observe(2, 12.0);
+  const auto pred = p.predict(9);
+  EXPECT_DOUBLE_EQ(pred.guess, 12.0);
+  EXPECT_EQ(p.observations(), 2u);
+}
+
+TEST(LastValue, ConfidenceTracksStability) {
+  LastValue<double> p;
+  p.observe(1, 100.0);
+  p.observe(2, 100.0);
+  EXPECT_GT(p.predict(3).confidence, 0.99) << "unchanged value = certainty";
+  LastValue<double> q;
+  q.observe(1, 100.0);
+  q.observe(2, 10.0);
+  EXPECT_LT(q.predict(3).confidence, 0.2) << "wild swing = no confidence";
+}
+
+TEST(Stride, ExtrapolatesLinearSequencesExactly) {
+  Stride<std::vector<double>> p;
+  // v_k = (3k, -k): perfectly linear per component.
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    p.observe(k, {3.0 * k, -1.0 * k});
+  }
+  const auto pred = p.predict(10);
+  ASSERT_EQ(pred.guess.size(), 2u);
+  EXPECT_NEAR(pred.guess[0], 30.0, 1e-9);
+  EXPECT_NEAR(pred.guess[1], -10.0, 1e-9);
+  EXPECT_GT(pred.confidence, 0.99) << "consistent strides = certainty";
+}
+
+TEST(Stride, HandlesIndexGapsAndFallsBackEarly) {
+  Stride<double> p;
+  p.observe(2, 10.0);
+  const auto one = p.predict(8);
+  EXPECT_DOUBLE_EQ(one.guess, 10.0) << "one observation: repeat it";
+  p.observe(6, 30.0);  // delta = 5 per index over a gap of 4
+  EXPECT_NEAR(p.predict(8).guess, 40.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsOutliers) {
+  Ewma<double> p(0.5);
+  p.observe(1, 100.0);
+  p.observe(2, 100.0);
+  p.observe(3, 160.0);  // outlier
+  const auto pred = p.predict(4);
+  EXPECT_GT(pred.guess, 100.0);
+  EXPECT_LT(pred.guess, 160.0) << "the spike is damped, not adopted";
+}
+
+TEST(HistogramMorph, ScalesPrefixTowardAsymptote) {
+  // Stationary stream: prefix after 4 of 16 reduces holds 1/4 of the data.
+  huff::Histogram prefix;
+  prefix.at('a') = 300;
+  prefix.at('b') = 100;
+  HistogramMorph p;
+  p.observe(2, [] {
+    huff::Histogram h;
+    h.at('a') = 150;
+    h.at('b') = 50;
+    return h;
+  }());
+  p.observe(4, prefix);
+  const auto pred = p.predict(16);
+  EXPECT_EQ(pred.guess.at('a'), 1200u);
+  EXPECT_EQ(pred.guess.at('b'), 400u);
+  EXPECT_GT(pred.confidence, 0.95) << "identical shapes = stationary";
+}
+
+TEST(HistogramMorph, DriftingShapeLowersConfidence) {
+  HistogramMorph p;
+  huff::Histogram h1;
+  h1.at('a') = 100;
+  p.observe(1, h1);
+  huff::Histogram h2 = h1;
+  h2.at('z') = 100;  // half the new mass is a brand-new symbol
+  p.observe(2, h2);
+  EXPECT_LT(p.predict(8).confidence, 0.5);
+}
+
+TEST(HistogramMorph, ValueTraitsRoundTrips) {
+  huff::Histogram h;
+  h.at(0) = 7;
+  h.at(255) = 123456789;
+  std::vector<double> flat;
+  predict::ValueTraits<huff::Histogram>::flatten(h, flat);
+  ASSERT_EQ(flat.size(), huff::kSymbols);
+  const auto back =
+      predict::ValueTraits<huff::Histogram>::unflatten(h, flat);
+  EXPECT_EQ(back, h);
+}
+
+TEST(GenericPredictorsWorkOnHistograms, StrideExtrapolatesCounts) {
+  Stride<huff::Histogram> p;
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    huff::Histogram h;
+    h.at('x') = 100 * k;
+    p.observe(k, h);
+  }
+  EXPECT_EQ(p.predict(10).guess.at('x'), 1000u);
+}
+
+// --- PredictorBank -------------------------------------------------------
+
+std::unique_ptr<PredictorBank<double>> make_bank(double tol) {
+  auto bank = std::make_unique<PredictorBank<double>>(tol);
+  bank->add(std::make_unique<LastValue<double>>());
+  bank->add(std::make_unique<Stride<double>>());
+  bank->add(std::make_unique<Ewma<double>>());
+  return bank;
+}
+
+TEST(PredictorBank, ThrowsWithoutPredictors) {
+  PredictorBank<double> bank(0.1);
+  EXPECT_THROW(bank.observe(1, 1.0), std::logic_error);
+}
+
+TEST(PredictorBank, StrideWinsOnLinearStreams) {
+  auto bankp = make_bank(0.01);  // 1% tolerance: LastValue keeps missing
+  auto& bank = *bankp;
+  for (std::uint32_t k = 1; k <= 10; ++k) {
+    bank.observe(k, 10.0 * k);
+  }
+  EXPECT_EQ(bank.best_name(), "stride");
+  const auto board = bank.scoreboard();
+  const auto* stride = board.find("stride");
+  const auto* last = board.find("last-value");
+  ASSERT_NE(stride, nullptr);
+  ASSERT_NE(last, nullptr);
+  EXPECT_GT(stride->hit_rate(), last->hit_rate());
+  EXPECT_NEAR(bank.predict(20).guess, 200.0, 1e-9);
+}
+
+TEST(PredictorBank, LastValueIsTheDefaultBeforeEvidence) {
+  auto bankp = make_bank(0.1);
+  auto& bank = *bankp;
+  bank.observe(1, 5.0);
+  EXPECT_EQ(bank.best_name(), "last-value")
+      << "registration order breaks the no-evidence tie";
+  EXPECT_DOUBLE_EQ(bank.predict(10).guess, 5.0);
+}
+
+TEST(PredictorBank, ScoresCountHitsUnderTolerance) {
+  auto bankp = make_bank(0.5);
+  auto& bank = *bankp;
+  bank.observe(1, 100.0);
+  bank.observe(2, 101.0);  // every predictor's one-step guess is within 50%
+  const auto board = bank.scoreboard();
+  const auto* last = board.find("last-value");
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->scored, 1u);
+  EXPECT_EQ(last->hits, 1u);
+  EXPECT_NEAR(last->mean_rel_error(), 1.0 / 101.0, 1e-6);
+}
+
+TEST(PredictorBank, ChargesRollbackToTheSupplier) {
+  auto bankp = make_bank(0.1);
+  auto& bank = *bankp;
+  bank.observe(1, 1.0);
+  bank.observe(2, 2.0);
+  (void)bank.predict(10);  // the adopted guess comes from the current best
+  const std::string supplier = bank.best_name();
+  EXPECT_EQ(bank.charge_rollback(), supplier);
+  const auto board = bank.scoreboard();
+  ASSERT_NE(board.find(supplier), nullptr);
+  EXPECT_EQ(board.find(supplier)->rollbacks_charged, 1u);
+  EXPECT_EQ(board.find(supplier)->guesses_supplied, 1u);
+}
+
+TEST(PredictorBank, ScoreHookSeesEveryJudgement) {
+  auto bankp = make_bank(0.1);
+  auto& bank = *bankp;
+  std::vector<std::string> seen;
+  bank.set_score_hook([&seen](const std::string& name, bool, double) {
+    seen.push_back(name);
+  });
+  bank.observe(1, 1.0);
+  EXPECT_TRUE(seen.empty()) << "nothing to score on the first estimate";
+  bank.observe(2, 1.0);
+  EXPECT_EQ(seen.size(), 3u) << "all three predictors scored";
+}
+
+TEST(PredictorBank, ResetForgetsEverything) {
+  auto bankp = make_bank(0.1);
+  auto& bank = *bankp;
+  for (std::uint32_t k = 1; k <= 5; ++k) bank.observe(k, 2.0 * k);
+  bank.reset();
+  const auto board = bank.scoreboard();
+  for (const auto& row : board.rows()) {
+    EXPECT_EQ(row.scored, 0u);
+    EXPECT_EQ(row.rollbacks_charged, 0u);
+  }
+  EXPECT_EQ(bank.best_name(), "last-value");
+}
+
+TEST(PredictorBank, ConfidenceBlendsModelAndRecord) {
+  auto bankp = make_bank(1e-12);
+  auto& bank = *bankp;  // impossible tolerance: every score misses
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    // Near-stationary (model confident) but non-linear, so no predictor
+    // can clear the impossible tolerance exactly.
+    bank.observe(k, 100.0 + 0.001 * ((k * k) % 7));
+  }
+  // Model confidence alone would be ~1; the 0% hit rate must drag the
+  // blended confidence down to ~0.5.
+  EXPECT_LT(bank.confidence(16), 0.75);
+}
+
+TEST(Scoreboard, BestUsesLaplaceSmoothing) {
+  stats::PredictorScoreboard board;
+  board.record_score("lucky", true, 0.0);  // 1/1 raw
+  for (int i = 0; i < 20; ++i) board.record_score("steady", true, 0.01);
+  board.record_score("steady", false, 0.5);  // 20/21 raw
+  EXPECT_EQ(board.best(), "steady")
+      << "one lucky hit must not beat a long record";
+  EXPECT_FALSE(board.to_string().empty());
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 line (build + full ctest) and, unless skipped,
+# a sanitizer pass (asan+ubsan preset) over the same test suite. Leak
+# checking stays off in the preset: epoch-drop GC retains speculative
+# products until process exit, which LeakSanitizer reports by design.
+#
+#   tools/ci.sh            # tier-1 + sanitizers
+#   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier 1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "${TVS_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== sanitizer pass skipped (TVS_SKIP_ASAN=1) =="
+  exit 0
+fi
+
+echo "== sanitizers: asan+ubsan preset (build-asan/) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j"$JOBS"
+ctest --preset asan -j"$JOBS"
+
+echo "== CI green =="
