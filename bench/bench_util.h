@@ -31,6 +31,60 @@ inline std::optional<std::string> csv_dir(int argc, char** argv) {
   return std::nullopt;
 }
 
+// --- Machine-readable run reports (`--report <dir>`) ------------------------
+
+/// The process-wide report target; set once from main() via init_reports().
+inline std::optional<std::string>& report_dir_ref() {
+  static std::optional<std::string> dir;
+  return dir;
+}
+
+/// Parses `--report <dir>` from argv. When present, every run_reported()
+/// call attaches the metrics stack and writes a report bundle into <dir>.
+inline void init_reports(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--report") {
+      std::filesystem::create_directories(argv[i + 1]);
+      report_dir_ref() = std::string(argv[i + 1]);
+    }
+  }
+}
+
+/// File-stem-safe scenario name: "fig3/txt/non-spec" → "fig3_txt_non-spec".
+inline std::string report_stem(const std::string& scenario) {
+  std::string out;
+  out.reserve(scenario.size());
+  for (char c : scenario) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Runs one scenario on the simulator. Without `--report` this is exactly
+/// pipeline::run_sim(cfg); with it, the run carries its own metrics
+/// registry + sampler (runs stay isolated from each other) and leaves a
+/// `<dir>/<scenario>.{json,md,prom}` bundle behind.
+inline pipeline::RunResult run_reported(const std::string& scenario,
+                                        const pipeline::RunConfig& cfg) {
+  if (!report_dir_ref()) return pipeline::run_sim(cfg);
+  metrics::Registry registry;
+  metrics::Sampler sampler;
+  pipeline::RunOptions opt;
+  opt.registry = &registry;
+  opt.sampler = &sampler;
+  auto result = pipeline::run_sim(cfg, opt);
+  report::RunInfo info = pipeline::run_info(cfg, result, "sim");
+  info.scenario = scenario + " [" + cfg.label() + "]";
+  const auto bundle = report::make_report(info, &registry, &sampler);
+  for (const auto& path :
+       report::write_bundle(bundle, *report_dir_ref(), report_stem(scenario))) {
+    std::printf("  report %s\n", path.c_str());
+  }
+  return result;
+}
+
 struct NamedRun {
   std::string name;
   pipeline::RunResult result;

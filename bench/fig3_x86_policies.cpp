@@ -28,7 +28,8 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
   std::vector<NamedRun> runs;
   for (const auto& [name, policy] : policies) {
     auto cfg = pipeline::RunConfig::x86_disk(file, policy);
-    auto result = pipeline::run_sim(cfg);
+    auto result = benchutil::run_reported(
+        "fig3/" + wl::to_string(file) + "/" + name, cfg);
     benchutil::verify_run({name, result});
     runs.push_back({name, std::move(result)});
   }
@@ -39,6 +40,7 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 3: scheduling policies, x86 platform, disk input\n");
   std::printf("(16 simulated CPUs, 4 KiB blocks, reduce 16:1, offset 64:1,\n");
   std::printf(" speculation step 1, verify every 8th, tolerance 1%%)\n");

@@ -24,7 +24,8 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
   std::vector<NamedRun> runs;
   for (const auto& [name, policy] : policies) {
     auto cfg = pipeline::RunConfig::cell_disk(file, policy);
-    auto result = pipeline::run_sim(cfg);
+    auto result = benchutil::run_reported(
+        "fig4/" + wl::to_string(file) + "/" + name, cfg);
     benchutil::verify_run({name, result});
     runs.push_back({name, std::move(result)});
   }
@@ -35,6 +36,7 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 4: scheduling policies, Cell platform, disk input\n");
   std::printf("(16 simulated SPE-like CPUs, multiple buffering depth 4,\n");
   std::printf(" 32 KiB task budget, both ratios 16:1, step 1, verify 8th, tol 1%%)\n");

@@ -20,6 +20,7 @@ const std::uint32_t kSteps[] = {1, 2, 4, 8, 16, 32};
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 5: speculation step-size sweep, x86 disk\n");
 
   const std::vector<std::pair<std::string, sre::DispatchPolicy>> policies = {
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
     // Non-spec reference (step axis value 0 in the paper's plots).
     auto base_cfg =
         pipeline::RunConfig::x86_disk(file, sre::DispatchPolicy::NonSpeculative);
-    const auto base = pipeline::run_sim(base_cfg);
+    const auto base = benchutil::run_reported(
+        "fig5/" + wl::to_string(file) + "/non-spec", base_cfg);
     pipeline::verify_roundtrip(base);
 
     std::printf("\n--- Fig. 5 (%s): average latency vs step size ---\n",
@@ -56,7 +58,10 @@ int main(int argc, char** argv) {
       for (const auto& [name, policy] : policies) {
         auto cfg = pipeline::RunConfig::x86_disk(file, policy);
         cfg.spec.step_size = step;
-        const auto res = pipeline::run_sim(cfg);
+        const auto res = benchutil::run_reported(
+            "fig5/" + wl::to_string(file) + "/" + name + "/step" +
+                std::to_string(step),
+            cfg);
         pipeline::verify_roundtrip(res);
         std::printf(" %12.0f", res.avg_latency_us());
         row.push_back(std::to_string(

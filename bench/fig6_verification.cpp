@@ -40,7 +40,8 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
   for (const auto& v : variants) {
     auto cfg = pipeline::RunConfig::x86_disk(file, v.policy);
     cfg.spec.verify = v.verify;
-    auto result = pipeline::run_sim(cfg);
+    auto result = benchutil::run_reported(
+        "fig6/" + wl::to_string(file) + "/" + v.name, cfg);
     benchutil::verify_run({v.name, result});
     runs.push_back({v.name, std::move(result)});
   }
@@ -51,6 +52,7 @@ std::vector<NamedRun> run_file(wl::FileKind file) {
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 6: verification & speculation frequency, x86 disk\n");
 
   std::vector<std::pair<std::string, double>> runtime_bars;

@@ -17,7 +17,8 @@ namespace {
 void run_panel(wl::FileKind file, const std::optional<std::string>& csv,
                const char* csv_name) {
   auto cfg = pipeline::RunConfig::x86_socket(file, sre::DispatchPolicy::Balanced);
-  const auto res = pipeline::run_sim(cfg);
+  const auto res =
+      benchutil::run_reported("fig7/" + wl::to_string(file), cfg);
   pipeline::verify_roundtrip(res);
 
   const auto arrivals = res.trace.arrivals();
@@ -53,6 +54,7 @@ void run_panel(wl::FileKind file, const std::optional<std::string>& csv,
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 7: reading from a socket (balanced policy, step 1,\n");
   std::printf("verify every 8th, tolerance 1%%)\n");
   run_panel(wl::FileKind::Txt, csv, "fig7a_txt.csv");

@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 8: CPU scaling under socket I/O (TXT, balanced)\n");
 
   const unsigned cpu_counts[] = {2, 4, 8};
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
     cfg.socket_per_block_us = 250;
     cfg.socket_jitter_us = 120;
     cfg.platform = sim::PlatformConfig::x86(cpus);
-    auto result = pipeline::run_sim(cfg);
+    auto result = benchutil::run_reported(
+        "fig8/" + std::to_string(cpus) + "cpu", cfg);
     benchutil::verify_run({std::to_string(cpus) + " cpu", result});
     runs.push_back({std::to_string(cpus) + " cpu", std::move(result)});
   }

@@ -25,7 +25,10 @@ void run_panel(wl::FileKind file, const std::optional<std::string>& csv,
     cfg.spec.tolerance = tol;
     char name[16];
     std::snprintf(name, sizeof name, "%.0f%%", tol * 100.0);
-    auto result = pipeline::run_sim(cfg);
+    auto result = benchutil::run_reported(
+        "fig9/" + wl::to_string(file) + "/tol" +
+            std::to_string(static_cast<int>(tol * 100.0)),
+        cfg);
     benchutil::verify_run({name, result});
     // The committed output may legitimately be suboptimal — but never by
     // more than the tolerance margin (plus the histogram floor).
@@ -45,6 +48,7 @@ void run_panel(wl::FileKind file, const std::optional<std::string>& csv,
 
 int main(int argc, char** argv) {
   const auto csv = benchutil::csv_dir(argc, argv);
+  benchutil::init_reports(argc, argv);
   std::printf("Fig. 9: tolerance margin sweep (balanced, step 1, verify 8th)\n");
   run_panel(wl::FileKind::Txt, csv, "fig9a_txt.csv");
   run_panel(wl::FileKind::Pdf, csv, "fig9b_pdf.csv");

@@ -1,0 +1,120 @@
+// Observability overhead check: the metrics stack must be close to free.
+//
+// Runs the same Huffman pipeline configuration three ways — metrics off,
+// registry attached, registry + background-style sampler attached — and
+// compares best-of-N wall-clock times. The run is a virtual-time simulation,
+// so any wall-clock delta is pure instrumentation cost (observer dispatch,
+// sharded counter increments, sampler ticks).
+//
+// Exits non-zero if instrumented runs regress by more than the threshold
+// (default 2 %, override with TVS_OVERHEAD_MAX_PCT). With `--report <dir>`,
+// writes the numbers into a run-report bundle like the figure benches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+#include "metrics/registry.h"
+#include "metrics/report.h"
+#include "metrics/sampler.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double timed_ms(const std::function<void()>& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::init_reports(argc, argv);
+  const int reps = 5;
+  auto cfg = pipeline::RunConfig::x86_disk(wl::FileKind::Txt,
+                                           sre::DispatchPolicy::Balanced);
+
+  std::printf("Metrics overhead: sim run, best of %d (interleaved)\n", reps);
+
+  const std::function<void()> run_off = [&] { (void)pipeline::run_sim(cfg); };
+  const std::function<void()> run_registry = [&] {
+    metrics::Registry reg;
+    pipeline::RunOptions opt;
+    opt.registry = &reg;
+    (void)pipeline::run_sim(cfg, opt);
+  };
+  const std::function<void()> run_full = [&] {
+    metrics::Registry reg;
+    metrics::Sampler sampler;
+    pipeline::RunOptions opt;
+    opt.registry = &reg;
+    opt.sampler = &sampler;
+    opt.sample_interval_us = 10'000;
+    (void)pipeline::run_sim(cfg, opt);
+  };
+
+  run_off();  // warmup: fault in the corpus and code paths once
+
+  // Interleave the three stacks within each repetition so machine drift
+  // (frequency scaling, cache state) biases them equally; keep the best.
+  double off_ms = 1e300, reg_ms = 1e300, full_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    off_ms = std::min(off_ms, timed_ms(run_off));
+    reg_ms = std::min(reg_ms, timed_ms(run_registry));
+    full_ms = std::min(full_ms, timed_ms(run_full));
+  }
+
+  const double reg_pct = (reg_ms - off_ms) / off_ms * 100.0;
+  const double full_pct = (full_ms - off_ms) / off_ms * 100.0;
+  std::printf("  metrics off          : %8.2f ms\n", off_ms);
+  std::printf("  registry attached    : %8.2f ms (%+.2f%%)\n", reg_ms, reg_pct);
+  std::printf("  registry + sampler   : %8.2f ms (%+.2f%%)\n", full_ms,
+              full_pct);
+
+  double max_pct = 2.0;
+  if (const char* env = std::getenv("TVS_OVERHEAD_MAX_PCT")) {
+    max_pct = std::strtod(env, nullptr);
+  }
+
+  if (benchutil::report_dir_ref()) {
+    // One instrumented reference run provides the registry/sampler content.
+    metrics::Registry reg;
+    metrics::Sampler sampler;
+    pipeline::RunOptions opt;
+    opt.registry = &reg;
+    opt.sampler = &sampler;
+    const auto res = pipeline::run_sim(cfg, opt);
+    // The measured overhead numbers ride along as gauges, so they land in
+    // the snapshot section of the report (and the .prom export).
+    reg.gauge("tvs_bench_overhead_ms", "stack=\"off\"").set(off_ms);
+    reg.gauge("tvs_bench_overhead_ms", "stack=\"registry\"").set(reg_ms);
+    reg.gauge("tvs_bench_overhead_ms", "stack=\"registry_sampler\"")
+        .set(full_ms);
+    reg.gauge("tvs_bench_overhead_pct", "stack=\"registry\"").set(reg_pct);
+    reg.gauge("tvs_bench_overhead_pct", "stack=\"registry_sampler\"")
+        .set(full_pct);
+    reg.gauge("tvs_bench_overhead_budget_pct").set(max_pct);
+    report::RunInfo info = pipeline::run_info(cfg, res, "sim");
+    info.scenario = "overhead_metrics [" + cfg.label() + "]";
+    const auto bundle = report::make_report(info, &reg, &sampler);
+    for (const auto& path : report::write_bundle(
+             bundle, *benchutil::report_dir_ref(), "overhead_metrics")) {
+      std::printf("  report %s\n", path.c_str());
+    }
+  }
+
+  const double worst = full_pct > reg_pct ? full_pct : reg_pct;
+  if (worst > max_pct) {
+    std::printf("FAIL: instrumentation overhead %.2f%% exceeds %.2f%% budget\n",
+                worst, max_pct);
+    return 1;
+  }
+  std::printf("OK: worst-case overhead %.2f%% within %.2f%% budget\n", worst,
+              max_pct);
+  return 0;
+}

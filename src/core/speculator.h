@@ -44,6 +44,14 @@ class Speculator {
     /// Tolerance predicate: is `guess` still acceptable given `current`?
     std::function<bool(const V& guess, const V& current)> within_tolerance;
 
+    /// Optional observability hook: the tolerance headroom of a check as a
+    /// ratio (observed error / allowed error; < 1 passes, 0 = perfect
+    /// guess). Evaluated inside the check task next to within_tolerance and
+    /// reported through sre::Observer::on_check_verdict, so live metrics
+    /// can see how close speculation is running to its tolerance budget.
+    /// Null = margins reported as -1 (unknown).
+    std::function<double(const V& guess, const V& current)> tolerance_margin;
+
     /// Final check passed: release the epoch's buffered results.
     std::function<void(sre::Epoch epoch, std::uint64_t now_us)> on_commit;
 
@@ -213,27 +221,36 @@ class Speculator {
     auto current = std::make_shared<const V>(*latest_);
 
     auto verdict = std::make_shared<bool>(false);
+    auto margin = std::make_shared<double>(-1.0);
     auto task = runtime_.make_task(
         "check[e" + std::to_string(epoch) + (is_final ? ",final]" : "]"),
         sre::TaskClass::Control, sre::kNaturalEpoch, /*depth=*/1000,
         check_cost_us_,
-        [this, guess, current, verdict](sre::TaskContext&) {
+        [this, guess, current, verdict, margin](sre::TaskContext&) {
           *verdict = cb_.within_tolerance(*guess, *current);
+          if (cb_.tolerance_margin) {
+            *margin = cb_.tolerance_margin(*guess, *current);
+          }
         });
-    task->add_completion_hook(
-        [this, epoch, verdict, is_final](sre::Task&, std::uint64_t done_us) {
-          on_verdict(epoch, *verdict, is_final, done_us);
-        });
+    task->add_completion_hook([this, epoch, verdict, margin, is_final](
+                                  sre::Task&, std::uint64_t done_us) {
+      on_verdict(epoch, *verdict, *margin, is_final, done_us);
+    });
     lk.unlock();
     runtime_.submit(task);
     lk.lock();
   }
 
-  void on_verdict(sre::Epoch epoch, bool within, bool is_final,
+  void on_verdict(sre::Epoch epoch, bool within, double margin, bool is_final,
                   std::uint64_t now_us) {
     std::unique_lock lk(mu_);
     if (finished_) return;
     if (!active_ || active_->epoch != epoch) return;  // stale verdict
+    if (sre::Observer* obs = runtime_.observer()) {
+      // Only acted-on verdicts are reported; stale ones (the epoch already
+      // rolled back) carry no health signal.
+      obs->on_check_verdict(epoch, within, is_final, margin);
+    }
 
     if (within) {
       if (!is_final) return;  // confidence builds; nothing changes

@@ -1,0 +1,108 @@
+#include "metrics/registry.h"
+
+namespace metrics {
+
+namespace {
+
+std::size_t next_shard() noexcept {
+  static std::atomic<std::size_t> round_robin{0};
+  return round_robin.fetch_add(1, std::memory_order_relaxed) % kShards;
+}
+
+thread_local std::size_t t_shard = kShards;  // kShards = unassigned
+
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  if (t_shard == kShards) t_shard = next_shard();
+  return t_shard;
+}
+
+void bind_shard(std::size_t index) noexcept { t_shard = index % kShards; }
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  std::scoped_lock lk(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  std::scoped_lock lk(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels) {
+  std::scoped_lock lk(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::scoped_lock lk(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    snap.counters.push_back(
+        {key.first, key.second, static_cast<double>(c->value())});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    snap.gauges.push_back({key.first, key.second, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    snap.histograms.push_back({key.first, key.second, h->totals()});
+  }
+  return snap;
+}
+
+double Registry::counter_sum(const std::string& name,
+                             const std::string& label_substr) const {
+  std::scoped_lock lk(mu_);
+  double sum = 0.0;
+  for (auto it = counters_.lower_bound({name, std::string()});
+       it != counters_.end() && it->first.first == name; ++it) {
+    if (!label_substr.empty() &&
+        it->first.second.find(label_substr) == std::string::npos) {
+      continue;
+    }
+    sum += static_cast<double>(it->second->value());
+  }
+  return sum;
+}
+
+double Snapshot::scalar(const std::string& name) const {
+  double sum = 0.0;
+  bool seen = false;
+  for (const auto& c : counters) {
+    if (c.name == name) {
+      sum += c.value;
+      seen = true;
+    }
+  }
+  for (const auto& g : gauges) {
+    if (g.name == name) {
+      sum += g.value;
+      seen = true;
+    }
+  }
+  return seen ? sum : 0.0;
+}
+
+double Snapshot::scalar(const std::string& name,
+                        const std::string& labels) const {
+  for (const auto& c : counters) {
+    if (c.name == name && c.labels == labels) return c.value;
+  }
+  for (const auto& g : gauges) {
+    if (g.name == name && g.labels == labels) return g.value;
+  }
+  return 0.0;
+}
+
+}  // namespace metrics

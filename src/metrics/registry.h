@@ -1,0 +1,184 @@
+// Live metrics registry: always-on counters, gauges and log-bucketed
+// histograms cheap enough for the hot dispatch path.
+//
+// The trace layer (src/trace) is O(tasks) memory and post-run-only; this
+// registry is the opposite trade — O(metrics) memory, readable while the
+// run is in flight. Counters and histograms are *sharded*: each writing
+// thread lands on its own cache line (executors pin workers via
+// bind_shard), so increments are relaxed atomics with no contention.
+// Reads (snapshot, exporters, the Sampler) sum the shards; they are
+// intended for periodic sampling, not per-task paths.
+//
+// Handles returned by Registry::counter()/gauge()/histogram() are stable
+// for the registry's lifetime and safe to cache in hot code.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metrics {
+
+/// Number of independent write shards per counter/histogram. Power of two;
+/// sized for "more than the worker counts we run" rather than the host's
+/// core count, so pinned workers never share a line.
+inline constexpr std::size_t kShards = 16;
+
+/// The calling thread's shard index. Assigned round-robin on first use;
+/// executors call bind_shard() to pin worker i to shard i % kShards so the
+/// assignment is deterministic and collision-free for small worker counts.
+[[nodiscard]] std::size_t shard_index() noexcept;
+void bind_shard(std::size_t index) noexcept;
+
+/// Monotonic counter, sharded per writing thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[shard_index()].n.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.n.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> n{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Point-in-time value. Written from probes and bookkeeping paths (cold),
+/// so a single atomic suffices.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed (powers of two) histogram of nonnegative integer samples,
+/// sharded like Counter. Bucket b holds samples v with bit_width(v) == b,
+/// i.e. upper bounds 0, 1, 3, 7, ..., 2^k-1 — 16 ns to a week of
+/// microseconds in 40 buckets, no configuration needed.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  ///< bit_width(uint64) ∈ [0,64]
+
+  void observe(std::uint64_t v) noexcept {
+    auto& s = shards_[shard_index()];
+    s.buckets[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Totals {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /// Upper bound of bucket b (inclusive): 2^b - 1.
+    [[nodiscard]] static std::uint64_t upper_bound(std::size_t b) {
+      return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+    }
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  [[nodiscard]] Totals totals() const noexcept {
+    Totals t;
+    for (const auto& s : shards_) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        const auto n = s.buckets[b].load(std::memory_order_relaxed);
+        t.buckets[b] += n;
+        t.count += n;
+      }
+      t.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// --- Snapshots (plain data, safe to keep after the registry dies) ----------
+
+struct ScalarSnapshot {
+  std::string name;
+  std::string labels;  ///< Prometheus label body, e.g. `class="natural"`
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string labels;
+  Histogram::Totals totals;
+};
+
+struct Snapshot {
+  std::vector<ScalarSnapshot> counters;
+  std::vector<ScalarSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of the named counter/gauge summed over all label sets (0 when
+  /// absent). Exporters and derived series use this.
+  [[nodiscard]] double scalar(const std::string& name) const;
+  /// Value of the exact (name, labels) counter/gauge; 0 when absent.
+  [[nodiscard]] double scalar(const std::string& name,
+                              const std::string& labels) const;
+};
+
+/// Owner of all metric instances, keyed by (name, labels). Creation takes a
+/// mutex; returned references stay valid and lock-free for the registry's
+/// lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& labels = "");
+
+  /// Point-in-time copy of every metric, sorted by (name, labels).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Sum of all counters named `name` whose label body contains
+  /// `label_substr` (all label sets when empty). One lock, no histogram
+  /// copies — cheap enough for per-tick sampler probes, unlike snapshot().
+  [[nodiscard]] double counter_sum(const std::string& name,
+                                   const std::string& label_substr = "") const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics

@@ -1,0 +1,95 @@
+#include "metrics/sampler.h"
+
+#include <chrono>
+
+namespace metrics {
+
+Sampler::Sampler(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_series(std::string name, std::function<double()> fn) {
+  std::scoped_lock lk(mu_);
+  series_.push_back({std::move(name), std::move(fn)});
+}
+
+void Sampler::clear_series() {
+  std::scoped_lock lk(mu_);
+  // Drop only the closures (they reference run-scoped objects); names stay
+  // so exporters can still label the collected rows.
+  for (auto& s : series_) s.fn = nullptr;
+}
+
+void Sampler::tick(std::uint64_t now_us) {
+  Sample row;
+  std::function<void(const Sample&)> hook;
+  {
+    std::scoped_lock lk(mu_);
+    row.t_us = now_us;
+    row.values.reserve(series_.size());
+    for (const auto& s : series_) {
+      row.values.push_back(s.fn ? s.fn() : 0.0);
+    }
+    ring_.push_back(row);
+    if (ring_.size() > capacity_) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+    ++ticks_;
+    hook = hook_;
+  }
+  if (hook) hook(row);
+}
+
+void Sampler::start(std::uint64_t interval_us) {
+  if (thread_.joinable()) return;
+  if (interval_us == 0) interval_us = 1;
+  stop_.store(false);
+  thread_ = std::thread([this, interval_us] {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+      if (stop_.load()) break;
+      const auto now = std::chrono::steady_clock::now();
+      tick(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now - t0)
+              .count()));
+    }
+  });
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true);
+  thread_.join();
+}
+
+void Sampler::set_tick_hook(std::function<void(const Sample&)> hook) {
+  std::scoped_lock lk(mu_);
+  hook_ = std::move(hook);
+}
+
+std::vector<std::string> Sampler::series_names() const {
+  std::scoped_lock lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& s : series_) names.push_back(s.name);
+  return names;
+}
+
+std::vector<Sampler::Sample> Sampler::samples() const {
+  std::scoped_lock lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t Sampler::ticks() const {
+  std::scoped_lock lk(mu_);
+  return ticks_;
+}
+
+std::uint64_t Sampler::dropped() const {
+  std::scoped_lock lk(mu_);
+  return dropped_;
+}
+
+}  // namespace metrics

@@ -1,0 +1,95 @@
+// Sampler: periodic snapshots of derived speculation-health series.
+//
+// Counters answer "how much, in total"; the sampler answers "what did it
+// look like over time" without the trace layer's O(tasks) memory. Each
+// registered series is a closure returning a double (queue depth, buffer
+// occupancy, a ratio of registry counters, ...). A tick evaluates every
+// series and appends one timestamped row to a bounded ring.
+//
+// Two clocks:
+//  * tick(now_us)  — caller-driven; the sim driver schedules ticks on the
+//    virtual-time event queue so sampled series line up with engine time;
+//  * start(interval_us) / stop() — a background thread ticks on wall-clock
+//    time (threaded executor, tvsc live dashboard).
+//
+// Series closures typically capture the runtime/pipeline they probe; call
+// clear_series() (or destroy the sampler) before those objects die. The
+// collected rows are plain data and survive clear_series().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace metrics {
+
+class Sampler {
+ public:
+  /// `capacity` bounds the sample ring; the oldest rows are dropped (and
+  /// counted) once it fills, so a long run degrades to a sliding window
+  /// instead of unbounded memory.
+  explicit Sampler(std::size_t capacity = 4096);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  struct Sample {
+    std::uint64_t t_us = 0;
+    std::vector<double> values;  ///< one per series, registration order
+  };
+
+  /// Registers a named series. Not thread-safe against concurrent ticks:
+  /// register everything before sampling starts.
+  void add_series(std::string name, std::function<double()> fn);
+
+  /// Drops every registered series closure — call before the probed objects
+  /// die. Series names and collected samples survive (exporters still need
+  /// them); a tick after clearing records zeros.
+  void clear_series();
+
+  /// Evaluates all series at time `now_us` and appends a row.
+  void tick(std::uint64_t now_us);
+
+  /// Starts the wall-clock background thread (no-op if already running).
+  /// Ticks every `interval_us` with t_us = microseconds since start().
+  void start(std::uint64_t interval_us);
+
+  /// Stops and joins the background thread (no-op if not running).
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+
+  /// Invoked after each tick with the fresh row (live dashboards). The hook
+  /// runs on the ticking thread; keep it cheap.
+  void set_tick_hook(std::function<void(const Sample&)> hook);
+
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::vector<Sample> samples() const;
+  [[nodiscard]] std::uint64_t ticks() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Series> series_;
+  std::deque<Sample> ring_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::function<void(const Sample&)> hook_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace metrics

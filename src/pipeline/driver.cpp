@@ -1,11 +1,14 @@
 #include "pipeline/driver.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "huffman/stream_format.h"
 #include "huffman/tree.h"
 #include "io/block_source.h"
+#include "metrics/observer.h"
 #include "pipeline/huffman_pipeline.h"
 #include "sim/sim_executor.h"
 #include "sre/threaded_executor.h"
@@ -53,7 +56,84 @@ RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
   return res;
 }
 
+/// Composes the effective observer for a run: the metrics bridge (if a
+/// registry was given), fanned together with the caller's observer when
+/// both exist. Owns the MetricsObserver; keep alive for the run.
+struct ObserverStack {
+  std::optional<metrics::MetricsObserver> metrics_obs;
+  sre::FanoutObserver fan;
+  sre::Observer* effective = nullptr;
+
+  ObserverStack(const RunOptions& opt) {
+    if (opt.registry) metrics_obs.emplace(*opt.registry);
+    if (metrics_obs && opt.observer) {
+      fan.add(&*metrics_obs);
+      fan.add(opt.observer);
+      effective = &fan;
+    } else if (metrics_obs) {
+      effective = &*metrics_obs;
+    } else {
+      effective = opt.observer;
+    }
+  }
+};
+
 }  // namespace
+
+// The first series refreshes a shared QueueDepths / Snapshot probe so each
+// tick costs one runtime lock acquisition and (with a registry) one registry
+// sweep, regardless of how many series read from them.
+void install_standard_series(metrics::Sampler& s, sre::Runtime& rt,
+                             const HuffmanPipeline& pl,
+                             metrics::Registry* reg) {
+  auto depths = std::make_shared<sre::Runtime::QueueDepths>();
+  s.add_series("ready_control", [&rt, depths] {
+    *depths = rt.queue_depths();
+    return static_cast<double>(depths->ready_control);
+  });
+  s.add_series("ready_natural", [depths] {
+    return static_cast<double>(depths->ready_natural);
+  });
+  s.add_series("ready_speculative", [depths] {
+    return static_cast<double>(depths->ready_speculative);
+  });
+  s.add_series("blocked", [depths] {
+    return static_cast<double>(depths->blocked);
+  });
+  s.add_series("running", [depths] {
+    return static_cast<double>(depths->running);
+  });
+  s.add_series("open_epochs", [depths] {
+    return static_cast<double>(depths->open_epochs);
+  });
+  s.add_series("epoch_tasks", [depths] {
+    return static_cast<double>(depths->epoch_tasks);
+  });
+  s.add_series("wait_pending", [&pl] {
+    return static_cast<double>(pl.wait_pending());
+  });
+  if (!reg) return;
+
+  // counter_sum is one registry lock + a handful of counter reads; a full
+  // snapshot() would copy every histogram's shards on every tick.
+  s.add_series("predictor_hit_rate", [reg] {
+    const double total = reg->counter_sum("tvs_predictions_scored_total");
+    const double hits =
+        reg->counter_sum("tvs_predictions_scored_total", "hit=\"true\"");
+    return total == 0.0 ? 0.0 : hits / total;
+  });
+  s.add_series("spec_cpu_share", [reg] {
+    const double spec =
+        reg->counter_sum("tvs_cpu_time_us_total", "class=\"speculative\"");
+    const double nat =
+        reg->counter_sum("tvs_cpu_time_us_total", "class=\"natural\"");
+    const double all = spec + nat;
+    return all == 0.0 ? 0.0 : spec / all;
+  });
+  s.add_series("rollbacks", [reg] {
+    return reg->counter_sum("tvs_epochs_aborted_total");
+  });
+}
 
 double RunResult::avg_latency_us() const {
   const auto lats = trace.latencies();
@@ -67,10 +147,11 @@ stats::Summary RunResult::latency_summary() const {
   return stats::summarize(trace.latencies());
 }
 
-RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
+RunResult run_sim(const RunConfig& config, const RunOptions& options) {
   sio::BlockSource src = make_source(config);
   sre::Runtime rt(config.policy, config.priority_mode);
-  if (observer) rt.set_observer(observer);
+  ObserverStack obs(options);
+  if (obs.effective) rt.set_observer(obs.effective);
   sim::SimExecutor ex(rt, config.platform);
   HuffmanPipeline pl(rt, src, config);
 
@@ -79,18 +160,62 @@ RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
       pl.on_block_arrival(i, now);
     });
   });
+
+  // Sampling on virtual time: a self-re-arming zero-cost tick event. It
+  // stops re-arming once it is the only thing left on the queue and the
+  // runtime has drained, so the simulation still terminates.
+  std::shared_ptr<std::function<void(sim::Micros)>> tick_keepalive;
+  if (options.sampler) {
+    install_standard_series(*options.sampler, rt, pl, options.registry);
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, options.sample_interval_us);
+    tick_keepalive = std::make_shared<std::function<void(sim::Micros)>>();
+    std::weak_ptr<std::function<void(sim::Micros)>> weak = tick_keepalive;
+    *tick_keepalive = [&ex, &rt, s = options.sampler, interval,
+                       weak](sim::Micros now) {
+      s->tick(now);
+      if (ex.pending_events() > 0 || !rt.quiescent()) {
+        if (auto self = weak.lock()) ex.schedule_arrival(now + interval, *self);
+      }
+    };
+    ex.schedule_arrival(interval, *tick_keepalive);
+  }
+
   ex.run();
+  if (options.sampler) {
+    // Closing row at the makespan — unless the last in-run tick already
+    // covers it (trailing ticks can land at or after the last completion).
+    const auto rows = options.sampler->samples();
+    if (rows.empty() || rows.back().t_us < ex.makespan_us()) {
+      options.sampler->tick(ex.makespan_us());
+    }
+    options.sampler->clear_series();
+  }
   return collect(src, pl, rt, ex.makespan_us());
 }
 
-RunResult run_threaded(const RunConfig& config, unsigned workers,
-                       double arrival_time_scale) {
+RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
+  RunOptions opt;
+  opt.observer = observer;
+  return run_sim(config, opt);
+}
+
+RunResult run_threaded(const RunConfig& config, const RunOptions& options) {
   sio::BlockSource src = make_source(config);
   sre::Runtime rt(config.policy, config.priority_mode);
-  sre::ThreadedExecutor::Options opts;
-  opts.workers = workers;
-  opts.arrival_time_scale = arrival_time_scale;
-  sre::ThreadedExecutor ex(rt, opts);
+  ObserverStack obs(options);
+  if (obs.effective) rt.set_observer(obs.effective);
+  sre::ThreadedExecutor::Options topts;
+  topts.workers = options.workers;
+  topts.arrival_time_scale = options.arrival_time_scale;
+  if (options.registry) {
+    // Pin each worker to its own metrics shard: deterministic, no false
+    // sharing between workers.
+    topts.worker_start_hook = [](unsigned ix) {
+      metrics::bind_shard(ix % metrics::kShards);
+    };
+  }
+  sre::ThreadedExecutor ex(rt, topts);
   HuffmanPipeline pl(rt, src, config);
 
   src.for_each_arrival([&](std::size_t i, sio::Micros at) {
@@ -98,8 +223,51 @@ RunResult run_threaded(const RunConfig& config, unsigned workers,
       pl.on_block_arrival(i, now);
     });
   });
+
+  if (options.sampler) {
+    install_standard_series(*options.sampler, rt, pl, options.registry);
+    options.sampler->start(
+        std::max<std::uint64_t>(1, options.sample_interval_us));
+  }
   ex.run();
+  if (options.sampler) {
+    options.sampler->stop();
+    options.sampler->tick(ex.now_us());  // closing row at engine time
+    options.sampler->clear_series();
+  }
   return collect(src, pl, rt, rt.counters().total_runtime_us);
+}
+
+RunResult run_threaded(const RunConfig& config, unsigned workers,
+                       double arrival_time_scale) {
+  RunOptions opt;
+  opt.workers = workers;
+  opt.arrival_time_scale = arrival_time_scale;
+  return run_threaded(config, opt);
+}
+
+report::RunInfo run_info(const RunConfig& config, const RunResult& result,
+                         const std::string& engine) {
+  report::RunInfo info;
+  info.scenario = config.label();
+  info.engine = engine;
+  info.makespan_us = result.makespan_us;
+  info.blocks = result.trace.size();
+  info.avg_latency_us = result.avg_latency_us();
+  const stats::Summary lat = result.latency_summary();
+  info.p95_latency_us = lat.p95;
+  info.max_latency_us = lat.max;
+  info.spec_committed = result.spec_committed;
+  info.rollbacks = result.rollbacks;
+  info.gate_denials = result.gate_denials;
+  info.wasted_encodes = result.trace.wasted_encodes();
+  info.wait_discarded = result.wait_discarded;
+  info.input_bytes = result.input.size();
+  info.output_bits = result.output_bits;
+  info.best_predictor = result.best_predictor;
+  info.counters = result.counters;
+  info.predictors = result.predictors;
+  return info;
 }
 
 void verify_roundtrip(const RunResult& result) {

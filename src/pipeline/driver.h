@@ -3,20 +3,35 @@
 // Two engines:
 //  * run_sim      — deterministic virtual-time simulation (figure benches);
 //  * run_threaded — real worker threads (examples, correctness tests).
+//
+// Both accept a RunOptions bundle that wires the observability stack into
+// the run: a metrics::Registry turns on the MetricsObserver, a
+// metrics::Sampler gets the standard speculation-health series installed
+// and ticked (on virtual time for the simulator, wall clock for threads),
+// and any extra sre::Observer (e.g. tracelog::Recorder) is fanned in beside
+// the metrics bridge.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include <string>
-
+#include "metrics/registry.h"
+#include "metrics/report.h"
+#include "metrics/sampler.h"
 #include "pipeline/run_config.h"
 #include "sre/observer.h"
 #include "stats/predictor_stats.h"
 #include "stats/summary.h"
 #include "stats/trace.h"
 
+namespace sre {
+class Runtime;
+}
+
 namespace pipeline {
+
+class HuffmanPipeline;
 
 struct RunResult {
   stats::BlockTrace trace;
@@ -44,18 +59,66 @@ struct RunResult {
   [[nodiscard]] stats::Summary latency_summary() const;
 };
 
-/// Runs `config` on the virtual-time simulator. Deterministic. An optional
-/// observer (e.g. tracelog::Recorder) sees every runtime event.
+/// Observability wiring for a run. All pointers are borrowed and may be
+/// null; the pointees must outlive the run_* call (the sampler's series
+/// closures are cleared before it returns).
+struct RunOptions {
+  /// Extra observer (e.g. tracelog::Recorder); fanned in after metrics.
+  sre::Observer* observer = nullptr;
+
+  /// Non-null: attach a MetricsObserver on this registry for the run.
+  metrics::Registry* registry = nullptr;
+
+  /// Non-null: install the standard speculation-health series (ready-pool
+  /// depths, open epochs, wait-buffer occupancy, predictor hit rate,
+  /// speculative CPU share) and tick them every sample_interval_us —
+  /// virtual time under run_sim, a background thread under run_threaded.
+  metrics::Sampler* sampler = nullptr;
+  std::uint64_t sample_interval_us = 10'000;
+
+  // Threaded engine only.
+  unsigned workers = 4;
+  double arrival_time_scale = 1.0;
+};
+
+/// Runs `config` on the virtual-time simulator. Deterministic given a fixed
+/// config (sampling does not perturb the schedule: ticks are zero-cost
+/// events on the same queue).
+[[nodiscard]] RunResult run_sim(const RunConfig& config,
+                                const RunOptions& options);
+
+/// Back-compat convenience: observer-only wiring.
 [[nodiscard]] RunResult run_sim(const RunConfig& config,
                                 sre::Observer* observer = nullptr);
 
-/// Runs `config` on real threads. `workers` threads execute tasks;
-/// `arrival_time_scale` compresses the arrival schedule (e.g. 0.01 turns a
-/// 6 s socket trace into 60 ms of wall-clock). Latency values are wall-clock
-/// and thus noisy; use run_sim for figures.
+/// Runs `config` on real threads. Latency values are wall-clock and thus
+/// noisy; use run_sim for figures.
+[[nodiscard]] RunResult run_threaded(const RunConfig& config,
+                                     const RunOptions& options);
+
+/// Back-compat convenience: `workers` threads, no metrics.
 [[nodiscard]] RunResult run_threaded(const RunConfig& config,
                                      unsigned workers = 4,
                                      double arrival_time_scale = 1.0);
+
+/// Registers the standard speculation-health series on `sampler`: ready-pool
+/// depths per class, blocked/running tasks, open epochs and their live task
+/// count, wait-buffer occupancy, and — when `registry` is non-null —
+/// predictor hit rate, speculative CPU share and rollback count derived from
+/// the registry's counters. Series closures reference `runtime` and
+/// `pipeline`; call sampler.clear_series() before those die. run_sim /
+/// run_threaded do all of this automatically; this entry point is for
+/// callers that drive their own executor (e.g. tvsc).
+void install_standard_series(metrics::Sampler& sampler, sre::Runtime& runtime,
+                             const HuffmanPipeline& pipeline,
+                             metrics::Registry* registry);
+
+/// Fills a report::RunInfo from a finished run — the glue between the
+/// pipeline's result type and the application-agnostic report layer.
+/// `engine` is "sim" or "threaded".
+[[nodiscard]] report::RunInfo run_info(const RunConfig& config,
+                                       const RunResult& result,
+                                       const std::string& engine = "sim");
 
 /// Verifies that `result.container` decodes back to `result.input`.
 /// Throws std::logic_error on mismatch.

@@ -147,6 +147,19 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
       return static_cast<double>(diff) <=
              tol * static_cast<double>(cur_bits);
     };
+    cb.tolerance_margin = [tol = config.spec.tolerance](
+                              const TreeEstimate& guess,
+                              const TreeEstimate& cur) {
+      // Headroom ratio for observability: observed relative size delta over
+      // the allowed delta. < 1 passes the check above; ~0 = perfect guess.
+      const std::uint64_t cur_bits = cur.table->encoded_bits(*cur.hist);
+      const std::uint64_t guess_bits = guess.table->encoded_bits(*cur.hist);
+      const std::uint64_t diff =
+          guess_bits > cur_bits ? guess_bits - cur_bits : cur_bits - guess_bits;
+      const double allowed = tol * static_cast<double>(cur_bits);
+      return allowed <= 0.0 ? (diff == 0 ? 0.0 : 1e9)
+                            : static_cast<double>(diff) / allowed;
+    };
     cb.on_commit = [stp](sre::Epoch epoch, std::uint64_t now_us) {
       {
         std::scoped_lock lk(stp->mu);
@@ -569,6 +582,10 @@ bool HuffmanPipeline::speculation_committed() const {
 
 std::size_t HuffmanPipeline::wait_discarded() const {
   return st_->buffer->discarded();
+}
+
+std::size_t HuffmanPipeline::wait_pending() const {
+  return st_->buffer->total_pending();
 }
 
 std::uint64_t HuffmanPipeline::rollbacks() const {

@@ -77,6 +77,10 @@ class HuffmanPipeline {
   /// Entries discarded from the wait buffer by rollbacks.
   [[nodiscard]] std::size_t wait_discarded() const;
 
+  /// Speculative results currently parked in the wait buffer (live value —
+  /// metrics probes sample it mid-run).
+  [[nodiscard]] std::size_t wait_pending() const;
+
   /// Number of rollback events observed by the pipeline.
   [[nodiscard]] std::uint64_t rollbacks() const;
 

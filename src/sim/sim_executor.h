@@ -50,6 +50,10 @@ class SimExecutor {
   /// Virtual time at which the last task completed.
   [[nodiscard]] Micros makespan_us() const { return makespan_us_; }
 
+  /// Events still queued (arrivals + completions). Sampler ticks use this to
+  /// decide whether the simulation is still live and worth re-arming.
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+
  private:
   struct Cpu {
     bool busy = false;

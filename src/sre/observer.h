@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sre/ids.h"
 
@@ -49,6 +50,18 @@ class Observer {
   virtual void on_epoch_committed(Epoch /*epoch*/) {}
   virtual void on_epoch_aborted(Epoch /*epoch*/) {}
 
+  /// Fired alongside on_epoch_aborted with the rollback's blast radius:
+  /// how many live tasks of the epoch were destroyed or flagged for
+  /// disposal by this abort.
+  virtual void on_rollback_cascade(Epoch /*epoch*/,
+                                   std::size_t /*tasks_destroyed*/) {}
+
+  /// A speculation check task's verdict was processed. `margin` is the
+  /// tolerance headroom ratio (observed error / allowed error; < 1 passes),
+  /// or a negative value when the speculation layer cannot compute one.
+  virtual void on_check_verdict(Epoch /*epoch*/, bool /*within*/,
+                                bool /*is_final*/, double /*margin*/) {}
+
   // --- Value-prediction events (src/predict) -----------------------------
 
   /// A predictor's one-step-ahead prediction was scored against the actual
@@ -62,6 +75,66 @@ class Observer {
   /// An epoch-open was withheld: predicted confidence missed the gate.
   virtual void on_speculation_gated(std::uint32_t /*estimate_index*/,
                                     double /*confidence*/) {}
+};
+
+/// Forwards every event to a set of observers, so a run can attach e.g. a
+/// tracelog::Recorder and a metrics::MetricsObserver at once. The children
+/// inherit the record-and-return contract; null entries are skipped.
+class FanoutObserver final : public Observer {
+ public:
+  void add(Observer* observer) {
+    if (observer != nullptr) children_.push_back(observer);
+  }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  void on_task_created(const TaskInfo& task) override {
+    for (Observer* o : children_) o->on_task_created(task);
+  }
+  void on_edge(TaskId producer, TaskId consumer) override {
+    for (Observer* o : children_) o->on_edge(producer, consumer);
+  }
+  void on_dispatched(TaskId task, std::uint64_t now_us, unsigned cpu) override {
+    for (Observer* o : children_) o->on_dispatched(task, now_us, cpu);
+  }
+  void on_finished(TaskId task, std::uint64_t now_us, bool aborted) override {
+    for (Observer* o : children_) o->on_finished(task, now_us, aborted);
+  }
+  void on_epoch_opened(Epoch epoch) override {
+    for (Observer* o : children_) o->on_epoch_opened(epoch);
+  }
+  void on_epoch_committed(Epoch epoch) override {
+    for (Observer* o : children_) o->on_epoch_committed(epoch);
+  }
+  void on_epoch_aborted(Epoch epoch) override {
+    for (Observer* o : children_) o->on_epoch_aborted(epoch);
+  }
+  void on_rollback_cascade(Epoch epoch, std::size_t tasks) override {
+    for (Observer* o : children_) o->on_rollback_cascade(epoch, tasks);
+  }
+  void on_check_verdict(Epoch epoch, bool within, bool is_final,
+                        double margin) override {
+    for (Observer* o : children_) {
+      o->on_check_verdict(epoch, within, is_final, margin);
+    }
+  }
+  void on_prediction_scored(const std::string& predictor, bool hit,
+                            double rel_error) override {
+    for (Observer* o : children_) {
+      o->on_prediction_scored(predictor, hit, rel_error);
+    }
+  }
+  void on_predictor_charged(const std::string& predictor) override {
+    for (Observer* o : children_) o->on_predictor_charged(predictor);
+  }
+  void on_speculation_gated(std::uint32_t estimate_index,
+                            double confidence) override {
+    for (Observer* o : children_) {
+      o->on_speculation_gated(estimate_index, confidence);
+    }
+  }
+
+ private:
+  std::vector<Observer*> children_;
 };
 
 }  // namespace sre

@@ -229,6 +229,9 @@ void Runtime::abort_epoch(Epoch epoch) {
       for (const TaskPtr& t : tasks) {
         abort_task_locked(t);
       }
+      if (observer_) observer_->on_rollback_cascade(epoch, tasks.size());
+    } else if (observer_) {
+      observer_->on_rollback_cascade(epoch, 0);
     }
     auto log = epoch_undo_log_.find(epoch);
     if (log != epoch_undo_log_.end()) {
@@ -303,6 +306,21 @@ std::size_t Runtime::ready_count() const {
 std::size_t Runtime::running_count() const {
   std::scoped_lock lk(mu_);
   return running_;
+}
+
+Runtime::QueueDepths Runtime::queue_depths() const {
+  std::scoped_lock lk(mu_);
+  QueueDepths d;
+  d.ready_control = pool_.control_size();
+  d.ready_natural = pool_.natural_size();
+  d.ready_speculative = pool_.speculative_size();
+  d.blocked = blocked_;
+  d.running = running_;
+  d.open_epochs = epoch_tasks_.size();
+  for (const auto& [epoch, tasks] : epoch_tasks_) {
+    d.epoch_tasks += tasks.size();
+  }
+  return d;
 }
 
 bool Runtime::quiescent() const {

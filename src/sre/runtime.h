@@ -103,6 +103,19 @@ class Runtime {
   [[nodiscard]] std::size_t ready_count() const;
   [[nodiscard]] std::size_t running_count() const;
 
+  /// One consistent view of every queue the scheduler maintains, for
+  /// metrics probes (a single lock acquisition instead of five).
+  struct QueueDepths {
+    std::size_t ready_control = 0;
+    std::size_t ready_natural = 0;
+    std::size_t ready_speculative = 0;
+    std::size_t blocked = 0;
+    std::size_t running = 0;       ///< includes Staged
+    std::size_t open_epochs = 0;   ///< epochs with live speculative tasks
+    std::size_t epoch_tasks = 0;   ///< live speculative tasks across epochs
+  };
+  [[nodiscard]] QueueDepths queue_depths() const;
+
   /// True when no task is ready, staged or running. (Blocked tasks may still
   /// exist if the program is waiting for external arrivals.)
   [[nodiscard]] bool quiescent() const;

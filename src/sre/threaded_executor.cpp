@@ -80,6 +80,7 @@ void ThreadedExecutor::feeder_loop() {
 }
 
 void ThreadedExecutor::worker_loop(unsigned worker_ix) {
+  if (options_.worker_start_hook) options_.worker_start_hook(worker_ix);
   for (;;) {
     {
       std::unique_lock lk(mu_);

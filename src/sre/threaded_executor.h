@@ -30,6 +30,11 @@ class ThreadedExecutor {
     /// Multiplier applied to scheduled arrival times; tests use < 1.0 to
     /// compress slow-I/O scenarios into fast wall-clock runs.
     double arrival_time_scale = 1.0;
+    /// Invoked once on each worker thread before it enters its dispatch
+    /// loop, with the worker index. Lets callers pin thread-local state to
+    /// the thread (e.g. metrics::bind_shard) without this layer depending
+    /// on them. May be null.
+    std::function<void(unsigned worker_ix)> worker_start_hook;
   };
 
   /// Arrival callback: receives the engine time (µs) at which it fired.

@@ -1,6 +1,7 @@
 #include "trace/exporters.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace tracelog {
@@ -14,7 +15,15 @@ std::string json_escape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Other control characters are invalid in JSON strings.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -34,6 +43,12 @@ const char* class_color(const TaskRecord& t) {
 
 std::string to_chrome_trace(const Recorder& recorder) {
   const auto tasks = recorder.tasks();
+  bool any = false;
+  for (const auto& t : tasks) {
+    if (t.dispatched && t.finished) any = true;
+  }
+  if (!any) return "[]\n";  // empty run: still a valid trace document
+
   std::ostringstream os;
   os << "[\n";
   bool first = true;
@@ -98,6 +113,7 @@ std::string utilization_timeline(const Recorder& recorder, std::size_t width) {
   std::vector<std::string> rows(cpus, std::string(width, '.'));
   for (const auto& t : tasks) {
     if (!t.dispatched || !t.finished) continue;
+    if (t.cpu >= cpus || t.dispatch_us > end) continue;  // defensive
     char glyph = '#';
     if (t.cls == sre::TaskClass::Control) glyph = 'c';
     if (t.cls == sre::TaskClass::Speculative) glyph = t.aborted ? 'x' : 's';

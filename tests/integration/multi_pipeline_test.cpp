@@ -109,7 +109,10 @@ TEST(MultiPipeline, TwoStreamsOnRealThreads) {
   const auto src_a = make_src(wl::FileKind::Txt, 256, 5);
   const auto src_b = make_src(wl::FileKind::Bmp, 256, 6);
   sre::Runtime rt(sre::DispatchPolicy::Balanced);
-  sre::ThreadedExecutor ex(rt, {.workers = 8, .arrival_time_scale = 0.05});
+  sre::ThreadedExecutor::Options ex_opts;
+  ex_opts.workers = 8;
+  ex_opts.arrival_time_scale = 0.05;
+  sre::ThreadedExecutor ex(rt, ex_opts);
   pipeline::HuffmanPipeline pl_a(rt, src_a, cfg);
   auto cfg_b = cfg;
   cfg_b.file = wl::FileKind::Bmp;

@@ -1,0 +1,221 @@
+// Metrics registry, sampler and exporters: sharded counters/histograms must
+// be exact under concurrent writers, the sampler must start/stop cleanly and
+// bound its memory, and the exporters must emit well-formed documents.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "metrics/exporters.h"
+#include "metrics/registry.h"
+#include "metrics/sampler.h"
+#include "support/json_lite.h"
+
+namespace {
+
+TEST(Counter, ConcurrentWritersLoseNothing) {
+  metrics::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      metrics::bind_shard(static_cast<std::size_t>(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, UnboundThreadsStillCountExactly) {
+  metrics::Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    // No bind_shard: threads land on round-robin shards.
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 50'000; ++i) c.add(2);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 6u * 50'000u * 2u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  metrics::Gauge g;
+  g.set(4.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(-6.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketPlacementIsByBitWidth) {
+  metrics::Histogram h;
+  h.observe(0);    // bit_width 0 → bucket 0 (upper bound 0)
+  h.observe(1);    // bucket 1 (≤ 1)
+  h.observe(2);    // bucket 2 (≤ 3)
+  h.observe(3);    // bucket 2
+  h.observe(100);  // bit_width 7 → bucket 7 (≤ 127)
+  const auto t = h.totals();
+  EXPECT_EQ(t.count, 5u);
+  EXPECT_EQ(t.sum, 106u);
+  EXPECT_EQ(t.buckets[0], 1u);
+  EXPECT_EQ(t.buckets[1], 1u);
+  EXPECT_EQ(t.buckets[2], 2u);
+  EXPECT_EQ(t.buckets[7], 1u);
+  EXPECT_EQ(metrics::Histogram::Totals::upper_bound(2), 3u);
+  EXPECT_EQ(metrics::Histogram::Totals::upper_bound(7), 127u);
+  EXPECT_DOUBLE_EQ(t.mean(), 106.0 / 5.0);
+}
+
+TEST(Histogram, ConcurrentObserversSumExactly) {
+  metrics::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      metrics::bind_shard(static_cast<std::size_t>(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(i & 1023);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto totals = h.totals();
+  EXPECT_EQ(totals.count, kThreads * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (auto b : totals.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, totals.count);
+}
+
+TEST(Registry, HandlesAreStableAndKeyedByNameAndLabels) {
+  metrics::Registry reg;
+  auto& a = reg.counter("hits", "class=\"natural\"");
+  auto& b = reg.counter("hits", "class=\"speculative\"");
+  auto& a2 = reg.counter("hits", "class=\"natural\"");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  b.add(5);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.scalar("hits"), 8.0);
+  EXPECT_DOUBLE_EQ(snap.scalar("hits", "class=\"natural\""), 3.0);
+  EXPECT_DOUBLE_EQ(snap.scalar("missing"), 0.0);
+}
+
+TEST(Sampler, ManualTicksRecordSeriesInOrder) {
+  metrics::Sampler s;
+  double v = 1.0;
+  s.add_series("a", [&v] { return v; });
+  s.add_series("b", [&v] { return v * 10; });
+  s.tick(100);
+  v = 2.0;
+  s.tick(200);
+  const auto names = s.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  const auto rows = s.samples();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].t_us, 100u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 10.0);
+  EXPECT_DOUBLE_EQ(rows[1].values[0], 2.0);
+  EXPECT_EQ(s.ticks(), 2u);
+  EXPECT_EQ(s.dropped(), 0u);
+}
+
+TEST(Sampler, CapacityBoundsMemoryAndCountsDrops) {
+  metrics::Sampler s(4);
+  s.add_series("x", [] { return 0.0; });
+  for (std::uint64_t t = 0; t < 10; ++t) s.tick(t);
+  const auto rows = s.samples();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().t_us, 6u);  // oldest surviving row
+  EXPECT_EQ(rows.back().t_us, 9u);
+  EXPECT_EQ(s.dropped(), 6u);
+}
+
+TEST(Sampler, BackgroundThreadStartStopIsIdempotent) {
+  metrics::Sampler s;
+  std::atomic<int> calls{0};
+  s.add_series("n", [&calls] { return static_cast<double>(++calls); });
+  EXPECT_FALSE(s.running());
+  s.start(200);  // 200 µs period
+  EXPECT_TRUE(s.running());
+  s.start(200);  // second start is a no-op
+  while (s.ticks() < 3) std::this_thread::yield();
+  s.stop();
+  EXPECT_FALSE(s.running());
+  s.stop();  // second stop is a no-op
+  const auto after = s.ticks();
+  EXPECT_GE(after, 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(s.ticks(), after) << "no ticks after stop()";
+}
+
+TEST(Sampler, ClearSeriesKeepsNamesAndSamples) {
+  metrics::Sampler s;
+  s.add_series("depth", [] { return 7.0; });
+  s.tick(1);
+  s.clear_series();
+  ASSERT_EQ(s.series_names().size(), 1u);
+  EXPECT_EQ(s.series_names()[0], "depth");
+  ASSERT_EQ(s.samples().size(), 1u);
+  s.tick(2);  // after clearing, rows record zeros instead of dangling reads
+  EXPECT_DOUBLE_EQ(s.samples()[1].values[0], 0.0);
+}
+
+TEST(Exporters, PrometheusFormatCarriesTypesLabelsAndHistograms) {
+  metrics::Registry reg;
+  reg.counter("tvs_tasks_total", "class=\"natural\"").add(5);
+  reg.gauge("tvs_open_epochs").set(2);
+  auto& h = reg.histogram("tvs_run_us");
+  h.observe(3);
+  h.observe(100);
+  const auto text = metrics::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE tvs_tasks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("tvs_tasks_total{class=\"natural\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tvs_open_epochs gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tvs_run_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("tvs_run_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("tvs_run_us_sum 103"), std::string::npos);
+  EXPECT_NE(text.find("tvs_run_us_count 2"), std::string::npos);
+  // Cumulative buckets: the le="3" bucket holds the 3, le="127" holds both.
+  EXPECT_NE(text.find("tvs_run_us_bucket{le=\"3\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tvs_run_us_bucket{le=\"127\"} 2"), std::string::npos);
+}
+
+TEST(Exporters, JsonSnapshotParsesAndCarriesSamples) {
+  metrics::Registry reg;
+  reg.counter("c", "kind=\"x\"").add(1);
+  reg.histogram("h").observe(42);
+  metrics::Sampler s;
+  s.add_series("depth", [] { return 3.5; });
+  s.tick(10);
+  const auto plain = metrics::to_json(reg.snapshot());
+  EXPECT_TRUE(json_lite::valid(plain))
+      << "first bad byte at " << json_lite::error_at(plain);
+  const auto with_samples = metrics::to_json(reg.snapshot(), s);
+  EXPECT_TRUE(json_lite::valid(with_samples))
+      << "first bad byte at " << json_lite::error_at(with_samples);
+  EXPECT_NE(with_samples.find("\"names\":[\"depth\"]"), std::string::npos);
+  EXPECT_NE(with_samples.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Exporters, DashboardLineSummarizesHealth) {
+  metrics::Registry reg;
+  reg.counter("tvs_tasks_finished_total", "class=\"natural\"").add(10);
+  reg.counter("tvs_tasks_finished_total", "class=\"speculative\"").add(30);
+  reg.counter("tvs_epochs_opened_total").add(2);
+  reg.counter("tvs_epochs_committed_total").add(1);
+  const auto line = metrics::dashboard_line(reg.snapshot(), 1'500'000);
+  EXPECT_NE(line.find("t=1.5s"), std::string::npos);
+  EXPECT_NE(line.find("tasks=40"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "single line, no newline";
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// json_lite: a strict, dependency-free JSON validator for tests.
+//
+// Not a DOM — tests only need to assert "this artifact parses as JSON"
+// (Chrome traces, metrics snapshots, run reports) and point at the first
+// offending byte when it doesn't. Implements the full RFC 8259 grammar:
+// strings with escapes and \uXXXX, numbers with exponents, nested
+// arrays/objects, and rejects trailing garbage.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace json_lite {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  /// Byte offset where parsing stopped (== size() on success).
+  [[nodiscard]] std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const unsigned char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            ++pos_;
+            break;
+          case 'u': {
+            ++pos_;
+            for (int i = 0; i < 4; ++i, ++pos_) {
+              if (pos_ >= s_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+                return false;
+              }
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      pos_ = start;
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// One-shot convenience: is `text` exactly one valid JSON document?
+inline bool valid(const std::string& text) { return Parser(text).parse(); }
+
+/// Offset of the first invalid byte (for assertion messages).
+inline std::size_t error_at(const std::string& text) {
+  Parser p(text);
+  p.parse();
+  return p.error_pos();
+}
+
+}  // namespace json_lite

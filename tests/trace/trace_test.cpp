@@ -5,6 +5,7 @@
 #include "pipeline/driver.h"
 #include "sim/sim_executor.h"
 #include "sre/runtime.h"
+#include "support/json_lite.h"
 #include "trace/exporters.h"
 #include "trace/recorder.h"
 
@@ -85,18 +86,26 @@ TEST(Exporters, ChromeTraceIsWellFormedJson) {
   Recorder rec;
   (void)pipeline::run_sim(cfg, &rec);
   const auto json = tracelog::to_chrome_trace(rec);
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json[json.size() - 2], ']');
-  // Balanced braces/brackets (crude but effective without a JSON parser).
-  long depth = 0;
-  for (char c : json) {
-    if (c == '{' || c == '[') ++depth;
-    if (c == '}' || c == ']') --depth;
-    ASSERT_GE(depth, 0);
-  }
-  EXPECT_EQ(depth, 0);
+  EXPECT_TRUE(json_lite::valid(json))
+      << "chrome trace is not valid JSON; first bad byte at offset "
+      << json_lite::error_at(json);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("count[0]"), std::string::npos);
+}
+
+TEST(Exporters, ChromeTraceEscapesHostileTaskNames) {
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  Recorder rec;
+  rt.set_observer(&rec);
+  sim::SimExecutor ex(rt, sim::PlatformConfig::x86(1));
+  auto t = rt.make_task("evil\"name\\with\nnewline\tand\x01ctl",
+                        sre::TaskClass::Natural, 0, 1, 10,
+                        [](sre::TaskContext&) {});
+  rt.submit(t);
+  ex.run();
+  const auto json = tracelog::to_chrome_trace(rec);
+  EXPECT_TRUE(json_lite::valid(json))
+      << "first bad byte at offset " << json_lite::error_at(json);
 }
 
 TEST(Exporters, DotContainsNodesAndEdges) {
@@ -120,9 +129,23 @@ TEST(Exporters, DotRespectsTaskCap) {
   cfg.bytes = 256 * 1024;
   Recorder rec;
   (void)pipeline::run_sim(cfg, &rec);
+  ASSERT_GT(rec.task_count(), 10u);
   const auto small = tracelog::to_dot(rec, 10);
   const auto full = tracelog::to_dot(rec, 0);
   EXPECT_LT(small.size(), full.size());
+
+  // Exactly max_tasks node definitions survive the cap; the full dump has
+  // one per recorded task.
+  const auto count_nodes = [](const std::string& dot) {
+    std::size_t n = 0;
+    for (std::size_t p = dot.find("[label="); p != std::string::npos;
+         p = dot.find("[label=", p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_nodes(small), 10u);
+  EXPECT_EQ(count_nodes(full), rec.task_count());
 }
 
 TEST(Exporters, TimelineShowsSpeculationAndIdle) {
@@ -143,7 +166,35 @@ TEST(Exporters, EmptyRecorderDegradesGracefully) {
   Recorder rec;
   EXPECT_EQ(tracelog::utilization_timeline(rec), "(no executed tasks)\n");
   EXPECT_NE(tracelog::to_dot(rec).find("digraph"), std::string::npos);
-  EXPECT_EQ(tracelog::to_chrome_trace(rec).substr(0, 1), "[");
+  const auto json = tracelog::to_chrome_trace(rec);
+  EXPECT_EQ(json, "[]\n");
+  EXPECT_TRUE(json_lite::valid(json));
+}
+
+// Regression: an observed-but-never-executed run (tasks created, nothing
+// dispatched — zero end time) must not divide by zero or emit malformed
+// artifacts.
+TEST(Exporters, CreatedButNeverExecutedRunDegradesGracefully) {
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  Recorder rec;
+  rt.set_observer(&rec);
+  // Created + blocked forever (producer never submitted), so nothing runs.
+  auto producer = rt.make_task("p", sre::TaskClass::Natural, 0, 1, 10,
+                               [](sre::TaskContext&) {});
+  auto consumer = rt.make_task("c", sre::TaskClass::Natural, 0, 1, 10,
+                               [](sre::TaskContext&) {});
+  rt.add_dependency(producer, consumer);
+  rt.submit(consumer);
+
+  EXPECT_EQ(rec.executed_count(), 0u);
+  EXPECT_EQ(rec.end_time_us(), 0u);
+  EXPECT_EQ(tracelog::utilization_timeline(rec), "(no executed tasks)\n");
+  const auto json = tracelog::to_chrome_trace(rec);
+  EXPECT_EQ(json, "[]\n");
+  EXPECT_TRUE(json_lite::valid(json));
+  const auto dot = tracelog::to_dot(rec);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t" + std::to_string(producer->id())), std::string::npos);
 }
 
 }  // namespace

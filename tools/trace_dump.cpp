@@ -3,7 +3,7 @@
 // ui.perfetto.dev), a Graphviz DOT of the observed dynamic DFG, and an
 // ASCII per-CPU utilization timeline on stdout.
 //
-//   $ ./trace_dump [txt|bmp|pdf] [out_prefix]
+//   $ ./trace_dump [txt|bmp|pdf] [out_prefix] [bytes]
 //   $ dot -Tsvg out.dfg.dot -o dfg.svg
 #include <cstdio>
 #include <fstream>
@@ -37,11 +37,26 @@ int main(int argc, char** argv) {
 
   auto cfg = pipeline::RunConfig::x86_disk(kind, sre::DispatchPolicy::Balanced);
   cfg.bytes = 512 * 1024;  // small enough that the DOT stays readable
+  if (argc > 3) {
+    try {
+      cfg.bytes = std::stoull(argv[3]);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "trace_dump: bad byte count '%s'\n", argv[3]);
+      return 2;
+    }
+  }
   cfg.platform = sim::PlatformConfig::x86(8);
 
   tracelog::Recorder recorder;
-  const auto result = pipeline::run_sim(cfg, &recorder);
-  pipeline::verify_roundtrip(result);
+  try {
+    const auto result = pipeline::run_sim(cfg, &recorder);
+    pipeline::verify_roundtrip(result);
+  } catch (const std::exception& e) {
+    // Still emit whatever was recorded — a partial trace of a failed run is
+    // exactly when you want the artifacts. The exporters tolerate empty or
+    // truncated recordings.
+    std::fprintf(stderr, "trace_dump: run failed: %s\n", e.what());
+  }
 
   std::printf("scenario: %s — %zu tasks recorded, %zu executed, %zu aborted, "
               "%zu epochs\n",

@@ -6,34 +6,60 @@
 //   tvsc c <input> <output.tvsh>   compress
 //   tvsc d <input.tvsh> <output>   decompress
 //   tvsc t <input.tvsh>            integrity test (decode + report)
+//
+// Observability flags (compress mode):
+//   --metrics=prom|json|dash   final snapshot to stdout (prom/json) or a
+//                              live one-line dashboard on stderr (dash)
+//   --metrics-interval=<ms>    sampler tick period (default 50 ms)
+//   --report=<dir>             write a run-report bundle (json/md/prom)
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "huffman/stream_format.h"
 #include "io/block_source.h"
+#include "metrics/exporters.h"
+#include "metrics/observer.h"
+#include "metrics/registry.h"
+#include "metrics/report.h"
+#include "metrics/sampler.h"
+#include "pipeline/driver.h"
 #include "pipeline/huffman_pipeline.h"
 #include "sre/threaded_executor.h"
+#include "stats/summary.h"
 
 namespace {
+
+struct CliOptions {
+  std::string metrics;          ///< "", "prom", "json" or "dash"
+  std::uint64_t interval_ms = 50;
+  std::string report_dir;       ///< "" = no report bundle
+};
 
 int usage() {
   std::fputs(
       "usage:\n"
       "  tvsc c <input> <output.tvsh>   compress\n"
       "  tvsc d <input.tvsh> <output>   decompress\n"
-      "  tvsc t <input.tvsh>            integrity test\n",
+      "  tvsc t <input.tvsh>            integrity test\n"
+      "flags (compress):\n"
+      "  --metrics=prom|json|dash       metrics snapshot / live dashboard\n"
+      "  --metrics-interval=<ms>        sampler period (default 50)\n"
+      "  --report=<dir>                 write run-report bundle into <dir>\n",
       stderr);
   return 2;
 }
 
-int compress_file(const std::string& in_path, const std::string& out_path) {
+int compress_file(const std::string& in_path, const std::string& out_path,
+                  const CliOptions& cli) {
   auto data = huff::read_file(in_path);
   if (data.empty()) {
     std::fprintf(stderr, "tvsc: %s is empty\n", in_path.c_str());
     return 1;
   }
   const std::size_t original = data.size();
+  const bool want_metrics = !cli.metrics.empty() || !cli.report_dir.empty();
 
   // Local files are all-available; the disk arrival model still paces the
   // first pass so speculation has something to hide.
@@ -43,25 +69,95 @@ int compress_file(const std::string& in_path, const std::string& out_path) {
   pipeline::RunConfig cfg = pipeline::RunConfig::x86_disk(
       wl::FileKind::Txt, sre::DispatchPolicy::Balanced);
   sre::Runtime rt(cfg.policy);
-  sre::ThreadedExecutor ex(rt, {.workers = 8, .arrival_time_scale = 0.0});
+
+  metrics::Registry reg;
+  metrics::MetricsObserver mobs(reg);
+  if (want_metrics) rt.set_observer(&mobs);
+
+  sre::ThreadedExecutor::Options topts;
+  topts.workers = 8;
+  topts.arrival_time_scale = 0.0;
+  if (want_metrics) {
+    topts.worker_start_hook = [](unsigned ix) {
+      metrics::bind_shard(ix % metrics::kShards);
+    };
+  }
+  sre::ThreadedExecutor ex(rt, topts);
   pipeline::HuffmanPipeline pl(rt, src, cfg);
   src.for_each_arrival([&](std::size_t i, sio::Micros at) {
     ex.schedule_arrival(at, [&pl, i](std::uint64_t now) {
       pl.on_block_arrival(i, now);
     });
   });
+
+  metrics::Sampler sampler;
+  if (want_metrics) {
+    pipeline::install_standard_series(sampler, rt, pl, &reg);
+    if (cli.metrics == "dash") {
+      sampler.set_tick_hook([&reg](const metrics::Sampler::Sample& s) {
+        std::fprintf(stderr, "\r%s",
+                     metrics::dashboard_line(reg.snapshot(), s.t_us).c_str());
+        std::fflush(stderr);
+      });
+    }
+    sampler.start(cli.interval_ms * 1000);
+  }
   ex.run();
+  if (want_metrics) {
+    sampler.stop();
+    sampler.tick(ex.now_us());
+    sampler.clear_series();
+    if (cli.metrics == "dash") std::fputc('\n', stderr);
+  }
   pl.validate_complete();
 
   const auto container = pl.assemble_output();
   huff::write_file(out_path, container);
-  std::printf("%s: %zu -> %zu bytes (%.1f%%), %zu blocks, speculation %s, "
-              "%llu rollback(s)\n",
-              out_path.c_str(), original, container.size(),
-              100.0 * static_cast<double>(container.size()) /
-                  static_cast<double>(original),
-              src.n_blocks(), pl.speculation_committed() ? "committed" : "off",
-              static_cast<unsigned long long>(pl.rollbacks()));
+  std::fprintf(stderr,
+               "%s: %zu -> %zu bytes (%.1f%%), %zu blocks, speculation %s, "
+               "%llu rollback(s)\n",
+               out_path.c_str(), original, container.size(),
+               100.0 * static_cast<double>(container.size()) /
+                   static_cast<double>(original),
+               src.n_blocks(),
+               pl.speculation_committed() ? "committed" : "off",
+               static_cast<unsigned long long>(pl.rollbacks()));
+
+  if (cli.metrics == "prom") {
+    std::fputs(metrics::to_prometheus(reg.snapshot()).c_str(), stdout);
+  } else if (cli.metrics == "json") {
+    std::fputs(metrics::to_json(reg.snapshot(), sampler).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (cli.metrics == "dash") {
+    std::fprintf(stderr, "%s\n",
+                 metrics::dashboard_line(reg.snapshot(), ex.now_us()).c_str());
+  }
+
+  if (!cli.report_dir.empty()) {
+    report::RunInfo info;
+    info.scenario = "tvsc c " + in_path;
+    info.engine = "threaded";
+    info.makespan_us = rt.counters().total_runtime_us;
+    info.blocks = src.n_blocks();
+    const stats::Summary lat = stats::summarize(pl.trace().latencies());
+    info.avg_latency_us = lat.mean;
+    info.p95_latency_us = lat.p95;
+    info.max_latency_us = lat.max;
+    info.spec_committed = pl.speculation_committed();
+    info.rollbacks = pl.rollbacks();
+    info.gate_denials = pl.gate_denials();
+    info.wasted_encodes = pl.trace().wasted_encodes();
+    info.wait_discarded = pl.wait_discarded();
+    info.input_bytes = original;
+    info.output_bits = pl.output_bits();
+    info.best_predictor = pl.best_predictor();
+    info.counters = rt.counters();
+    info.predictors = pl.predictor_scoreboard();
+    const report::RunReport rep = report::make_report(info, &reg, &sampler);
+    for (const auto& path : report::write_bundle(rep, cli.report_dir)) {
+      std::fprintf(stderr, "report: %s\n", path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -87,15 +183,49 @@ int test_file(const std::string& in_path) {
   return 0;
 }
 
+bool parse_flag(const std::string& arg, CliOptions& cli) {
+  if (arg.rfind("--metrics=", 0) == 0) {
+    cli.metrics = arg.substr(10);
+    return cli.metrics == "prom" || cli.metrics == "json" ||
+           cli.metrics == "dash";
+  }
+  if (arg.rfind("--metrics-interval=", 0) == 0) {
+    try {
+      cli.interval_ms = std::stoull(arg.substr(19));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return cli.interval_ms > 0;
+  }
+  if (arg.rfind("--report=", 0) == 0) {
+    cli.report_dir = arg.substr(9);
+    return !cli.report_dir.empty();
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
+  CliOptions cli;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (!parse_flag(arg, cli)) {
+        std::fprintf(stderr, "tvsc: bad flag %s\n", arg.c_str());
+        return usage();
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const std::string& mode = pos[0];
   try {
-    if (mode == "c" && argc == 4) return compress_file(argv[2], argv[3]);
-    if (mode == "d" && argc == 4) return decompress_file(argv[2], argv[3]);
-    if (mode == "t" && argc == 3) return test_file(argv[2]);
+    if (mode == "c" && pos.size() == 3) return compress_file(pos[1], pos[2], cli);
+    if (mode == "d" && pos.size() == 3) return decompress_file(pos[1], pos[2]);
+    if (mode == "t" && pos.size() == 2) return test_file(pos[1]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tvsc: %s\n", e.what());
     return 1;
