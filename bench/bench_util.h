@@ -75,6 +75,15 @@ inline pipeline::RunResult run_reported(const std::string& scenario,
   opt.registry = &registry;
   opt.sampler = &sampler;
   auto result = pipeline::run_sim(cfg, opt);
+  // Scheduler dispatch counters: how many pool pops each task class got.
+  // The MetricsObserver sees dispatches but not the class split the pool
+  // tracks, so fold the pool's own counters into the bundle here.
+  registry.counter("tvs_dispatch_pops_total", "class=\"natural\"")
+      .add(result.natural_dispatches);
+  registry.counter("tvs_dispatch_pops_total", "class=\"speculative\"")
+      .add(result.spec_dispatches);
+  registry.counter("tvs_dispatch_pops_total", "class=\"control\"")
+      .add(result.control_dispatches);
   report::RunInfo info = pipeline::run_info(cfg, result, "sim");
   info.scenario = scenario + " [" + cfg.label() + "]";
   const auto bundle = report::make_report(info, &registry, &sampler);

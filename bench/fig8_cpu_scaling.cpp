@@ -30,6 +30,19 @@ int main(int argc, char** argv) {
   }
 
   benchutil::print_summary_table("Fig. 8: latency vs CPU count", runs);
+  if (benchutil::report_dir_ref()) {
+    // Scheduler dispatch counters; also exported into the report bundles as
+    // tvs_dispatch_pops_total{class=...}. Gated on --report so the default
+    // figure output stays byte-stable.
+    std::printf("\n--- dispatch pops by class ---\n");
+    for (const auto& r : runs) {
+      std::printf("  %-6s natural=%llu speculative=%llu control=%llu\n",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.result.natural_dispatches),
+                  static_cast<unsigned long long>(r.result.spec_dispatches),
+                  static_cast<unsigned long long>(r.result.control_dispatches));
+    }
+  }
   benchutil::print_latency_chart(runs);
   if (csv) benchutil::write_latency_csv(*csv, "fig8_cpus.csv", runs);
 

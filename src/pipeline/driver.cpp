@@ -48,6 +48,7 @@ RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
   res.output_bits = pl.output_bits();
   res.natural_dispatches = rt.pool().natural_pops();
   res.spec_dispatches = rt.pool().speculative_pops();
+  res.control_dispatches = rt.pool().control_pops();
   res.predictors = pl.predictor_scoreboard();
   res.best_predictor = pl.best_predictor();
   res.gate_denials = pl.gate_denials();
@@ -208,6 +209,7 @@ RunResult run_threaded(const RunConfig& config, const RunOptions& options) {
   sre::ThreadedExecutor::Options topts;
   topts.workers = options.workers;
   topts.arrival_time_scale = options.arrival_time_scale;
+  topts.dispatch = options.dispatch;
   if (options.registry) {
     // Pin each worker to its own metrics shard: deterministic, no false
     // sharing between workers.
@@ -235,7 +237,27 @@ RunResult run_threaded(const RunConfig& config, const RunOptions& options) {
     options.sampler->tick(ex.now_us());  // closing row at engine time
     options.sampler->clear_series();
   }
-  return collect(src, pl, rt, rt.counters().total_runtime_us);
+  RunResult res = collect(src, pl, rt, rt.counters().total_runtime_us);
+  res.dispatch = ex.dispatch_stats();
+  if (options.registry) {
+    // Mirror the scheduler-path counters into the registry so report bundles
+    // carry them alongside the speculation metrics.
+    metrics::Registry& reg = *options.registry;
+    const auto& d = res.dispatch;
+    reg.counter("tvs_dispatch_acquires_total", "source=\"local\"")
+        .add(d.local_pops);
+    reg.counter("tvs_dispatch_acquires_total", "source=\"inbox\"")
+        .add(d.inbox_pops);
+    reg.counter("tvs_dispatch_acquires_total", "source=\"steal\"")
+        .add(d.steals);
+    reg.counter("tvs_dispatch_acquires_total", "source=\"self_stage\"")
+        .add(d.self_stages);
+    reg.counter("tvs_dispatch_revoked_at_pop_total").add(d.revoked_at_pop);
+    reg.counter("tvs_dispatch_worker_parks_total").add(d.parks);
+    reg.counter("tvs_dispatch_completion_fallbacks_total")
+        .add(d.completion_fallbacks);
+  }
+  return res;
 }
 
 RunResult run_threaded(const RunConfig& config, unsigned workers,

@@ -21,6 +21,7 @@
 #include "metrics/sampler.h"
 #include "pipeline/run_config.h"
 #include "sre/observer.h"
+#include "sre/threaded_executor.h"
 #include "stats/predictor_stats.h"
 #include "stats/summary.h"
 #include "stats/trace.h"
@@ -43,6 +44,11 @@ struct RunResult {
   std::uint64_t output_bits = 0;
   std::uint64_t natural_dispatches = 0;   ///< pool pops of natural tasks
   std::uint64_t spec_dispatches = 0;      ///< pool pops of speculative tasks
+  std::uint64_t control_dispatches = 0;   ///< pool pops of control tasks
+
+  /// Scheduler-path counters (run_threaded under sharded dispatch only;
+  /// zeros for run_sim and central dispatch).
+  sre::ThreadedExecutor::DispatchStats dispatch;
 
   /// Predictor racing results (PredictorMode::Bank only; empty otherwise).
   stats::PredictorScoreboard predictors;
@@ -79,6 +85,9 @@ struct RunOptions {
   // Threaded engine only.
   unsigned workers = 4;
   double arrival_time_scale = 1.0;
+  /// Scheduler path: Sharded (work-stealing, lock-free completions) or
+  /// Central (single-lock baseline).
+  sre::DispatchMode dispatch = sre::DispatchMode::Sharded;
 };
 
 /// Runs `config` on the virtual-time simulator. Deterministic given a fixed

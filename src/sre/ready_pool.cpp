@@ -1,11 +1,12 @@
 #include "sre/ready_pool.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sre {
 
-ReadyPool::Queue& ReadyPool::queue_for(const TaskPtr& task) {
-  switch (task->task_class()) {
+ReadyPool::Queue& ReadyPool::queue_for(const Task& task) {
+  switch (task.task_class()) {
     case TaskClass::Control:
       return control_;
     case TaskClass::Speculative:
@@ -16,23 +17,72 @@ ReadyPool::Queue& ReadyPool::queue_for(const TaskPtr& task) {
   throw std::logic_error("ReadyPool: unknown task class");
 }
 
+void ReadyPool::heap_push(Queue& q, const Entry& e) {
+  // Sift-up on PODs. comp(a, b) == "a ranks below b" so the front is the
+  // next task to dispatch.
+  q.heap.push_back(e);
+  std::push_heap(q.heap.begin(), q.heap.end(),
+                 [this](const Entry& a, const Entry& b) {
+                   return dispatches_before(b, a);
+                 });
+}
+
+TaskPtr ReadyPool::heap_pop(Queue& q) {
+  const auto comp = [this](const Entry& a, const Entry& b) {
+    return dispatches_before(b, a);
+  };
+  while (!q.heap.empty()) {
+    const Entry e = q.heap.front();
+    std::pop_heap(q.heap.begin(), q.heap.end(), comp);
+    q.heap.pop_back();
+    auto it = owned_.find(e.id);
+    if (it == owned_.end()) continue;  // tombstone from a lazy erase
+    TaskPtr task = std::move(it->second);
+    owned_.erase(it);
+    q.live.fetch_sub(1, std::memory_order_relaxed);
+    return task;
+  }
+  return nullptr;
+}
+
+void ReadyPool::maybe_compact(Queue& q) {
+  // Rebuild once tombstones dominate, so rollback-heavy runs cannot grow a
+  // heap of dead entries unboundedly. Amortized O(1) per erase.
+  const std::size_t live = q.live.load(std::memory_order_relaxed);
+  if (q.heap.size() < 64 || q.heap.size() < 2 * live) return;
+  std::erase_if(q.heap,
+                [this](const Entry& e) { return owned_.count(e.id) == 0; });
+  std::make_heap(q.heap.begin(), q.heap.end(),
+                 [this](const Entry& a, const Entry& b) {
+                   return dispatches_before(b, a);
+                 });
+}
+
 void ReadyPool::push(const TaskPtr& task) {
   if (task->task_class() == TaskClass::Speculative &&
       policy_ == DispatchPolicy::NonSpeculative) {
     throw std::logic_error(
         "ReadyPool: speculative task submitted under NonSpeculative policy");
   }
-  queue_for(task).insert(task);
+  Queue& q = queue_for(*task);
+  const auto [it, inserted] = owned_.emplace(task->id(), task);
+  if (!inserted) return;  // double push: match the old set's no-op
+  heap_push(q, Entry{task->depth(), task->ready_seq(), task->id()});
+  q.live.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ReadyPool::erase(const TaskPtr& task) {
-  return queue_for(task).erase(task) > 0;
+  if (owned_.erase(task->id()) == 0) return false;
+  Queue& q = queue_for(*task);
+  q.live.fetch_sub(1, std::memory_order_relaxed);
+  ++tombstones_created_;
+  maybe_compact(q);
+  return true;
 }
 
 TaskPtr ReadyPool::pop_from(Queue& q, bool is_spec) {
-  if (q.empty()) return nullptr;
-  TaskPtr task = *q.begin();
-  q.erase(q.begin());
+  TaskPtr task = heap_pop(q);
+  if (!task) return nullptr;
   if (is_spec) {
     ++spec_pops_;
   } else {
@@ -44,9 +94,8 @@ TaskPtr ReadyPool::pop_from(Queue& q, bool is_spec) {
 TaskPtr ReadyPool::pop(bool spec_allowed) {
   // Control tasks always win; they are counted on neither side of the
   // natural/speculative balance.
-  if (!control_.empty()) {
-    TaskPtr task = *control_.begin();
-    control_.erase(control_.begin());
+  if (TaskPtr task = heap_pop(control_)) {
+    ++control_pops_;
     return task;
   }
   if (!spec_allowed) {
@@ -86,14 +135,6 @@ TaskPtr ReadyPool::pop(bool spec_allowed) {
     }
   }
   return nullptr;
-}
-
-bool ReadyPool::empty() const {
-  return control_.empty() && natural_.empty() && spec_.empty();
-}
-
-std::size_t ReadyPool::size() const {
-  return control_.size() + natural_.size() + spec_.size();
 }
 
 }  // namespace sre

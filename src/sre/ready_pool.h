@@ -6,11 +6,27 @@
 // Within each queue, ordering is deepest-pipeline-stage-first with FCFS
 // tie-break (paper §III-A: "a priority-based scheduling policy where depth
 // is favored, but uses FCFS for tasks of equal priority").
+//
+// Representation: each queue is a binary heap over small POD entries
+// {depth, ready_seq, id} with TaskPtr ownership held once in a side table,
+// so heap sifts move 24-byte PODs instead of churning shared_ptr refcounts
+// (the std::set<TaskPtr> representation this replaced paid an allocation,
+// a rebalance and refcount traffic per push/pop). erase() — rollback of a
+// Ready task — is lazy: the ownership entry is dropped and the heap entry
+// becomes a tombstone skipped at pop time; heaps compact when tombstones
+// outnumber live entries. The comparator is a total order (TaskId
+// tie-break), so heap pops reproduce the exact pop sequence of the ordered
+// set — the virtual-time SimExecutor's schedules are bit-identical.
+//
+// Thread safety: externally synchronized (the Runtime lock), like the
+// container it replaced. The per-queue size counters are atomics so that
+// lock-free probes (Runtime::ready_count, worker idle checks) can read
+// them without taking the lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "sre/ids.h"
@@ -22,10 +38,7 @@ class ReadyPool {
  public:
   explicit ReadyPool(DispatchPolicy policy,
                      PriorityMode mode = PriorityMode::DepthFirst)
-      : policy_(policy),
-        control_(Order{mode}),
-        natural_(Order{mode}),
-        spec_(Order{mode}) {}
+      : policy_(policy), mode_(mode) {}
 
   [[nodiscard]] DispatchPolicy policy() const { return policy_; }
 
@@ -33,7 +46,7 @@ class ReadyPool {
   void push(const TaskPtr& task);
 
   /// Removes a specific task (rollback of a Ready task). Returns true if the
-  /// task was present.
+  /// task was present. O(1): drops ownership and leaves a heap tombstone.
   bool erase(const TaskPtr& task);
 
   /// Pops the next task to dispatch per the policy, or nullptr if empty.
@@ -45,41 +58,77 @@ class ReadyPool {
   /// queues (paper §V-B's Cell observation), which only the executor can see.
   TaskPtr pop(bool spec_allowed = true);
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t natural_size() const { return natural_.size(); }
-  [[nodiscard]] std::size_t speculative_size() const { return spec_.size(); }
-  [[nodiscard]] std::size_t control_size() const { return control_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// O(1), safe to read without the runtime lock.
+  [[nodiscard]] std::size_t size() const {
+    return control_.live.load(std::memory_order_relaxed) +
+           natural_.live.load(std::memory_order_relaxed) +
+           spec_.live.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t natural_size() const {
+    return natural_.live.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t speculative_size() const {
+    return spec_.live.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t control_size() const {
+    return control_.live.load(std::memory_order_relaxed);
+  }
 
   /// Dispatch counters (used by tests to verify policy behaviour).
   [[nodiscard]] std::uint64_t natural_pops() const { return natural_pops_; }
   [[nodiscard]] std::uint64_t speculative_pops() const { return spec_pops_; }
+  [[nodiscard]] std::uint64_t control_pops() const { return control_pops_; }
+  /// Ready-task revocations processed (rollback erase of a Ready task).
+  [[nodiscard]] std::uint64_t tombstones_created() const {
+    return tombstones_created_;
+  }
 
  private:
-  struct Order {
-    PriorityMode mode = PriorityMode::DepthFirst;
-    // DepthFirst: higher depth first, then earlier ready_seq; Fcfs: ready
-    // order only. TaskId gives a total order in both cases.
-    bool operator()(const TaskPtr& a, const TaskPtr& b) const {
-      if (mode == PriorityMode::DepthFirst && a->depth() != b->depth()) {
-        return a->depth() > b->depth();
-      }
-      if (a->ready_seq() != b->ready_seq()) return a->ready_seq() < b->ready_seq();
-      return a->id() < b->id();
-    }
+  /// Heap entry: everything the comparator needs, no Task pointer chase.
+  struct Entry {
+    int depth = 0;
+    std::uint64_t ready_seq = 0;
+    TaskId id = 0;
   };
-  using Queue = std::set<TaskPtr, Order>;
+
+  struct Queue {
+    std::vector<Entry> heap;
+    std::atomic<std::size_t> live{0};
+  };
+
+  /// True when `a` dispatches before `b`: depth-favored (DepthFirst mode),
+  /// then FCFS (ready_seq), then TaskId — a total order.
+  [[nodiscard]] bool dispatches_before(const Entry& a, const Entry& b) const {
+    if (mode_ == PriorityMode::DepthFirst && a.depth != b.depth) {
+      return a.depth > b.depth;
+    }
+    if (a.ready_seq != b.ready_seq) return a.ready_seq < b.ready_seq;
+    return a.id < b.id;
+  }
+
+  void heap_push(Queue& q, const Entry& e);
+  /// Pops live entries (skipping tombstones) and returns the owned TaskPtr,
+  /// or nullptr when the queue has no live entries.
+  TaskPtr heap_pop(Queue& q);
+  void maybe_compact(Queue& q);
 
   TaskPtr pop_from(Queue& q, bool is_spec);
-  Queue& queue_for(const TaskPtr& task);
+  Queue& queue_for(const Task& task);
 
   DispatchPolicy policy_;
+  PriorityMode mode_;
   Queue control_;
   Queue natural_;
   Queue spec_;
+  /// Single ownership table for all three queues; a heap entry is live iff
+  /// its id is present here.
+  std::unordered_map<TaskId, TaskPtr> owned_;
   bool balanced_prefer_spec_ = true;  ///< Balanced policy alternation state
   std::uint64_t natural_pops_ = 0;
   std::uint64_t spec_pops_ = 0;
+  std::uint64_t control_pops_ = 0;
+  std::uint64_t tombstones_created_ = 0;
 };
 
 }  // namespace sre

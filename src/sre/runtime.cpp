@@ -97,71 +97,132 @@ void Runtime::make_ready_locked(const TaskPtr& task) {
   task->ready_seq_ = next_ready_seq_++;
   task->state_.store(TaskState::Ready);
   pool_.push(task);
+  outstanding_.fetch_add(1, std::memory_order_release);
 }
 
 void Runtime::on_task_finished(const TaskPtr& task, std::uint64_t now_us) {
+  finish_common(nullptr, &task, now_us);
+}
+
+void Runtime::finish_staged(Task* task, std::uint64_t now_us) {
+  finish_common(task, nullptr, now_us);
+}
+
+void Runtime::finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
+                                bool& notify,
+                                std::vector<Task::CompletionHook>& hooks) {
+  assert(task->state_.load() == TaskState::Running ||
+         task->state_.load() == TaskState::Staged);
+  --running_;
+  outstanding_.fetch_sub(1, std::memory_order_release);
+
+  if (task->epoch() != kNaturalEpoch) {
+    auto it = epoch_tasks_.find(task->epoch());
+    if (it != epoch_tasks_.end()) it->second.erase(task->id());
+  }
+
+  if (observer_) {
+    observer_->on_finished(task->id(), now_us, task->abort_requested());
+  }
+  if (task->abort_requested()) {
+    // Rollback caught this task in flight: discard its results, propagate
+    // the destroy signal to anything that was wired to consume them.
+    task->state_.store(TaskState::Aborted);
+    ++counters_.tasks_aborted;
+    for (const TaskPtr& succ : task->successors_) {
+      abort_task_locked(succ);
+    }
+    task->successors_.clear();
+    task->hooks_.clear();
+    task->body_ = nullptr;
+    return;  // no hooks: aborted completions are discarded with their content
+  }
+
+  task->state_.store(TaskState::Done);
+  if (task->epoch() != kNaturalEpoch && task->rollback_routine_) {
+    // The task performed a reversible side effect; log the compensation
+    // so a later rollback of this epoch can undo it.
+    epoch_undo_log_[task->epoch()].push_back(
+        std::move(task->rollback_routine_));
+    task->rollback_routine_ = nullptr;
+  }
+  ++counters_.tasks_executed;
+  if (task->speculative()) ++counters_.spec_tasks_executed;
+  if (task->task_class() == TaskClass::Control) ++counters_.checks_executed;
+  counters_.total_runtime_us = std::max(counters_.total_runtime_us, now_us);
+
+  for (const TaskPtr& succ : task->successors_) {
+    if (succ->state_.load() == TaskState::Aborted) continue;
+    assert(succ->unmet_deps_ > 0);
+    if (--succ->unmet_deps_ == 0 && succ->state_.load() == TaskState::Blocked) {
+      --blocked_;
+      make_ready_locked(succ);
+      notify = true;
+    }
+  }
+  task->successors_.clear();
+  hooks = std::move(task->hooks_);
+  task->hooks_.clear();
+  task->body_ = nullptr;
+}
+
+void Runtime::finish_common(Task* raw, const TaskPtr* provided,
+                            std::uint64_t now_us) {
   std::vector<Task::CompletionHook> hooks;
+  bool notify = false;
+  TaskPtr owned;
+  {
+    std::scoped_lock lk(mu_);
+    const TaskPtr* taskp = provided;
+    if (raw != nullptr) {
+      auto own = staged_owned_.find(raw);
+      assert(own != staged_owned_.end() &&
+             "finish_staged: task was not staged via stage_ready_batch");
+      owned = std::move(own->second);
+      staged_owned_.erase(own);
+      taskp = &owned;
+    }
+    finish_one_locked(*taskp, now_us, notify, hooks);
+  }
+  // Hooks run outside the lock: they are allowed to create and submit new
+  // tasks (dynamic DFG growth) and to trigger commits/rollbacks. The
+  // completion's Task object stays alive through `owned`/`provided` here.
+  Task& task = raw != nullptr ? *raw : **provided;
+  for (auto& hook : hooks) {
+    hook(task, now_us);
+  }
+  if (notify) signal_ready();
+}
+
+void Runtime::finish_staged_batch(Task* const* tasks,
+                                  const std::uint64_t* done_us,
+                                  std::size_t n) {
+  struct Retired {
+    TaskPtr task;
+    std::uint64_t now_us = 0;
+    std::vector<Task::CompletionHook> hooks;
+  };
+  std::vector<Retired> retired;
+  retired.reserve(n);
   bool notify = false;
   {
     std::scoped_lock lk(mu_);
-    assert(task->state_.load() == TaskState::Running ||
-           task->state_.load() == TaskState::Staged);
-    --running_;
-
-    if (task->epoch() != kNaturalEpoch) {
-      auto it = epoch_tasks_.find(task->epoch());
-      if (it != epoch_tasks_.end()) it->second.erase(task->id());
+    for (std::size_t i = 0; i < n; ++i) {
+      auto own = staged_owned_.find(tasks[i]);
+      assert(own != staged_owned_.end() &&
+             "finish_staged_batch: task was not staged via stage_ready_batch");
+      Retired r;
+      r.task = std::move(own->second);
+      r.now_us = done_us[i];
+      staged_owned_.erase(own);
+      finish_one_locked(r.task, r.now_us, notify, r.hooks);
+      retired.push_back(std::move(r));
     }
-
-    if (observer_) {
-      observer_->on_finished(task->id(), now_us, task->abort_requested());
-    }
-    if (task->abort_requested()) {
-      // Rollback caught this task in flight: discard its results, propagate
-      // the destroy signal to anything that was wired to consume them.
-      task->state_.store(TaskState::Aborted);
-      ++counters_.tasks_aborted;
-      for (const TaskPtr& succ : task->successors_) {
-        abort_task_locked(succ);
-      }
-      task->successors_.clear();
-      task->hooks_.clear();
-      task->body_ = nullptr;
-      return;
-    }
-
-    task->state_.store(TaskState::Done);
-    if (task->epoch() != kNaturalEpoch && task->rollback_routine_) {
-      // The task performed a reversible side effect; log the compensation
-      // so a later rollback of this epoch can undo it.
-      epoch_undo_log_[task->epoch()].push_back(
-          std::move(task->rollback_routine_));
-      task->rollback_routine_ = nullptr;
-    }
-    ++counters_.tasks_executed;
-    if (task->speculative()) ++counters_.spec_tasks_executed;
-    if (task->task_class() == TaskClass::Control) ++counters_.checks_executed;
-    counters_.total_runtime_us = std::max(counters_.total_runtime_us, now_us);
-
-    for (const TaskPtr& succ : task->successors_) {
-      if (succ->state_.load() == TaskState::Aborted) continue;
-      assert(succ->unmet_deps_ > 0);
-      if (--succ->unmet_deps_ == 0 &&
-          succ->state_.load() == TaskState::Blocked) {
-        --blocked_;
-        make_ready_locked(succ);
-        notify = true;
-      }
-    }
-    task->successors_.clear();
-    hooks = std::move(task->hooks_);
-    task->hooks_.clear();
-    task->body_ = nullptr;
   }
-  // Hooks run outside the lock: they are allowed to create and submit new
-  // tasks (dynamic DFG growth) and to trigger commits/rollbacks.
-  for (auto& hook : hooks) {
-    hook(*task, now_us);
+  for (auto& r : retired) {
+    for (auto& hook : r.hooks) {
+      hook(*r.task, r.now_us);
+    }
   }
   if (notify) signal_ready();
 }
@@ -189,6 +250,7 @@ void Runtime::abort_task_locked(const TaskPtr& task) {
       break;
     case TaskState::Ready:
       pool_.erase(task);
+      outstanding_.fetch_sub(1, std::memory_order_release);
       task->state_.store(TaskState::Aborted);
       ++counters_.tasks_aborted;
       if (observer_) observer_->on_finished(task->id(), 0, /*aborted=*/true);
@@ -196,7 +258,8 @@ void Runtime::abort_task_locked(const TaskPtr& task) {
     case TaskState::Staged:
     case TaskState::Running:
       // Cannot delete a launched task; flag it for disposal at completion
-      // (paper §III-B).
+      // (paper §III-B). Workers also honour the flag at pop time for tasks
+      // still sitting in their local queues (revocation-at-pop).
       task->request_abort();
       return;  // keep hooks/successors until it completes
     case TaskState::Done:
@@ -217,6 +280,11 @@ void Runtime::abort_epoch(Epoch epoch) {
   std::vector<Task::RollbackRoutine> undo;
   {
     std::scoped_lock lk(mu_);
+    // Advance the revocation epoch BEFORE any abort flag is set, so a worker
+    // that still observes the old epoch for a staged task may (only) conclude
+    // the flag was not set when the task was staged; the flag check at pop
+    // and the discard-at-completion path remain the correctness backstop.
+    revocation_epoch_.fetch_add(1, std::memory_order_release);
     if (observer_) observer_->on_epoch_aborted(epoch);
     auto it = epoch_tasks_.find(epoch);
     if (it != epoch_tasks_.end()) {
@@ -269,6 +337,26 @@ TaskPtr Runtime::next_task(std::uint64_t now_us, unsigned cpu) {
   return task;
 }
 
+std::size_t Runtime::stage_ready_batch(std::uint64_t now_us,
+                                       const unsigned* targets,
+                                       std::size_t max, Task** out) {
+  std::scoped_lock lk(mu_);
+  const std::uint64_t rev = revocation_epoch_.load(std::memory_order_relaxed);
+  std::size_t n = 0;
+  while (n < max) {
+    TaskPtr task = pool_.pop();
+    if (!task) break;
+    Task* raw = task.get();
+    raw->staged_revocation_epoch_ = rev;
+    raw->state_.store(TaskState::Staged);
+    ++running_;
+    if (observer_) observer_->on_dispatched(raw->id(), now_us, targets[n]);
+    staged_owned_.emplace(raw, std::move(task));
+    out[n++] = raw;
+  }
+  return n;
+}
+
 void Runtime::mark_running(const TaskPtr& task, std::uint64_t now_us,
                            unsigned cpu) {
   std::scoped_lock lk(mu_);
@@ -298,11 +386,6 @@ std::size_t Runtime::blocked_count() const {
   return blocked_;
 }
 
-std::size_t Runtime::ready_count() const {
-  std::scoped_lock lk(mu_);
-  return pool_.size();
-}
-
 std::size_t Runtime::running_count() const {
   std::scoped_lock lk(mu_);
   return running_;
@@ -321,11 +404,6 @@ Runtime::QueueDepths Runtime::queue_depths() const {
     d.epoch_tasks += tasks.size();
   }
   return d;
-}
-
-bool Runtime::quiescent() const {
-  std::scoped_lock lk(mu_);
-  return pool_.empty() && running_ == 0;
 }
 
 void Runtime::signal_ready() {

@@ -12,9 +12,12 @@
 //
 // Thread safety: all mutating operations take the runtime lock; the threaded
 // executor calls them from worker/director threads, the simulator from its
-// single event loop.
+// single event loop. The *probes* executors poll on their hot paths —
+// quiescent(), ready_count(), revocation_epoch() — are single atomic loads
+// and never take the lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -65,6 +68,7 @@ class Runtime {
   Epoch open_epoch();
 
   /// Rolls back a speculation epoch: destroys every task tagged with it.
+  /// Also advances the revocation epoch (see revocation_epoch()).
   void abort_epoch(Epoch epoch);
 
   void mark_epoch_committed(Epoch epoch);
@@ -73,12 +77,45 @@ class Runtime {
   /// check verdict rejects an epoch).
   void note_rollback();
 
+  /// Monotonic count of abort_epoch() calls, readable without the lock.
+  /// Tasks staged to worker-local queues are stamped with the value current
+  /// at staging time; a worker popping a task whose stamp still matches
+  /// knows no rollback ran in between and skips the abort-flag check.
+  [[nodiscard]] std::uint64_t revocation_epoch() const {
+    return revocation_epoch_.load(std::memory_order_acquire);
+  }
+
   // --- Scheduling ----------------------------------------------------------
 
   /// Pops the next task to run under the configured policy. `now_us`/`cpu`
   /// are bookkeeping for the observer (executors pass their engine time and
-  /// CPU/worker index).
+  /// CPU/worker index). One task per lock acquisition — the simulator's
+  /// path, and the threaded executor's legacy central path.
   TaskPtr next_task(std::uint64_t now_us = 0, unsigned cpu = 0);
+
+  /// Sharded-dispatch batch pop: under ONE lock acquisition, pops up to
+  /// `max` ready tasks, marks each Staged, stamps its revocation epoch,
+  /// moves its ownership into the runtime's staged table, and fires the
+  /// observer dispatch event with `targets[i]` as the worker index. Raw
+  /// pointers are written to `out`; returns the number staged. Each staged
+  /// task MUST later be retired through finish_staged().
+  std::size_t stage_ready_batch(std::uint64_t now_us, const unsigned* targets,
+                                std::size_t max, Task** out);
+
+  /// Completion partner of stage_ready_batch(): identical semantics to
+  /// on_task_finished(), plus it releases the staged ownership entry.
+  void finish_staged(Task* task, std::uint64_t now_us);
+
+  /// Batch form of finish_staged(): retires `n` completions under ONE lock
+  /// acquisition, then runs all their completion hooks outside the lock in
+  /// the same order. The director drains its completion queue through this,
+  /// so the per-task cost of the retire path is a heap/hash update, not a
+  /// mutex round-trip. Note the hooks of completion i run after the locked
+  /// bookkeeping of completions i+1..n-1 — a legal interleaving of the
+  /// equivalent sequential finish_staged calls, since tasks sharing a batch
+  /// were concurrent in flight.
+  void finish_staged_batch(Task* const* tasks, const std::uint64_t* done_us,
+                           std::size_t n);
 
   /// Installs a passive event observer (see observer.h; may be null).
   /// Not thread-safe against a running executor: install before run().
@@ -100,7 +137,9 @@ class Runtime {
 
   [[nodiscard]] stats::RunCounters counters() const;
   [[nodiscard]] std::size_t blocked_count() const;
-  [[nodiscard]] std::size_t ready_count() const;
+  /// Ready tasks across all three queues. Lock-free (pool sizes are O(1)
+  /// atomics); safe to poll from worker idle loops.
+  [[nodiscard]] std::size_t ready_count() const { return pool_.size(); }
   [[nodiscard]] std::size_t running_count() const;
 
   /// One consistent view of every queue the scheduler maintains, for
@@ -117,8 +156,12 @@ class Runtime {
   [[nodiscard]] QueueDepths queue_depths() const;
 
   /// True when no task is ready, staged or running. (Blocked tasks may still
-  /// exist if the program is waiting for external arrivals.)
-  [[nodiscard]] bool quiescent() const;
+  /// exist if the program is waiting for external arrivals.) A single atomic
+  /// load — executors poll this every dispatch round without serializing on
+  /// the lock.
+  [[nodiscard]] bool quiescent() const {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  }
 
   /// Runs `fn` under the runtime lock (executors use this to make
   /// dispatch-and-mark-running atomic).
@@ -129,6 +172,9 @@ class Runtime {
   }
 
   /// Executor interface: transition a popped task to Running / Staged.
+  /// (The simulator's staging path — it keeps ownership of staged tasks in
+  /// its per-CPU queues, unlike stage_ready_batch which moves ownership
+  /// into the runtime.)
   void mark_running(const TaskPtr& task, std::uint64_t now_us = 0,
                     unsigned cpu = 0);
   void mark_staged(const TaskPtr& task);
@@ -137,6 +183,16 @@ class Runtime {
   void make_ready_locked(const TaskPtr& task);
   void abort_task_locked(const TaskPtr& task);
   void signal_ready();
+  /// Shared completion body. Exactly one of `raw` (staged-ownership lookup)
+  /// or `provided` is used.
+  void finish_common(Task* raw, const TaskPtr* provided, std::uint64_t now_us);
+  /// Locked part of completing one task: bookkeeping, successor release,
+  /// abort handling. Appends the task's completion hooks (empty if aborted)
+  /// to `hooks` for the caller to run outside the lock; sets `notify` when
+  /// new tasks became ready.
+  void finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
+                         bool& notify,
+                         std::vector<Task::CompletionHook>& hooks);
 
   mutable std::mutex mu_;
   ReadyPool pool_;
@@ -152,6 +208,14 @@ class Runtime {
   /// in completion order. abort_epoch replays it in reverse; committing an
   /// epoch discards it.
   std::unordered_map<Epoch, std::vector<Task::RollbackRoutine>> epoch_undo_log_;
+
+  /// Ownership of tasks staged via stage_ready_batch (worker-local queues
+  /// hold raw pointers); released by finish_staged.
+  std::unordered_map<const Task*, TaskPtr> staged_owned_;
+
+  /// Tasks in Ready ∪ Staged ∪ Running — the lock-free quiescence probe.
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint64_t> revocation_epoch_{0};
 
   stats::RunCounters counters_;
   std::size_t blocked_ = 0;

@@ -1,0 +1,74 @@
+// SpscRing: bounded single-producer / single-consumer ring of Task*.
+//
+// The sharded ThreadedExecutor uses one per worker as its *inbox*: the
+// director (sole producer) stages batches of ready tasks into it, the owning
+// worker (sole consumer) drains it into its steal deque. Thieves never touch
+// an inbox — cross-worker redistribution happens through StealDeque.
+//
+// Synchronization: tail is written with release by the producer and read
+// with acquire by the consumer, which also publishes the task's staging
+// fields (state, revocation stamp) written before push(). No fences — every
+// ordering lives on an atomic op, so the structure is exact under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace sre {
+
+class Task;
+
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<std::atomic<Task*>>(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when full.
+  bool push(Task* task) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h > mask_) return false;
+    cells_[t & mask_].store(task, std::memory_order_relaxed);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullptr when empty.
+  Task* pop() {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return nullptr;
+    Task* task = cells_[h & mask_].load(std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+    return task;
+  }
+
+  /// Producer-side free-slot estimate (exact for the producer: the consumer
+  /// only ever grows it).
+  [[nodiscard]] std::size_t free_slots() const {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return capacity() - (t - h);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::atomic<Task*>> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace sre

@@ -68,6 +68,16 @@ class Task {
     return abort_requested_.load(std::memory_order_acquire);
   }
 
+  /// Runtime revocation epoch observed when the task was staged to a
+  /// worker-local queue (written under the runtime lock before the task is
+  /// published through a staging ring). A worker popping the task compares
+  /// it against the runtime's current revocation epoch: equal means no
+  /// rollback ran since staging, so the abort flag cannot be set and the
+  /// task can start without even loading it.
+  [[nodiscard]] std::uint64_t staged_revocation_epoch() const {
+    return staged_revocation_epoch_;
+  }
+
   /// User-defined rollback routine (the extension of paper §II-A: "our
   /// framework can be extended to support user-defined rollback routines,
   /// to enable more tasks to execute speculatively").
@@ -102,6 +112,7 @@ class Task {
 
  private:
   friend class Runtime;
+  friend class ThreadedExecutor;  ///< lock-free Staged→Running transition
 
   const TaskId id_;
   const std::string name_;
@@ -114,6 +125,7 @@ class Task {
   std::atomic<TaskState> state_{TaskState::Created};
   std::atomic<bool> abort_requested_{false};
   std::uint64_t ready_seq_ = 0;
+  std::uint64_t staged_revocation_epoch_ = 0;
   std::size_t mem_bytes_ = 0;
 
   // Dependence bookkeeping — owned by the Runtime, guarded by its lock.

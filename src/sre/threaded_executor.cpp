@@ -1,9 +1,52 @@
 #include "sre/threaded_executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace sre {
+
+namespace {
+
+/// True on sharded worker threads. A worker that makes new work ready (via
+/// an inline finish or a hook) picks it up itself on its next acquire loop,
+/// so its ready_signal must not bounce to the director — only non-worker
+/// threads (feeder arrivals, director-run hooks) need that wake. Extra
+/// workers still engage through their timed-park ready_count predicate.
+thread_local bool tls_sharded_worker = false;
+
+std::size_t ceil_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 2));
+}
+
+/// Log-bucket index for a latency sample: bit_width(us), so bucket b covers
+/// [2^(b-1), 2^b) µs and bucket 0 is exactly 0 µs.
+unsigned latency_bucket(std::uint64_t us) {
+  return static_cast<unsigned>(std::bit_width(us));
+}
+
+}  // namespace
+
+std::uint64_t ThreadedExecutor::DispatchStats::pop_count() const {
+  return local_pops + inbox_pops + steals + self_stages;
+}
+
+std::uint64_t ThreadedExecutor::DispatchStats::pop_latency_quantile_us(
+    double q) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : pop_latency) total += c;
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < pop_latency.size(); ++b) {
+    seen += pop_latency[b];
+    if (seen > rank) {
+      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;  // bucket upper bound
+    }
+  }
+  return 0;
+}
 
 ThreadedExecutor::ThreadedExecutor(Runtime& runtime, Options options)
     : runtime_(runtime),
@@ -12,20 +55,54 @@ ThreadedExecutor::ThreadedExecutor(Runtime& runtime, Options options)
   if (options_.workers == 0) {
     throw std::invalid_argument("ThreadedExecutor: need at least one worker");
   }
+  if (options_.dispatch == DispatchMode::Sharded) {
+    options_.stage_batch = std::min(std::max(options_.stage_batch, 1u), 256u);
+    const auto inbox_cap =
+        static_cast<unsigned>(ceil_pow2(options_.inbox_capacity));
+    // The deque must absorb a full inbox drain plus a self-staged batch so
+    // worker-side pushes can never fail after a free_estimate check.
+    const auto deque_cap = static_cast<unsigned>(ceil_pow2(
+        std::max<std::size_t>(options_.local_queue_capacity, inbox_cap * 2)));
+    wstate_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i) {
+      wstate_.push_back(std::make_unique<WorkerState>(inbox_cap, deque_cap));
+    }
+    // Sized generously: completions pile up whenever the director is starved
+    // for CPU (e.g. more workers than cores), and a full queue forces workers
+    // onto the per-task locked fallback — exactly the cost the batched drain
+    // exists to amortize away. ~24 B/cell, so 16 Ki cells is ~400 KiB.
+    const std::size_t cap = ceil_pow2(std::max<std::size_t>(
+        16384, options_.workers * (inbox_cap + deque_cap + 2)));
+    completions_ = std::make_unique<CompletionQueue>(cap);
+    free_buf_.assign(options_.workers, 0);
+  }
   runtime_.set_ready_signal([this] {
-    std::scoped_lock lk(mu_);
-    work_cv_.notify_all();
-    done_cv_.notify_all();
+    if (options_.dispatch == DispatchMode::Sharded) {
+      // New ready work: the director stages it out. run() polls with a
+      // timeout, so it needs no eager wakeup here.
+      if (!tls_sharded_worker) wake_director();
+    } else {
+      std::scoped_lock lk(mu_);
+      work_cv_.notify_all();
+      done_cv_.notify_all();
+    }
   });
 }
 
 ThreadedExecutor::~ThreadedExecutor() {
   {
     std::scoped_lock lk(mu_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
     work_cv_.notify_all();
     director_cv_.notify_all();
     done_cv_.notify_all();
+  }
+  if (options_.dispatch == DispatchMode::Sharded) {
+    wake_all_workers();
+    {
+      std::scoped_lock lk(dir_mu_);
+      dir_cv_.notify_all();
+    }
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -49,11 +126,6 @@ void ThreadedExecutor::schedule_arrival(std::uint64_t at_us, Arrival fn) {
   arrivals_.emplace_back(scaled, std::move(fn));
 }
 
-bool ThreadedExecutor::finished_locked() const {
-  return feeder_done_ && completions_.empty() && in_flight_ == 0 &&
-         runtime_.quiescent();
-}
-
 void ThreadedExecutor::feeder_loop() {
   std::vector<std::pair<std::uint64_t, Arrival>> schedule;
   {
@@ -64,30 +136,342 @@ void ThreadedExecutor::feeder_loop() {
   std::stable_sort(schedule.begin(), schedule.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [at_us, fn] : schedule) {
-    {
-      std::scoped_lock lk(mu_);
-      if (stopping_) break;
-    }
+    if (stopping_.load(std::memory_order_acquire)) break;
     std::this_thread::sleep_until(start_ + std::chrono::microseconds(at_us));
     fn(now_us());
   }
   {
     std::scoped_lock lk(mu_);
-    feeder_done_ = true;
+    feeder_done_.store(true, std::memory_order_release);
     done_cv_.notify_all();
     work_cv_.notify_all();
   }
+  if (options_.dispatch == DispatchMode::Sharded) wake_director();
 }
 
-void ThreadedExecutor::worker_loop(unsigned worker_ix) {
+void ThreadedExecutor::fail(const std::string& what) {
+  {
+    std::scoped_lock lk(mu_);
+    if (error_.empty()) error_ = what;
+    stopping_.store(true, std::memory_order_release);
+    work_cv_.notify_all();
+    director_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  if (options_.dispatch == DispatchMode::Sharded) {
+    wake_all_workers();
+    std::scoped_lock lk(dir_mu_);
+    dir_cv_.notify_all();
+  }
+}
+
+// --- Sharded mode -----------------------------------------------------------
+
+void ThreadedExecutor::wake_worker(unsigned worker_ix) {
+  WorkerState& w = *wstate_[worker_ix];
+  if (!w.parked.load(std::memory_order_acquire)) return;
+  std::scoped_lock lk(w.park_mu);
+  w.park_cv.notify_one();
+}
+
+void ThreadedExecutor::wake_all_workers() {
+  for (auto& w : wstate_) {
+    std::scoped_lock lk(w->park_mu);
+    w->park_cv.notify_all();
+  }
+}
+
+void ThreadedExecutor::wake_director() {
+  if (!dir_parked_.load(std::memory_order_acquire)) return;
+  std::scoped_lock lk(dir_mu_);
+  dir_cv_.notify_one();
+}
+
+bool ThreadedExecutor::distribute() {
+  if (runtime_.ready_count() == 0) return false;
+  constexpr std::size_t kMax = 256;
+  const unsigned nworkers = options_.workers;
+  const std::size_t batch = options_.stage_batch;
+
+  for (unsigned w = 0; w < nworkers; ++w) {
+    free_buf_[w] = wstate_[w]->inbox.free_slots();
+  }
+  // Round-robin slot assignment: one task per worker per sweep, starting at
+  // a rotating cursor, until the batch is filled or every inbox is full.
+  // Awake workers are preferred (pass 0) — they poll their inbox anyway, so
+  // feeding them costs no futex wake; parked workers (pass 1) are used only
+  // when the awake ones are saturated. With fewer runnable chains than
+  // workers this keeps the idle majority asleep instead of bouncing every
+  // handoff to a fresh sleeper.
+  unsigned targets[kMax];
+  std::size_t want = 0;
+  for (int pass = 0; pass < 2 && want < batch; ++pass) {
+    bool assigned = true;
+    while (want < batch && assigned) {
+      assigned = false;
+      for (unsigned k = 0; k < nworkers && want < batch; ++k) {
+        const unsigned w = (rr_cursor_ + k) % nworkers;
+        if (free_buf_[w] == 0) continue;
+        const bool parked = wstate_[w]->parked.load(std::memory_order_relaxed);
+        if (parked != (pass == 1)) continue;
+        --free_buf_[w];
+        targets[want++] = w;
+        assigned = true;
+      }
+    }
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % nworkers;
+  if (want == 0) return false;  // all inboxes full; completions will drain them
+
+  Task* out[kMax];
+  const std::size_t n =
+      runtime_.stage_ready_batch(now_us(), targets, want, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool ok = wstate_[targets[i]]->inbox.push(out[i]);
+    (void)ok;  // cannot fail: free_slots checked, we are the only producer
+  }
+  dir_stats_.director_stages += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (targets[j] == targets[i]) {
+        first = false;
+        break;
+      }
+    }
+    if (first) wake_worker(targets[i]);
+  }
+  return n > 0;
+}
+
+std::size_t ThreadedExecutor::try_retire_batch() {
+  // Retire completions in batches: one runtime-lock acquisition per
+  // kRetireBatch tasks instead of per task. The MPSC pop side is
+  // single-consumer, so the "retire role" is arbitrated by retire_mu_ —
+  // try_lock only, since a loser knows someone else is already retiring and
+  // should go do something more useful. The popped tasks still count as
+  // outstanding until finish_staged_batch runs, so quiescent() stays false
+  // across the window; directing_ additionally guards the hook-submit window
+  // (see run()).
+  constexpr std::size_t kRetireBatch = 128;
+  Task* done_tasks[kRetireBatch];
+  std::uint64_t done_times[kRetireBatch];
+  std::size_t n = 0;
+  {
+    std::unique_lock lk(retire_mu_, std::try_to_lock);
+    if (!lk.owns_lock()) return 0;
+    while (n < kRetireBatch && completions_->pop(done_tasks[n], done_times[n])) {
+      ++n;
+    }
+  }
+  if (n == 0) return 0;
+  directing_.fetch_add(1, std::memory_order_acq_rel);
+  runtime_.finish_staged_batch(done_tasks, done_times, n);
+  directing_.fetch_sub(1, std::memory_order_acq_rel);
+  return n;
+}
+
+void ThreadedExecutor::director_loop_sharded() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    bool progress = false;
+
+    while (try_retire_batch() > 0) progress = true;
+
+    if (distribute()) progress = true;
+
+    if (feeder_done_.load(std::memory_order_acquire) && runtime_.quiescent() &&
+        directing_.load(std::memory_order_acquire) == 0) {
+      std::scoped_lock lk(mu_);
+      done_cv_.notify_all();
+    }
+
+    if (!progress) {
+      // Short timed park: it bounds the drain latency when producers skip
+      // the wakeup (queue already non-empty) and doubles as the safety net
+      // for any lost-wakeup race.
+      std::unique_lock lk(dir_mu_);
+      dir_parked_.store(true, std::memory_order_release);
+      dir_cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !completions_->empty() || runtime_.ready_count() > 0;
+      });
+      dir_parked_.store(false, std::memory_order_release);
+    }
+  }
+}
+
+Task* ThreadedExecutor::drain_inbox(WorkerState& me) {
+  // Take at most (deque room + 1) items: one is returned to run immediately,
+  // the rest are parked in the deque. free_estimate is a lower bound from the
+  // owner's perspective (thieves only make room), so the pushes cannot fail.
+  const std::size_t room = me.deque.free_estimate();
+  me.scratch.clear();
+  while (me.scratch.size() < room + 1) {
+    Task* t = me.inbox.pop();
+    if (t == nullptr) break;
+    me.scratch.push_back(t);
+  }
+  if (me.scratch.empty()) return nullptr;
+  // The director feeds the inbox in dispatch-priority order. Push the tail in
+  // reverse so the deque's bottom (next local pop) is the next-highest
+  // priority and thieves take from the low-priority end.
+  for (std::size_t i = me.scratch.size(); i-- > 1;) {
+    const bool ok = me.deque.push(me.scratch[i]);
+    (void)ok;
+  }
+  Task* first = me.scratch.front();
+  me.scratch.clear();
+  ++me.stats.inbox_pops;
+  return first;
+}
+
+Task* ThreadedExecutor::acquire_task(WorkerState& me, unsigned worker_ix) {
+  if (Task* t = me.deque.pop()) {
+    ++me.stats.local_pops;
+    return t;
+  }
+  if (Task* t = drain_inbox(me)) return t;
+  const unsigned nworkers = options_.workers;
+  for (unsigned k = 1; k < nworkers; ++k) {
+    WorkerState& victim = *wstate_[(worker_ix + k) % nworkers];
+    if (Task* t = victim.deque.steal()) {
+      ++me.stats.steals;
+      return t;
+    }
+  }
+  // Starved with work still in the pool (director busy retiring, or bursty
+  // submit): grab a small batch directly. The deque is empty here, so the
+  // tail pushes cannot fail.
+  if (runtime_.ready_count() > 0) {
+    constexpr std::size_t kSelfBatch = 16;
+    unsigned targets[kSelfBatch];
+    Task* out[kSelfBatch];
+    const std::size_t max =
+        std::min<std::size_t>(kSelfBatch, me.deque.free_estimate() + 1);
+    for (std::size_t i = 0; i < max; ++i) targets[i] = worker_ix;
+    const std::size_t n = runtime_.stage_ready_batch(now_us(), targets, max, out);
+    if (n > 0) {
+      for (std::size_t i = n; i-- > 1;) {
+        const bool ok = me.deque.push(out[i]);
+        (void)ok;
+      }
+      // Counts the acquire this batch satisfied directly; the parked
+      // remainder surfaces as local_pops, so the four pop sources partition
+      // the tasks exactly.
+      ++me.stats.self_stages;
+      return out[0];
+    }
+  }
+  return nullptr;
+}
+
+bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me) {
+  // Revocation-at-pop: if no rollback ran since this task was staged, its
+  // abort flag cannot be set and the body runs without further checks. If the
+  // epoch moved, honour the flag — the task was rolled back while parked in a
+  // local queue and must be retired unrun. A flag set *during* the body is
+  // handled the same as the baseline: finish_staged discards the results.
+  bool revoked = false;
+  if (task->staged_revocation_epoch() != runtime_.revocation_epoch() &&
+      task->abort_requested()) {
+    revoked = true;
+    ++me.stats.revoked_at_pop;
+  }
+  if (!revoked) {
+    task->state_.store(TaskState::Running, std::memory_order_release);
+    try {
+      TaskContext ctx{runtime_, *task, now_us()};
+      task->run(ctx);
+    } catch (const std::exception& e) {
+      fail("task '" + task->name() + "' threw: " + e.what());
+      return false;
+    }
+    ++me.stats.tasks_run;
+  }
+  const std::uint64_t done_us = now_us();
+  // Latency path: nothing else is ready and no completions are pending, so
+  // this retirement is on the critical path of whatever depends on `task`
+  // (dependency-chain handoff). Retire inline — the successor becomes ready
+  // in this thread and the next acquire_task() self-stages it, with no
+  // futex wake or director round-trip. Under load (ready work or queued
+  // completions exist) we take the queued path instead so the director can
+  // amortize the runtime lock over whole batches.
+  if (runtime_.ready_count() == 0 && completions_->empty()) {
+    ++me.stats.inline_finishes;
+    directing_.fetch_add(1, std::memory_order_acq_rel);
+    runtime_.finish_staged(task, done_us);
+    directing_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  // No director wakeup on push: a worker that later runs out of work drains
+  // the queue itself (try_retire_batch in its idle loop), so completions are
+  // never stranded behind a sleeping director. The director's 200µs timed
+  // park bounds the drain latency in the remaining case — every worker busy
+  // running long bodies — where the successors could not run yet anyway.
+  if (!completions_->push(task, done_us)) {
+    // Queue full (director stalled): retire inline under the runtime lock so
+    // the system cannot deadlock on a bounded queue.
+    ++me.stats.completion_fallbacks;
+    directing_.fetch_add(1, std::memory_order_acq_rel);
+    runtime_.finish_staged(task, done_us);
+    directing_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return true;
+}
+
+void ThreadedExecutor::worker_loop_sharded(unsigned worker_ix) {
+  if (options_.worker_start_hook) options_.worker_start_hook(worker_ix);
+  tls_sharded_worker = true;
+  WorkerState& me = *wstate_[worker_ix];
+  const bool time_pops = options_.collect_pop_latency;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    const std::uint64_t t0 = time_pops ? now_us() : 0;
+    if (Task* t = acquire_task(me, worker_ix)) {
+      if (time_pops) ++me.stats.pop_latency[latency_bucket(now_us() - t0)];
+      if (!execute_and_retire(t, me)) return;
+      continue;
+    }
+    // Nothing runnable, but completions may be pending — retiring them is
+    // what produces the next ready tasks. Claim the retire role instead of
+    // parking (work-conserving: at low worker counts this keeps the whole
+    // ready→run→retire cycle on worker threads with no director handoffs).
+    if (const std::size_t n = try_retire_batch(); n > 0) {
+      me.stats.worker_retires += n;
+      continue;
+    }
+    ++me.stats.parks;
+    std::unique_lock lk(me.park_mu);
+    me.parked.store(true, std::memory_order_release);
+    // Timed wait: stealable work in sibling deques is not part of the
+    // predicate, and wakeups are targeted — the timeout is the safety net.
+    me.park_cv.wait_for(lk, std::chrono::milliseconds(2), [this, &me] {
+      return stopping_.load(std::memory_order_acquire) || !me.inbox.empty() ||
+             !completions_->empty() || runtime_.ready_count() > 0;
+    });
+    me.parked.store(false, std::memory_order_release);
+  }
+}
+
+// --- Central (legacy single-lock) mode --------------------------------------
+
+bool ThreadedExecutor::finished_locked_central() const {
+  return feeder_done_.load(std::memory_order_acquire) &&
+         completions_central_.empty() && in_flight_ == 0 &&
+         runtime_.quiescent();
+}
+
+void ThreadedExecutor::worker_loop_central(unsigned worker_ix) {
   if (options_.worker_start_hook) options_.worker_start_hook(worker_ix);
   for (;;) {
     {
       std::unique_lock lk(mu_);
       work_cv_.wait(lk, [this] {
-        return stopping_ || runtime_.ready_count() > 0;
+        return stopping_.load(std::memory_order_acquire) ||
+               runtime_.ready_count() > 0;
       });
-      if (stopping_) return;
+      if (stopping_.load(std::memory_order_acquire)) return;
       ++in_flight_;  // claimed below; released if the pop loses the race
     }
     TaskPtr task = runtime_.next_task(now_us(), worker_ix);
@@ -104,38 +488,32 @@ void ThreadedExecutor::worker_loop(unsigned worker_ix) {
       TaskContext ctx{runtime_, *task, now_us()};
       task->run(ctx);
     } catch (const std::exception& e) {
-      std::scoped_lock lk(mu_);
-      if (error_.empty()) {
-        error_ = "task '" + task->name() + "' threw: " + e.what();
-      }
-      stopping_ = true;
-      work_cv_.notify_all();
-      director_cv_.notify_all();
-      done_cv_.notify_all();
+      fail("task '" + task->name() + "' threw: " + e.what());
       return;
     }
     {
       std::scoped_lock lk(mu_);
-      completions_.push_back({std::move(task), now_us()});
+      completions_central_.push_back({std::move(task), now_us()});
       director_cv_.notify_one();
     }
   }
 }
 
-void ThreadedExecutor::director_loop() {
+void ThreadedExecutor::director_loop_central() {
   for (;;) {
     Completion c;
     {
       std::unique_lock lk(mu_);
       director_cv_.wait(lk, [this] {
-        return stopping_ || !completions_.empty();
+        return stopping_.load(std::memory_order_acquire) ||
+               !completions_central_.empty();
       });
-      if (completions_.empty()) {
-        if (stopping_) return;
+      if (completions_central_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
         continue;
       }
-      c = std::move(completions_.front());
-      completions_.pop_front();
+      c = std::move(completions_central_.front());
+      completions_central_.pop_front();
     }
     // Dependence propagation and completion hooks run on the director thread,
     // matching the paper's dedicated scheduling/data-directing thread.
@@ -149,29 +527,63 @@ void ThreadedExecutor::director_loop() {
   }
 }
 
+// --- Shared run -------------------------------------------------------------
+
 void ThreadedExecutor::run() {
   {
     std::scoped_lock lk(mu_);
-    feeder_done_ = false;
-    stopping_ = false;
+    feeder_done_.store(false, std::memory_order_release);
+    stopping_.store(false, std::memory_order_release);
   }
+  const bool sharded = options_.dispatch == DispatchMode::Sharded;
   feeder_ = std::thread([this] { feeder_loop(); });
-  director_ = std::thread([this] { director_loop(); });
+  director_ = std::thread([this, sharded] {
+    if (sharded) {
+      director_loop_sharded();
+    } else {
+      director_loop_central();
+    }
+  });
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.emplace_back([this, sharded, i] {
+      if (sharded) {
+        worker_loop_sharded(i);
+      } else {
+        worker_loop_central(i);
+      }
+    });
   }
 
   {
     std::unique_lock lk(mu_);
-    // Periodic recheck guards against rare wakeup races between the two
-    // mutexes (runtime's and ours).
-    while (!finished_locked() && error_.empty()) {
+    // Periodic recheck guards against rare wakeup races between the mutexes
+    // involved (runtime's, ours, and the per-worker park locks).
+    const auto finished = [this, sharded] {
+      if (!sharded) return finished_locked_central();
+      // Order matters: quiescent() before directing_ == 0, then quiescent()
+      // again. A completion hook may submit follow-on work after
+      // outstanding_ transiently hits zero; during that whole window
+      // directing_ >= 1, and the re-check synchronizes with its release-
+      // decrement so the follow-on submit is visible.
+      return feeder_done_.load(std::memory_order_acquire) &&
+             runtime_.quiescent() &&
+             directing_.load(std::memory_order_acquire) == 0 &&
+             runtime_.quiescent();
+    };
+    while (!finished() && error_.empty()) {
       done_cv_.wait_for(lk, std::chrono::milliseconds(10));
     }
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
     work_cv_.notify_all();
     director_cv_.notify_all();
+  }
+  if (sharded) {
+    wake_all_workers();
+    {
+      std::scoped_lock lk(dir_mu_);
+      dir_cv_.notify_all();
+    }
   }
 
   for (auto& w : workers_) w.join();
@@ -183,6 +595,27 @@ void ThreadedExecutor::run() {
   if (!error_.empty()) {
     throw std::runtime_error("ThreadedExecutor: " + error_);
   }
+}
+
+ThreadedExecutor::DispatchStats ThreadedExecutor::dispatch_stats() const {
+  DispatchStats total = dir_stats_;
+  for (const auto& w : wstate_) {
+    const DispatchStats& s = w->stats;
+    total.tasks_run += s.tasks_run;
+    total.local_pops += s.local_pops;
+    total.inbox_pops += s.inbox_pops;
+    total.steals += s.steals;
+    total.self_stages += s.self_stages;
+    total.revoked_at_pop += s.revoked_at_pop;
+    total.parks += s.parks;
+    total.completion_fallbacks += s.completion_fallbacks;
+    total.inline_finishes += s.inline_finishes;
+    total.worker_retires += s.worker_retires;
+    for (std::size_t b = 0; b < s.pop_latency.size(); ++b) {
+      total.pop_latency[b] += s.pop_latency[b];
+    }
+  }
+  return total;
 }
 
 }  // namespace sre

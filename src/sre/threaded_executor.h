@@ -4,24 +4,54 @@
 // receives data from the parent application and injects it into the system,
 // one *director* thread manages scheduling bookkeeping and directs data
 // (dependence propagation, completion hooks), and N worker threads execute
-// computational tasks, polling for assignments.
+// computational tasks.
+//
+// Two dispatch modes:
+//
+//  * Sharded (default) — the scalable path. The director batch-pops ready
+//    tasks from the central pool (one lock acquisition per batch) and feeds
+//    them to per-worker bounded SPSC inboxes; each worker drains its inbox
+//    into a private Chase–Lev deque, pops locally without any lock, and
+//    steals from siblings when dry. Completions retire through a lock-free
+//    MPSC queue back to the director — a worker never takes the runtime
+//    lock to finish a task. Wakeups are targeted (one condvar per worker,
+//    one for the director); there is no broadcast on the hot path.
+//    Rollback correctness: tasks staged into worker-local queues carry a
+//    revocation-epoch stamp; a worker popping a task whose stamp is stale
+//    checks the abort flag and, if set, retires the task unrun (the
+//    completion path then discards it exactly like an in-flight abort).
+//
+//  * Central — the paper-literal single-lock baseline (every pop goes
+//    through Runtime::next_task, completions through one mutex-guarded
+//    deque). Kept for A/B measurement (bench/micro_dispatch) and as the
+//    reference for the determinism-of-results tests.
 //
 // Used by the examples and tests; the figure benchmarks use the
-// deterministic virtual-time sim::SimExecutor instead (see DESIGN.md §3).
+// deterministic virtual-time sim::SimExecutor instead (see DESIGN.md §3 and
+// docs/scheduling.md).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sre/mpsc_queue.h"
 #include "sre/runtime.h"
+#include "sre/spsc_ring.h"
+#include "sre/steal_deque.h"
 
 namespace sre {
+
+/// How worker threads obtain tasks. See the file comment.
+enum class DispatchMode : std::uint8_t { Central, Sharded };
 
 class ThreadedExecutor {
  public:
@@ -35,10 +65,55 @@ class ThreadedExecutor {
     /// the thread (e.g. metrics::bind_shard) without this layer depending
     /// on them. May be null.
     std::function<void(unsigned worker_ix)> worker_start_hook;
+    DispatchMode dispatch = DispatchMode::Sharded;
+    /// Sharded mode tuning. Capacities are rounded up to powers of two.
+    unsigned inbox_capacity = 32;       ///< director→worker staging ring
+    unsigned local_queue_capacity = 64; ///< per-worker steal deque
+    unsigned stage_batch = 16;          ///< max tasks staged per lock grab
+    /// Record per-pop dispatch latency (acquire-start → task in hand) into
+    /// DispatchStats::pop_latency. Off by default: it adds two clock reads
+    /// per task.
+    bool collect_pop_latency = false;
   };
 
   /// Arrival callback: receives the engine time (µs) at which it fired.
   using Arrival = std::function<void(std::uint64_t now_us)>;
+
+  /// Aggregated dispatch counters (sharded mode; zeros under Central).
+  /// Collected per worker on cache-line-padded private slots and summed on
+  /// demand — workers never contend on these.
+  struct DispatchStats {
+    /// The four pop sources partition the tasks a worker acquired: each task
+    /// is counted in exactly one of local_pops / inbox_pops / steals /
+    /// self_stages, so their sum (pop_count()) equals tasks acquired.
+    std::uint64_t tasks_run = 0;        ///< bodies executed
+    std::uint64_t local_pops = 0;       ///< from the worker's own deque
+    std::uint64_t inbox_pops = 0;       ///< taken directly while draining
+    std::uint64_t steals = 0;           ///< taken from a sibling's deque
+    /// Acquires satisfied by a worker batch-popping the pool itself; the
+    /// rest of such a batch parks in its deque and surfaces as local_pops.
+    std::uint64_t self_stages = 0;
+    std::uint64_t director_stages = 0;  ///< tasks fed by the director
+    std::uint64_t revoked_at_pop = 0;   ///< rollback victims retired unrun
+    std::uint64_t parks = 0;            ///< worker sleeps
+    std::uint64_t completion_fallbacks = 0;  ///< MPSC full, retired via lock
+    /// Latency path: worker retired its own completion inline because it had
+    /// nothing else to do — the successor becomes ready in the same thread
+    /// (chain handoff without a director round-trip).
+    std::uint64_t inline_finishes = 0;
+    /// Completions a starved worker drained from the MPSC queue itself by
+    /// claiming the retire role (work-conserving: no waiting on the
+    /// director to produce successors).
+    std::uint64_t worker_retires = 0;
+    /// Log-bucketed (powers of two, µs) pop-latency histogram; bucket b
+    /// counts pops with bit_width(latency_us) == b. Only populated when
+    /// Options::collect_pop_latency is set.
+    std::array<std::uint64_t, 64> pop_latency = {};
+
+    [[nodiscard]] std::uint64_t pop_count() const;
+    /// Approximate percentile (bucket upper bound), q in [0,1].
+    [[nodiscard]] std::uint64_t pop_latency_quantile_us(double q) const;
+  };
 
   ThreadedExecutor(Runtime& runtime, Options options);
   ~ThreadedExecutor();
@@ -58,32 +133,92 @@ class ThreadedExecutor {
   /// quiescent. Throws std::runtime_error if a task body throws.
   void run();
 
+  /// Aggregated dispatch counters; meaningful after run() returns.
+  [[nodiscard]] DispatchStats dispatch_stats() const;
+
+  [[nodiscard]] DispatchMode dispatch_mode() const { return options_.dispatch; }
+
  private:
-  void worker_loop(unsigned worker_ix);
-  void director_loop();
+  // --- Sharded mode ---------------------------------------------------------
+
+  /// Per-worker state. Heap-allocated so WorkerState addresses are stable
+  /// and cache-line aligned; workers only dirty their own lines.
+  struct alignas(64) WorkerState {
+    WorkerState(unsigned inbox_cap, unsigned deque_cap)
+        : inbox(inbox_cap), deque(deque_cap) {
+      scratch.reserve(inbox.capacity());
+    }
+    SpscRing inbox;
+    StealDeque deque;
+    std::vector<Task*> scratch;  ///< drain buffer (owner thread only)
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<bool> parked{false};
+    std::uint64_t revocation_seen = 0;  ///< owner thread only
+    DispatchStats stats;                ///< owner thread writes, run() reads after join
+  };
+
+  void worker_loop_sharded(unsigned worker_ix);
+  void director_loop_sharded();
+  Task* acquire_task(WorkerState& me, unsigned worker_ix);
+  Task* drain_inbox(WorkerState& me);
+  bool execute_and_retire(Task* task, WorkerState& me);
+  /// Claims the retire role (try-lock) and drains up to one batch of
+  /// completions through Runtime::finish_staged_batch. Returns the number
+  /// retired (0: queue empty or another thread holds the role).
+  std::size_t try_retire_batch();
+  bool distribute();          ///< director: pool → inboxes; true if any staged
+  void wake_worker(unsigned worker_ix);
+  void wake_director();
+  void wake_all_workers();
+
+  // --- Central (legacy single-lock) mode ------------------------------------
+
+  void worker_loop_central(unsigned worker_ix);
+  void director_loop_central();
+  [[nodiscard]] bool finished_locked_central() const;
+
   void feeder_loop();
-  [[nodiscard]] bool finished_locked() const;
+  void fail(const std::string& what);
 
   Runtime& runtime_;
   Options options_;
   std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;      ///< wakes workers
-  std::condition_variable director_cv_;  ///< wakes the director
+  std::condition_variable work_cv_;      ///< wakes workers (central mode)
   std::condition_variable done_cv_;      ///< wakes run()
+  std::condition_variable director_cv_;  ///< wakes the director (central mode)
 
   struct Completion {
     TaskPtr task;
     std::uint64_t done_us;
   };
-  std::deque<Completion> completions_;
+  std::deque<Completion> completions_central_;
   std::vector<std::pair<std::uint64_t, Arrival>> arrivals_;  // sorted by time
 
-  std::size_t in_flight_ = 0;  ///< popped by a worker, not yet directed
-  bool feeder_done_ = false;
-  bool stopping_ = false;
-  std::string error_;
+  std::size_t in_flight_ = 0;  ///< central mode: popped, not yet directed
+  std::atomic<bool> feeder_done_{false};
+  std::atomic<bool> stopping_{false};
+  std::string error_;  ///< guarded by mu_
+
+  // Sharded mode machinery.
+  std::vector<std::unique_ptr<WorkerState>> wstate_;
+  std::unique_ptr<CompletionQueue> completions_;
+  /// Serializes the single-consumer side of completions_ (the "retire
+  /// role"): held by the director's drain loop, try-locked by starved
+  /// workers. Guards only the pops — the batch finish runs outside it.
+  std::mutex retire_mu_;
+  std::mutex dir_mu_;
+  std::condition_variable dir_cv_;
+  std::atomic<bool> dir_parked_{false};
+  /// Completions being propagated right now (guards the window between a
+  /// task retiring and its completion hooks submitting follow-on work, so
+  /// run() cannot observe a transient quiescent state).
+  std::atomic<std::size_t> directing_{0};
+  unsigned rr_cursor_ = 0;           ///< director round-robin start (director only)
+  DispatchStats dir_stats_;          ///< director-thread counters
+  std::vector<std::size_t> free_buf_;  ///< distribute() scratch (director only)
 
   std::vector<std::thread> workers_;
   std::thread director_;

@@ -1,0 +1,191 @@
+// Property test: the heap-based ReadyPool pops tasks in exactly the order of
+// the ordered-set scheduler it replaced. The oracle below re-states the old
+// std::set comparator (depth-favored, FCFS tie-break, TaskId total order)
+// independently of the pool implementation, and random interleavings of
+// submit / pop / rollback-erase must agree with it at every step — including
+// tombstone-heavy sequences that force the lazy-deletion compaction path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sre/runtime.h"
+
+namespace {
+
+using sre::DispatchPolicy;
+using sre::PriorityMode;
+using sre::Runtime;
+using sre::TaskClass;
+using sre::TaskContext;
+using sre::TaskPtr;
+
+struct OracleEntry {
+  int depth = 0;
+  std::uint64_t seq = 0;
+  sre::TaskId id = 0;
+  TaskPtr task;
+};
+
+// The ordering contract of the replaced std::set scheduler: deepest pipeline
+// stage first (DepthFirst mode only), then first-come-first-served by
+// ready_seq, then TaskId as the total-order tie-break.
+struct OracleCmp {
+  PriorityMode mode;
+  bool operator()(const OracleEntry& a, const OracleEntry& b) const {
+    if (mode == PriorityMode::DepthFirst && a.depth != b.depth) {
+      return a.depth > b.depth;
+    }
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.id < b.id;
+  }
+};
+
+using Oracle = std::set<OracleEntry, OracleCmp>;
+
+void insert_oracle(Oracle& oracle, const TaskPtr& t) {
+  oracle.insert({t->depth(), t->ready_seq(), t->id(), t});
+}
+
+// Interleaves submits and pops of natural tasks and checks every pop against
+// the oracle's minimum.
+void natural_ordering_run(PriorityMode mode, unsigned seed) {
+  Runtime rt(DispatchPolicy::NonSpeculative, mode);
+  Oracle oracle{OracleCmp{mode}};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> depth_dist(0, 5);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  for (int step = 0; step < 400; ++step) {
+    if (op_dist(rng) < 55) {
+      auto t = rt.make_task("n" + std::to_string(step), TaskClass::Natural,
+                            sre::kNaturalEpoch, depth_dist(rng), 1,
+                            [](TaskContext&) {});
+      rt.submit(t);
+      insert_oracle(oracle, t);
+    } else {
+      TaskPtr got = rt.next_task();
+      if (oracle.empty()) {
+        ASSERT_EQ(got, nullptr) << "pool popped a task the oracle lacks";
+        continue;
+      }
+      ASSERT_NE(got, nullptr) << "pool empty while the oracle has tasks";
+      ASSERT_EQ(got->id(), oracle.begin()->id)
+          << "seed " << seed << " step " << step << ": pool popped '"
+          << got->name() << "' but the oracle orders '"
+          << oracle.begin()->task->name() << "' first";
+      rt.on_task_finished(got, 0);
+      oracle.erase(oracle.begin());
+    }
+  }
+  while (!oracle.empty()) {
+    TaskPtr got = rt.next_task();
+    ASSERT_NE(got, nullptr);
+    ASSERT_EQ(got->id(), oracle.begin()->id);
+    rt.on_task_finished(got, 0);
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_EQ(rt.next_task(), nullptr);
+}
+
+// Same property for the speculative queue, with rollback erases mixed in:
+// each task gets its own epoch, so aborting a random epoch removes exactly
+// one ready task — from the pool via tombstone, from the oracle directly.
+void speculative_ordering_run(PriorityMode mode, unsigned seed) {
+  Runtime rt(DispatchPolicy::Aggressive, mode);
+  Oracle oracle{OracleCmp{mode}};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> depth_dist(0, 5);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  for (int step = 0; step < 400; ++step) {
+    const int op = op_dist(rng);
+    if (op < 50) {
+      const sre::Epoch e = rt.open_epoch();
+      auto t = rt.make_task("s" + std::to_string(step), TaskClass::Speculative,
+                            e, depth_dist(rng), 1, [](TaskContext&) {});
+      rt.submit(t);
+      insert_oracle(oracle, t);
+    } else if (op < 75 && !oracle.empty()) {
+      // Roll back a random ready task's epoch.
+      auto it = oracle.begin();
+      std::advance(it, static_cast<long>(rng() % oracle.size()));
+      rt.abort_epoch(it->task->epoch());
+      oracle.erase(it);
+    } else {
+      TaskPtr got = rt.next_task();
+      if (oracle.empty()) {
+        ASSERT_EQ(got, nullptr);
+        continue;
+      }
+      ASSERT_NE(got, nullptr) << "pool empty while the oracle has tasks";
+      ASSERT_EQ(got->id(), oracle.begin()->id)
+          << "seed " << seed << " step " << step;
+      rt.on_task_finished(got, 0);
+      oracle.erase(oracle.begin());
+    }
+  }
+  EXPECT_EQ(rt.ready_count(), oracle.size());
+}
+
+TEST(PoolOrderProperty, NaturalMatchesSetOracleDepthFirst) {
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    natural_ordering_run(PriorityMode::DepthFirst, seed);
+  }
+}
+
+TEST(PoolOrderProperty, NaturalMatchesSetOracleFcfs) {
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    natural_ordering_run(PriorityMode::Fcfs, seed);
+  }
+}
+
+TEST(PoolOrderProperty, SpeculativeWithRollbacksMatchesSetOracle) {
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    speculative_ordering_run(PriorityMode::DepthFirst, seed);
+    speculative_ordering_run(PriorityMode::Fcfs, seed);
+  }
+}
+
+TEST(PoolOrderProperty, TombstoneHeavyEraseThenDrain) {
+  // Submit a large batch, roll back most of it, then drain: the survivors
+  // must still come out in oracle order even after the heaps compact.
+  for (unsigned seed = 100; seed < 104; ++seed) {
+    Runtime rt(DispatchPolicy::Aggressive);
+    Oracle oracle{OracleCmp{PriorityMode::DepthFirst}};
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> depth_dist(0, 3);
+    std::vector<OracleEntry> entries;
+    for (int i = 0; i < 300; ++i) {
+      const sre::Epoch e = rt.open_epoch();
+      auto t = rt.make_task("s" + std::to_string(i), TaskClass::Speculative, e,
+                            depth_dist(rng), 1, [](TaskContext&) {});
+      rt.submit(t);
+      insert_oracle(oracle, t);
+    }
+    // Abort ~5/6 of them in random order.
+    std::vector<const OracleEntry*> victims;
+    for (const auto& en : oracle) victims.push_back(&en);
+    std::shuffle(victims.begin(), victims.end(), rng);
+    victims.resize(250);
+    for (const OracleEntry* v : victims) {
+      rt.abort_epoch(v->task->epoch());
+    }
+    for (const OracleEntry* v : victims) {
+      oracle.erase(*v);
+    }
+    EXPECT_EQ(rt.pool().tombstones_created(), 250u);
+    while (!oracle.empty()) {
+      TaskPtr got = rt.next_task();
+      ASSERT_NE(got, nullptr);
+      ASSERT_EQ(got->id(), oracle.begin()->id);
+      rt.on_task_finished(got, 0);
+      oracle.erase(oracle.begin());
+    }
+    EXPECT_EQ(rt.next_task(), nullptr);
+  }
+}
+
+}  // namespace

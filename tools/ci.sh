@@ -5,11 +5,22 @@
 # products until process exit, which LeakSanitizer reports by design.
 #
 #   tools/ci.sh            # tier-1 + sanitizers
+#   tools/ci.sh tsan       # ThreadSanitizer over the sre_core test label
+#                          # (scheduler, speculation, dispatch concurrency)
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "tsan" ]]; then
+  echo "== tsan: sre_core label under ThreadSanitizer (build-tsan/) =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$JOBS"
+  ctest --preset tsan -j"$JOBS"
+  echo "== tsan green =="
+  exit 0
+fi
 
 echo "== tier 1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
