@@ -88,7 +88,8 @@ AnnealPipeline::AnnealPipeline(sre::Runtime& runtime, const Cities& cities,
             std::uint64_t) {
         std::scoped_lock lk(stp->mu);
         stp->out_blocks[b] = std::move(m);
-      });
+      },
+      /*retire_window=*/8);
 
   if (speculation) {
     tvs::Speculator<TourEstimate>::Callbacks cb;

@@ -18,6 +18,17 @@
 // check triggers rollback (runtime abort + caller cleanup) and immediate
 // re-speculation from the newest estimate; the final estimate's check decides
 // commit or fallback to the natural path.
+//
+// Concurrency model (docs/speculation.md): one mutex guards all state, but
+// every user callback and every call into the runtime that may re-enter user
+// code runs with the mutex *released* — the unlock windows. Each mutation of
+// the state machine bumps a generation counter; a continuation that re-locks
+// after an unlock window compares the generation it stamped before unlocking
+// and becomes a no-op if anything interleaved. This is what makes late
+// verdicts, racing finals and re-entrant estimates provably harmless: the
+// interleaving operation wins, the stale continuation observes the bump and
+// retires. Chaos points (sre/chaos_point.h) mark each window so the torture
+// harness (src/stress) can force the dangerous interleavings on demand.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,7 @@
 #include <stdexcept>
 
 #include "core/config.h"
+#include "sre/chaos_point.h"
 #include "sre/runtime.h"
 
 namespace tvs {
@@ -34,6 +46,15 @@ namespace tvs {
 template <typename V>
 class Speculator {
  public:
+  /// The state machine. Legal transitions (each bumps the generation):
+  ///   Idle   → Active     estimate at a step multiple opens an epoch
+  ///   Active → Idle       failing check verdict rolls the epoch back
+  ///   Active → Committed  final check passes (terminal)
+  ///   Idle   → Natural    final estimate with nothing speculated (terminal)
+  /// The rollback path that discovers the final is already known chains
+  /// Active → Idle → Natural (two transitions, one verdict).
+  enum class State : std::uint8_t { Idle, Active, Committed, Natural };
+
   struct Callbacks {
     /// Spawns the speculative sub-graph computing from `guess` under `epoch`.
     /// `estimate_index` tells the builder how much input backs the guess.
@@ -60,7 +81,8 @@ class Speculator {
     std::function<void(sre::Epoch epoch, std::uint64_t now_us)> on_rollback;
 
     /// No committed speculation covers the output: build the natural
-    /// (non-speculative) path from the final value.
+    /// (non-speculative) path from the final value. Called exactly once per
+    /// run (the generation rule de-duplicates racing paths).
     std::function<void(const V& final_value, std::uint64_t now_us)>
         build_natural;
   };
@@ -105,9 +127,9 @@ class Speculator {
   /// itself be costly; skip it when the speculator would ignore it.)
   [[nodiscard]] bool wants_estimate(std::uint32_t index, bool is_final) const {
     std::scoped_lock lk(mu_);
-    if (finished_) return false;
+    if (terminal_locked()) return false;
     if (is_final) return true;
-    if (!active_) {
+    if (state_ == State::Idle) {
       return index >= defer_until_ && config_.should_speculate(index) &&
              clears_gate_locked(index);
     }
@@ -119,17 +141,19 @@ class Speculator {
   void on_estimate(V value, std::uint32_t index, bool is_final,
                    std::uint64_t now_us) {
     std::unique_lock lk(mu_);
-    if (finished_) return;
+    if (terminal_locked()) return;
     latest_ = std::move(value);
     latest_index_ = index;
     latest_is_final_ = is_final;
 
-    if (!active_) {
+    if (state_ == State::Idle) {
       if (is_final) {
         // Nothing speculated (or everything rolled back): natural path.
-        finished_ = true;
+        state_ = State::Natural;
+        ++generation_;
         V final_copy = *latest_;
         lk.unlock();
+        SRE_CHAOS_POINT("speculator.natural_window");
         cb_.build_natural(final_copy, now_us);
         return;
       }
@@ -147,20 +171,32 @@ class Speculator {
 
   // --- Introspection ---------------------------------------------------
 
+  [[nodiscard]] State state() const {
+    std::scoped_lock lk(mu_);
+    return state_;
+  }
   [[nodiscard]] bool finished() const {
     std::scoped_lock lk(mu_);
-    return finished_;
+    return terminal_locked();
   }
   [[nodiscard]] bool committed() const {
     std::scoped_lock lk(mu_);
-    return committed_;
+    return state_ == State::Committed;
   }
   [[nodiscard]] std::optional<sre::Epoch> active_epoch() const {
     std::scoped_lock lk(mu_);
-    if (!active_) return std::nullopt;
+    if (state_ != State::Active) return std::nullopt;
     return active_->epoch;
   }
   [[nodiscard]] const SpecConfig& config() const { return config_; }
+
+  /// State-machine transition count. Torture oracles read it to prove a
+  /// quiesced run saw exactly the expected transitions; unlock-window
+  /// continuations use it internally to detect interleavings.
+  [[nodiscard]] std::uint64_t generation() const {
+    std::scoped_lock lk(mu_);
+    return generation_;
+  }
 
   /// Epoch-opens withheld because predicted confidence missed the gate.
   [[nodiscard]] std::uint64_t gate_denials() const {
@@ -174,6 +210,10 @@ class Speculator {
     V guess;
     std::uint32_t guess_index;
   };
+
+  [[nodiscard]] bool terminal_locked() const {
+    return state_ == State::Committed || state_ == State::Natural;
+  }
 
   /// Would a guess at `index` clear the confidence gate? Counts denials
   /// (once per index) and reports them to the runtime observer. Caller
@@ -193,7 +233,9 @@ class Speculator {
   }
 
   /// Opens a fresh epoch from the newest estimate. Caller holds the lock;
-  /// the lock is released around the user callback and re-acquired.
+  /// the lock is released around the user callback and re-acquired. The
+  /// caller must not touch state after this returns without re-validating
+  /// the generation (build_chain may have raced anything).
   void open_epoch_locked(std::unique_lock<std::mutex>& lk,
                          std::uint64_t /*now_us*/) {
     const sre::Epoch epoch = runtime_.open_epoch();
@@ -204,9 +246,12 @@ class Speculator {
       }
     }
     active_ = Active{epoch, std::move(guess_value), latest_index_};
+    state_ = State::Active;
+    ++generation_;
     const V guess = active_->guess;
     const std::uint32_t gix = active_->guess_index;
     lk.unlock();
+    SRE_CHAOS_POINT("speculator.open_window");
     cb_.build_chain(guess, epoch, gix);
     lk.lock();
   }
@@ -237,6 +282,7 @@ class Speculator {
       on_verdict(epoch, *verdict, *margin, is_final, done_us);
     });
     lk.unlock();
+    SRE_CHAOS_POINT("speculator.spawn_check_window");
     runtime_.submit(task);
     lk.lock();
   }
@@ -244,8 +290,10 @@ class Speculator {
   void on_verdict(sre::Epoch epoch, bool within, double margin, bool is_final,
                   std::uint64_t now_us) {
     std::unique_lock lk(mu_);
-    if (finished_) return;
-    if (!active_ || active_->epoch != epoch) return;  // stale verdict
+    if (terminal_locked()) return;
+    if (state_ != State::Active || active_->epoch != epoch) {
+      return;  // stale verdict: the epoch already rolled back
+    }
     if (sre::Observer* obs = runtime_.observer()) {
       // Only acted-on verdicts are reported; stale ones (the epoch already
       // rolled back) carry no health signal.
@@ -255,29 +303,48 @@ class Speculator {
     if (within) {
       if (!is_final) return;  // confidence builds; nothing changes
       // Commit: the speculative outputs stand in for the natural path.
-      committed_ = true;
-      finished_ = true;
+      state_ = State::Committed;
+      ++generation_;
       active_.reset();
       runtime_.mark_epoch_committed(epoch);
       lk.unlock();
+      SRE_CHAOS_POINT("speculator.commit_window");
       cb_.on_commit(epoch, now_us);
       return;
     }
 
-    // Tolerance exceeded: roll back the epoch.
+    // Tolerance exceeded: roll back the epoch. The state flips to Idle and
+    // the generation is stamped BEFORE the unlock window — any estimate that
+    // lands while abort_epoch/on_rollback run sees a coherent Idle machine
+    // and may legally finish the run (late final → natural path) or open a
+    // fresh epoch. The re-validation below detects that and retires this
+    // continuation instead of acting twice.
     runtime_.note_rollback();
     active_.reset();
+    state_ = State::Idle;
+    const std::uint64_t gen = ++generation_;
     lk.unlock();
+    SRE_CHAOS_POINT("speculator.rollback_window");
     runtime_.abort_epoch(epoch);
     cb_.on_rollback(epoch, now_us);
+    SRE_CHAOS_POINT("speculator.rollback_window_late");
     lk.lock();
+    if (generation_ != gen) {
+      // A racing estimate already took the next step (built the natural
+      // path or opened a new epoch). Without this check the code below
+      // would run build_natural a second time — duplicate output — or
+      // stack a second open on top of the racer's epoch, orphaning it.
+      return;
+    }
 
     if (latest_is_final_) {
       // The final value is known and speculation failed against it:
       // recompute along the natural path.
-      finished_ = true;
+      state_ = State::Natural;
+      ++generation_;
       V final_copy = *latest_;
       lk.unlock();
+      SRE_CHAOS_POINT("speculator.natural_window");
       cb_.build_natural(final_copy, now_us);
       return;
     }
@@ -303,9 +370,12 @@ class Speculator {
   std::optional<V> latest_;
   std::uint32_t latest_index_ = 0;
   bool latest_is_final_ = false;
+  /// Engaged exactly when state_ == Active.
   std::optional<Active> active_;
-  bool finished_ = false;
-  bool committed_ = false;
+  State state_ = State::Idle;
+  /// Bumped on every state transition; stamped before each unlock window
+  /// and re-validated after relock (see file comment).
+  std::uint64_t generation_ = 0;
   std::uint32_t defer_until_ = 0;  ///< adaptive restart: no guesses below this
 
   // Gate bookkeeping is mutable: wants_estimate (const) is where a denied

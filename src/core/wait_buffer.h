@@ -9,6 +9,18 @@
 // order) and turns into pass-through for later arrivals from the same epoch;
 // a dropped (rolled back) epoch discards them. Natural-path results bypass
 // the buffer entirely — pass them straight to the sink.
+//
+// Ordering guarantee (docs/speculation.md): for a committed epoch, every
+// entry buffered before commit() was called reaches the sink in ascending
+// key order, before any entry that arrived after. An add() racing the commit
+// queues behind the in-flight flush (the epoch is in the Flushing state) and
+// is emitted by the committer in a follow-up batch — it can never jump ahead
+// of, or interleave with, the ordered flush. Only once every queued entry
+// has drained does the epoch become pass-through (Committed).
+//
+// Memory: settled epochs (committed or dropped) are retired by a watermark
+// GC once they can no longer receive adds — see retire_window. Without it a
+// long streaming run would leak one status entry per settled epoch.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +28,9 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
+#include "sre/chaos_point.h"
 #include "sre/ids.h"
 
 namespace tvs {
@@ -27,20 +39,41 @@ template <typename Key, typename Payload>
 class WaitBuffer {
  public:
   /// Sink invoked with released entries and the engine time of release.
+  /// Always called with the buffer's lock released: a sink may legally call
+  /// back into the buffer (its adds queue behind an in-flight flush).
   using Sink = std::function<void(const Key&, Payload&&, std::uint64_t now_us)>;
 
-  explicit WaitBuffer(Sink sink) : sink_(std::move(sink)) {
+  /// `retire_window`: settled (committed/dropped) epochs older than
+  /// `newest settled epoch − retire_window` are garbage-collected. The
+  /// producer protocol must guarantee no task of an epoch can still emit
+  /// adds once speculation has settled that many epochs beyond it (the
+  /// Speculator runs one epoch at a time, so any small window is safe —
+  /// the pipelines use 8). A late add for a retired epoch is discarded and
+  /// counted in late_discards(). 0 = never retire (keep every epoch's
+  /// status forever; the pre-GC behaviour, right for short-lived buffers).
+  explicit WaitBuffer(Sink sink, sre::Epoch retire_window = 0)
+      : sink_(std::move(sink)), retire_window_(retire_window) {
     if (!sink_) throw std::invalid_argument("WaitBuffer: null sink");
   }
 
   /// Parks a speculative result. If the epoch was already committed, the
   /// entry flows straight to the sink; if it was dropped, the entry is
-  /// discarded (its producing task raced a rollback).
+  /// discarded (its producing task raced a rollback); if a commit flush is
+  /// in flight, the entry queues behind it.
   void add(sre::Epoch epoch, Key key, Payload payload, std::uint64_t now_us) {
     std::unique_lock lk(mu_);
+    if (epoch < retired_floor_) {
+      // The epoch settled so long ago that its status was retired; the
+      // protocol says nothing of it can still be producing, so treat the
+      // straggler like an add racing a drop.
+      ++discarded_;
+      ++late_discards_;
+      return;
+    }
     auto st = status_.find(epoch);
     if (st != status_.end() && st->second == Status::Committed) {
       lk.unlock();
+      SRE_CHAOS_POINT("wait_buffer.passthrough_window");
       sink_(key, std::move(payload), now_us);
       return;
     }
@@ -48,36 +81,53 @@ class WaitBuffer {
       ++discarded_;
       return;
     }
+    // No status yet (still speculative) or Flushing (a commit is mid-flush
+    // on another thread): buffer. The committer's drain loop re-checks
+    // pending_ after every batch, so a Flushing-state add is picked up and
+    // emitted in order behind the batch currently going out.
     pending_[epoch].insert_or_assign(std::move(key), std::move(payload));
   }
 
   /// Commits an epoch: flushes buffered entries (key order) and passes
-  /// through future ones.
+  /// through future ones. Racing adds queue behind the flush and are
+  /// drained here, batch by batch, before the epoch turns pass-through.
   void commit(sre::Epoch epoch, std::uint64_t now_us) {
-    std::map<Key, Payload> entries;
-    {
-      std::scoped_lock lk(mu_);
-      status_[epoch] = Status::Committed;
-      auto it = pending_.find(epoch);
-      if (it != pending_.end()) {
-        entries = std::move(it->second);
-        pending_.erase(it);
-      }
+    std::unique_lock lk(mu_);
+    if (epoch < retired_floor_) return;
+    if (!status_.try_emplace(epoch, Status::Flushing).second) {
+      return;  // already settled (or a concurrent commit owns the flush)
     }
-    for (auto& [key, payload] : entries) {
-      sink_(key, std::move(payload), now_us);
+    for (;;) {
+      auto it = pending_.find(epoch);
+      if (it == pending_.end() || it->second.empty()) break;
+      std::map<Key, Payload> batch = std::move(it->second);
+      pending_.erase(it);
+      lk.unlock();
+      SRE_CHAOS_POINT("wait_buffer.flush_window");
+      for (auto& [key, payload] : batch) {
+        sink_(key, std::move(payload), now_us);
+      }
+      lk.lock();
+    }
+    if (epoch >= retired_floor_) {  // a racing retire may have won mid-flush
+      status_[epoch] = Status::Committed;
+      retire_settled_locked(epoch);
     }
   }
 
-  /// Drops an epoch's buffered entries (rollback path).
+  /// Drops an epoch's buffered entries (rollback path). A no-op if the
+  /// epoch already settled (commit and drop are mutually exclusive under
+  /// the speculator protocol; first settle wins).
   void drop(sre::Epoch epoch) {
     std::scoped_lock lk(mu_);
-    status_[epoch] = Status::Dropped;
+    if (epoch < retired_floor_) return;
+    if (!status_.try_emplace(epoch, Status::Dropped).second) return;
     auto it = pending_.find(epoch);
     if (it != pending_.end()) {
       discarded_ += it->second.size();
       pending_.erase(it);
     }
+    retire_settled_locked(epoch);
   }
 
   [[nodiscard]] std::size_t pending(sre::Epoch epoch) const {
@@ -99,14 +149,60 @@ class WaitBuffer {
     return discarded_;
   }
 
+  /// Subset of discarded(): adds that arrived after their epoch's status
+  /// had been watermark-retired.
+  [[nodiscard]] std::size_t late_discards() const {
+    std::scoped_lock lk(mu_);
+    return late_discards_;
+  }
+
+  /// Settled epochs whose status is still tracked (bounded by the retire
+  /// window; grows without bound when retire_window == 0).
+  [[nodiscard]] std::size_t tracked_epochs() const {
+    std::scoped_lock lk(mu_);
+    return status_.size();
+  }
+
+  /// Manual watermark GC: forget status and pending entries of every epoch
+  /// below `floor`. The caller asserts no task of a retired epoch can still
+  /// add; late adds are discarded (see late_discards).
+  void retire_below(sre::Epoch floor) {
+    std::scoped_lock lk(mu_);
+    retire_below_locked(floor);
+  }
+
  private:
-  enum class Status : std::uint8_t { Committed, Dropped };
+  enum class Status : std::uint8_t { Flushing, Committed, Dropped };
+
+  void retire_below_locked(sre::Epoch floor) {
+    if (floor <= retired_floor_) return;
+    retired_floor_ = floor;
+    status_.erase(status_.begin(), status_.lower_bound(floor));
+    pending_.erase(pending_.begin(), pending_.lower_bound(floor));
+  }
+
+  /// Auto-GC after `epoch` settled: epochs more than retire_window behind
+  /// the newest settled epoch can no longer receive adds (producer
+  /// protocol) and are forgotten.
+  void retire_settled_locked(sre::Epoch epoch) {
+    if (retire_window_ == 0) return;
+    if (epoch > max_settled_) max_settled_ = epoch;
+    if (max_settled_ > retire_window_) {
+      retire_below_locked(max_settled_ - retire_window_);
+    }
+  }
 
   Sink sink_;
+  const sre::Epoch retire_window_;
   mutable std::mutex mu_;
-  std::unordered_map<sre::Epoch, std::map<Key, Payload>> pending_;
-  std::unordered_map<sre::Epoch, Status> status_;
+  // Ordered maps: epoch ids are monotonic, so watermark retirement is an
+  // erase of a prefix range.
+  std::map<sre::Epoch, std::map<Key, Payload>> pending_;
+  std::map<sre::Epoch, Status> status_;
+  sre::Epoch max_settled_ = 0;
+  sre::Epoch retired_floor_ = 0;
   std::size_t discarded_ = 0;
+  std::size_t late_discards_ = 0;
 };
 
 }  // namespace tvs

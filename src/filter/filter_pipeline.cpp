@@ -98,7 +98,8 @@ FilterPipeline::FilterPipeline(sre::Runtime& runtime,
           [stp](const std::size_t& b, std::vector<double>&& y, std::uint64_t) {
             std::scoped_lock lk(stp->mu);
             stp->out_blocks[b] = std::move(y);
-          });
+          },
+          /*retire_window=*/8);
 
   if (speculation) {
     tvs::Speculator<Coeffs>::Callbacks cb;

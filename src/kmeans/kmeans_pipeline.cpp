@@ -83,7 +83,8 @@ KmeansPipeline::KmeansPipeline(sre::Runtime& runtime, const Dataset& data,
             std::uint64_t) {
         std::scoped_lock lk(stp->mu);
         stp->out_blocks[b] = std::move(labels);
-      });
+      },
+      /*retire_window=*/8);
 
   if (speculation) {
     tvs::Speculator<Centroids>::Callbacks cb;

@@ -126,7 +126,8 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
         std::scoped_lock lk(stp->mu);
         stp->out_blocks[block] = std::move(r.enc);
         stp->out_offsets[block] = r.offset;
-      });
+      },
+      /*retire_window=*/8);
 
   if (config.speculation_enabled()) {
     tvs::Speculator<TreeEstimate>::Callbacks cb;

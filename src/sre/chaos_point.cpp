@@ -1,0 +1,15 @@
+#include "sre/chaos_point.h"
+
+namespace sre::chaos {
+
+namespace detail {
+std::atomic<Hook*> g_hook{nullptr};
+}  // namespace detail
+
+Hook* install(Hook* hook) {
+  return detail::g_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+Hook* installed() { return detail::g_hook.load(std::memory_order_acquire); }
+
+}  // namespace sre::chaos

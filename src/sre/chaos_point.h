@@ -1,0 +1,67 @@
+// Chaos points: named yield-point instrumentation for concurrency torture.
+//
+// A chaos point marks a spot where a lock has just been dropped (or is about
+// to be re-taken) around user callbacks — exactly the windows where racing
+// threads can interleave. In production the macro is a single relaxed atomic
+// load of a null pointer (branch never taken); under the torture harness
+// (src/stress) an installed Hook sees every crossing and can yield, sleep, or
+// synchronously inject a racing operation to force a specific interleaving
+// deterministically.
+//
+// Contract for hooks:
+//  * on_point runs on the thread crossing the site, with whatever locks that
+//    thread holds at the site (by convention: none — points are planted only
+//    in unlock windows).
+//  * A hook MAY call back into the object that owns the site (that is the
+//    whole point: it simulates a racing thread), but it must guard against
+//    its own re-entrancy — the injected call may itself cross chaos points.
+//  * Installation is process-global and not synchronized against crossings:
+//    install before concurrent work starts, uninstall after it ends.
+#pragma once
+
+#include <atomic>
+
+namespace sre::chaos {
+
+class Hook {
+ public:
+  virtual ~Hook() = default;
+  /// `site` is a string literal naming the crossing (stable identity: the
+  /// pointer may be compared or hashed; the text is for humans and traces).
+  virtual void on_point(const char* site) noexcept = 0;
+};
+
+namespace detail {
+extern std::atomic<Hook*> g_hook;
+}  // namespace detail
+
+/// Installs `hook` as the process-global chaos hook (nullptr uninstalls).
+/// Returns the previously installed hook.
+Hook* install(Hook* hook);
+
+/// The currently installed hook (nullptr when none).
+[[nodiscard]] Hook* installed();
+
+/// RAII installer for test scopes: installs on construction, restores the
+/// previous hook on destruction.
+class ScopedHook {
+ public:
+  explicit ScopedHook(Hook* hook) : prev_(install(hook)) {}
+  ~ScopedHook() { install(prev_); }
+  ScopedHook(const ScopedHook&) = delete;
+  ScopedHook& operator=(const ScopedHook&) = delete;
+
+ private:
+  Hook* prev_;
+};
+
+inline void point(const char* site) noexcept {
+  Hook* h = detail::g_hook.load(std::memory_order_acquire);
+  if (h != nullptr) h->on_point(site);
+}
+
+}  // namespace sre::chaos
+
+/// Marks a torture-relevant interleaving window. Free when no hook is
+/// installed (one relaxed-ish load, no call).
+#define SRE_CHAOS_POINT(site) ::sre::chaos::point(site)

@@ -1,0 +1,49 @@
+// Fault injection: spurious task failures and latency spikes for torture
+// runs (src/stress) and resilience tests.
+//
+// A FaultPlan is consulted by the *threaded* executor immediately before each
+// task body runs. It can delay the body (latency spike — models a slow disk,
+// a page fault, a preempted core) or fail the task outright (the body never
+// runs; the task retires through the aborted path exactly as if a rollback
+// had caught it in flight, so the destroy signal propagates to consumers).
+//
+// The deterministic virtual-time simulator never consults the plan: sim
+// schedules must stay bit-identical run to run, fault plan or not.
+//
+// Thread safety: before_task is called concurrently from every worker thread;
+// implementations must be internally synchronized (the stress harness uses
+// per-site counters hashed with the seed, no shared mutable state).
+#pragma once
+
+#include <cstdint>
+
+namespace sre {
+
+class Task;
+
+struct FaultDecision {
+  enum class Kind : std::uint8_t {
+    None,   ///< run the task normally
+    Delay,  ///< sleep delay_us, then run the task normally
+    Fail,   ///< do not run the body; retire the task as aborted
+  };
+  Kind kind = Kind::None;
+  std::uint64_t delay_us = 0;  ///< used by Delay
+
+  [[nodiscard]] static FaultDecision none() { return {}; }
+  [[nodiscard]] static FaultDecision delay(std::uint64_t us) {
+    return {Kind::Delay, us};
+  }
+  [[nodiscard]] static FaultDecision fail() { return {Kind::Fail, 0}; }
+};
+
+class FaultPlan {
+ public:
+  virtual ~FaultPlan() = default;
+
+  /// Decide the fate of `task` just before its body would run. Must not
+  /// call into the Runtime.
+  [[nodiscard]] virtual FaultDecision before_task(const Task& task) noexcept = 0;
+};
+
+}  // namespace sre

@@ -75,6 +75,15 @@ class Observer {
   /// An epoch-open was withheld: predicted confidence missed the gate.
   virtual void on_speculation_gated(std::uint32_t /*estimate_index*/,
                                     double /*confidence*/) {}
+
+  // --- Fault injection (src/sre/fault.h) ----------------------------------
+
+  /// A FaultPlan acted on a task: `failed` means the body was suppressed and
+  /// the task retired as aborted; otherwise it was delayed by `delay_us`.
+  /// Unlike the other events this one fires on the worker thread *without*
+  /// the runtime lock held; the record-and-return contract still applies.
+  virtual void on_fault_injected(TaskId /*task*/, bool /*failed*/,
+                                 std::uint64_t /*delay_us*/) {}
 };
 
 /// Forwards every event to a set of observers, so a run can attach e.g. a
@@ -131,6 +140,10 @@ class FanoutObserver final : public Observer {
     for (Observer* o : children_) {
       o->on_speculation_gated(estimate_index, confidence);
     }
+  }
+  void on_fault_injected(TaskId task, bool failed,
+                         std::uint64_t delay_us) override {
+    for (Observer* o : children_) o->on_fault_injected(task, failed, delay_us);
   }
 
  private:

@@ -118,7 +118,13 @@ void Runtime::finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
 
   if (task->epoch() != kNaturalEpoch) {
     auto it = epoch_tasks_.find(task->epoch());
-    if (it != epoch_tasks_.end()) it->second.erase(task->id());
+    if (it != epoch_tasks_.end()) {
+      it->second.erase(task->id());
+      // Retire the registry entry with its last live task: a long streaming
+      // run commits thousands of epochs, and keeping an empty map per
+      // retired epoch would grow the registry without bound.
+      if (it->second.empty()) epoch_tasks_.erase(it);
+    }
   }
 
   if (observer_) {
@@ -265,6 +271,18 @@ void Runtime::abort_task_locked(const TaskPtr& task) {
     case TaskState::Done:
     case TaskState::Aborted:
       return;
+  }
+  // Drop the registry entry of a task destroyed before launch. Victims in
+  // the epoch being aborted were already removed wholesale by abort_epoch;
+  // this catches cross-epoch destroy propagation (a consumer in epoch B
+  // killed by a producer in epoch A), which would otherwise pin a dead
+  // entry in epoch_tasks_ forever.
+  if (task->epoch() != kNaturalEpoch) {
+    auto it = epoch_tasks_.find(task->epoch());
+    if (it != epoch_tasks_.end()) {
+      it->second.erase(task->id());
+      if (it->second.empty()) epoch_tasks_.erase(it);
+    }
   }
   // Propagate the destroy signal down the dependence chain and reclaim the
   // task's payload ("deletes them with their content").

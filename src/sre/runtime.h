@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sre/fault.h"
 #include "sre/ids.h"
 #include "sre/observer.h"
 #include "sre/ready_pool.h"
@@ -125,6 +126,17 @@ class Runtime {
   /// to report predictor events; the record-and-return contract applies.
   [[nodiscard]] Observer* observer() const { return observer_; }
 
+  /// Installs a fault-injection plan (see fault.h; nullptr uninstalls).
+  /// Consulted by the threaded executor before each task body; the
+  /// deterministic simulator ignores it. Install before run(); reads are
+  /// lock-free.
+  void set_fault_plan(FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+  [[nodiscard]] FaultPlan* fault_plan() const {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] ReadyPool& pool() { return pool_; }
 
   /// Signal installed by an executor; invoked (outside the lock) whenever new
@@ -222,6 +234,7 @@ class Runtime {
   std::size_t running_ = 0;  // includes Staged
   std::function<void()> ready_signal_;
   Observer* observer_ = nullptr;
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace sre

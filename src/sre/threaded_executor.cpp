@@ -4,9 +4,40 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sre/chaos_point.h"
+
 namespace sre {
 
 namespace {
+
+/// Consults the runtime's FaultPlan for `task`. Applies a Delay in place;
+/// returns true when the plan failed the task (caller must skip the body and
+/// retire the task as aborted).
+bool apply_fault_plan(Runtime& runtime, Task& task) {
+  FaultPlan* plan = runtime.fault_plan();
+  if (plan == nullptr) return false;
+  const FaultDecision d = plan->before_task(task);
+  switch (d.kind) {
+    case FaultDecision::Kind::None:
+      return false;
+    case FaultDecision::Kind::Delay:
+      if (Observer* obs = runtime.observer()) {
+        obs->on_fault_injected(task.id(), /*failed=*/false, d.delay_us);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+      return false;
+    case FaultDecision::Kind::Fail:
+      if (Observer* obs = runtime.observer()) {
+        obs->on_fault_injected(task.id(), /*failed=*/true, 0);
+      }
+      // The completion path treats the flagged task exactly like one caught
+      // in flight by a rollback: results discarded, destroy signal to
+      // consumers ("spurious failure" == the task died mid-run).
+      task.request_abort();
+      return true;
+  }
+  return false;
+}
 
 /// True on sharded worker threads. A worker that makes new work ready (via
 /// an inline finish or a hook) picks it up itself on its next acquire loop,
@@ -378,8 +409,12 @@ bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me) {
     revoked = true;
     ++me.stats.revoked_at_pop;
   }
+  if (!revoked && apply_fault_plan(runtime_, *task)) {
+    revoked = true;  // injected failure: retire unrun through the abort path
+  }
   if (!revoked) {
     task->state_.store(TaskState::Running, std::memory_order_release);
+    SRE_CHAOS_POINT("executor.before_body");
     try {
       TaskContext ctx{runtime_, *task, now_us()};
       task->run(ctx);
@@ -387,6 +422,7 @@ bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me) {
       fail("task '" + task->name() + "' threw: " + e.what());
       return false;
     }
+    SRE_CHAOS_POINT("executor.after_body");
     ++me.stats.tasks_run;
   }
   const std::uint64_t done_us = now_us();
@@ -481,15 +517,19 @@ void ThreadedExecutor::worker_loop_central(unsigned worker_ix) {
       done_cv_.notify_all();
       continue;
     }
-    try {
-      // Simple polling model of the paper's x86 backend: the worker runs the
-      // assigned task to completion; abort flags are honoured by the runtime
-      // when the completion is directed.
-      TaskContext ctx{runtime_, *task, now_us()};
-      task->run(ctx);
-    } catch (const std::exception& e) {
-      fail("task '" + task->name() + "' threw: " + e.what());
-      return;
+    if (!apply_fault_plan(runtime_, *task)) {
+      SRE_CHAOS_POINT("executor.before_body");
+      try {
+        // Simple polling model of the paper's x86 backend: the worker runs
+        // the assigned task to completion; abort flags are honoured by the
+        // runtime when the completion is directed.
+        TaskContext ctx{runtime_, *task, now_us()};
+        task->run(ctx);
+      } catch (const std::exception& e) {
+        fail("task '" + task->name() + "' threw: " + e.what());
+        return;
+      }
+      SRE_CHAOS_POINT("executor.after_body");
     }
     {
       std::scoped_lock lk(mu_);

@@ -1,0 +1,143 @@
+#include "stress/chaos_schedule.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "sre/task.h"
+
+namespace stress {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix, the standard seed expander.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Per-thread per-(schedule, site) occurrence counters. Thread-local so the
+/// k-th crossing of a site by any given thread is a deterministic event,
+/// regardless of how the OS interleaves other threads.
+std::uint64_t next_occurrence(const void* schedule, const char* site) {
+  struct KeyHash {
+    std::size_t operator()(
+        const std::pair<const void*, const char*>& k) const noexcept {
+      return std::hash<const void*>{}(k.first) ^
+             (std::hash<const void*>{}(k.second) << 1);
+    }
+  };
+  thread_local std::unordered_map<std::pair<const void*, const char*>,
+                                  std::uint64_t, KeyHash>
+      counters;
+  return counters[{schedule, site}]++;
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(std::uint64_t seed, ChaosOptions options)
+    : seed_(seed), options_(options) {}
+
+std::uint64_t ChaosSchedule::mix(std::uint64_t a, std::uint64_t b) const noexcept {
+  return splitmix64(seed_ ^ splitmix64(a ^ splitmix64(b)));
+}
+
+double ChaosSchedule::unit(std::uint64_t key) const noexcept {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+void ChaosSchedule::on_point(const char* site) noexcept {
+  const std::uint64_t seq = next_occurrence(this, site);
+  const std::uint64_t key = mix(fnv1a(site), seq);
+  const double u = unit(key);
+
+  if (u < options_.yield_prob) {
+    record(site, seq, Action::Yield, 0);
+    std::this_thread::yield();
+    return;
+  }
+  if (u < options_.yield_prob + options_.sleep_prob &&
+      options_.max_sleep_us > 0) {
+    const std::uint64_t us = splitmix64(key) % options_.max_sleep_us + 1;
+    record(site, seq, Action::Sleep, us);
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return;
+  }
+  record(site, seq, Action::None, 0);
+}
+
+sre::FaultDecision ChaosSchedule::before_task(const sre::Task& task) noexcept {
+  // Keyed by task id, not occurrence: a task's fate is a property of the
+  // task, reproducible as long as creation order is.
+  const std::uint64_t key = mix(0xfa017u /* fault-domain tag */, task.id());
+  const double u = unit(key);
+  if (u < options_.fail_prob) {
+    record("fault.task", task.id(), Action::Fail, 0);
+    return sre::FaultDecision::fail();
+  }
+  if (u < options_.fail_prob + options_.delay_prob &&
+      options_.max_delay_us > 0) {
+    const std::uint64_t us = splitmix64(key) % options_.max_delay_us + 1;
+    record("fault.task", task.id(), Action::Delay, us);
+    return sre::FaultDecision::delay(us);
+  }
+  return sre::FaultDecision::none();
+}
+
+void ChaosSchedule::record(const char* site, std::uint64_t seq, Action action,
+                           std::uint64_t arg) noexcept {
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.record) return;
+  try {
+    std::scoped_lock lk(trace_mu_);
+    trace_.push_back({site, seq, action, arg});
+  } catch (...) {
+    // Recording is best-effort diagnostics; never let it surface from a
+    // noexcept decision path.
+  }
+}
+
+std::uint64_t ChaosSchedule::decisions() const {
+  return decisions_.load(std::memory_order_relaxed);
+}
+
+std::vector<ChaosSchedule::Decision> ChaosSchedule::trace() const {
+  std::scoped_lock lk(trace_mu_);
+  return trace_;
+}
+
+std::string ChaosSchedule::trace_text() const {
+  std::vector<Decision> t = trace();
+  std::sort(t.begin(), t.end(), [](const Decision& a, const Decision& b) {
+    if (a.site != b.site) return a.site < b.site;
+    return a.sequence < b.sequence;
+  });
+  std::string out;
+  for (const Decision& d : t) {
+    out += d.site;
+    out += '#';
+    out += std::to_string(d.sequence);
+    switch (d.action) {
+      case Action::None: out += " none"; break;
+      case Action::Yield: out += " yield"; break;
+      case Action::Sleep: out += " sleep " + std::to_string(d.arg) + "us"; break;
+      case Action::Delay: out += " delay " + std::to_string(d.arg) + "us"; break;
+      case Action::Fail: out += " fail"; break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stress

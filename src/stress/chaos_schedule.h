@@ -1,0 +1,96 @@
+// ChaosSchedule: the seeded owner of every nondeterministic decision a
+// torture run makes.
+//
+// One object plays both roles the runtime exposes to the harness:
+//  * sre::chaos::Hook — at every chaos point (the unlock windows in
+//    Speculator/WaitBuffer, the executor's body boundaries) it decides
+//    deterministically whether the crossing thread yields or briefly sleeps,
+//    permuting the interleavings that matter;
+//  * sre::FaultPlan — before every task body it decides whether to inject a
+//    latency spike or a spurious failure.
+//
+// Determinism: decisions are pure hashes of (seed, site, per-thread
+// occurrence counter) — no shared mutable state, no RNG stream racing
+// between threads. Two runs with the same seed make the same k-th decision
+// at the same site on any thread; a single-threaded replay is exactly
+// reproducible. Fault decisions hash (seed, task id), so a task keeps its
+// fate across runs as long as creation order holds.
+//
+// The decision trace (record=true) is the replayer's raw material: a
+// stable text rendering sorted by (site, occurrence), independent of the
+// wall-clock order threads happened to cross the points in.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sre/chaos_point.h"
+#include "sre/fault.h"
+
+namespace stress {
+
+struct ChaosOptions {
+  // Chaos-point behaviour.
+  double yield_prob = 0.6;        ///< std::this_thread::yield at a point
+  double sleep_prob = 0.05;       ///< short sleep instead (stronger shuffle)
+  std::uint64_t max_sleep_us = 50;
+
+  // FaultPlan behaviour.
+  double fail_prob = 0.0;         ///< spurious task failure
+  double delay_prob = 0.0;        ///< latency spike before the body
+  std::uint64_t max_delay_us = 100;
+
+  bool record = false;            ///< keep a decision trace for replay
+};
+
+class ChaosSchedule final : public sre::chaos::Hook, public sre::FaultPlan {
+ public:
+  enum class Action : std::uint8_t { None, Yield, Sleep, Delay, Fail };
+
+  struct Decision {
+    std::string site;       ///< chaos-point name, or "fault.task"
+    std::uint64_t sequence; ///< per-site occurrence (or task id for faults)
+    Action action;
+    std::uint64_t arg;      ///< sleep/delay duration (µs)
+  };
+
+  explicit ChaosSchedule(std::uint64_t seed, ChaosOptions options = {});
+
+  // sre::chaos::Hook
+  void on_point(const char* site) noexcept override;
+
+  // sre::FaultPlan
+  [[nodiscard]] sre::FaultDecision before_task(
+      const sre::Task& task) noexcept override;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const ChaosOptions& options() const { return options_; }
+
+  /// Total decisions taken (cheap; maintained even when not recording).
+  [[nodiscard]] std::uint64_t decisions() const;
+
+  /// Copy of the recorded trace (empty unless options.record).
+  [[nodiscard]] std::vector<Decision> trace() const;
+
+  /// Stable text rendering of the trace: one "site#seq action arg" line,
+  /// sorted by (site, sequence) so thread scheduling cannot reorder it.
+  [[nodiscard]] std::string trace_text() const;
+
+ private:
+  /// Uniform double in [0,1) from a decision key.
+  [[nodiscard]] double unit(std::uint64_t key) const noexcept;
+  [[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b) const noexcept;
+  void record(const char* site, std::uint64_t seq, Action action,
+              std::uint64_t arg) noexcept;
+
+  const std::uint64_t seed_;
+  const ChaosOptions options_;
+
+  mutable std::mutex trace_mu_;
+  std::vector<Decision> trace_;
+  std::atomic<std::uint64_t> decisions_{0};
+};
+
+}  // namespace stress

@@ -1,0 +1,106 @@
+#include "stress/replay.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace stress {
+namespace {
+
+/// One shrink pass: mutates the options toward "smaller" and returns true,
+/// or returns false when it has nothing left to take away.
+using Pass = bool (*)(TortureOptions&);
+
+bool drop_workers(TortureOptions& o) {
+  if (o.workers <= 1) return false;
+  o.workers = 1;
+  return true;
+}
+bool halve_estimates(TortureOptions& o) {
+  if (o.estimates <= 4) return false;
+  o.estimates = std::max<std::uint32_t>(4, o.estimates / 2);
+  return true;
+}
+bool drop_burst(TortureOptions& o) {
+  if (o.burst <= 1) return false;
+  o.burst = 1;
+  return true;
+}
+bool drop_chain(TortureOptions& o) {
+  if (o.chain_tasks <= 1) return false;
+  o.chain_tasks = 1;
+  return true;
+}
+bool drop_faults(TortureOptions& o) {
+  if (o.chaos.fail_prob == 0.0 && o.chaos.delay_prob == 0.0) return false;
+  o.chaos.fail_prob = 0.0;
+  o.chaos.delay_prob = 0.0;
+  return true;
+}
+bool drop_sleeps(TortureOptions& o) {
+  if (o.chaos.sleep_prob == 0.0) return false;
+  o.chaos.sleep_prob = 0.0;
+  return true;
+}
+
+constexpr Pass kPasses[] = {drop_workers, drop_faults,  halve_estimates,
+                            drop_burst,   drop_chain,   drop_sleeps};
+
+}  // namespace
+
+Replayer::Replayer(Scenario scenario, unsigned attempts_per_step)
+    : scenario_(std::move(scenario)),
+      attempts_per_step_(std::max(1u, attempts_per_step)) {}
+
+TortureReport Replayer::attempt(const TortureOptions& opt,
+                                unsigned& runs) const {
+  TortureReport last;
+  for (unsigned i = 0; i < attempts_per_step_; ++i) {
+    ++runs;
+    last = scenario_(opt);
+    if (!last.ok) return last;
+  }
+  return last;
+}
+
+ReplayResult Replayer::replay(const TortureOptions& failing) {
+  ReplayResult result;
+  result.minimal = failing;
+
+  // Confirm.
+  TortureReport confirm = attempt(failing, result.runs);
+  if (confirm.ok) {
+    result.reproduced = false;
+    return result;
+  }
+  result.reproduced = true;
+  result.failure = confirm.failure;
+
+  // Shrink to fixpoint: retry the pass list until a full sweep keeps
+  // nothing. A pass survives only if the shrunk options still fail.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Pass pass : kPasses) {
+      TortureOptions candidate = result.minimal;
+      if (!pass(candidate)) continue;
+      TortureReport rep = attempt(candidate, result.runs);
+      if (!rep.ok) {
+        result.minimal = candidate;
+        result.failure = rep.failure;
+        changed = true;
+      }
+    }
+  }
+
+  // Record a stable trace of a minimal failing run (fall back to whatever
+  // the last recorded run did if the race refuses one more encore).
+  TortureOptions traced = result.minimal;
+  traced.chaos.record = true;
+  TortureReport rep = attempt(traced, result.runs);
+  result.trace = rep.trace;
+  if (!rep.ok) result.failure = rep.failure;
+  return result;
+}
+
+}  // namespace stress

@@ -1,0 +1,52 @@
+// Replayer: turns a failing torture seed into a stable minimal trace.
+//
+// A torture failure is a (scenario, options) pair whose oracles fired. The
+// replayer first *confirms* it (chaos decisions are deterministic per seed,
+// but the OS interleaving around them is not — a race may need a few runs
+// to land), then *shrinks* it: a fixed list of simplification passes
+// (fewer workers, fewer estimates, no bursts, shorter chains, no fault
+// injection, no chaos sleeps) is applied to fixpoint, keeping a pass only
+// if the failure still reproduces under it. The shrunk options are re-run
+// with trace recording on, and the recorded decision trace — rendered in
+// the ChaosSchedule's stable (site, occurrence) order — is the artifact to
+// attach to a bug report: `TVS_TORTURE_BASE_SEED=<seed>` replays it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "stress/torture.h"
+
+namespace stress {
+
+struct ReplayResult {
+  /// The failure reproduced during confirmation. When false, the remaining
+  /// fields describe the (unshrunk) input and the run count spent trying.
+  bool reproduced = false;
+  std::string failure;     ///< oracle message of the last failing run
+  TortureOptions minimal;  ///< smallest options that still fail
+  std::string trace;       ///< chaos decision trace of a minimal failing run
+  unsigned runs = 0;       ///< scenario executions spent in total
+};
+
+class Replayer {
+ public:
+  using Scenario = std::function<TortureReport(const TortureOptions&)>;
+
+  /// `attempts_per_step`: how many runs may try to reproduce the failure at
+  /// each confirmation/shrink decision before the step gives up.
+  explicit Replayer(Scenario scenario, unsigned attempts_per_step = 3);
+
+  /// Confirms and shrinks `failing`; see the file comment.
+  [[nodiscard]] ReplayResult replay(const TortureOptions& failing);
+
+ private:
+  /// Runs the scenario up to attempts_per_step_ times; returns the first
+  /// failing report, or the last passing one.
+  TortureReport attempt(const TortureOptions& opt, unsigned& runs) const;
+
+  Scenario scenario_;
+  unsigned attempts_per_step_;
+};
+
+}  // namespace stress

@@ -1,0 +1,280 @@
+// Deterministic regression tests for the rollback/commit race family.
+//
+// Each race is forced without threads: a chaos hook installed at the named
+// unlock-window site *synchronously* injects the racing operation at the
+// exact point where the lock is dropped. On the pre-fix code every one of
+// these tests fails (double natural build / stacked re-open / interleaved
+// flush / unbounded bookkeeping); the fixes make them pass — and keep them
+// passing under any thread schedule, since the single-threaded injection is
+// a legal interleaving of the concurrent one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/speculator.h"
+#include "core/wait_buffer.h"
+#include "sre/chaos_point.h"
+#include "sre/runtime.h"
+
+namespace {
+
+using sre::DispatchPolicy;
+using sre::Runtime;
+using tvs::SpecConfig;
+using tvs::Speculator;
+using tvs::VerificationPolicy;
+using tvs::WaitBuffer;
+
+/// Chaos hook that fires a caller-supplied injection the first time the
+/// target site is crossed (later crossings are ignored).
+struct InjectOnce final : sre::chaos::Hook {
+  std::string_view target;
+  std::function<void()> inject;
+  int fired = 0;
+
+  void on_point(const char* site) noexcept override {
+    if (fired == 0 && target == site) {
+      ++fired;
+      inject();
+    }
+  }
+};
+
+/// Runs every queued task to completion (checks included).
+void drain(Runtime& rt) {
+  std::uint64_t t = 1000;
+  while (sre::TaskPtr task = rt.next_task()) {
+    sre::TaskContext ctx{rt, *task, t};
+    task->run(ctx);
+    rt.on_task_finished(task, ++t);
+  }
+}
+
+struct Probe {
+  std::vector<sre::Epoch> chains;
+  std::vector<sre::Epoch> commits;
+  std::vector<sre::Epoch> rollbacks;
+  int naturals = 0;
+};
+
+Speculator<double>::Callbacks callbacks(Probe& probe) {
+  Speculator<double>::Callbacks cb;
+  cb.build_chain = [&probe](const double&, sre::Epoch e, std::uint32_t) {
+    probe.chains.push_back(e);
+  };
+  cb.within_tolerance = [](const double& g, const double& cur) {
+    return std::abs(g - cur) <= 0.1;
+  };
+  cb.on_commit = [&probe](sre::Epoch e, std::uint64_t) {
+    probe.commits.push_back(e);
+  };
+  cb.on_rollback = [&probe](sre::Epoch e, std::uint64_t) {
+    probe.rollbacks.push_back(e);
+  };
+  cb.build_natural = [&probe](const double&, std::uint64_t) {
+    ++probe.naturals;
+  };
+  return cb;
+}
+
+// --- Race 1: a final estimate lands inside the rollback unlock window -----
+//
+// on_verdict (failing check) drops the lock around abort_epoch/on_rollback.
+// A final estimate arriving in that window finds a coherent Idle machine and
+// builds the natural path. The verdict's continuation then relocks, sees
+// latest_is_final_, and — without the generation re-validation — builds the
+// natural path a SECOND time: duplicate output downstream.
+TEST(ChaosRegression, FinalEstimateInRollbackWindowBuildsNaturalOnce) {
+  Runtime rt(DispatchPolicy::Balanced);
+  Probe probe;
+  Speculator<double> spec(rt, {.step_size = 1, .verify = VerificationPolicy::full()},
+                          callbacks(probe));
+
+  InjectOnce hook;
+  hook.target = "speculator.rollback_window";
+  hook.inject = [&spec] { spec.on_estimate(5.0, 3, /*is_final=*/true, 30); };
+  sre::chaos::ScopedHook guard(&hook);
+
+  spec.on_estimate(1.0, 1, false, 10);  // opens an epoch (guess 1.0)
+  ASSERT_EQ(probe.chains.size(), 1u);
+  spec.on_estimate(5.0, 2, false, 20);  // out of tolerance: check will fail
+  drain(rt);                            // verdict → rollback window → inject
+
+  EXPECT_EQ(probe.naturals, 1) << "natural path must be built exactly once";
+  EXPECT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_TRUE(probe.commits.empty());
+  EXPECT_EQ(spec.state(), Speculator<double>::State::Natural);
+  EXPECT_TRUE(spec.finished());
+}
+
+// Variant: a non-final estimate in the same window re-opens speculation.
+// The continuation must NOT stack its own immediate re-speculation on top —
+// that would build a third chain and orphan the racer's epoch (its checks
+// would compare against the wrong guess and its wait-buffer entries would
+// never be settled by the speculator that abandoned it).
+TEST(ChaosRegression, EstimateInRollbackWindowReopensWithoutStacking) {
+  Runtime rt(DispatchPolicy::Balanced);
+  Probe probe;
+  Speculator<double> spec(rt, {.step_size = 1, .verify = VerificationPolicy::full()},
+                          callbacks(probe));
+
+  InjectOnce hook;
+  hook.target = "speculator.rollback_window";
+  hook.inject = [&spec] { spec.on_estimate(7.0, 3, /*is_final=*/false, 30); };
+  sre::chaos::ScopedHook guard(&hook);
+
+  spec.on_estimate(1.0, 1, false, 10);
+  spec.on_estimate(5.0, 2, false, 20);
+  drain(rt);
+
+  ASSERT_EQ(probe.chains.size(), 2u)
+      << "exactly one re-speculation: the injected estimate's";
+  ASSERT_TRUE(spec.active_epoch().has_value());
+  EXPECT_EQ(*spec.active_epoch(), probe.chains[1]);
+  EXPECT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_EQ(probe.naturals, 0);
+}
+
+// The late window (after on_rollback) must obey the same rule.
+TEST(ChaosRegression, FinalEstimateInLateRollbackWindowBuildsNaturalOnce) {
+  Runtime rt(DispatchPolicy::Balanced);
+  Probe probe;
+  Speculator<double> spec(rt, {.step_size = 1, .verify = VerificationPolicy::full()},
+                          callbacks(probe));
+
+  InjectOnce hook;
+  hook.target = "speculator.rollback_window_late";
+  hook.inject = [&spec] { spec.on_estimate(5.0, 3, /*is_final=*/true, 30); };
+  sre::chaos::ScopedHook guard(&hook);
+
+  spec.on_estimate(1.0, 1, false, 10);
+  spec.on_estimate(5.0, 2, false, 20);
+  drain(rt);
+
+  EXPECT_EQ(probe.naturals, 1);
+  EXPECT_TRUE(spec.finished());
+}
+
+// --- Race 2: an add races the commit flush ---------------------------------
+//
+// Pre-fix, commit() marked the epoch Committed and THEN flushed with the
+// lock released; an add arriving mid-flush saw Committed and passed straight
+// through to the sink — interleaving with (here: jumping ahead of) the
+// ordered flush. Post-fix the epoch stays in Flushing until the drain loop
+// empties pending_, so the racing add queues behind the in-flight batch and
+// is emitted by the committer afterwards.
+TEST(ChaosRegression, AddDuringCommitFlushQueuesBehindFlush) {
+  std::vector<int> order;
+  WaitBuffer<int, int> buf(
+      [&order](const int& key, int&&, std::uint64_t) { order.push_back(key); });
+
+  InjectOnce hook;
+  hook.target = "wait_buffer.flush_window";
+  hook.inject = [&buf] { buf.add(1, 0, 0, 99); };  // key 0 sorts first
+  sre::chaos::ScopedHook guard(&hook);
+
+  buf.add(1, 1, 10, 1);
+  buf.add(1, 2, 20, 2);
+  buf.add(1, 3, 30, 3);
+  buf.commit(1, 100);
+
+  // The pre-commit entries flush in key order; the racing add drains in a
+  // follow-up batch. Pre-fix this came out [0, 1, 2, 3].
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 0}));
+
+  buf.add(1, 9, 90, 200);  // epoch is pass-through only now
+  EXPECT_EQ(order.back(), 9);
+  EXPECT_EQ(buf.total_pending(), 0u);
+}
+
+// A sink that re-enters the buffer mid-flush must queue, not deadlock or
+// interleave (the commit lock is released around every sink call).
+TEST(ChaosRegression, ReentrantSinkAddQueuesBehindFlush) {
+  std::vector<int> order;
+  WaitBuffer<int, int>* handle = nullptr;
+  WaitBuffer<int, int> buf([&](const int& key, int&&, std::uint64_t now) {
+    order.push_back(key);
+    if (key < 100) handle->add(1, key + 100, 0, now);
+  });
+  handle = &buf;
+
+  buf.add(1, 1, 0, 1);
+  buf.add(1, 2, 0, 2);
+  buf.commit(1, 10);
+
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 101, 102}));
+  EXPECT_EQ(buf.total_pending(), 0u);
+}
+
+// --- Race 3: unbounded per-epoch bookkeeping --------------------------------
+//
+// A long streaming run settles thousands of epochs. Pre-fix the runtime kept
+// an empty epoch_tasks_ map per epoch forever (exactly what
+// queue_depths().open_epochs counts) and the WaitBuffer kept a status entry
+// per settled epoch.
+TEST(ChaosRegression, RuntimeEpochBookkeepingBoundedOver10kEpochs) {
+  Runtime rt(DispatchPolicy::Balanced);
+  for (int i = 0; i < 10'000; ++i) {
+    const sre::Epoch e = rt.open_epoch();
+    auto task = rt.make_task("spec", sre::TaskClass::Speculative, e,
+                             /*depth=*/1, /*cost_us=*/1, [](sre::TaskContext&) {});
+    rt.submit(task);
+    drain(rt);
+    rt.mark_epoch_committed(e);
+  }
+  const auto depths = rt.queue_depths();
+  EXPECT_EQ(depths.open_epochs, 0u);
+  EXPECT_EQ(depths.epoch_tasks, 0u);
+}
+
+// Cross-epoch destroy propagation must also release the victim's entry: a
+// blocked consumer in epoch B killed by aborting its producer's epoch A
+// never reaches the finish path that normally erases it.
+TEST(ChaosRegression, CrossEpochAbortReleasesVictimBookkeeping) {
+  Runtime rt(DispatchPolicy::Balanced);
+  const sre::Epoch a = rt.open_epoch();
+  const sre::Epoch b = rt.open_epoch();
+  auto producer = rt.make_task("prod", sre::TaskClass::Speculative, a, 1, 1,
+                               [](sre::TaskContext&) {});
+  auto consumer = rt.make_task("cons", sre::TaskClass::Speculative, b, 1, 1,
+                               [](sre::TaskContext&) {});
+  rt.add_dependency(producer, consumer);
+  rt.submit(producer);
+  rt.submit(consumer);  // blocked behind producer
+
+  rt.abort_epoch(a);  // destroy signal reaches the epoch-b consumer
+
+  const auto depths = rt.queue_depths();
+  EXPECT_EQ(depths.open_epochs, 0u);
+  EXPECT_EQ(depths.epoch_tasks, 0u);
+  EXPECT_EQ(rt.blocked_count(), 0u);
+}
+
+TEST(ChaosRegression, WaitBufferStatusBoundedOver10kEpochs) {
+  std::size_t emitted = 0;
+  WaitBuffer<int, int> buf(
+      [&emitted](const int&, int&&, std::uint64_t) { ++emitted; },
+      /*retire_window=*/8);
+  for (sre::Epoch e = 1; e <= 10'000; ++e) {
+    buf.add(e, 0, 1, e);
+    if (e % 3 == 0) {
+      buf.drop(e);
+    } else {
+      buf.commit(e, e);
+    }
+  }
+  EXPECT_LE(buf.tracked_epochs(), 9u);  // retire_window + newest settled
+  EXPECT_EQ(buf.total_pending(), 0u);
+  EXPECT_GT(emitted, 0u);
+
+  // A straggler for a long-retired epoch is discarded, not resurrected.
+  buf.add(1, 5, 1, 0);
+  EXPECT_EQ(buf.late_discards(), 1u);
+  EXPECT_LE(buf.tracked_epochs(), 9u);
+}
+
+}  // namespace

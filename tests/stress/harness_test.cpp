@@ -1,0 +1,186 @@
+// Harness self-tests: the ChaosSchedule's decisions are deterministic per
+// seed, the FaultPlan path is observable end-to-end through the threaded
+// executor, and the Replayer confirms + shrinks a failing configuration to
+// a minimal one with a stable trace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sre/chaos_point.h"
+#include "sre/observer.h"
+#include "sre/runtime.h"
+#include "sre/threaded_executor.h"
+#include "stress/chaos_schedule.h"
+#include "stress/replay.h"
+#include "stress/torture.h"
+
+namespace {
+
+using sre::DispatchPolicy;
+using sre::Runtime;
+using stress::ChaosOptions;
+using stress::ChaosSchedule;
+using stress::Replayer;
+using stress::TortureOptions;
+using stress::TortureReport;
+
+TEST(ChaosSchedule, SameSeedSameDecisions) {
+  ChaosOptions opts;
+  opts.record = true;
+  opts.sleep_prob = 0.2;
+  opts.max_sleep_us = 1;
+  ChaosSchedule a(42, opts);
+  ChaosSchedule b(42, opts);
+  for (int i = 0; i < 50; ++i) {
+    a.on_point("site.alpha");
+    b.on_point("site.alpha");
+    if (i % 3 == 0) {
+      a.on_point("site.beta");
+      b.on_point("site.beta");
+    }
+  }
+  EXPECT_EQ(a.decisions(), b.decisions());
+  EXPECT_EQ(a.trace_text(), b.trace_text());
+  EXPECT_FALSE(a.trace_text().empty());
+}
+
+TEST(ChaosSchedule, SeedsDiverge) {
+  ChaosOptions opts;
+  opts.record = true;
+  opts.max_sleep_us = 1;
+  ChaosSchedule a(1, opts);
+  ChaosSchedule b(2, opts);
+  for (int i = 0; i < 200; ++i) {
+    a.on_point("site");
+    b.on_point("site");
+  }
+  EXPECT_NE(a.trace_text(), b.trace_text());
+}
+
+TEST(ChaosSchedule, UninstalledPointIsNoOp) {
+  ASSERT_EQ(sre::chaos::installed(), nullptr);
+  SRE_CHAOS_POINT("anywhere");  // must not crash
+  ChaosSchedule hook(7);
+  {
+    sre::chaos::ScopedHook guard(&hook);
+    EXPECT_EQ(sre::chaos::installed(), &hook);
+    SRE_CHAOS_POINT("anywhere");
+  }
+  EXPECT_EQ(sre::chaos::installed(), nullptr);
+  EXPECT_EQ(hook.decisions(), 1u);
+}
+
+TEST(FaultPlan, CertainFailureKillsEveryTask) {
+  struct FaultCounter final : sre::Observer {
+    std::atomic<int> injected{0};
+    void on_fault_injected(sre::TaskId, bool failed, std::uint64_t) override {
+      if (failed) injected.fetch_add(1);
+    }
+  } obs;
+
+  ChaosOptions opts;
+  opts.yield_prob = 0.0;
+  opts.sleep_prob = 0.0;
+  opts.fail_prob = 1.0;
+  ChaosSchedule plan(3, opts);
+
+  Runtime rt(DispatchPolicy::Balanced);
+  rt.set_observer(&obs);
+  rt.set_fault_plan(&plan);
+  sre::ThreadedExecutor ex(rt, {.workers = 2});
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    rt.submit(rt.make_task("victim", sre::TaskClass::Natural,
+                           sre::kNaturalEpoch, 1, 1,
+                           [&ran](sre::TaskContext&) { ran.fetch_add(1); }));
+  }
+  ex.run();
+
+  EXPECT_EQ(ran.load(), 0) << "a failed task's body must not run";
+  EXPECT_EQ(obs.injected.load(), 8);
+  EXPECT_EQ(rt.counters().tasks_aborted, 8u);
+}
+
+TEST(FaultPlan, DelayStillRunsTheBody) {
+  ChaosOptions opts;
+  opts.yield_prob = 0.0;
+  opts.sleep_prob = 0.0;
+  opts.delay_prob = 1.0;
+  opts.max_delay_us = 5;
+  ChaosSchedule plan(4, opts);
+
+  Runtime rt(DispatchPolicy::Balanced);
+  rt.set_fault_plan(&plan);
+  sre::ThreadedExecutor ex(rt, {.workers = 2});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    rt.submit(rt.make_task("slow", sre::TaskClass::Natural, sre::kNaturalEpoch,
+                           1, 1,
+                           [&ran](sre::TaskContext&) { ran.fetch_add(1); }));
+  }
+  ex.run();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(rt.counters().tasks_aborted, 0u);
+}
+
+// The replayer against a synthetic scenario with a known failure predicate:
+// it must confirm, shrink to the predicate's boundary and record a trace.
+TEST(Replayer, ConfirmsAndShrinksToMinimal) {
+  auto scenario = [](const TortureOptions& opt) {
+    TortureReport rep;
+    rep.seed = opt.seed;
+    if (opt.estimates >= 6) {
+      rep.fail("synthetic failure");
+    }
+    if (opt.chaos.record) rep.trace = "site#0 none\n";
+    return rep;
+  };
+
+  TortureOptions failing = TortureOptions::for_seed(11);
+  failing.estimates = 32;
+  failing.chaos.fail_prob = 0.05;
+
+  Replayer replayer(scenario, /*attempts_per_step=*/2);
+  const stress::ReplayResult result = replayer.replay(failing);
+
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(result.failure, "synthetic failure");
+  EXPECT_EQ(result.minimal.workers, 1u);
+  EXPECT_EQ(result.minimal.burst, 1u);
+  EXPECT_EQ(result.minimal.chain_tasks, 1u);
+  EXPECT_EQ(result.minimal.estimates, 8u)  // halving below 8 → 4 < 6 passes
+      << "shrink must stop at the smallest still-failing size";
+  EXPECT_EQ(result.minimal.chaos.fail_prob, 0.0);
+  EXPECT_FALSE(result.trace.empty());
+}
+
+TEST(Replayer, ReportsUnreproducedFailure) {
+  auto scenario = [](const TortureOptions& opt) {
+    TortureReport rep;
+    rep.seed = opt.seed;
+    return rep;  // always passes
+  };
+  Replayer replayer(scenario, 2);
+  const stress::ReplayResult result =
+      replayer.replay(TortureOptions::for_seed(5));
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.runs, 2u);
+}
+
+// A full torture scenario run is itself deterministic in its *decisions*
+// (not its interleaving): same seed, same chaos-decision trace shape.
+TEST(Harness, TortureReportCarriesDiagnostics) {
+  TortureOptions opt = TortureOptions::for_seed(1);
+  opt.estimates = 8;
+  opt.chaos.record = true;
+  const TortureReport rep = stress::run_speculator_torture(opt);
+  EXPECT_TRUE(rep.ok) << rep.failure;
+  EXPECT_GT(rep.chaos_decisions, 0u);
+  EXPECT_FALSE(rep.trace.empty());
+  EXPECT_TRUE(rep.finished);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Seeded WaitBuffer torture sweep: several real threads hammer one buffer
+// with adds, commits and racing drops against a hostile sink (slow under
+// chaos sleeps, and re-entrant — it adds shadow entries back into the buffer
+// mid-flush). Oracles: exactly-once per (epoch, key), every commit-window
+// emission precedes every later pass-through for that epoch, nothing stays
+// pending, and the watermark GC keeps the status map bounded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "stress/replay.h"
+#include "stress/torture.h"
+
+namespace {
+
+using stress::Replayer;
+using stress::TortureOptions;
+using stress::TortureReport;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+TEST(WaitBufferTorture, SeededSweep) {
+  const std::uint64_t base = env_u64("TVS_TORTURE_BASE_SEED", 1);
+  const std::uint64_t seeds = env_u64("TVS_TORTURE_SEEDS", 200);
+  for (std::uint64_t s = base; s < base + seeds; ++s) {
+    const TortureOptions opt = TortureOptions::for_seed(s);
+    const TortureReport rep = stress::run_wait_buffer_torture(opt);
+    if (rep.ok) continue;
+
+    Replayer replayer(&stress::run_wait_buffer_torture);
+    const stress::ReplayResult shrunk = replayer.replay(opt);
+    FAIL() << "wait-buffer torture failed: " << rep.failure
+           << "\n  seed=" << s << " workers=" << opt.workers
+           << "\n  minimal: workers=" << shrunk.minimal.workers
+           << " estimates=" << shrunk.minimal.estimates
+           << " chain=" << shrunk.minimal.chain_tasks << " ("
+           << (shrunk.reproduced ? shrunk.failure : "did not re-reproduce")
+           << ")\n  replay with TVS_TORTURE_BASE_SEED=" << s
+           << " TVS_TORTURE_SEEDS=1\n  chaos trace of minimal run:\n"
+           << shrunk.trace;
+  }
+}
+
+TEST(WaitBufferTorture, PinnedSeedEmitsThroughHostileSink) {
+  TortureOptions opt = TortureOptions::for_seed(6);  // even: GC window on
+  const TortureReport rep = stress::run_wait_buffer_torture(opt);
+  EXPECT_TRUE(rep.ok) << rep.failure;
+  EXPECT_GT(rep.sink_emits, 0u);
+  EXPECT_GT(rep.chaos_decisions, 0u);
+}
+
+}  // namespace

@@ -7,6 +7,9 @@
 #   tools/ci.sh            # tier-1 + sanitizers
 #   tools/ci.sh tsan       # ThreadSanitizer over the sre_core test label
 #                          # (scheduler, speculation, dispatch concurrency)
+#   tools/ci.sh torture    # speculation torture harness under TSan: the
+#                          # fixed seed set plus one time-boxed random-seed
+#                          # sweep (prints the seed to replay on failure)
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -19,6 +22,40 @@ if [[ "${1:-}" == "tsan" ]]; then
   cmake --build --preset tsan -j"$JOBS"
   ctest --preset tsan -j"$JOBS"
   echo "== tsan green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "torture" ]]; then
+  echo "== torture: speculation chaos suites under ThreadSanitizer (build-tsan/) =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$JOBS"
+
+  echo "-- fixed seed set (deterministic regressions + seeds 1..200) --"
+  ./build-tsan/tests/chaos_regression_test
+  ./build-tsan/tests/harness_test
+  ./build-tsan/tests/speculator_torture_test
+  ./build-tsan/tests/wait_buffer_torture_test
+
+  # One extra sweep from a fresh base seed, time-boxed so a pathological
+  # schedule cannot wedge CI. On failure the gtest message already carries
+  # the seed and a shrunk reproducer; echo the replay line again regardless.
+  RANDOM_SEED="${TVS_TORTURE_RANDOM_SEED:-$(( $(date +%s) % 1000000 + 1000 ))}"
+  echo "-- random sweep: TVS_TORTURE_BASE_SEED=${RANDOM_SEED} TVS_TORTURE_SEEDS=50 --"
+  if ! timeout "${TVS_TORTURE_TIMEBOX_S:-300}" env \
+      TVS_TORTURE_BASE_SEED="$RANDOM_SEED" TVS_TORTURE_SEEDS=50 \
+      ./build-tsan/tests/speculator_torture_test; then
+    echo "!! random torture sweep failed (or timed out); replay with:" >&2
+    echo "!!   TVS_TORTURE_BASE_SEED=${RANDOM_SEED} TVS_TORTURE_SEEDS=50 ./build-tsan/tests/speculator_torture_test" >&2
+    exit 1
+  fi
+  if ! timeout "${TVS_TORTURE_TIMEBOX_S:-300}" env \
+      TVS_TORTURE_BASE_SEED="$RANDOM_SEED" TVS_TORTURE_SEEDS=50 \
+      ./build-tsan/tests/wait_buffer_torture_test; then
+    echo "!! random torture sweep failed (or timed out); replay with:" >&2
+    echo "!!   TVS_TORTURE_BASE_SEED=${RANDOM_SEED} TVS_TORTURE_SEEDS=50 ./build-tsan/tests/wait_buffer_torture_test" >&2
+    exit 1
+  fi
+  echo "== torture green =="
   exit 0
 fi
 
