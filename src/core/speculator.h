@@ -122,6 +122,19 @@ class Speculator {
     hook_ = std::move(hook);
   }
 
+  /// Pins `owner` — typically the pipeline state that owns this Speculator —
+  /// for the lifetime of every internally-spawned check task: a strong
+  /// reference is captured into each check's body and completion hook, so a
+  /// stale check still in flight when the rest of the run finishes cannot
+  /// outlive the object its verdict calls back into. Needed by the serving
+  /// layer, which destroys session handles eagerly while stragglers drain.
+  /// Held weak here because the owner owns the Speculator — a strong member
+  /// reference would cycle and leak both.
+  void set_task_keepalive(std::weak_ptr<const void> owner) {
+    std::scoped_lock lk(mu_);
+    task_keepalive_ = std::move(owner);
+  }
+
   /// Does the pipeline need to materialize the estimate at `index` at all?
   /// (Estimate materialization — e.g. building a prefix Huffman tree — can
   /// itself be costly; skip it when the speculator would ignore it.)
@@ -267,17 +280,20 @@ class Speculator {
 
     auto verdict = std::make_shared<bool>(false);
     auto margin = std::make_shared<double>(-1.0);
+    // The keepalive (if set) rides in both lambdas: the task owns them until
+    // it is destroyed, so an in-flight check pins the speculator's owner.
+    auto keep = task_keepalive_.lock();
     auto task = runtime_.make_task(
         "check[e" + std::to_string(epoch) + (is_final ? ",final]" : "]"),
         sre::TaskClass::Control, sre::kNaturalEpoch, /*depth=*/1000,
         check_cost_us_,
-        [this, guess, current, verdict, margin](sre::TaskContext&) {
+        [this, keep, guess, current, verdict, margin](sre::TaskContext&) {
           *verdict = cb_.within_tolerance(*guess, *current);
           if (cb_.tolerance_margin) {
             *margin = cb_.tolerance_margin(*guess, *current);
           }
         });
-    task->add_completion_hook([this, epoch, verdict, margin, is_final](
+    task->add_completion_hook([this, keep, epoch, verdict, margin, is_final](
                                   sre::Task&, std::uint64_t done_us) {
       on_verdict(epoch, *verdict, *margin, is_final, done_us);
     });
@@ -364,6 +380,7 @@ class Speculator {
   SpecConfig config_;
   Callbacks cb_;
   PredictorHook hook_;
+  std::weak_ptr<const void> task_keepalive_;  ///< see set_task_keepalive
   std::uint64_t check_cost_us_;
 
   mutable std::mutex mu_;

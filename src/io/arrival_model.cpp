@@ -1,6 +1,8 @@
 #include "io/arrival_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 namespace sio {
 namespace {
@@ -23,6 +25,47 @@ Micros SocketArrival::arrival_us(std::size_t i) const {
   const Micros j = mix(seed_ ^ static_cast<std::uint64_t>(i)) %
                    std::min(jitter_us_, per_block_us_ - 1);
   return base + j;
+}
+
+PoissonArrival::PoissonArrival(double mean_gap_us, std::uint64_t seed,
+                               std::size_t burst_len,
+                               Micros intra_burst_gap_us)
+    : mean_gap_us_(mean_gap_us),
+      seed_(seed),
+      burst_len_(burst_len),
+      intra_gap_us_(std::max<Micros>(1, intra_burst_gap_us)) {
+  if (!(mean_gap_us > 0.0)) {
+    throw std::invalid_argument("PoissonArrival: mean_gap_us must be > 0");
+  }
+  if (burst_len == 0) {
+    throw std::invalid_argument("PoissonArrival: burst_len must be >= 1");
+  }
+}
+
+Micros PoissonArrival::arrival_us(std::size_t i) const {
+  std::scoped_lock lk(mu_);
+  while (cum_.size() <= i) {
+    const std::size_t k = cum_.size();
+    const Micros prev = k == 0 ? 0 : cum_.back();
+    Micros gap;
+    if (burst_len_ > 1 && k % burst_len_ != 0) {
+      gap = intra_gap_us_;  // inside a burst: back-to-back delivery
+    } else {
+      // Inverse-CDF exponential sample from a seeded uniform. The uniform
+      // is (0,1] so log() is finite; the gap floor of 1 µs keeps the
+      // sequence strictly increasing. Between bursts the mean is scaled by
+      // burst_len so the long-run block rate stays ~1/mean_gap_us.
+      const double u =
+          1.0 - static_cast<double>(mix(seed_ ^ static_cast<std::uint64_t>(k)) >>
+                                    11) *
+                    0x1.0p-53;
+      const double mean = mean_gap_us_ * static_cast<double>(burst_len_);
+      gap = std::max<Micros>(
+          1, static_cast<Micros>(std::llround(-mean * std::log(u))));
+    }
+    cum_.push_back(prev + gap);
+  }
+  return cum_[i];
 }
 
 }  // namespace sio

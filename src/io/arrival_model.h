@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace sio {
@@ -52,6 +53,35 @@ class SocketArrival final : public ArrivalModel {
   Micros per_block_us_;
   Micros jitter_us_;
   std::uint64_t seed_;
+};
+
+/// Open-loop random-traffic model: inter-arrival gaps drawn from a seeded
+/// exponential distribution, i.e. a Poisson process at rate 1/mean_gap_us —
+/// the standard open-loop overload model, where arrivals do not slow down
+/// when the consumer falls behind. Optional burst clustering: with
+/// burst_len = B > 1, blocks land in back-to-back groups of B (a tiny fixed
+/// intra-burst gap) separated by exponential gaps whose mean is scaled by B,
+/// so the long-run rate stays ~1/mean_gap_us while the short-term load is
+/// much spikier. Deterministic per seed; times are strictly increasing.
+/// bench/serve_load uses this to drive session admission past saturation.
+class PoissonArrival final : public ArrivalModel {
+ public:
+  explicit PoissonArrival(double mean_gap_us, std::uint64_t seed = 0x5eedULL,
+                          std::size_t burst_len = 1,
+                          Micros intra_burst_gap_us = 1);
+
+  [[nodiscard]] Micros arrival_us(std::size_t i) const override;
+
+ private:
+  double mean_gap_us_;
+  std::uint64_t seed_;
+  std::size_t burst_len_;
+  Micros intra_gap_us_;
+  /// Arrival times are a prefix sum of the sampled gaps; cache them so
+  /// arrival_us(i) is O(1) amortized instead of O(i) per call. Guarded:
+  /// const calls may race (the model is shared across sessions).
+  mutable std::mutex mu_;
+  mutable std::vector<Micros> cum_;
 };
 
 /// Replays an explicit schedule (tests; captured traces).

@@ -67,6 +67,22 @@ std::string RunReport::to_json() const {
   }
   os << "],\n";
 
+  if (!i.dispatch.empty()) {
+    const auto& d = i.dispatch;
+    os << "  \"dispatch\": {"
+       << "\"tasks_run\": " << d.tasks_run
+       << ", \"local_pops\": " << d.local_pops
+       << ", \"inbox_pops\": " << d.inbox_pops
+       << ", \"steals\": " << d.steals
+       << ", \"self_stages\": " << d.self_stages
+       << ", \"director_stages\": " << d.director_stages
+       << ", \"revoked_at_pop\": " << d.revoked_at_pop
+       << ", \"parks\": " << d.parks
+       << ", \"completion_fallbacks\": " << d.completion_fallbacks
+       << ", \"inline_finishes\": " << d.inline_finishes
+       << ", \"worker_retires\": " << d.worker_retires << "},\n";
+  }
+
   // Sampler series: column names plus [t_us, v...] rows.
   os << "  \"samples\": {\"names\": [";
   for (std::size_t s = 0; s < series_names.size(); ++s) {
@@ -117,6 +133,21 @@ std::string RunReport::to_markdown() const {
      << i.counters.tasks_aborted << " |\n";
   os << "| epochs opened / committed | " << i.counters.epochs_opened << " / "
      << i.counters.epochs_committed << " |\n";
+
+  if (!i.dispatch.empty()) {
+    const auto& d = i.dispatch;
+    os << "\n## Dispatch\n\n| | |\n|---|---|\n";
+    os << "| tasks run | " << d.tasks_run << " |\n";
+    os << "| pops: local / inbox / steal / self-stage | " << d.local_pops
+       << " / " << d.inbox_pops << " / " << d.steals << " / " << d.self_stages
+       << " |\n";
+    os << "| director stages | " << d.director_stages << " |\n";
+    os << "| revoked at pop | " << d.revoked_at_pop << " |\n";
+    os << "| parks / completion fallbacks | " << d.parks << " / "
+       << d.completion_fallbacks << " |\n";
+    os << "| inline finishes / worker retires | " << d.inline_finishes << " / "
+       << d.worker_retires << " |\n";
+  }
 
   if (!i.predictors.rows().empty()) {
     os << "\n## Predictors";

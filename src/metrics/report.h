@@ -23,6 +23,32 @@
 
 namespace report {
 
+/// Scheduler-path counters (engine-agnostic mirror of the threaded
+/// executor's sharded DispatchStats). Engines that have no dispatch
+/// instrumentation — the simulator, Central mode — leave it all-zero, and
+/// both renderers omit the section entirely in that case: an all-zero row
+/// would read as "measured, nothing happened", which is the wrong claim.
+struct DispatchInfo {
+  std::uint64_t tasks_run = 0;
+  std::uint64_t local_pops = 0;
+  std::uint64_t inbox_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t self_stages = 0;
+  std::uint64_t director_stages = 0;
+  std::uint64_t revoked_at_pop = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t completion_fallbacks = 0;
+  std::uint64_t inline_finishes = 0;
+  std::uint64_t worker_retires = 0;
+
+  [[nodiscard]] bool empty() const {
+    return tasks_run == 0 && local_pops == 0 && inbox_pops == 0 &&
+           steals == 0 && self_stages == 0 && director_stages == 0 &&
+           revoked_at_pop == 0 && parks == 0 && completion_fallbacks == 0 &&
+           inline_finishes == 0 && worker_retires == 0;
+  }
+};
+
 /// Headline facts about one run, independent of where they came from.
 struct RunInfo {
   std::string scenario;       ///< human-readable configuration label
@@ -42,6 +68,7 @@ struct RunInfo {
   std::string best_predictor;
   stats::RunCounters counters;
   stats::PredictorScoreboard predictors;
+  DispatchInfo dispatch;  ///< omitted from output when empty()
 };
 
 struct RunReport {

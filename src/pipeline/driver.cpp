@@ -268,6 +268,67 @@ RunResult run_threaded(const RunConfig& config, unsigned workers,
   return run_threaded(config, opt);
 }
 
+SharedRun::SharedRun() = default;
+SharedRun::SharedRun(SharedRun&&) noexcept = default;
+SharedRun& SharedRun::operator=(SharedRun&&) noexcept = default;
+SharedRun::~SharedRun() = default;
+
+SharedRun begin_shared_run(const RunConfig& config, sre::Runtime& runtime,
+                           sre::ThreadedExecutor& ex, double block_time_scale,
+                           std::function<void(std::uint64_t)> on_complete,
+                           std::function<void(std::uint64_t)> on_last_arrival) {
+  SharedRun run;
+  run.source = std::make_shared<const sio::BlockSource>(make_source(config));
+  // The shared_ptr overload: the pipeline's state co-owns the source, so
+  // the session can be destroyed as soon as results are collected even if
+  // stray aborted tasks are still draining on the shared executor.
+  run.pipeline =
+      std::make_unique<HuffmanPipeline>(runtime, run.source, config);
+  if (on_complete) run.pipeline->set_on_complete(std::move(on_complete));
+
+  // Offset the session's arrival schedule to "now" and scale it here rather
+  // than through Options::arrival_time_scale — the executor is shared, and
+  // its global scale would stretch every other session too.
+  run.base_us = ex.now_us();
+  const std::size_t n = run.source->n_blocks();
+  HuffmanPipeline* pl = run.pipeline.get();
+  std::uint64_t last_at = 0;
+  run.source->for_each_arrival([&](std::size_t i, sio::Micros at) {
+    const auto scaled = run.base_us + static_cast<std::uint64_t>(
+                                          static_cast<double>(at) *
+                                          block_time_scale);
+    last_at = std::max(last_at, scaled);
+    ex.schedule_arrival(scaled, [pl, i](std::uint64_t now) {
+      pl->on_block_arrival(i, now);
+    });
+  });
+  if (on_last_arrival) {
+    // Equal-time arrivals fire in submission order, so this lands strictly
+    // after the final on_block_arrival — the session is fully injected.
+    if (n == 0) last_at = run.base_us;
+    ex.schedule_arrival(last_at, std::move(on_last_arrival));
+  }
+  return run;
+}
+
+RunResult collect_shared_run(const SharedRun& run, std::uint64_t done_us) {
+  const HuffmanPipeline& pl = *run.pipeline;
+  pl.validate_complete();
+  RunResult res;
+  res.trace = pl.trace();
+  res.makespan_us = done_us > run.base_us ? done_us - run.base_us : 0;
+  res.spec_committed = pl.speculation_committed();
+  res.rollbacks = pl.rollbacks();
+  res.wait_discarded = pl.wait_discarded();
+  res.output_bits = pl.output_bits();
+  res.predictors = pl.predictor_scoreboard();
+  res.best_predictor = pl.best_predictor();
+  res.gate_denials = pl.gate_denials();
+  res.input.assign(run.source->bytes().begin(), run.source->bytes().end());
+  res.container = pl.assemble_output();
+  return res;
+}
+
 report::RunInfo run_info(const RunConfig& config, const RunResult& result,
                          const std::string& engine) {
   report::RunInfo info;
@@ -289,6 +350,21 @@ report::RunInfo run_info(const RunConfig& config, const RunResult& result,
   info.best_predictor = result.best_predictor;
   info.counters = result.counters;
   info.predictors = result.predictors;
+  // All-zero under run_sim / Central dispatch (see RunResult::dispatch);
+  // the report layer omits the section in that case rather than printing
+  // a wall of zeros that looks like a measurement.
+  const auto& d = result.dispatch;
+  info.dispatch.tasks_run = d.tasks_run;
+  info.dispatch.local_pops = d.local_pops;
+  info.dispatch.inbox_pops = d.inbox_pops;
+  info.dispatch.steals = d.steals;
+  info.dispatch.self_stages = d.self_stages;
+  info.dispatch.director_stages = d.director_stages;
+  info.dispatch.revoked_at_pop = d.revoked_at_pop;
+  info.dispatch.parks = d.parks;
+  info.dispatch.completion_fallbacks = d.completion_fallbacks;
+  info.dispatch.inline_finishes = d.inline_finishes;
+  info.dispatch.worker_retires = d.worker_retires;
   return info;
 }
 

@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "io/block_source.h"
 #include "metrics/registry.h"
 #include "metrics/report.h"
 #include "metrics/sampler.h"
@@ -46,8 +49,12 @@ struct RunResult {
   std::uint64_t spec_dispatches = 0;      ///< pool pops of speculative tasks
   std::uint64_t control_dispatches = 0;   ///< pool pops of control tasks
 
-  /// Scheduler-path counters (run_threaded under sharded dispatch only;
-  /// zeros for run_sim and central dispatch).
+  /// Scheduler-path counters. Populated ONLY by run_threaded under
+  /// DispatchMode::Sharded. run_sim and Central dispatch leave every field
+  /// zero — those engines have no per-worker dispatch machinery to count,
+  /// so an all-zero struct means "not instrumented", not "nothing ran".
+  /// Consumers must treat all-zero as absent; report::RunReport omits its
+  /// Dispatch section in that case instead of printing zeros.
   sre::ThreadedExecutor::DispatchStats dispatch;
 
   /// Predictor racing results (PredictorMode::Bank only; empty otherwise).
@@ -109,6 +116,48 @@ struct RunOptions {
 [[nodiscard]] RunResult run_threaded(const RunConfig& config,
                                      unsigned workers = 4,
                                      double arrival_time_scale = 1.0);
+
+/// One pipeline wired into a shared, already-running runtime — the
+/// re-entrant driver entry the serving layer (src/serve) uses. Unlike
+/// run_threaded, begin_shared_run constructs no engine: it builds the
+/// pipeline against the caller's Runtime and schedules the block arrivals
+/// on the caller's live executor (service mode), offset to the executor's
+/// current engine time. Many SharedRuns may coexist on one runtime; each
+/// keeps its own Speculator, WaitBuffer and epoch space (Runtime::open_epoch
+/// is globally monotonic, so epoch spaces never collide).
+struct SharedRun {
+  std::shared_ptr<const sio::BlockSource> source;
+  std::unique_ptr<HuffmanPipeline> pipeline;
+  std::uint64_t base_us = 0;  ///< engine time the arrival schedule started at
+
+  SharedRun();
+  SharedRun(SharedRun&&) noexcept;
+  SharedRun& operator=(SharedRun&&) noexcept;
+  ~SharedRun();  // out of line: HuffmanPipeline is incomplete here
+};
+
+/// Starts `config` as a session on a shared engine. `on_complete` fires
+/// exactly once, from an executor thread, when the last block's committed
+/// encoding lands (see HuffmanPipeline::set_on_complete); `on_last_arrival`
+/// (optional) fires on the feeder thread right after the final block has
+/// been injected — the serving layer's Running → Draining edge. Block
+/// arrival times from the config's ArrivalModel are scaled by
+/// `block_time_scale` (0 = inject as fast as the feeder can) and offset by
+/// the executor's current time. The executor must be in service mode (or
+/// otherwise still feeding) for the arrivals to fire.
+[[nodiscard]] SharedRun begin_shared_run(
+    const RunConfig& config, sre::Runtime& runtime, sre::ThreadedExecutor& ex,
+    double block_time_scale, std::function<void(std::uint64_t)> on_complete,
+    std::function<void(std::uint64_t)> on_last_arrival = nullptr);
+
+/// Per-session results for a SharedRun whose on_complete fired at
+/// `done_us`. Engine-global fields stay zero — runtime counters and pool
+/// pop totals aggregate over every concurrent session, and DispatchStats
+/// belong to the shared executor — so only per-session data (trace,
+/// speculation outcome, output) is populated. makespan_us is the session's
+/// own span: done_us - base_us.
+[[nodiscard]] RunResult collect_shared_run(const SharedRun& run,
+                                           std::uint64_t done_us);
 
 /// Registers the standard speculation-health series on `sampler`: ready-pool
 /// depths per class, blocked/running tasks, open epochs and their live task

@@ -42,6 +42,10 @@ struct HuffmanPipeline::State {
 
   sre::Runtime& rt;
   const sio::BlockSource& src;
+  /// Engaged by the shared_ptr constructor: keeps the source alive as long
+  /// as State itself (and State rides in every task closure), so the caller
+  /// may drop its reference once results are collected.
+  std::shared_ptr<const sio::BlockSource> src_keepalive;
   RunConfig cfg;
 
   // SuperTask hierarchy (paper §III-A): the root directs data between the
@@ -80,6 +84,22 @@ struct HuffmanPipeline::State {
   bool spec_committed = false;
   std::uint64_t rollbacks = 0;
   bool natural_built = false;
+
+  /// Completion detection (see set_on_complete). Each block's committed
+  /// encoding lands exactly once — via the wait-buffer sink (commit or
+  /// post-commit pass-through) or the natural encode hook, mutually
+  /// exclusive per run by the Speculator's terminal states — and both fill
+  /// sites count the empty→set transition under mu.
+  std::size_t blocks_filled = 0;
+  std::function<void(std::uint64_t)> on_complete;
+
+  /// Called under mu after a fill site sets out_blocks[b]; returns the
+  /// callback to fire (outside the lock) when this fill completed the run.
+  [[nodiscard]] std::function<void(std::uint64_t)> note_filled_locked() {
+    ++blocks_filled;
+    if (blocks_filled == n_blocks && have_table) return on_complete;
+    return nullptr;
+  }
 
   // Speculation.
   std::optional<Chain> chain;
@@ -122,18 +142,23 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
   // Wait buffer: commits release speculative results into the output arrays.
   auto stp = st_;
   st.buffer = std::make_unique<tvs::WaitBuffer<std::size_t, SpecResult>>(
-      [stp](const std::size_t& block, SpecResult&& r, std::uint64_t) {
-        std::scoped_lock lk(stp->mu);
-        stp->out_blocks[block] = std::move(r.enc);
-        stp->out_offsets[block] = r.offset;
+      [stp](const std::size_t& block, SpecResult&& r, std::uint64_t now_us) {
+        std::function<void(std::uint64_t)> done;
+        {
+          std::scoped_lock lk(stp->mu);
+          if (!stp->out_blocks[block]) done = stp->note_filled_locked();
+          stp->out_blocks[block] = std::move(r.enc);
+          stp->out_offsets[block] = r.offset;
+        }
+        if (done) done(now_us);
       },
       /*retire_window=*/8);
 
   if (config.speculation_enabled()) {
     tvs::Speculator<TreeEstimate>::Callbacks cb;
-    cb.build_chain = [stp, this](const TreeEstimate& guess, sre::Epoch epoch,
-                                 std::uint32_t gix) {
-      build_spec_chain(guess, epoch, gix);
+    cb.build_chain = [stp](const TreeEstimate& guess, sre::Epoch epoch,
+                           std::uint32_t gix) {
+      build_spec_chain(stp, guess, epoch, gix);
     };
     cb.within_tolerance = [tol = config.spec.tolerance](
                               const TreeEstimate& guess,
@@ -187,12 +212,15 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
         }
       }
     };
-    cb.build_natural = [this](const TreeEstimate& final_value,
-                              std::uint64_t now_us) {
-      build_natural(final_value, now_us);
+    cb.build_natural = [stp](const TreeEstimate& final_value,
+                             std::uint64_t now_us) {
+      build_natural(stp, final_value, now_us);
     };
     st.spec = std::make_unique<tvs::Speculator<TreeEstimate>>(
         runtime, config.spec, std::move(cb), st.cost(TaskKind::Check));
+    // In-flight check tasks pin State (a stale check can retire after the
+    // run commits and this handle is long gone — see set_task_keepalive).
+    st.spec->set_task_keepalive(std::weak_ptr<const void>(stp));
 
     if (config.spec.predictor == tvs::PredictorMode::Bank) {
       // Score predictions in the same units as the speculation check: the
@@ -234,9 +262,8 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
   // Normal-execution subscriber: every new prefix histogram advances the
   // first pass's bookkeeping; the final one feeds the natural second pass
   // when no speculation is running.
-  auto self = this;
   st.first_pass->subscribe_value<EstimateMsg>(
-      "histogram", [stp, self](const EstimateMsg& msg, std::uint64_t now_us) {
+      "histogram", [stp](const EstimateMsg& msg, std::uint64_t now_us) {
         const bool is_final = (msg.reduce_index + 1 == stp->n_reduces);
         {
           std::unique_lock lk(stp->mu);
@@ -247,12 +274,12 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
           if (stp->chain) {
             stp->chain->counted_blocks =
                 std::max(stp->chain->counted_blocks, stp->counted_blocks);
-            self->extend_chain_locked(lk);
+            extend_chain_locked(stp, lk);
           }
         }
         if (!stp->spec && is_final) {
           TreeEstimate final_est{stp->snapshots[msg.reduce_index], nullptr};
-          self->build_natural(final_est, now_us);
+          build_natural(stp, final_est, now_us);
         }
       });
 
@@ -315,6 +342,26 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
   }
 }
 
+HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
+                                 std::shared_ptr<const sio::BlockSource> source,
+                                 const RunConfig& config)
+    : HuffmanPipeline(runtime, *source, config) {
+  st_->src_keepalive = std::move(source);
+}
+
+void HuffmanPipeline::set_on_complete(std::function<void(std::uint64_t)> fn) {
+  std::function<void(std::uint64_t)> fire;
+  {
+    std::scoped_lock lk(st_->mu);
+    st_->on_complete = std::move(fn);
+    if (st_->n_blocks == 0 ||
+        (st_->blocks_filled == st_->n_blocks && st_->have_table)) {
+      fire = st_->on_complete;
+    }
+  }
+  if (fire) fire(0);
+}
+
 void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
   auto st = st_;
   const std::size_t R = st->cfg.ratios.reduce_ratio;
@@ -341,7 +388,6 @@ void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
       const std::size_t r = i / R;
       const std::size_t begin = r * R;
       const std::size_t end = i + 1;
-      auto self = this;
       reduce = st->rt.make_task(
           "reduce[" + std::to_string(r) + "]", sre::TaskClass::Natural,
           sre::kNaturalEpoch, /*depth=*/2,
@@ -354,8 +400,8 @@ void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
           });
       reduce->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
       reduce->add_completion_hook(
-          [self, r](sre::Task&, std::uint64_t done_us) {
-            self->on_reduce_done(r, done_us);
+          [st, r](sre::Task&, std::uint64_t done_us) {
+            on_reduce_done(st, r, done_us);
           });
       for (std::size_t b = begin; b < end; ++b) {
         st->rt.add_dependency(st->count_tasks[b], reduce);
@@ -370,19 +416,20 @@ void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
   if (reduce) st->rt.submit(reduce);
 }
 
-void HuffmanPipeline::on_reduce_done(std::size_t r, std::uint64_t now_us) {
+void HuffmanPipeline::on_reduce_done(const std::shared_ptr<State>& st,
+                                     std::size_t r, std::uint64_t now_us) {
   // A Reduce produced a fresh prefix histogram: publish it through the
   // SuperTask hierarchy. The flagged port advances normal execution AND
   // triggers the speculative side (paper §III-B: "the expected data has
   // arrived and should advance normal program execution, and ... trigger a
   // speculative task").
-  st_->first_pass->publish_value<EstimateMsg>("histogram", {r}, now_us);
+  st->first_pass->publish_value<EstimateMsg>("histogram", {r}, now_us);
 }
 
-void HuffmanPipeline::build_spec_chain(const TreeEstimate& guess,
+void HuffmanPipeline::build_spec_chain(const std::shared_ptr<State>& st,
+                                       const TreeEstimate& guess,
                                        sre::Epoch epoch,
                                        std::uint32_t estimate_index) {
-  auto st = st_;
   std::unique_lock lk(st->mu);
   Chain chain;
   chain.epoch = epoch;
@@ -396,11 +443,11 @@ void HuffmanPipeline::build_spec_chain(const TreeEstimate& guess,
                st->n_blocks),
       st->counted_blocks);
   st->chain = std::move(chain);
-  extend_chain_locked(lk);
+  extend_chain_locked(st, lk);
 }
 
-void HuffmanPipeline::extend_chain_locked(std::unique_lock<std::mutex>& lk) {
-  auto st = st_;
+void HuffmanPipeline::extend_chain_locked(const std::shared_ptr<State>& st,
+                                          std::unique_lock<std::mutex>& lk) {
   assert(lk.owns_lock());
   (void)lk;
   Chain& chain = *st->chain;
@@ -475,9 +522,9 @@ void HuffmanPipeline::extend_chain_locked(std::unique_lock<std::mutex>& lk) {
   }
 }
 
-void HuffmanPipeline::build_natural(const TreeEstimate& final_value,
+void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
+                                    const TreeEstimate& final_value,
                                     std::uint64_t /*now_us*/) {
-  auto st = st_;
   {
     std::scoped_lock lk(st->mu);
     if (st->natural_built) {
@@ -498,9 +545,8 @@ void HuffmanPipeline::build_natural(const TreeEstimate& final_value,
       });
   tree_task->set_mem_bytes(2 * sizeof(huff::Histogram));
 
-  auto self = this;
-  tree_task->add_completion_hook([st, self, table_cell](sre::Task&,
-                                                        std::uint64_t) {
+  tree_task->add_completion_hook([st, table_cell](sre::Task&,
+                                                  std::uint64_t) {
     // All counts finished (the final reduce ran), so the whole natural
     // second pass can be laid out at once: serial offset chain, parallel
     // encodes.
@@ -554,20 +600,22 @@ void HuffmanPipeline::build_natural(const TreeEstimate& final_value,
                                    sizeof(huff::CodeTable));
         encode_task->add_completion_hook(
             [st, b, enc, offsets](sre::Task&, std::uint64_t done_us) {
+              std::function<void(std::uint64_t)> done;
               {
                 std::scoped_lock lk(st->mu);
                 st->trace.record_done(b, done_us, /*speculative=*/false);
+                if (!st->out_blocks[b]) done = st->note_filled_locked();
                 st->out_blocks[b] = std::move(*enc);
                 st->out_offsets[b] = (*offsets)[b];
               }
               st->second_pass->publish_value<BlockDoneMsg>(
                   "block-done", {b, false}, done_us);
+              if (done) done(done_us);
             });
         st->rt.add_dependency(offset_task, encode_task);
         st->rt.submit(encode_task);
       }
     }
-    (void)self;
   });
   st->rt.submit(tree_task);
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,15 +58,35 @@ struct BlockDoneMsg {
 
 class HuffmanPipeline {
  public:
-  /// `source` must outlive the pipeline. Cost/memory attributes come from
-  /// `config.platform.cost`; speculation is controlled by `config.policy`
-  /// and `config.spec`.
+  /// `source` must outlive the pipeline *and every task the pipeline ever
+  /// submitted* (stray aborted tasks may still read blocks while they
+  /// drain). Cost/memory attributes come from `config.platform.cost`;
+  /// speculation is controlled by `config.policy` and `config.spec`.
   HuffmanPipeline(sre::Runtime& runtime, const sio::BlockSource& source,
+                  const RunConfig& config);
+
+  /// As above, but the pipeline shares ownership of `source`, and the shared
+  /// internal state rides in every task closure — so this handle (and the
+  /// caller's source reference) may be destroyed as soon as results are
+  /// collected, even while stray aborted tasks are still draining on the
+  /// executor. The serving layer (src/serve) relies on this to retire
+  /// sessions eagerly on a long-running shared runtime.
+  HuffmanPipeline(sre::Runtime& runtime,
+                  std::shared_ptr<const sio::BlockSource> source,
                   const RunConfig& config);
 
   /// Arrival entry point: the executor calls this (from its feeder/event
   /// schedule) when block `i`'s bytes become available.
   void on_block_arrival(std::size_t i, std::uint64_t now_us);
+
+  /// Installs a callback fired exactly once, when the last block's committed
+  /// encoding lands (all blocks filled and the code table chosen) — i.e. the
+  /// moment validate_complete() would first pass. Runs on whichever executor
+  /// thread fills the last block, with the engine time of that fill; fires
+  /// immediately (now_us = 0) if the run is already complete when installed.
+  /// The serving layer uses this to detect session completion without
+  /// waiting for global runtime quiescence.
+  void set_on_complete(std::function<void(std::uint64_t now_us)> fn);
 
   // --- Results (valid after the executor's run() returns) -----------------
 
@@ -118,12 +139,21 @@ class HuffmanPipeline {
   struct Chain;
   struct State;
 
-  // Wiring helpers (definitions in the .cpp).
-  void on_reduce_done(std::size_t r, std::uint64_t now_us);
-  void build_spec_chain(const TreeEstimate& guess, sre::Epoch epoch,
-                        std::uint32_t estimate_index);
-  void extend_chain_locked(std::unique_lock<std::mutex>& lk);
-  void build_natural(const TreeEstimate& final_value, std::uint64_t now_us);
+  // Wiring helpers (definitions in the .cpp). Static and keyed off the
+  // shared State: no task closure or completion hook ever captures the
+  // HuffmanPipeline handle itself, so the handle can be destroyed while
+  // stray tasks are still in flight — each closure pins State (and through
+  // it the source) until the task retires.
+  static void on_reduce_done(const std::shared_ptr<State>& st, std::size_t r,
+                             std::uint64_t now_us);
+  static void build_spec_chain(const std::shared_ptr<State>& st,
+                               const TreeEstimate& guess, sre::Epoch epoch,
+                               std::uint32_t estimate_index);
+  static void extend_chain_locked(const std::shared_ptr<State>& st,
+                                  std::unique_lock<std::mutex>& lk);
+  static void build_natural(const std::shared_ptr<State>& st,
+                            const TreeEstimate& final_value,
+                            std::uint64_t now_us);
 
   std::shared_ptr<State> st_;
 };

@@ -1,0 +1,50 @@
+// ServiceConfig: one bundle describing a serving instance — the shared
+// engine (worker count, dispatch policy/mode), the concurrency window, the
+// shed policy, and the observability wiring. Everything a SessionManager
+// needs to start serving.
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/registry.h"
+#include "serve/shed_policy.h"
+#include "sre/ids.h"
+#include "sre/threaded_executor.h"
+
+namespace serve {
+
+struct ServiceConfig {
+  /// Shared worker fleet size (one sre::ThreadedExecutor for all sessions).
+  unsigned workers = 8;
+  /// Sessions allowed in Running/Draining at once; further admissions wait
+  /// in the priority queues. This is the slot count the admission
+  /// controller feeds.
+  std::size_t max_concurrent = 4;
+
+  /// Scheduling policy of the shared runtime. One runtime, one policy: all
+  /// sessions run under it (a session's own RunConfig::policy still decides
+  /// whether *that* session builds a speculative chain — NonSpeculative
+  /// sessions simply never open epochs).
+  sre::DispatchPolicy policy = sre::DispatchPolicy::Balanced;
+  sre::PriorityMode priority_mode = sre::PriorityMode::DepthFirst;
+  sre::DispatchMode dispatch = sre::DispatchMode::Sharded;
+
+  /// Multiplier on each session's block-arrival schedule (its RunConfig's
+  /// ArrivalModel). 0 = inject blocks as fast as the feeder can — sessions
+  /// are then compute-bound, the bench's closed-loop mode.
+  double block_time_scale = 0.0;
+
+  /// Admission-queue bounds and deadlines.
+  ShedPolicy::Config shed;
+
+  /// Non-null: serving metrics land here (serve_sessions_*_total,
+  /// serve_session_latency_us, queue gauges). Borrowed; must outlive the
+  /// SessionManager.
+  metrics::Registry* registry = nullptr;
+  /// Also emit per-session series labelled session="<name>" (latency,
+  /// rollbacks, output size). Off by default: unbounded label cardinality
+  /// is a real cost in a long-running service.
+  bool per_session_metrics = false;
+};
+
+}  // namespace serve

@@ -1,0 +1,22 @@
+#include "serve/session.h"
+
+#include <cstdio>
+
+namespace serve {
+
+Session::Session(SessionId sid, SessionConfig config, std::uint64_t now_us)
+    : id(sid), cfg(std::move(config)) {
+  stats.id = sid;
+  if (cfg.name.empty()) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "s%llu",
+                  static_cast<unsigned long long>(sid));
+    stats.name = buf;
+  } else {
+    stats.name = cfg.name;
+  }
+  stats.priority = cfg.priority;
+  stats.submitted_us = now_us;
+}
+
+}  // namespace serve

@@ -1,0 +1,307 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace serve {
+namespace {
+
+std::string priority_labels(Priority p) {
+  return "priority=\"" + to_string(p) + "\"";
+}
+
+std::string reason_labels(const char* reason) {
+  return std::string("reason=\"") + reason + "\"";
+}
+
+std::string session_labels(const std::string& name) {
+  return "session=\"" + name + "\"";
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ServiceConfig cfg)
+    : cfg_(cfg),
+      rt_(std::make_unique<sre::Runtime>(cfg.policy, cfg.priority_mode)),
+      admission_(ShedPolicy(cfg.shed)) {
+  sre::ThreadedExecutor::Options topts;
+  topts.workers = cfg_.workers;
+  topts.dispatch = cfg_.dispatch;
+  if (cfg_.registry != nullptr) {
+    topts.worker_start_hook = [](unsigned ix) {
+      metrics::bind_shard(ix % metrics::kShards);
+    };
+  }
+  ex_ = std::make_unique<sre::ThreadedExecutor>(*rt_, topts);
+  // Service mode must open before run() starts, or a momentarily empty
+  // schedule would let the feeder exit and run() return immediately.
+  ex_->begin_service();
+  engine_ = std::thread(&SessionManager::engine_main, this);
+  manager_ = std::thread(&SessionManager::manager_main, this);
+}
+
+SessionManager::~SessionManager() {
+  try {
+    drain();
+  } catch (...) {
+    // Destructor swallows engine errors; call drain() to observe them.
+  }
+}
+
+void SessionManager::engine_main() {
+  try {
+    ex_->run();
+  } catch (...) {
+    std::scoped_lock lk(mu_);
+    engine_error_ = std::current_exception();
+    engine_failed_ = true;
+    manager_cv_.notify_all();
+    client_cv_.notify_all();
+  }
+}
+
+SessionManager::SubmitOutcome SessionManager::submit(SessionConfig cfg) {
+  const std::uint64_t now = ex_->now_us();
+  SessionId id;
+  {
+    std::scoped_lock lk(mu_);
+    id = next_id_++;
+  }
+  auto s = std::make_shared<Session>(id, std::move(cfg), now);
+  const auto offer = admission_.offer(s);
+
+  SubmitOutcome out;
+  out.id = id;
+  out.accepted = offer.queued;
+  {
+    std::scoped_lock lk(mu_);
+    sessions_.emplace(id, s);
+    if (!offer.queued) {
+      out.shed_reason = offer.shed_reason;
+      mark_shed_locked(s, offer.shed_reason);
+    }
+  }
+  if (offer.queued) {
+    if (cfg_.registry != nullptr) {
+      cfg_.registry
+          ->counter("serve_sessions_submitted_total",
+                    priority_labels(s->cfg.priority))
+          .add();
+      cfg_.registry->gauge("serve_sessions_queued")
+          .set(static_cast<double>(admission_.queued()));
+    }
+    manager_cv_.notify_all();
+  }
+  out.queued = admission_.queued();
+  return out;
+}
+
+void SessionManager::mark_shed_locked(const SessionPtr& s,
+                                      const char* reason) {
+  s->stats.state = SessionState::Shed;
+  s->stats.shed_reason = reason;
+  if (cfg_.registry != nullptr) {
+    cfg_.registry->counter("serve_sessions_shed_total", reason_labels(reason))
+        .add();
+  }
+  client_cv_.notify_all();
+}
+
+void SessionManager::manager_main() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (engine_failed_) break;
+
+    // 1. Finalize sessions whose last block committed.
+    while (!completed_.empty()) {
+      const SessionId id = completed_.back();
+      completed_.pop_back();
+      auto it = sessions_.find(id);
+      if (it != sessions_.end()) finalize(it->second, lk);
+    }
+
+    // 2. Expire stale queued sessions even while every slot is busy.
+    std::vector<SessionPtr> shed;
+    admission_.purge_expired(ex_->now_us(), shed);
+
+    // 3. Admit while slots are free.
+    while (running_ < cfg_.max_concurrent) {
+      SessionPtr s = admission_.next(ex_->now_us(), shed);
+      if (!s) break;
+      s->stats.state = SessionState::Admitted;
+      s->stats.admitted_us = ex_->now_us();
+      ++running_;
+      const SessionId id = s->id;
+      lk.unlock();
+      // Build the pipeline and schedule its arrivals outside the lock:
+      // source synthesis is the expensive part of admission and must not
+      // block submit()/wait()/stats().
+      pipeline::SharedRun run = pipeline::begin_shared_run(
+          s->cfg.run, *rt_, *ex_, cfg_.block_time_scale,
+          /*on_complete=*/
+          [this, id](std::uint64_t done_us) {
+            std::scoped_lock cb(mu_);
+            auto sit = sessions_.find(id);
+            if (sit != sessions_.end()) sit->second->stats.done_us = done_us;
+            completed_.push_back(id);
+            manager_cv_.notify_all();
+          },
+          /*on_last_arrival=*/
+          [this, id](std::uint64_t now_us) {
+            std::scoped_lock cb(mu_);
+            auto sit = sessions_.find(id);
+            if (sit == sessions_.end()) return;
+            auto& st = sit->second->stats;
+            if (st.state == SessionState::Admitted ||
+                st.state == SessionState::Running) {
+              st.state = SessionState::Draining;
+              st.drained_us = now_us;
+            }
+          });
+      lk.lock();
+      s->run = std::move(run);
+      if (s->stats.state == SessionState::Admitted) {
+        s->stats.state = SessionState::Running;
+      }
+      if (cfg_.registry != nullptr) {
+        cfg_.registry->gauge("serve_sessions_running")
+            .set(static_cast<double>(running_));
+        cfg_.registry->gauge("serve_sessions_queued")
+            .set(static_cast<double>(admission_.queued()));
+      }
+    }
+
+    for (const auto& s : shed) mark_shed_locked(s, "deadline");
+    shed.clear();
+
+    // 4. Drain check: admission closed, queues empty, nothing in flight.
+    if (draining_ && running_ == 0 && completed_.empty() &&
+        admission_.queued() == 0) {
+      break;
+    }
+
+    // The timeout is the deadline-expiry tick; every state change of
+    // interest (submit, completion, drain) also notifies explicitly.
+    manager_cv_.wait_for(lk, std::chrono::milliseconds(2));
+  }
+  manager_done_ = true;
+  client_cv_.notify_all();
+}
+
+void SessionManager::finalize(const SessionPtr& s,
+                              std::unique_lock<std::mutex>& lk) {
+  const std::uint64_t done = s->stats.done_us;
+  // Move the run handle out so the pipeline + source are destroyed outside
+  // the lock (task closures pin their own state, so this is safe even with
+  // stray aborted tasks still draining — and it keeps a long-running
+  // service's memory bounded by live sessions, not history).
+  pipeline::SharedRun run = std::move(s->run);
+  lk.unlock();
+  auto result =
+      std::make_unique<pipeline::RunResult>(pipeline::collect_shared_run(run, done));
+  run = pipeline::SharedRun();  // destroy pipeline + source now
+  lk.lock();
+  s->result = std::move(result);
+  s->stats.state = SessionState::Done;
+  if (running_ > 0) --running_;
+  note_done_metrics(s->stats, *s->result);
+  client_cv_.notify_all();
+  manager_cv_.notify_all();
+}
+
+void SessionManager::note_done_metrics(const SessionStats& st,
+                                       const pipeline::RunResult& result) {
+  if (cfg_.registry == nullptr) return;
+  auto& reg = *cfg_.registry;
+  reg.counter("serve_sessions_done_total", priority_labels(st.priority)).add();
+  reg.histogram("serve_latency_us", priority_labels(st.priority))
+      .observe(st.latency_us());
+  reg.histogram("serve_queue_wait_us", priority_labels(st.priority))
+      .observe(st.queue_wait_us());
+  reg.gauge("serve_sessions_running").set(static_cast<double>(running_));
+  if (cfg_.per_session_metrics) {
+    const auto labels = session_labels(st.name);
+    reg.gauge("serve_session_latency_us", labels)
+        .set(static_cast<double>(st.latency_us()));
+    reg.gauge("serve_session_output_bits", labels)
+        .set(static_cast<double>(result.output_bits));
+    reg.counter("serve_session_rollbacks_total", labels).add(result.rollbacks);
+  }
+}
+
+const pipeline::RunResult* SessionManager::wait(SessionId id) {
+  std::unique_lock lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  SessionPtr s = it->second;
+  client_cv_.wait(lk, [&] {
+    return s->stats.state == SessionState::Done ||
+           s->stats.state == SessionState::Shed || engine_failed_;
+  });
+  if (s->stats.state != SessionState::Done &&
+      s->stats.state != SessionState::Shed && engine_error_) {
+    std::rethrow_exception(engine_error_);
+  }
+  return s->result.get();
+}
+
+SessionStats SessionManager::stats(SessionId id) const {
+  std::scoped_lock lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return it->second->stats;
+}
+
+std::vector<SessionStats> SessionManager::all_sessions() const {
+  std::scoped_lock lk(mu_);
+  std::vector<SessionStats> out;
+  out.reserve(sessions_.size());
+  for (SessionId id = 1; id < next_id_; ++id) {
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) out.push_back(it->second->stats);
+  }
+  return out;
+}
+
+void SessionManager::drain() {
+  {
+    std::scoped_lock lk(mu_);
+    if (drained_) {
+      if (engine_error_) std::rethrow_exception(engine_error_);
+      return;
+    }
+    draining_ = true;
+  }
+  admission_.close();
+  manager_cv_.notify_all();
+  if (manager_.joinable()) manager_.join();
+  // The manager only exits once every admitted session resolved (or the
+  // engine died); closing service now lets the feeder — and run() — finish.
+  ex_->end_service();
+  if (engine_.joinable()) engine_.join();
+  std::scoped_lock lk(mu_);
+  drained_ = true;
+  if (engine_error_) std::rethrow_exception(engine_error_);
+}
+
+std::vector<SessionManager::SubmitOutcome> submit_open_loop(
+    SessionManager& mgr, std::vector<SessionConfig> configs,
+    const sio::ArrivalModel& arrivals) {
+  std::vector<SessionManager::SubmitOutcome> outcomes;
+  outcomes.reserve(configs.size());
+  const std::uint64_t base = mgr.now_us();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::uint64_t target = base + arrivals.arrival_us(i);
+    for (;;) {
+      const std::uint64_t now = mgr.now_us();
+      if (now >= target) break;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(std::min<std::uint64_t>(target - now, 1000)));
+    }
+    outcomes.push_back(mgr.submit(std::move(configs[i])));
+  }
+  return outcomes;
+}
+
+}  // namespace serve

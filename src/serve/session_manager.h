@@ -1,0 +1,138 @@
+// SessionManager: many concurrent pipeline sessions over one shared engine.
+//
+// The serving layer's core. One sre::Runtime + ThreadedExecutor (in service
+// mode) hosts every session's tasks; an AdmissionController holds the
+// bounded per-priority queues in front of it. A manager thread moves
+// sessions through the lifecycle (see serve/session.h):
+//
+//   submit() ──► AdmissionController ──► manager pops when a slot frees
+//                      │                        │
+//                      ▼                        ▼
+//                 Shed (bounded            begin_shared_run on the live
+//                 queue / deadline /       engine; Running → Draining →
+//                 shutdown)                Done; result collected
+//
+// Backpressure contract: submit() never blocks. It returns a SubmitOutcome
+// that either carries the admission-queue depth (the pressure signal — a
+// well-behaved closed-loop client slows down as it grows) or says the
+// session was shed and why (the open-loop overload response; arrivals that
+// do not slow down are bounded by shedding instead of by an unbounded
+// queue). A shed session never reached a worker.
+//
+// Isolation: sessions share workers but nothing else — each owns its
+// Speculator, WaitBuffer and epoch space (Runtime::open_epoch is globally
+// monotonic), so one stream rolling back cannot disturb another stream's
+// commits. tests/serve/multi_session_torture_test.cpp pins this under the
+// chaos schedule.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "io/arrival_model.h"
+#include "pipeline/driver.h"
+#include "serve/admission.h"
+#include "serve/service_config.h"
+#include "serve/session.h"
+#include "sre/runtime.h"
+#include "sre/threaded_executor.h"
+
+namespace serve {
+
+class SessionManager {
+ public:
+  /// What submit() tells the client — the backpressure signal.
+  struct SubmitOutcome {
+    SessionId id = 0;
+    bool accepted = false;    ///< queued (or already running); false = shed
+    std::string shed_reason;  ///< non-empty iff !accepted
+    std::size_t queued = 0;   ///< admission depth after this submit
+  };
+
+  /// Starts the shared engine (runtime + executor in service mode) and the
+  /// manager thread. The service is live on return.
+  explicit SessionManager(ServiceConfig cfg);
+  /// Drains (see drain()) then stops. Engine errors are swallowed here;
+  /// call drain() explicitly to observe them.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Offer a session. Non-blocking: either queued for admission or shed on
+  /// the spot (queue full, soft cap, or the service is draining).
+  SubmitOutcome submit(SessionConfig cfg);
+
+  /// Blocks until the session reaches Done or Shed. Returns the per-session
+  /// result (null when shed or unknown id). The pointer stays valid for the
+  /// manager's lifetime. Rethrows the engine error if the service died
+  /// before the session resolved.
+  const pipeline::RunResult* wait(SessionId id);
+
+  /// Snapshot of one session's serving stats (state, timestamps, reason).
+  [[nodiscard]] SessionStats stats(SessionId id) const;
+  /// Snapshots of every session ever submitted, in id order.
+  [[nodiscard]] std::vector<SessionStats> all_sessions() const;
+
+  /// Current admission-queue depth (the backpressure probe).
+  [[nodiscard]] std::size_t queued() const { return admission_.queued(); }
+
+  /// Graceful shutdown: close admission (new submits shed with reason
+  /// "shutdown"), let everything already queued or running finish, then
+  /// stop the engine. Idempotent. Rethrows any engine error.
+  void drain();
+
+  /// Engine time (µs since the executor started).
+  [[nodiscard]] std::uint64_t now_us() const { return ex_->now_us(); }
+
+  [[nodiscard]] const sre::Runtime& runtime() const { return *rt_; }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  void engine_main();
+  void manager_main();
+  /// Finalize one completed session: collect its result, free its pipeline.
+  void finalize(const SessionPtr& s, std::unique_lock<std::mutex>& lk);
+  /// Mark `s` shed under mu_ and publish metrics/wakeups.
+  void mark_shed_locked(const SessionPtr& s, const char* reason);
+  void note_done_metrics(const SessionStats& st,
+                         const pipeline::RunResult& result);
+
+  ServiceConfig cfg_;
+  std::unique_ptr<sre::Runtime> rt_;
+  std::unique_ptr<sre::ThreadedExecutor> ex_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable manager_cv_;  ///< wakes the manager thread
+  std::condition_variable client_cv_;   ///< wakes wait()ers
+  std::unordered_map<SessionId, SessionPtr> sessions_;
+  std::vector<SessionId> completed_;  ///< on_complete fired, pending collect
+  std::size_t running_ = 0;           ///< sessions in Running/Draining
+  SessionId next_id_ = 1;
+  bool draining_ = false;
+  bool manager_done_ = false;
+  bool engine_failed_ = false;
+  std::exception_ptr engine_error_;
+  bool drained_ = false;
+
+  std::thread engine_;
+  std::thread manager_;
+};
+
+/// Submits `configs` open-loop: session i is offered at engine time
+/// `mgr.now_us() at call + arrivals.arrival_us(i)` whether or not the
+/// service is keeping up — arrivals never slow down, which is exactly what
+/// makes overload (and shedding) observable. Synchronous; outcomes are in
+/// submit order.
+std::vector<SessionManager::SubmitOutcome> submit_open_loop(
+    SessionManager& mgr, std::vector<SessionConfig> configs,
+    const sio::ArrivalModel& arrivals);
+
+}  // namespace serve

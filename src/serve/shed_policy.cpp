@@ -1,0 +1,56 @@
+#include "serve/shed_policy.h"
+
+namespace serve {
+
+std::string to_string(Priority p) {
+  switch (p) {
+    case Priority::Interactive:
+      return "interactive";
+    case Priority::Batch:
+      return "batch";
+    case Priority::Bulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+std::string to_string(SessionState s) {
+  switch (s) {
+    case SessionState::Queued:
+      return "queued";
+    case SessionState::Admitted:
+      return "admitted";
+    case SessionState::Running:
+      return "running";
+    case SessionState::Draining:
+      return "draining";
+    case SessionState::Done:
+      return "done";
+    case SessionState::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
+ShedPolicy::Decision ShedPolicy::at_submit(Priority p, std::size_t depth,
+                                           std::size_t total_queued) const {
+  const auto ix = static_cast<std::size_t>(p);
+  if (depth >= cfg_.queue_capacity[ix]) {
+    return {true, "queue_full"};
+  }
+  if (cfg_.global_soft_cap != 0 && total_queued >= cfg_.global_soft_cap &&
+      p != Priority::Interactive) {
+    return {true, "soft_cap"};
+  }
+  return {};
+}
+
+bool ShedPolicy::expired(const Session& s, std::uint64_t waited_us) const {
+  std::uint64_t deadline = s.cfg.queue_deadline_us;
+  if (deadline == 0) {
+    deadline = cfg_.queue_deadline_us[static_cast<std::size_t>(s.cfg.priority)];
+  }
+  return deadline != 0 && waited_us > deadline;
+}
+
+}  // namespace serve

@@ -1,0 +1,66 @@
+// ShedPolicy: when the serving layer refuses work instead of queueing it.
+//
+// Load shedding is the pressure-relief valve of an open-loop system: block
+// arrivals do not slow down when the service falls behind (that is the
+// point of io::ArrivalModel-driven traffic), so the only stable responses
+// to overload are a bounded queue and a deadline. The policy is consulted
+// at two points, both strictly *before* admission — a shed session never
+// cost a worker a microsecond:
+//
+//  * at submit: reject when the session's priority queue is at capacity, or
+//    when total queued work crosses the global soft cap and the session is
+//    not Interactive (high-priority traffic can still displace into the
+//    remaining headroom);
+//  * in queue: expire sessions whose queue wait exceeded their deadline
+//    (per-session override or the per-priority default). A session that
+//    has waited past its deadline is worthless to the client even if a
+//    slot opens — running it would be pure goodput loss.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/session.h"
+
+namespace serve {
+
+class ShedPolicy {
+ public:
+  struct Config {
+    /// Per-priority admission queue capacity (sessions).
+    std::array<std::size_t, kPriorities> queue_capacity = {64, 64, 64};
+    /// Total queued sessions beyond which non-Interactive submits are shed
+    /// even if their own queue has room. 0 = no global cap.
+    std::size_t global_soft_cap = 0;
+    /// Per-priority default queue deadline (µs); 0 = never expires.
+    std::array<std::uint64_t, kPriorities> queue_deadline_us = {0, 0, 0};
+  };
+
+  /// Shed verdict; `reason` is a stable label ("" = admit) used for both
+  /// SessionStats::shed_reason and the metrics reason= label.
+  struct Decision {
+    bool shed = false;
+    const char* reason = "";
+  };
+
+  explicit ShedPolicy(Config cfg) : cfg_(cfg) {}
+
+  /// Consulted at submit time. `depth` is the session's priority queue
+  /// depth, `total_queued` the sum over all priorities (both excluding the
+  /// candidate itself).
+  [[nodiscard]] Decision at_submit(Priority p, std::size_t depth,
+                                   std::size_t total_queued) const;
+
+  /// Has a queued session's wait expired? `waited_us` is engine time spent
+  /// in the queue; the effective deadline is the session's own override or
+  /// the per-priority default.
+  [[nodiscard]] bool expired(const Session& s, std::uint64_t waited_us) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace serve

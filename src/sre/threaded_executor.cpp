@@ -128,6 +128,10 @@ ThreadedExecutor::~ThreadedExecutor() {
     director_cv_.notify_all();
     done_cv_.notify_all();
   }
+  {
+    std::scoped_lock lk(feeder_mu_);
+    feeder_cv_.notify_all();
+  }
   if (options_.dispatch == DispatchMode::Sharded) {
     wake_all_workers();
     {
@@ -151,28 +155,67 @@ std::uint64_t ThreadedExecutor::now_us() const {
 }
 
 void ThreadedExecutor::schedule_arrival(std::uint64_t at_us, Arrival fn) {
-  std::scoped_lock lk(mu_);
   const auto scaled = static_cast<std::uint64_t>(
       static_cast<double>(at_us) * options_.arrival_time_scale);
-  arrivals_.emplace_back(scaled, std::move(fn));
+  {
+    std::scoped_lock lk(feeder_mu_);
+    arrival_heap_.push_back({scaled, arrival_seq_++, std::move(fn)});
+    std::push_heap(arrival_heap_.begin(), arrival_heap_.end(), ArrivalAfter{});
+  }
+  feeder_cv_.notify_one();
+}
+
+void ThreadedExecutor::begin_service() {
+  std::scoped_lock lk(feeder_mu_);
+  service_open_ = true;
+}
+
+void ThreadedExecutor::end_service() {
+  {
+    std::scoped_lock lk(feeder_mu_);
+    service_open_ = false;
+  }
+  feeder_cv_.notify_all();
+}
+
+bool ThreadedExecutor::service_open() const {
+  std::scoped_lock lk(feeder_mu_);
+  return service_open_;
 }
 
 void ThreadedExecutor::feeder_loop() {
-  std::vector<std::pair<std::uint64_t, Arrival>> schedule;
-  {
-    std::scoped_lock lk(mu_);
-    schedule = std::move(arrivals_);
-    arrivals_.clear();
-  }
-  std::stable_sort(schedule.begin(), schedule.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& [at_us, fn] : schedule) {
+  std::unique_lock lk(feeder_mu_);
+  for (;;) {
     if (stopping_.load(std::memory_order_acquire)) break;
-    std::this_thread::sleep_until(start_ + std::chrono::microseconds(at_us));
+    if (arrival_heap_.empty()) {
+      if (!service_open_) break;  // schedule drained, service closed: done
+      feeder_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !arrival_heap_.empty() || !service_open_;
+      });
+      continue;
+    }
+    const std::uint64_t due = arrival_heap_.front().at_us;
+    const auto deadline = start_ + std::chrono::microseconds(due);
+    if (std::chrono::steady_clock::now() < deadline) {
+      // A newly-scheduled earlier arrival (or shutdown) preempts the sleep;
+      // a timeout just re-evaluates the heap top.
+      feeder_cv_.wait_until(lk, deadline, [this, due] {
+        return stopping_.load(std::memory_order_acquire) ||
+               (!arrival_heap_.empty() && arrival_heap_.front().at_us < due);
+      });
+      continue;
+    }
+    std::pop_heap(arrival_heap_.begin(), arrival_heap_.end(), ArrivalAfter{});
+    Arrival fn = std::move(arrival_heap_.back().fn);
+    arrival_heap_.pop_back();
+    lk.unlock();
     fn(now_us());
+    lk.lock();
   }
+  lk.unlock();
   {
-    std::scoped_lock lk(mu_);
+    std::scoped_lock lk2(mu_);
     feeder_done_.store(true, std::memory_order_release);
     done_cv_.notify_all();
     work_cv_.notify_all();
@@ -188,6 +231,10 @@ void ThreadedExecutor::fail(const std::string& what) {
     work_cv_.notify_all();
     director_cv_.notify_all();
     done_cv_.notify_all();
+  }
+  {
+    std::scoped_lock lk(feeder_mu_);
+    feeder_cv_.notify_all();
   }
   if (options_.dispatch == DispatchMode::Sharded) {
     wake_all_workers();

@@ -125,8 +125,27 @@ class ThreadedExecutor {
   [[nodiscard]] std::uint64_t now_us() const;
 
   /// Schedules `fn` to run on the feeder thread at engine time `at_us`
-  /// (scaled by arrival_time_scale). Must be called before run().
+  /// (scaled by arrival_time_scale). May be called before run() or — when
+  /// the executor is live — from any thread, including arrival callbacks
+  /// themselves; an arrival earlier than the one the feeder is currently
+  /// sleeping towards preempts that sleep. Arrivals with equal times fire
+  /// in submission order. An arrival whose time is already in the past
+  /// fires as soon as the feeder reaches it.
   void schedule_arrival(std::uint64_t at_us, Arrival fn);
+
+  /// Service mode: keeps the feeder alive when its schedule drains, so new
+  /// work (sessions) can be injected while run() is in flight. Call
+  /// begin_service() before run(); run() then blocks — typically on a
+  /// background thread — until end_service() is called *and* everything
+  /// scheduled has fired and completed. Without begin_service() the
+  /// behaviour is unchanged: the feeder exits once the pre-scheduled
+  /// arrivals have fired.
+  void begin_service();
+  /// Closes service mode: the feeder fires whatever is still scheduled,
+  /// then exits, letting run() return once the runtime is quiescent.
+  /// Idempotent; safe from any thread.
+  void end_service();
+  [[nodiscard]] bool service_open() const;
 
   /// Runs to completion: returns when all scheduled arrivals have fired, all
   /// dispatched tasks have completed and been processed, and the runtime is
@@ -195,7 +214,26 @@ class ThreadedExecutor {
     std::uint64_t done_us;
   };
   std::deque<Completion> completions_central_;
-  std::vector<std::pair<std::uint64_t, Arrival>> arrivals_;  // sorted by time
+
+  /// Feeder schedule: a binary min-heap on (at_us, seq) — seq preserves
+  /// submission order between equal-time arrivals, matching the stable sort
+  /// the pre-service feeder used. Guarded by feeder_mu_; feeder_cv_ wakes
+  /// the feeder for earlier insertions, end_service() and shutdown.
+  struct TimedArrival {
+    std::uint64_t at_us;
+    std::uint64_t seq;
+    Arrival fn;
+  };
+  struct ArrivalAfter {
+    bool operator()(const TimedArrival& a, const TimedArrival& b) const {
+      return a.at_us > b.at_us || (a.at_us == b.at_us && a.seq > b.seq);
+    }
+  };
+  std::vector<TimedArrival> arrival_heap_;
+  mutable std::mutex feeder_mu_;
+  std::condition_variable feeder_cv_;
+  std::uint64_t arrival_seq_ = 0;   ///< guarded by feeder_mu_
+  bool service_open_ = false;       ///< guarded by feeder_mu_
 
   std::size_t in_flight_ = 0;  ///< central mode: popped, not yet directed
   std::atomic<bool> feeder_done_{false};

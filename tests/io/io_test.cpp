@@ -47,6 +47,70 @@ TEST(ExplicitArrival, ReplaysSchedule) {
   EXPECT_THROW(e.arrival_us(3), std::out_of_range);
 }
 
+TEST(PoissonArrival, DeterministicPerSeedStrictlyIncreasing) {
+  const sio::PoissonArrival a(500.0, 1);
+  const sio::PoissonArrival b(500.0, 1);
+  const sio::PoissonArrival c(500.0, 2);
+  sio::Micros prev = 0;
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const sio::Micros t = a.arrival_us(i);
+    EXPECT_GT(t, prev) << i;
+    prev = t;
+    EXPECT_EQ(t, b.arrival_us(i));
+    any_diff |= (t != c.arrival_us(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PoissonArrival, SampleMeanMatchesConfiguredGap) {
+  // The exponential inter-arrival mean must land near mean_gap_us; with
+  // n=20000 samples the sample mean of an exponential is within a few
+  // percent with overwhelming probability (the sequence is deterministic,
+  // so this is not a flaky bound — it pins the generator).
+  const double mean_gap = 800.0;
+  const std::size_t n = 20'000;
+  const sio::PoissonArrival p(mean_gap, 99);
+  const double total = static_cast<double>(p.arrival_us(n - 1));
+  const double sample_mean = total / static_cast<double>(n);
+  EXPECT_NEAR(sample_mean, mean_gap, 0.05 * mean_gap);
+}
+
+TEST(PoissonArrival, RandomAccessMatchesSequentialAccess) {
+  const sio::PoissonArrival seq(300.0, 7);
+  const sio::PoissonArrival rnd(300.0, 7);
+  std::vector<sio::Micros> expect;
+  for (std::size_t i = 0; i < 50; ++i) expect.push_back(seq.arrival_us(i));
+  // Out-of-order first touch must extend the prefix sum identically.
+  EXPECT_EQ(rnd.arrival_us(49), expect[49]);
+  EXPECT_EQ(rnd.arrival_us(10), expect[10]);
+  EXPECT_EQ(rnd.arrival_us(0), expect[0]);
+}
+
+TEST(PoissonArrival, BurstsClusterButKeepLongRunRate) {
+  const std::size_t burst = 4;
+  const sio::PoissonArrival p(250.0, 5, burst, /*intra_burst_gap_us=*/1);
+  // Inside a burst the gap is the tiny fixed intra-burst gap.
+  for (std::size_t i = 0; i < 40; ++i) {
+    const sio::Micros gap = p.arrival_us(i + 1) - p.arrival_us(i);
+    if ((i + 1) % burst != 0) {
+      EXPECT_EQ(gap, 1u) << i;
+    }
+  }
+  // Long-run rate stays ~1/mean_gap despite the clustering.
+  const std::size_t n = 20'000;
+  const double sample_mean =
+      static_cast<double>(p.arrival_us(n - 1)) / static_cast<double>(n);
+  EXPECT_NEAR(sample_mean, 250.0, 0.08 * 250.0);
+}
+
+TEST(PoissonArrival, RejectsInvalidParameters) {
+  EXPECT_THROW(sio::PoissonArrival(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(sio::PoissonArrival(-5.0, 1), std::invalid_argument);
+  EXPECT_THROW(sio::PoissonArrival(100.0, 1, /*burst_len=*/0),
+               std::invalid_argument);
+}
+
 TEST(BlockSource, SplitsIntoBlocks) {
   std::vector<std::uint8_t> data(10000, 7);
   const BlockSource src(std::move(data), 4096,

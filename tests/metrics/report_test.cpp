@@ -164,6 +164,39 @@ TEST(RunReport, BundleIsWellFormedAndComplete) {
   fs::remove_all(dir);
 }
 
+TEST(RunReport, OmitsDispatchSectionWhenNotInstrumented) {
+  // run_sim leaves RunResult::dispatch all-zero ("not instrumented"); the
+  // report must omit the section rather than print misleading zeros.
+  const auto cfg = small_config();
+  const auto res = pipeline::run_sim(cfg);
+  const report::RunInfo info = pipeline::run_info(cfg, res, "sim");
+  ASSERT_TRUE(info.dispatch.empty());
+
+  const report::RunReport rep = report::make_report(info, nullptr, nullptr);
+  const auto json = rep.to_json();
+  EXPECT_TRUE(json_lite::valid(json));
+  EXPECT_EQ(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_EQ(rep.to_markdown().find("## Dispatch"), std::string::npos);
+}
+
+TEST(RunReport, EmitsDispatchSectionForShardedThreadedRuns) {
+  auto cfg = small_config();
+  pipeline::RunOptions opt;
+  opt.workers = 4;
+  opt.dispatch = sre::DispatchMode::Sharded;
+  const auto res = pipeline::run_threaded(cfg, opt);
+  const report::RunInfo info = pipeline::run_info(cfg, res, "threaded");
+  ASSERT_FALSE(info.dispatch.empty());
+  EXPECT_EQ(info.dispatch.tasks_run, res.dispatch.tasks_run);
+
+  const report::RunReport rep = report::make_report(info, nullptr, nullptr);
+  const auto json = rep.to_json();
+  EXPECT_TRUE(json_lite::valid(json));
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_run\""), std::string::npos);
+  EXPECT_NE(rep.to_markdown().find("## Dispatch"), std::string::npos);
+}
+
 TEST(RunReport, CarriesTraceArtifactsWhenProvided) {
   tracelog::Recorder rec;
   metrics::Registry reg;

@@ -1,0 +1,126 @@
+// Multi-session torture: two concurrent sessions on one shared fleet under
+// the chaos schedule, one engineered to roll back and one engineered to
+// commit. The serving layer's isolation promise is that they cannot see
+// each other: the committing session must finish with zero rollbacks and
+// zero wait-buffer discards no matter how often its neighbor rolls back,
+// and after the drain the shared runtime must hold no epoch bookkeeping
+// from either of them.
+//
+// Determinism trick (timing-independent assertions on a real-thread run):
+//  * tolerance = 0 on drifting BMP content — every verification of an
+//    estimated tree fails, so the session must take the rollback path at
+//    least once regardless of scheduling;
+//  * tolerance = 1e9 — every verification passes, so the first speculation
+//    commits and the rollback count is exactly zero.
+// The chaos hook only permutes interleavings (yields/sleeps, no fault
+// injection), so both outcomes hold for every seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pipeline/driver.h"
+#include "pipeline/run_config.h"
+#include "serve/session_manager.h"
+#include "sre/chaos_point.h"
+#include "stress/chaos_schedule.h"
+
+namespace {
+
+serve::SessionConfig rollback_session(std::uint64_t seed) {
+  serve::SessionConfig sc;
+  sc.name = "rollback";
+  sc.run = pipeline::RunConfig::x86_disk(wl::FileKind::Bmp,
+                                         sre::DispatchPolicy::Balanced);
+  sc.run.bytes = 256 * 1024;
+  sc.run.seed = seed;
+  sc.run.spec.tolerance = 0.0;  // any estimate error fails the check
+  return sc;
+}
+
+serve::SessionConfig commit_session(std::uint64_t seed) {
+  serve::SessionConfig sc;
+  sc.name = "commit";
+  sc.run = pipeline::RunConfig::x86_disk(wl::FileKind::Txt,
+                                         sre::DispatchPolicy::Balanced);
+  sc.run.bytes = 256 * 1024;
+  sc.run.seed = seed;
+  sc.run.spec.tolerance = 1e9;  // any estimate passes the check
+  return sc;
+}
+
+TEST(MultiSessionTorture, RollbackNeighborNeverLeaksIntoCommittingSession) {
+  for (const std::uint64_t seed : {11ull, 202ull, 3003ull}) {
+    stress::ChaosOptions copts;  // yields/sleeps only; no fault injection
+    stress::ChaosSchedule chaos(seed, copts);
+    sre::chaos::ScopedHook guard(&chaos);
+
+    serve::ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.max_concurrent = 2;
+    serve::SessionManager mgr(cfg);
+
+    const auto a = mgr.submit(rollback_session(seed));
+    const auto b = mgr.submit(commit_session(seed ^ 0x55));
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+
+    const pipeline::RunResult* ra = mgr.wait(a.id);
+    const pipeline::RunResult* rb = mgr.wait(b.id);
+    ASSERT_NE(ra, nullptr) << "seed " << seed;
+    ASSERT_NE(rb, nullptr) << "seed " << seed;
+
+    // Both outputs are correct regardless of speculation outcome.
+    pipeline::verify_roundtrip(*ra);
+    pipeline::verify_roundtrip(*rb);
+
+    // The zero-tolerance session rolled back; the infinite-tolerance one
+    // committed untouched — its epoch space and wait buffer never saw the
+    // neighbor's revocations.
+    EXPECT_GE(ra->rollbacks, 1u) << "seed " << seed;
+    EXPECT_TRUE(rb->spec_committed) << "seed " << seed;
+    EXPECT_EQ(rb->rollbacks, 0u) << "seed " << seed;
+    EXPECT_EQ(rb->wait_discarded, 0u) << "seed " << seed;
+
+    mgr.drain();
+
+    // No cross-session residue in the shared runtime: quiescent, and every
+    // epoch either committed or was fully reclaimed.
+    EXPECT_TRUE(mgr.runtime().quiescent()) << "seed " << seed;
+    const auto depths = mgr.runtime().queue_depths();
+    EXPECT_EQ(depths.open_epochs, 0u) << "seed " << seed;
+    EXPECT_EQ(depths.epoch_tasks, 0u) << "seed " << seed;
+
+    // The chaos hook actually exercised the unlock windows.
+    EXPECT_GT(chaos.decisions(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(MultiSessionTorture, ManySmallSessionsDrainCleanUnderChaos) {
+  stress::ChaosOptions copts;
+  stress::ChaosSchedule chaos(0xfeedULL, copts);
+  sre::chaos::ScopedHook guard(&chaos);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_concurrent = 3;
+  serve::SessionManager mgr(cfg);
+
+  std::vector<serve::SessionId> ids;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    auto sc = (i % 2 == 0) ? rollback_session(40 + i) : commit_session(40 + i);
+    sc.run.bytes = 96 * 1024;
+    ids.push_back(mgr.submit(std::move(sc)).id);
+  }
+  for (const auto id : ids) {
+    const pipeline::RunResult* r = mgr.wait(id);
+    ASSERT_NE(r, nullptr);
+    pipeline::verify_roundtrip(*r);
+  }
+  mgr.drain();
+  EXPECT_TRUE(mgr.runtime().quiescent());
+  const auto depths = mgr.runtime().queue_depths();
+  EXPECT_EQ(depths.open_epochs, 0u);
+  EXPECT_EQ(depths.epoch_tasks, 0u);
+}
+
+}  // namespace

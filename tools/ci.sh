@@ -10,6 +10,9 @@
 #   tools/ci.sh torture    # speculation torture harness under TSan: the
 #                          # fixed seed set plus one time-boxed random-seed
 #                          # sweep (prints the seed to replay on failure)
+#   tools/ci.sh serve      # serving-layer tests + a bounded load smoke:
+#                          # serve_load --smoke must shed nothing at low
+#                          # rate and drain the shared runtime clean
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -56,6 +59,20 @@ if [[ "${1:-}" == "torture" ]]; then
     exit 1
   fi
   echo "== torture green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "serve" ]]; then
+  echo "== serve: serving-layer tests + bounded load smoke (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS" \
+    -R 'ShedPolicy|Admission\.|SessionManager|MultiSessionTorture'
+  # Open-loop smoke, time-boxed: at ~0.25x of measured capacity the service
+  # must accept and finish every session (zero sheds) and drain clean. A
+  # hang here means admission/drain deadlocked — fail rather than wedge CI.
+  timeout "${TVS_SERVE_SMOKE_TIMEBOX_S:-10}" ./build/bench/serve_load --smoke
+  echo "== serve green =="
   exit 0
 fi
 

@@ -6,12 +6,20 @@
 //   tvsc c <input> <output.tvsh>   compress
 //   tvsc d <input.tvsh> <output>   decompress
 //   tvsc t <input.tvsh>            integrity test (decode + report)
+//   tvsc serve <inputs...>         compress many files as concurrent
+//                                  sessions on one shared worker fleet
+//                                  (src/serve); writes <input>.tvsh each
 //
 // Observability flags (compress mode):
 //   --metrics=prom|json|dash   final snapshot to stdout (prom/json) or a
 //                              live one-line dashboard on stderr (dash)
 //   --metrics-interval=<ms>    sampler tick period (default 50 ms)
 //   --report=<dir>             write a run-report bundle (json/md/prom)
+//
+// Serving flags (serve mode):
+//   --workers=<n>              shared fleet size (default 8)
+//   --concurrent=<n>           sessions running at once (default 4)
+//   --metrics=prom|json        serving-metrics snapshot on exit
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +34,7 @@
 #include "metrics/sampler.h"
 #include "pipeline/driver.h"
 #include "pipeline/huffman_pipeline.h"
+#include "serve/session_manager.h"
 #include "sre/threaded_executor.h"
 #include "stats/summary.h"
 
@@ -35,6 +44,8 @@ struct CliOptions {
   std::string metrics;          ///< "", "prom", "json" or "dash"
   std::uint64_t interval_ms = 50;
   std::string report_dir;       ///< "" = no report bundle
+  unsigned workers = 8;         ///< serve mode: shared fleet size
+  std::size_t concurrent = 4;   ///< serve mode: running-session window
 };
 
 int usage() {
@@ -43,10 +54,15 @@ int usage() {
       "  tvsc c <input> <output.tvsh>   compress\n"
       "  tvsc d <input.tvsh> <output>   decompress\n"
       "  tvsc t <input.tvsh>            integrity test\n"
+      "  tvsc serve <inputs...>         compress many files concurrently;\n"
+      "                                 writes <input>.tvsh each\n"
       "flags (compress):\n"
       "  --metrics=prom|json|dash       metrics snapshot / live dashboard\n"
       "  --metrics-interval=<ms>        sampler period (default 50)\n"
-      "  --report=<dir>                 write run-report bundle into <dir>\n",
+      "  --report=<dir>                 write run-report bundle into <dir>\n"
+      "flags (serve):\n"
+      "  --workers=<n>                  shared fleet size (default 8)\n"
+      "  --concurrent=<n>               running-session window (default 4)\n",
       stderr);
   return 2;
 }
@@ -161,6 +177,66 @@ int compress_file(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
+int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
+  metrics::Registry reg;
+
+  serve::ServiceConfig scfg;
+  scfg.workers = cli.workers;
+  scfg.max_concurrent = cli.concurrent;
+  scfg.registry = cli.metrics.empty() ? nullptr : &reg;
+  scfg.per_session_metrics = !cli.metrics.empty();
+
+  serve::SessionManager mgr(scfg);
+
+  std::vector<serve::SessionId> ids;
+  ids.reserve(paths.size());
+  for (const auto& path : paths) {
+    serve::SessionConfig sc;
+    sc.name = path;
+    sc.run = pipeline::RunConfig::x86_disk(wl::FileKind::Txt,
+                                           sre::DispatchPolicy::Balanced);
+    sc.run.input_path = path;
+    const auto outcome = mgr.submit(std::move(sc));
+    if (!outcome.accepted) {
+      std::fprintf(stderr, "tvsc: %s shed at submit (%s)\n", path.c_str(),
+                   outcome.shed_reason.c_str());
+      continue;
+    }
+    ids.push_back(outcome.id);
+  }
+
+  int rc = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const pipeline::RunResult* result = mgr.wait(ids[i]);
+    const auto st = mgr.stats(ids[i]);
+    if (result == nullptr) {
+      std::fprintf(stderr, "tvsc: %s shed (%s)\n", st.name.c_str(),
+                   st.shed_reason.c_str());
+      rc = 1;
+      continue;
+    }
+    const std::string out_path = st.name + ".tvsh";
+    huff::write_file(out_path, result->container);
+    std::fprintf(stderr,
+                 "%s: %zu -> %zu bytes, %.1f ms latency, speculation %s, "
+                 "%llu rollback(s)\n",
+                 out_path.c_str(), result->input.size(),
+                 result->container.size(),
+                 static_cast<double>(st.latency_us()) / 1000.0,
+                 result->spec_committed ? "committed" : "off",
+                 static_cast<unsigned long long>(result->rollbacks));
+  }
+  mgr.drain();
+
+  if (cli.metrics == "prom") {
+    std::fputs(metrics::to_prometheus(reg.snapshot()).c_str(), stdout);
+  } else if (cli.metrics == "json") {
+    std::fputs(metrics::to_json(reg.snapshot()).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return rc;
+}
+
 int decompress_file(const std::string& in_path, const std::string& out_path) {
   const auto container = huff::read_file(in_path);
   const auto data = huff::decompress_buffer(container);
@@ -201,6 +277,22 @@ bool parse_flag(const std::string& arg, CliOptions& cli) {
     cli.report_dir = arg.substr(9);
     return !cli.report_dir.empty();
   }
+  if (arg.rfind("--workers=", 0) == 0) {
+    try {
+      cli.workers = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return cli.workers > 0;
+  }
+  if (arg.rfind("--concurrent=", 0) == 0) {
+    try {
+      cli.concurrent = std::stoull(arg.substr(13));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return cli.concurrent > 0;
+  }
   return false;
 }
 
@@ -226,6 +318,9 @@ int main(int argc, char** argv) {
     if (mode == "c" && pos.size() == 3) return compress_file(pos[1], pos[2], cli);
     if (mode == "d" && pos.size() == 3) return decompress_file(pos[1], pos[2]);
     if (mode == "t" && pos.size() == 2) return test_file(pos[1]);
+    if (mode == "serve" && pos.size() >= 2) {
+      return serve_files({pos.begin() + 1, pos.end()}, cli);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tvsc: %s\n", e.what());
     return 1;
