@@ -107,6 +107,7 @@ ClosedRow run_closed(unsigned workers, std::size_t concurrent,
     pipeline::verify_roundtrip(*r);
     latencies.push_back(mgr.stats(id).latency_us());
     if (containers != nullptr) containers->push_back(r->container);
+    mgr.release(id);  // consumed — keep the sweep's memory flat
   }
   const std::uint64_t t1 = mgr.now_us();
   mgr.drain();
@@ -163,6 +164,7 @@ OpenRow run_open(unsigned workers, std::size_t concurrent,
     pipeline::verify_roundtrip(*r);
     ++row.done;
     latencies.push_back(st.latency_us());
+    mgr.release(o.id);  // consumed — keep the sweep's memory flat
   }
   mgr.drain();
   const auto depths = mgr.runtime().queue_depths();

@@ -12,9 +12,6 @@ BlockSource::BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
   if (block_size_ == 0) {
     throw std::invalid_argument("BlockSource: zero block size");
   }
-  if (data_.empty()) {
-    throw std::invalid_argument("BlockSource: empty input");
-  }
   if (!arrivals_) {
     throw std::invalid_argument("BlockSource: null arrival model");
   }

@@ -20,8 +20,9 @@ inline constexpr std::size_t kDefaultBlockSize = 4096;
 class BlockSource {
  public:
   /// Takes ownership of `data`; the final block may be shorter than
-  /// `block_size`. Throws std::invalid_argument on empty data or zero block
-  /// size.
+  /// `block_size`. Empty data is a valid zero-block stream (an empty file
+  /// is a legitimate serving-layer input). Throws std::invalid_argument on
+  /// zero block size or a null arrival model.
   BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
               std::shared_ptr<const ArrivalModel> arrivals);
 
@@ -37,9 +38,10 @@ class BlockSource {
     return arrivals_->arrival_us(i);
   }
 
-  /// Arrival time of the final block (the stream's transfer completion).
+  /// Arrival time of the final block (the stream's transfer completion);
+  /// 0 for a zero-block stream.
   [[nodiscard]] Micros last_arrival_us() const {
-    return arrival_us(n_blocks_ - 1);
+    return n_blocks_ == 0 ? 0 : arrival_us(n_blocks_ - 1);
   }
 
   /// Invokes `fn(block_index, arrival_us)` for every block in index order.

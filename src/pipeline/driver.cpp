@@ -284,7 +284,16 @@ SharedRun begin_shared_run(const RunConfig& config, sre::Runtime& runtime,
   // stray aborted tasks are still draining on the shared executor.
   run.pipeline =
       std::make_unique<HuffmanPipeline>(runtime, run.source, config);
-  if (on_complete) run.pipeline->set_on_complete(std::move(on_complete));
+  if (on_complete) {
+    // A zero-block run completes synchronously inside set_on_complete,
+    // which has no clock and fires with t == 0; substitute the engine's
+    // current time so session latency/makespan stay meaningful.
+    sre::ThreadedExecutor* exp = &ex;
+    run.pipeline->set_on_complete(
+        [cb = std::move(on_complete), exp](std::uint64_t t) {
+          cb(t != 0 ? t : exp->now_us());
+        });
+  }
 
   // Offset the session's arrival schedule to "now" and scale it here rather
   // than through Options::arrival_time_scale — the executor is shared, and

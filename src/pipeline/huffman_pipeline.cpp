@@ -139,6 +139,14 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
   st.out_blocks.resize(st.n_blocks);
   st.out_offsets.resize(st.n_blocks, 0);
 
+  // A zero-block run has nothing to count, so no code table would ever be
+  // built; declare the default (empty, all-zero lengths) table up front so
+  // the run is complete as soon as a completion callback is installed,
+  // validate_complete passes, and assemble_output emits a valid empty
+  // container (all-zero lengths satisfy the Kraft check and decoding zero
+  // original bytes never consults the table).
+  if (st.n_blocks == 0) st.have_table = true;
+
   // Wait buffer: commits release speculative results into the output arrays.
   auto stp = st_;
   st.buffer = std::make_unique<tvs::WaitBuffer<std::size_t, SpecResult>>(
@@ -354,8 +362,9 @@ void HuffmanPipeline::set_on_complete(std::function<void(std::uint64_t)> fn) {
   {
     std::scoped_lock lk(st_->mu);
     st_->on_complete = std::move(fn);
-    if (st_->n_blocks == 0 ||
-        (st_->blocks_filled == st_->n_blocks && st_->have_table)) {
+    // Zero-block runs qualify immediately: have_table is pre-set in the
+    // constructor and no fill will ever happen.
+    if (st_->blocks_filled == st_->n_blocks && st_->have_table) {
       fire = st_->on_complete;
     }
   }

@@ -8,7 +8,8 @@
 // in one stream never touch another (see docs/serving.md).
 //
 //   Queued ──► Admitted ──► Running ──► Draining ──► Done
-//     │
+//     │             │                                  │
+//     │             └──────────────────────────────────┴──► Failed
 //     └────────────────────────────────────────────► Shed
 //
 //   Queued    accepted by the admission controller, waiting for a slot
@@ -19,6 +20,9 @@
 //   Shed      rejected (queue full / deadline expired / shutdown); no
 //             pipeline was ever built — shedding happens strictly before
 //             admission, so a shed session consumed no worker time
+//   Failed    the session's own work threw (unreadable input at admission,
+//             result collection failure); the error is recorded, the slot
+//             freed, and the service keeps serving other sessions
 #pragma once
 
 #include <cstdint>
@@ -43,6 +47,7 @@ enum class SessionState : std::uint8_t {
   Draining,
   Done,
   Shed,
+  Failed,
 };
 
 [[nodiscard]] std::string to_string(Priority p);
@@ -68,6 +73,7 @@ struct SessionStats {
   Priority priority = Priority::Batch;
   SessionState state = SessionState::Queued;
   std::string shed_reason;  ///< non-empty iff state == Shed
+  std::string error;        ///< non-empty iff state == Failed
   std::uint64_t submitted_us = 0;
   std::uint64_t admitted_us = 0;
   std::uint64_t drained_us = 0;  ///< last block injected

@@ -19,6 +19,17 @@ std::string session_labels(const std::string& name) {
   return "session=\"" + name + "\"";
 }
 
+/// Message for the exception currently being handled (call inside catch).
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 SessionManager::SessionManager(ServiceConfig cfg)
@@ -63,24 +74,25 @@ void SessionManager::engine_main() {
 
 SessionManager::SubmitOutcome SessionManager::submit(SessionConfig cfg) {
   const std::uint64_t now = ex_->now_us();
-  SessionId id;
+  SessionPtr s;
   {
+    // The record must be in sessions_ before the controller can hand the
+    // session to the manager — otherwise the manager could pop, run and
+    // even complete it while it is still invisible to on_complete's
+    // sessions_.find(), leaking the running_ slot and hanging wait().
     std::scoped_lock lk(mu_);
-    id = next_id_++;
+    s = std::make_shared<Session>(next_id_++, std::move(cfg), now);
+    sessions_.emplace(s->id, s);
   }
-  auto s = std::make_shared<Session>(id, std::move(cfg), now);
   const auto offer = admission_.offer(s);
 
   SubmitOutcome out;
-  out.id = id;
+  out.id = s->id;
   out.accepted = offer.queued;
-  {
+  if (!offer.queued) {
+    out.shed_reason = offer.shed_reason;
     std::scoped_lock lk(mu_);
-    sessions_.emplace(id, s);
-    if (!offer.queued) {
-      out.shed_reason = offer.shed_reason;
-      mark_shed_locked(s, offer.shed_reason);
-    }
+    mark_shed_locked(s, offer.shed_reason);
   }
   if (offer.queued) {
     if (cfg_.registry != nullptr) {
@@ -103,6 +115,19 @@ void SessionManager::mark_shed_locked(const SessionPtr& s,
   s->stats.shed_reason = reason;
   if (cfg_.registry != nullptr) {
     cfg_.registry->counter("serve_sessions_shed_total", reason_labels(reason))
+        .add();
+  }
+  client_cv_.notify_all();
+}
+
+void SessionManager::mark_failed_locked(const SessionPtr& s,
+                                        std::string error) {
+  s->stats.state = SessionState::Failed;
+  s->stats.error = std::move(error);
+  if (cfg_.registry != nullptr) {
+    cfg_.registry
+        ->counter("serve_sessions_failed_total",
+                  priority_labels(s->stats.priority))
         .add();
   }
   client_cv_.notify_all();
@@ -136,31 +161,42 @@ void SessionManager::manager_main() {
       lk.unlock();
       // Build the pipeline and schedule its arrivals outside the lock:
       // source synthesis is the expensive part of admission and must not
-      // block submit()/wait()/stats().
-      pipeline::SharedRun run = pipeline::begin_shared_run(
-          s->cfg.run, *rt_, *ex_, cfg_.block_time_scale,
-          /*on_complete=*/
-          [this, id](std::uint64_t done_us) {
-            std::scoped_lock cb(mu_);
-            auto sit = sessions_.find(id);
-            if (sit != sessions_.end()) sit->second->stats.done_us = done_us;
-            completed_.push_back(id);
-            manager_cv_.notify_all();
-          },
-          /*on_last_arrival=*/
-          [this, id](std::uint64_t now_us) {
-            std::scoped_lock cb(mu_);
-            auto sit = sessions_.find(id);
-            if (sit == sessions_.end()) return;
-            auto& st = sit->second->stats;
-            if (st.state == SessionState::Admitted ||
-                st.state == SessionState::Running) {
-              st.state = SessionState::Draining;
-              st.drained_us = now_us;
-            }
-          });
-      lk.lock();
-      s->run = std::move(run);
+      // block submit()/wait()/stats(). It is also where user-supplied
+      // inputs first bite (make_source reads input_path), and a throw
+      // escaping this thread would std::terminate the whole service — so
+      // failures become a per-session Failed verdict instead.
+      try {
+        pipeline::SharedRun run = pipeline::begin_shared_run(
+            s->cfg.run, *rt_, *ex_, cfg_.block_time_scale,
+            /*on_complete=*/
+            [this, id](std::uint64_t done_us) {
+              std::scoped_lock cb(mu_);
+              auto sit = sessions_.find(id);
+              if (sit != sessions_.end()) sit->second->stats.done_us = done_us;
+              completed_.push_back(id);
+              manager_cv_.notify_all();
+            },
+            /*on_last_arrival=*/
+            [this, id](std::uint64_t now_us) {
+              std::scoped_lock cb(mu_);
+              auto sit = sessions_.find(id);
+              if (sit == sessions_.end()) return;
+              auto& st = sit->second->stats;
+              if (st.state == SessionState::Admitted ||
+                  st.state == SessionState::Running) {
+                st.state = SessionState::Draining;
+                st.drained_us = now_us;
+              }
+            });
+        lk.lock();
+        s->run = std::move(run);
+      } catch (...) {
+        const std::string error = current_exception_message();
+        lk.lock();
+        if (running_ > 0) --running_;
+        mark_failed_locked(s, error);
+        continue;  // the slot is free again — try the next queued session
+      }
       if (s->stats.state == SessionState::Admitted) {
         s->stats.state = SessionState::Running;
       }
@@ -194,17 +230,29 @@ void SessionManager::finalize(const SessionPtr& s,
   const std::uint64_t done = s->stats.done_us;
   // Move the run handle out so the pipeline + source are destroyed outside
   // the lock (task closures pin their own state, so this is safe even with
-  // stray aborted tasks still draining — and it keeps a long-running
-  // service's memory bounded by live sessions, not history).
+  // stray aborted tasks still draining). Collection runs on the manager
+  // thread, so a validation throw must become a per-session failure, not a
+  // process abort.
   pipeline::SharedRun run = std::move(s->run);
   lk.unlock();
-  auto result =
-      std::make_unique<pipeline::RunResult>(pipeline::collect_shared_run(run, done));
+  std::unique_ptr<pipeline::RunResult> result;
+  std::string error;
+  try {
+    result = std::make_unique<pipeline::RunResult>(
+        pipeline::collect_shared_run(run, done));
+  } catch (...) {
+    error = current_exception_message();
+  }
   run = pipeline::SharedRun();  // destroy pipeline + source now
   lk.lock();
+  if (running_ > 0) --running_;
+  if (result == nullptr) {
+    mark_failed_locked(s, std::move(error));
+    manager_cv_.notify_all();
+    return;
+  }
   s->result = std::move(result);
   s->stats.state = SessionState::Done;
-  if (running_ > 0) --running_;
   note_done_metrics(s->stats, *s->result);
   client_cv_.notify_all();
   manager_cv_.notify_all();
@@ -235,15 +283,33 @@ const pipeline::RunResult* SessionManager::wait(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   SessionPtr s = it->second;
-  client_cv_.wait(lk, [&] {
-    return s->stats.state == SessionState::Done ||
-           s->stats.state == SessionState::Shed || engine_failed_;
-  });
-  if (s->stats.state != SessionState::Done &&
-      s->stats.state != SessionState::Shed && engine_error_) {
+  const auto terminal = [](SessionState st) {
+    return st == SessionState::Done || st == SessionState::Shed ||
+           st == SessionState::Failed;
+  };
+  client_cv_.wait(lk, [&] { return terminal(s->stats.state) || engine_failed_; });
+  if (!terminal(s->stats.state) && engine_error_) {
     std::rethrow_exception(engine_error_);
   }
   return s->result.get();
+}
+
+bool SessionManager::release(SessionId id) {
+  std::scoped_lock lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = *it->second;
+  if (s.stats.state != SessionState::Done &&
+      s.stats.state != SessionState::Shed &&
+      s.stats.state != SessionState::Failed) {
+    return false;
+  }
+  // Keep the record (stats stay queryable) but drop everything heavy: the
+  // result's input/container byte copies and the workload spec. run is
+  // already empty for every terminal state.
+  s.result.reset();
+  s.cfg = SessionConfig{};
+  return true;
 }
 
 SessionStats SessionManager::stats(SessionId id) const {

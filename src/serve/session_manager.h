@@ -10,7 +10,11 @@
 //                      ▼                        ▼
 //                 Shed (bounded            begin_shared_run on the live
 //                 queue / deadline /       engine; Running → Draining →
-//                 shutdown)                Done; result collected
+//                 shutdown)                Done; result collected. A throw
+//                                          on this path (unreadable input,
+//                                          collection failure) marks the
+//                                          session Failed and frees the
+//                                          slot — never the whole process.
 //
 // Backpressure contract: submit() never blocks. It returns a SubmitOutcome
 // that either carries the admission-queue depth (the pressure signal — a
@@ -69,11 +73,22 @@ class SessionManager {
   /// the spot (queue full, soft cap, or the service is draining).
   SubmitOutcome submit(SessionConfig cfg);
 
-  /// Blocks until the session reaches Done or Shed. Returns the per-session
-  /// result (null when shed or unknown id). The pointer stays valid for the
-  /// manager's lifetime. Rethrows the engine error if the service died
-  /// before the session resolved.
+  /// Blocks until the session reaches a terminal state (Done, Shed or
+  /// Failed). Returns the per-session result (null when shed, failed or
+  /// unknown id; a failed session's error is in stats(id).error). The
+  /// pointer stays valid until release(id) or the manager's destruction.
+  /// Rethrows the engine error if the service died before the session
+  /// resolved.
   const pipeline::RunResult* wait(SessionId id);
+
+  /// Frees a terminal session's heavy payload — the RunResult (input and
+  /// container byte copies) and the workload config — keeping only the
+  /// SessionStats, so a long-running service's memory stays bounded by live
+  /// sessions rather than history. Returns false (and does nothing) for
+  /// unknown ids or sessions that have not reached Done/Shed/Failed.
+  /// Invalidates any pointer previously returned by wait(id); stats(id) and
+  /// all_sessions() keep working.
+  bool release(SessionId id);
 
   /// Snapshot of one session's serving stats (state, timestamps, reason).
   [[nodiscard]] SessionStats stats(SessionId id) const;
@@ -101,6 +116,9 @@ class SessionManager {
   void finalize(const SessionPtr& s, std::unique_lock<std::mutex>& lk);
   /// Mark `s` shed under mu_ and publish metrics/wakeups.
   void mark_shed_locked(const SessionPtr& s, const char* reason);
+  /// Mark `s` failed (its own work threw) under mu_; the error lands in
+  /// stats, metrics are published and wait()ers are woken.
+  void mark_failed_locked(const SessionPtr& s, std::string error);
   void note_done_metrics(const SessionStats& st,
                          const pipeline::RunResult& result);
 

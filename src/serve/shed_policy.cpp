@@ -28,6 +28,8 @@ std::string to_string(SessionState s) {
       return "done";
     case SessionState::Shed:
       return "shed";
+    case SessionState::Failed:
+      return "failed";
   }
   return "?";
 }

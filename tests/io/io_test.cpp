@@ -123,11 +123,18 @@ TEST(BlockSource, SplitsIntoBlocks) {
 }
 
 TEST(BlockSource, ValidatesInputs) {
-  EXPECT_THROW(BlockSource({}, 4096, std::make_shared<sio::DiskArrival>()),
-               std::invalid_argument);
   EXPECT_THROW(BlockSource({1, 2}, 0, std::make_shared<sio::DiskArrival>()),
                std::invalid_argument);
   EXPECT_THROW(BlockSource({1, 2}, 4096, nullptr), std::invalid_argument);
+}
+
+TEST(BlockSource, EmptyInputIsAValidZeroBlockStream) {
+  const BlockSource src({}, 4096, std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(src.n_blocks(), 0u);
+  EXPECT_EQ(src.total_bytes(), 0u);
+  EXPECT_EQ(src.last_arrival_us(), 0u);
+  EXPECT_THROW(src.block(0), std::out_of_range);
+  src.for_each_arrival([](std::size_t, sio::Micros) { FAIL(); });
 }
 
 TEST(BlockSource, ForEachArrivalVisitsAllInOrder) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "huffman/stream_format.h"
+#include "metrics/registry.h"
 #include "pipeline/driver.h"
 #include "pipeline/run_config.h"
 #include "serve/admission.h"
@@ -265,6 +267,84 @@ TEST(SessionManager, ConcurrentMatchesSequentialByteForByte) {
   }
 }
 
+TEST(SessionManager, FailedSessionReportsErrorAndFreesSlot) {
+  // An unreadable input used to throw on the manager thread and
+  // std::terminate the whole service; it must instead fail just that
+  // session and keep serving.
+  metrics::Registry reg;
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_concurrent = 1;
+  cfg.registry = &reg;
+  SessionManager mgr(cfg);
+
+  SessionConfig bad = small_session(1, sre::DispatchPolicy::NonSpeculative);
+  bad.run.input_path = testing::TempDir() + "/tvs-no-such-input.bin";
+  const auto b = mgr.submit(std::move(bad));
+  ASSERT_TRUE(b.accepted);
+  const auto g =
+      mgr.submit(small_session(2, sre::DispatchPolicy::NonSpeculative));
+  ASSERT_TRUE(g.accepted);
+
+  EXPECT_EQ(mgr.wait(b.id), nullptr);
+  const auto st = mgr.stats(b.id);
+  EXPECT_EQ(st.state, SessionState::Failed);
+  EXPECT_FALSE(st.error.empty());
+  EXPECT_TRUE(st.shed_reason.empty());
+
+  // The single concurrency slot freed: the good session still completes.
+  const pipeline::RunResult* r = mgr.wait(g.id);
+  ASSERT_NE(r, nullptr);
+  pipeline::verify_roundtrip(*r);
+
+  mgr.drain();
+  EXPECT_TRUE(mgr.runtime().quiescent());
+  EXPECT_EQ(reg.snapshot().scalar("serve_sessions_failed_total"), 1.0);
+}
+
+TEST(SessionManager, EmptyInputCompletesWithValidEmptyContainer) {
+  const std::string path = testing::TempDir() + "/tvs-empty-input.bin";
+  huff::write_file(path, {});
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  SessionManager mgr(cfg);
+  SessionConfig sc = small_session(1, sre::DispatchPolicy::Balanced);
+  sc.run.input_path = path;
+  const auto out = mgr.submit(std::move(sc));
+  ASSERT_TRUE(out.accepted);
+
+  const pipeline::RunResult* r = mgr.wait(out.id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->input.empty());
+  EXPECT_EQ(r->output_bits, 0u);
+  EXPECT_TRUE(huff::decompress_buffer(r->container).empty());
+  EXPECT_EQ(mgr.stats(out.id).state, SessionState::Done);
+  mgr.drain();
+  EXPECT_TRUE(mgr.runtime().quiescent());
+}
+
+TEST(SessionManager, ReleaseDropsResultButKeepsStats) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  SessionManager mgr(cfg);
+  const auto out =
+      mgr.submit(small_session(3, sre::DispatchPolicy::NonSpeculative));
+  ASSERT_TRUE(out.accepted);
+  EXPECT_FALSE(mgr.release(out.id));  // not terminal yet
+  ASSERT_NE(mgr.wait(out.id), nullptr);
+
+  EXPECT_TRUE(mgr.release(out.id));
+  EXPECT_EQ(mgr.wait(out.id), nullptr);  // result gone...
+  const auto st = mgr.stats(out.id);     // ...stats retained
+  EXPECT_EQ(st.state, SessionState::Done);
+  EXPECT_GT(st.latency_us(), 0u);
+  EXPECT_EQ(mgr.all_sessions().size(), 1u);
+
+  EXPECT_FALSE(mgr.release(12345));  // unknown id
+  mgr.drain();
+}
+
 TEST(SessionManager, ServingMetricsLandInRegistry) {
   metrics::Registry reg;
   serve::ServiceConfig cfg;
@@ -302,6 +382,7 @@ TEST(SessionManager, ToStringCoversAllStates) {
   EXPECT_EQ(serve::to_string(SessionState::Draining), "draining");
   EXPECT_EQ(serve::to_string(SessionState::Done), "done");
   EXPECT_EQ(serve::to_string(SessionState::Shed), "shed");
+  EXPECT_EQ(serve::to_string(SessionState::Failed), "failed");
 }
 
 }  // namespace

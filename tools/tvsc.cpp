@@ -70,10 +70,6 @@ int usage() {
 int compress_file(const std::string& in_path, const std::string& out_path,
                   const CliOptions& cli) {
   auto data = huff::read_file(in_path);
-  if (data.empty()) {
-    std::fprintf(stderr, "tvsc: %s is empty\n", in_path.c_str());
-    return 1;
-  }
   const std::size_t original = data.size();
   const bool want_metrics = !cli.metrics.empty() || !cli.report_dir.empty();
 
@@ -133,8 +129,9 @@ int compress_file(const std::string& in_path, const std::string& out_path,
                "%s: %zu -> %zu bytes (%.1f%%), %zu blocks, speculation %s, "
                "%llu rollback(s)\n",
                out_path.c_str(), original, container.size(),
-               100.0 * static_cast<double>(container.size()) /
-                   static_cast<double>(original),
+               original == 0 ? 0.0
+                             : 100.0 * static_cast<double>(container.size()) /
+                                   static_cast<double>(original),
                src.n_blocks(),
                pl.speculation_committed() ? "committed" : "off",
                static_cast<unsigned long long>(pl.rollbacks()));
@@ -210,8 +207,10 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
     const pipeline::RunResult* result = mgr.wait(ids[i]);
     const auto st = mgr.stats(ids[i]);
     if (result == nullptr) {
-      std::fprintf(stderr, "tvsc: %s shed (%s)\n", st.name.c_str(),
-                   st.shed_reason.c_str());
+      const bool failed = st.state == serve::SessionState::Failed;
+      std::fprintf(stderr, "tvsc: %s %s (%s)\n", st.name.c_str(),
+                   failed ? "failed" : "shed",
+                   failed ? st.error.c_str() : st.shed_reason.c_str());
       rc = 1;
       continue;
     }
