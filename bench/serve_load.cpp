@@ -27,9 +27,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "flight/recorder.h"
 #include "io/arrival_model.h"
 #include "pipeline/driver.h"
 #include "pipeline/run_config.h"
@@ -178,6 +180,48 @@ OpenRow run_open(unsigned workers, std::size_t concurrent,
   return row;
 }
 
+/// Smoke check for the flight recorder's post-mortem path: a session whose
+/// input cannot be read must end Failed and leave an automatic post-mortem
+/// dump on disk.
+bool run_post_mortem_smoke(unsigned workers) {
+  const auto dir = std::filesystem::temp_directory_path() / "tvs_serve_smoke";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  flight::Recorder::Options fopts;
+  fopts.post_mortem_dir = dir.string();
+  flight::Recorder recorder(fopts);
+  recorder.start();
+
+  serve::ServiceConfig scfg = base_service(workers, /*concurrent=*/2);
+  scfg.flight = &recorder;
+  serve::SessionManager mgr(scfg);
+
+  serve::SessionConfig bad;
+  bad.name = "doomed";
+  bad.run = session_workload(/*seed=*/1, 64 * 1024,
+                             sre::DispatchPolicy::Balanced);
+  bad.run.input_path = "/nonexistent/tvs_serve_load_smoke_input";
+  const auto outcome = mgr.submit(std::move(bad));
+  if (!outcome.accepted) return false;
+  const bool failed = mgr.wait(outcome.id) == nullptr &&
+                      mgr.stats(outcome.id).state ==
+                          serve::SessionState::Failed;
+  mgr.drain();
+
+  const auto path = dir / ("session-" + std::to_string(outcome.id) +
+                           "-postmortem.trace.json");
+  const bool dumped = std::filesystem::exists(path);
+  if (!failed || !dumped) {
+    std::fprintf(stderr,
+                 "serve_load: post-mortem smoke failed=%d dump_exists=%d "
+                 "(%s)\n",
+                 failed ? 1 : 0, dumped ? 1 : 0, path.c_str());
+  }
+  std::filesystem::remove_all(dir, ec);
+  return failed && dumped;
+}
+
 /// Byte-identity: concurrent vs sequential execution of identical configs.
 bool run_identity(unsigned workers, std::size_t sessions, std::size_t bytes) {
   std::vector<std::vector<std::uint8_t>> concurrent_out;
@@ -294,6 +338,12 @@ int main(int argc, char** argv) {
                    row.shed, row.offered, row.drained_clean ? 1 : 0);
       return 1;
     }
+    // A forced-Failed session must leave a flight-recorder post-mortem.
+    if (!run_post_mortem_smoke(workers)) {
+      std::fprintf(stderr, "serve_load: FAIL — post-mortem smoke\n");
+      return 1;
+    }
+    std::printf("  post-mortem dump for forced-Failed session: OK\n");
     std::printf("serve_load: smoke OK\n");
     return 0;
   }

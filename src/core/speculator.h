@@ -135,6 +135,13 @@ class Speculator {
     task_keepalive_ = std::move(owner);
   }
 
+  /// Serving-layer stream id stamped onto internally-spawned check tasks
+  /// (0 = none), so per-session attribution charges check time correctly.
+  void set_stream(std::uint64_t stream) {
+    std::scoped_lock lk(mu_);
+    stream_ = stream;
+  }
+
   /// Does the pipeline need to materialize the estimate at `index` at all?
   /// (Estimate materialization — e.g. building a prefix Huffman tree — can
   /// itself be costly; skip it when the speculator would ignore it.)
@@ -292,7 +299,8 @@ class Speculator {
           if (cb_.tolerance_margin) {
             *margin = cb_.tolerance_margin(*guess, *current);
           }
-        });
+        },
+        stream_);
     task->add_completion_hook([this, keep, epoch, verdict, margin, is_final](
                                   sre::Task&, std::uint64_t done_us) {
       on_verdict(epoch, *verdict, *margin, is_final, done_us);
@@ -382,6 +390,7 @@ class Speculator {
   PredictorHook hook_;
   std::weak_ptr<const void> task_keepalive_;  ///< see set_task_keepalive
   std::uint64_t check_cost_us_;
+  std::uint64_t stream_ = 0;  ///< see set_stream
 
   mutable std::mutex mu_;
   std::optional<V> latest_;

@@ -1,0 +1,39 @@
+#include "flight/interner.h"
+
+#include <mutex>
+
+namespace flight {
+
+std::uint32_t NameInterner::intern(std::string_view s) {
+  if (s.empty()) return 0;  // the pre-seeded "no name" id
+  {
+    std::shared_lock lk(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lk(mu_);
+  // Re-check: another thread may have inserted between the locks.
+  auto [it, inserted] = ids_.try_emplace(std::string(s), 0);
+  if (inserted) {
+    it->second = static_cast<std::uint32_t>(by_id_.size());
+    by_id_.push_back(it->first);
+  }
+  return it->second;
+}
+
+std::string NameInterner::name(std::uint32_t id) const {
+  std::shared_lock lk(mu_);
+  return id < by_id_.size() ? by_id_[id] : std::string{};
+}
+
+std::vector<std::string> NameInterner::names() const {
+  std::shared_lock lk(mu_);
+  return by_id_;
+}
+
+std::size_t NameInterner::size() const {
+  std::shared_lock lk(mu_);
+  return by_id_.size();
+}
+
+}  // namespace flight

@@ -1,0 +1,169 @@
+#include "flight/recorder.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "flight/export.h"
+
+namespace flight {
+namespace {
+
+/// Per-thread binding into whichever Recorder the thread last emitted to.
+/// `gen` pairs with Recorder::gen_ so a recorder destroyed and reallocated
+/// at the same address invalidates stale slots.
+struct TlsSlot {
+  const void* rec = nullptr;
+  std::uint64_t gen = 0;
+  Ring* ring = nullptr;
+  bool bound = false;  ///< distinguishes "over thread limit" from "unbound"
+};
+
+thread_local TlsSlot t_slot;
+std::atomic<std::uint64_t> g_recorder_gen{1};
+
+}  // namespace
+
+Recorder::Recorder() : Recorder(Options()) {}
+
+Recorder::Recorder(Options opts)
+    : opts_(std::move(opts)),
+      gen_(g_recorder_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+Recorder::~Recorder() { stop(); }
+
+void Recorder::start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  drainer_ = std::thread([this] { drainer_main(); });
+}
+
+void Recorder::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  drainer_.join();
+  started_ = false;
+}
+
+Ring* Recorder::thread_ring() {
+  if (t_slot.rec == this && t_slot.gen == gen_ && t_slot.bound) {
+    return t_slot.ring;
+  }
+  Ring* ring = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = ring_by_thread_.find(std::this_thread::get_id());
+    if (it != ring_by_thread_.end()) {
+      ring = it->second;
+    } else if (rings_.size() < opts_.max_threads) {
+      rings_.push_back(std::make_unique<Ring>(opts_.ring_capacity));
+      ring = rings_.back().get();
+      ring_by_thread_.emplace(std::this_thread::get_id(), ring);
+    }
+    // else: over the thread limit — bind a null ring so this thread drops
+    // cheaply instead of retaking the lock on every emit.
+  }
+  t_slot = TlsSlot{this, gen_, ring, true};
+  return ring;
+}
+
+bool Recorder::emit(const Record& r) {
+  Ring* ring = thread_ring();
+  if (ring == nullptr || !ring->push(r)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Recorder::drainer_main() {
+  const auto interval = std::chrono::microseconds(opts_.drain_interval_us);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    drain_once();
+    std::this_thread::sleep_for(interval);
+  }
+  drain_once();  // final sweep so stop() leaves nothing in the rings
+}
+
+void Recorder::drain_once() {
+  std::lock_guard dlk(drain_mu_);
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard lk(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<Record> buf;
+  for (Ring* r : rings) {
+    r->pop_into(buf, r->capacity());
+  }
+  if (buf.empty()) return;
+  std::lock_guard wlk(window_mu_);
+  for (const Record& rec : buf) {
+    window_.push_back(rec);
+    if (rec.t_us > newest_t_us_) newest_t_us_ = rec.t_us;
+  }
+  evict_locked();
+}
+
+void Recorder::evict_locked() {
+  while (window_.size() > opts_.window_max_records) window_.pop_front();
+  if (newest_t_us_ <= opts_.window_us) return;
+  const std::uint64_t cutoff = newest_t_us_ - opts_.window_us;
+  // The window is in drain-arrival order, which tracks time closely enough
+  // that front-eviction is a faithful "last N seconds" bound.
+  while (!window_.empty() && window_.front().t_us < cutoff) {
+    window_.pop_front();
+  }
+}
+
+std::vector<Record> Recorder::snapshot() {
+  drain_once();
+  std::lock_guard wlk(window_mu_);
+  return {window_.begin(), window_.end()};
+}
+
+std::size_t Recorder::window_size() const {
+  std::lock_guard wlk(window_mu_);
+  return window_.size();
+}
+
+bool Recorder::write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  return static_cast<bool>(f);
+}
+
+std::string Recorder::write_post_mortem(
+    std::uint64_t session, const std::string& reason,
+    const std::vector<std::pair<std::string, std::uint64_t>>& attribution_us) {
+  if (opts_.post_mortem_dir.empty()) return {};
+  const std::vector<Record> window = snapshot();
+  const std::vector<Record> slice =
+      session_slice(window, session, opts_.post_mortem_window_us);
+  PostMortemInfo info;
+  info.session = session;
+  info.reason = reason;
+  info.attribution_us = attribution_us;
+  const std::string json = to_chrome_trace(slice, interner_.names(), &info);
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.post_mortem_dir, ec);
+  const std::string path = opts_.post_mortem_dir + "/session-" +
+                           std::to_string(session) +
+                           "-postmortem.trace.json";
+  return write_file(path, json) ? path : std::string{};
+}
+
+bool Recorder::dump_binary(const std::string& path) {
+  return write_file(path, write_binary(snapshot(), interner_.names()));
+}
+
+bool Recorder::dump_chrome_trace(const std::string& path) {
+  return write_file(path, to_chrome_trace(snapshot(), interner_.names()));
+}
+
+}  // namespace flight

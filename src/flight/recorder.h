@@ -1,0 +1,128 @@
+// Recorder: the always-on flight recorder core.
+//
+// Every emitting thread gets its own SPSC ring, bound lazily on first emit
+// through a thread-local slot (generation-checked so a recorder destroyed
+// and reallocated at the same address can never alias a stale binding). The
+// hot path is emit(): one thread-local check, one 64-byte copy into the
+// ring, no lock, no allocation. A full ring — or a thread beyond
+// `max_threads` — drops the record and bumps a counter; tracing never
+// applies backpressure to the engine.
+//
+// A background drainer snapshots all rings every `drain_interval_us` into a
+// bounded in-memory window, evicting from the front once the window exceeds
+// `window_max_records` or `window_us` behind the newest timestamp seen.
+// Exports (Chrome JSON, .tvsf binary, per-session post-mortems) operate on
+// a snapshot of that window and can run from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "flight/interner.h"
+#include "flight/record.h"
+#include "flight/ring.h"
+
+namespace flight {
+
+class Recorder {
+ public:
+  struct Options {
+    std::size_t ring_capacity = 8192;  ///< records per producer ring
+    std::size_t max_threads = 64;      ///< rings allocated before dropping
+    std::uint64_t window_us = 30'000'000;      ///< in-memory window span
+    std::size_t window_max_records = 1'000'000;
+    /// Drainer poll period. 10 ms supports ~800k records/s/thread against
+    /// the default ring depth; shortening it buys fresher snapshots at the
+    /// cost of more wakeups (which cost real CPU on small machines).
+    std::uint64_t drain_interval_us = 10'000;
+    /// Directory for automatic post-mortem dumps; empty disables them.
+    std::string post_mortem_dir;
+    /// "Last N seconds" bound applied to each post-mortem's causal slice.
+    std::uint64_t post_mortem_window_us = 10'000'000;
+  };
+
+  Recorder();  ///< default Options
+  explicit Recorder(Options opts);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Launches the drainer thread. Idempotent.
+  void start();
+
+  /// Stops the drainer after a final drain. Called by the destructor.
+  void stop();
+
+  /// Hot path: copies `r` into the calling thread's ring. Returns false
+  /// (and counts a drop) when the ring is full or the thread limit is hit.
+  bool emit(const Record& r);
+
+  /// Interns a name for use in Record::name. NOT for per-record hot paths —
+  /// call where the string already exists (task creation, session edges).
+  std::uint32_t intern(std::string_view s) { return interner_.intern(s); }
+
+  [[nodiscard]] const NameInterner& interner() const { return interner_; }
+
+  /// Drains all rings now and returns a copy of the current window.
+  [[nodiscard]] std::vector<Record> snapshot();
+
+  /// Records dropped on full rings / overflow threads.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t window_size() const;
+
+  /// Writes the session's causal slice (bounded by post_mortem_window_us)
+  /// as Chrome trace JSON into post_mortem_dir. Returns the file path, or
+  /// "" when post-mortems are disabled or the write failed. Safe from any
+  /// thread; does file IO — keep it off latency-sensitive paths.
+  std::string write_post_mortem(
+      std::uint64_t session, const std::string& reason,
+      const std::vector<std::pair<std::string, std::uint64_t>>&
+          attribution_us);
+
+  /// Dumps the full current window. Return false on IO failure.
+  bool dump_binary(const std::string& path);
+  bool dump_chrome_trace(const std::string& path);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Ring* thread_ring();
+  void drainer_main();
+  void drain_once();
+  void evict_locked();
+  static bool write_file(const std::string& path, const std::string& bytes);
+
+  const Options opts_;
+  const std::uint64_t gen_;  ///< instance generation for TLS validation
+
+  NameInterner interner_;
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::mutex mu_;  ///< guards ring registration
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::unordered_map<std::thread::id, Ring*> ring_by_thread_;
+
+  std::mutex drain_mu_;  ///< serializes ring consumers (drainer + snapshot)
+  mutable std::mutex window_mu_;
+  std::deque<Record> window_;
+  std::uint64_t newest_t_us_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread drainer_;
+  bool started_ = false;
+};
+
+}  // namespace flight

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "flight/observer.h"
 #include "huffman/stream_format.h"
 #include "huffman/tree.h"
 #include "io/block_source.h"
@@ -62,19 +63,23 @@ RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
 /// both exist. Owns the MetricsObserver; keep alive for the run.
 struct ObserverStack {
   std::optional<metrics::MetricsObserver> metrics_obs;
+  std::optional<flight::FlightObserver> flight_obs;
   sre::FanoutObserver fan;
   sre::Observer* effective = nullptr;
 
   ObserverStack(const RunOptions& opt) {
     if (opt.registry) metrics_obs.emplace(*opt.registry);
-    if (metrics_obs && opt.observer) {
-      fan.add(&*metrics_obs);
-      fan.add(opt.observer);
+    if (opt.flight) flight_obs.emplace(*opt.flight);
+    sre::Observer* parts[3] = {};
+    std::size_t n = 0;
+    if (metrics_obs) parts[n++] = &*metrics_obs;
+    if (flight_obs) parts[n++] = &*flight_obs;
+    if (opt.observer) parts[n++] = opt.observer;
+    if (n == 1) {
+      effective = parts[0];
+    } else if (n > 1) {
+      for (std::size_t i = 0; i < n; ++i) fan.add(parts[i]);
       effective = &fan;
-    } else if (metrics_obs) {
-      effective = &*metrics_obs;
-    } else {
-      effective = opt.observer;
     }
   }
 };

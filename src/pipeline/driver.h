@@ -33,6 +33,10 @@ namespace sre {
 class Runtime;
 }
 
+namespace flight {
+class Recorder;
+}
+
 namespace pipeline {
 
 class HuffmanPipeline;
@@ -78,6 +82,10 @@ struct RunResult {
 struct RunOptions {
   /// Extra observer (e.g. tracelog::Recorder); fanned in after metrics.
   sre::Observer* observer = nullptr;
+
+  /// Non-null: attach a flight::FlightObserver on this recorder for the run
+  /// (always-on span tracing; see src/flight/). Fanned in beside metrics.
+  flight::Recorder* flight = nullptr;
 
   /// Non-null: attach a MetricsObserver on this registry for the run.
   metrics::Registry* registry = nullptr;

@@ -229,6 +229,7 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
     // In-flight check tasks pin State (a stale check can retire after the
     // run commits and this handle is long gone — see set_task_keepalive).
     st.spec->set_task_keepalive(std::weak_ptr<const void>(stp));
+    st.spec->set_stream(config.stream_id);
 
     if (config.spec.predictor == tvs::PredictorMode::Bank) {
       // Score predictions in the same units as the speculation check: the
@@ -338,7 +339,8 @@ HuffmanPipeline::HuffmanPipeline(sre::Runtime& runtime,
                 cell->hist = snapshot;
                 cell->table = std::make_shared<const huff::CodeTable>(
                     huff::CodeTable::from_lengths(tree.lengths()));
-              });
+              },
+              stp->cfg.stream_id);
           tree_task->set_mem_bytes(2 * sizeof(huff::Histogram));
           auto spec = stp->spec.get();
           tree_task->add_completion_hook(
@@ -386,7 +388,8 @@ void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
         sre::kNaturalEpoch, /*depth=*/1, st->cost(TaskKind::Count),
         [st, i](sre::TaskContext&) {
           st->block_hists[i] = huff::Histogram::of(st->src.block(i));
-        });
+        },
+        st->cfg.stream_id);
     count->set_mem_bytes(st->src.block_size() + sizeof(huff::Histogram));
     st->count_tasks[i] = count;
 
@@ -406,7 +409,8 @@ void HuffmanPipeline::on_block_arrival(std::size_t i, std::uint64_t now_us) {
               st->prefix.merge(st->block_hists[b]);
             }
             st->snapshots[r] = std::make_shared<huff::Histogram>(st->prefix);
-          });
+          },
+          st->cfg.stream_id);
       reduce->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
       reduce->add_completion_hook(
           [st, r](sre::Task&, std::uint64_t done_us) {
@@ -488,7 +492,8 @@ void HuffmanPipeline::extend_chain_locked(const std::shared_ptr<State>& st,
             (*offsets)[b] = og.block_offsets[b - begin];
           }
           group_end_slot->set(og.end_offset);
-        });
+        },
+        st->cfg.stream_id);
     offset_task->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
     for (std::size_t b = begin; b < end; ++b) {
       st->rt.add_dependency(st->count_tasks[b], offset_task);
@@ -509,7 +514,8 @@ void HuffmanPipeline::extend_chain_locked(const std::shared_ptr<State>& st,
           st->cost(TaskKind::Encode),
           [st, b, table, enc](sre::TaskContext&) {
             *enc = huff::encode_block(st->src.block(b), *table);
-          });
+          },
+          st->cfg.stream_id);
       encode_task->set_mem_bytes(3 * st->src.block_size() +
                                  sizeof(huff::CodeTable));
       encode_task->add_completion_hook(
@@ -551,7 +557,8 @@ void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
       [hist, table_cell](sre::TaskContext&) {
         *table_cell = std::make_shared<const huff::CodeTable>(
             huff::CodeTable::from_histogram(*hist));
-      });
+      },
+      st->cfg.stream_id);
   tree_task->set_mem_bytes(2 * sizeof(huff::Histogram));
 
   tree_task->add_completion_hook([st, table_cell](sre::Task&,
@@ -590,7 +597,8 @@ void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
               (*offsets)[b] = og.block_offsets[b - begin];
             }
             group_end_slot->set(og.end_offset);
-          });
+          },
+          st->cfg.stream_id);
       offset_task->set_mem_bytes((end - begin) * sizeof(huff::Histogram));
       if (prev_offset) st->rt.add_dependency(prev_offset, offset_task);
       prev_offset = offset_task;
@@ -604,7 +612,8 @@ void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
             sre::kNaturalEpoch, /*depth=*/5, st->cost(TaskKind::Encode),
             [st, b, table, enc](sre::TaskContext&) {
               *enc = huff::encode_block(st->src.block(b), *table);
-            });
+            },
+            st->cfg.stream_id);
         encode_task->set_mem_bytes(3 * st->src.block_size() +
                                    sizeof(huff::CodeTable));
         encode_task->add_completion_hook(

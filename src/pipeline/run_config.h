@@ -47,6 +47,10 @@ struct RunConfig {
   sim::PlatformConfig platform = sim::PlatformConfig::x86();
   PipelineRatios ratios;
 
+  /// Serving-layer stream (session) id stamped onto every task this run
+  /// creates; 0 = standalone run, no stream attribution.
+  std::uint64_t stream_id = 0;
+
   sre::DispatchPolicy policy = sre::DispatchPolicy::Balanced;
   /// Intra-queue ordering; Fcfs is the breadth-first strawman of §III-A,
   /// kept for the ablation bench.

@@ -8,8 +8,13 @@
 
 #include "metrics/registry.h"
 #include "serve/shed_policy.h"
+#include "sre/fault.h"
 #include "sre/ids.h"
 #include "sre/threaded_executor.h"
+
+namespace flight {
+class Recorder;
+}
 
 namespace serve {
 
@@ -45,6 +50,19 @@ struct ServiceConfig {
   /// rollbacks, output size). Off by default: unbounded label cardinality
   /// is a real cost in a long-running service.
   bool per_session_metrics = false;
+
+  /// Non-null: the always-on flight recorder (src/flight/). The manager
+  /// installs a FlightObserver on the shared runtime, stamps every task
+  /// with its session's stream id, records session lifecycle edges and
+  /// latency attribution, and writes automatic post-mortem dumps for
+  /// Failed/Shed sessions when the recorder has a post_mortem_dir.
+  /// Borrowed; must be started and must outlive the SessionManager.
+  flight::Recorder* flight = nullptr;
+
+  /// Non-null: fault-injection plan installed on the shared runtime (e.g. a
+  /// stress::ChaosSchedule forcing rollbacks/failures in tests). Borrowed;
+  /// must outlive the SessionManager.
+  sre::FaultPlan* fault_plan = nullptr;
 };
 
 }  // namespace serve

@@ -79,6 +79,19 @@ struct SessionStats {
   std::uint64_t drained_us = 0;  ///< last block injected
   std::uint64_t done_us = 0;
 
+  /// Where the session's latency went. Filled at finalization (Done or
+  /// Failed) from the runtime's per-stream usage accounting; zeros for shed
+  /// sessions (they never reached a worker). compute/rollback_waste sum
+  /// task time across workers, so they can exceed the wall-clock latency.
+  struct Attribution {
+    std::uint64_t queue_us = 0;          ///< submit → admit
+    std::uint64_t dispatch_us = 0;       ///< admit → first task dispatched
+    std::uint64_t compute_us = 0;        ///< task time of retired tasks
+    std::uint64_t commit_stall_us = 0;   ///< drained → done
+    std::uint64_t rollback_waste_us = 0; ///< task time of aborted tasks
+  };
+  Attribution attribution;
+
   /// Queue wait: submit → admit (0 when shed before admission).
   [[nodiscard]] std::uint64_t queue_wait_us() const {
     return admitted_us > submitted_us ? admitted_us - submitted_us : 0;

@@ -36,6 +36,14 @@ SessionManager::SessionManager(ServiceConfig cfg)
     : cfg_(cfg),
       rt_(std::make_unique<sre::Runtime>(cfg.policy, cfg.priority_mode)),
       admission_(ShedPolicy(cfg.shed)) {
+  if (cfg_.flight != nullptr) {
+    flight_obs_.emplace(*cfg_.flight);
+    rt_->set_observer(&*flight_obs_);
+  }
+  // Always on: one hash update per task completion buys the attribution
+  // breakdown in SessionStats even when no recorder is attached.
+  rt_->set_stream_accounting(true);
+  if (cfg_.fault_plan != nullptr) rt_->set_fault_plan(cfg_.fault_plan);
   sre::ThreadedExecutor::Options topts;
   topts.workers = cfg_.workers;
   topts.dispatch = cfg_.dispatch;
@@ -82,8 +90,12 @@ SessionManager::SubmitOutcome SessionManager::submit(SessionConfig cfg) {
     // sessions_.find(), leaking the running_ slot and hanging wait().
     std::scoped_lock lk(mu_);
     s = std::make_shared<Session>(next_id_++, std::move(cfg), now);
+    // Every task this session's pipeline creates carries the session id as
+    // its stream — the key for usage accounting and flight-trace grouping.
+    s->cfg.run.stream_id = s->id;
     sessions_.emplace(s->id, s);
   }
+  flight_state(s->id, "Queued", now);
   const auto offer = admission_.offer(s);
 
   SubmitOutcome out;
@@ -111,8 +123,14 @@ SessionManager::SubmitOutcome SessionManager::submit(SessionConfig cfg) {
 
 void SessionManager::mark_shed_locked(const SessionPtr& s,
                                       const char* reason) {
+  const std::uint64_t now = ex_->now_us();
   s->stats.state = SessionState::Shed;
   s->stats.shed_reason = reason;
+  // A shed session's whole latency is queue time (it never reached a worker).
+  s->stats.attribution.queue_us =
+      now > s->stats.submitted_us ? now - s->stats.submitted_us : 0;
+  flight_state(s->id, "Shed", now);
+  queue_post_mortem_locked(*s, std::string("shed: ") + reason);
   if (cfg_.registry != nullptr) {
     cfg_.registry->counter("serve_sessions_shed_total", reason_labels(reason))
         .add();
@@ -122,8 +140,12 @@ void SessionManager::mark_shed_locked(const SessionPtr& s,
 
 void SessionManager::mark_failed_locked(const SessionPtr& s,
                                         std::string error) {
+  const std::uint64_t now = ex_->now_us();
   s->stats.state = SessionState::Failed;
   s->stats.error = std::move(error);
+  fill_attribution_locked(*s, now);
+  flight_state(s->id, "Failed", now);
+  queue_post_mortem_locked(*s, "failed: " + s->stats.error);
   if (cfg_.registry != nullptr) {
     cfg_.registry
         ->counter("serve_sessions_failed_total",
@@ -131,6 +153,67 @@ void SessionManager::mark_failed_locked(const SessionPtr& s,
         .add();
   }
   client_cv_.notify_all();
+}
+
+void SessionManager::flight_state(SessionId id, std::string_view label,
+                                  std::uint64_t t_us) {
+  if (flight_obs_) flight_obs_->session_state(id, label, t_us);
+}
+
+void SessionManager::fill_attribution_locked(Session& s, std::uint64_t t_us) {
+  auto& a = s.stats.attribution;
+  const sre::Runtime::StreamUsage usage = rt_->take_stream_usage(s.id);
+  a.queue_us = s.stats.queue_wait_us();
+  a.compute_us = usage.compute_us;
+  a.rollback_waste_us = usage.waste_us;
+  if (usage.first_dispatch_us != sre::Runtime::StreamUsage::kNever &&
+      usage.first_dispatch_us > s.stats.admitted_us) {
+    a.dispatch_us = usage.first_dispatch_us - s.stats.admitted_us;
+  }
+  if (s.stats.drained_us > 0 && s.stats.done_us > s.stats.drained_us) {
+    a.commit_stall_us = s.stats.done_us - s.stats.drained_us;
+  }
+  if (flight_obs_) {
+    flight_obs_->attribution(s.id, "queue", a.queue_us, t_us);
+    flight_obs_->attribution(s.id, "dispatch", a.dispatch_us, t_us);
+    flight_obs_->attribution(s.id, "compute", a.compute_us, t_us);
+    flight_obs_->attribution(s.id, "commit-stall", a.commit_stall_us, t_us);
+    flight_obs_->attribution(s.id, "rollback-waste", a.rollback_waste_us,
+                             t_us);
+  }
+}
+
+void SessionManager::queue_post_mortem_locked(const Session& s,
+                                              std::string reason) {
+  if (cfg_.flight == nullptr ||
+      cfg_.flight->options().post_mortem_dir.empty()) {
+    return;
+  }
+  const auto& a = s.stats.attribution;
+  PostMortemJob job;
+  job.id = s.id;
+  job.reason = std::move(reason);
+  job.attribution_us = {{"queue", a.queue_us},
+                        {"dispatch", a.dispatch_us},
+                        {"compute", a.compute_us},
+                        {"commit-stall", a.commit_stall_us},
+                        {"rollback-waste", a.rollback_waste_us}};
+  pm_pending_.push_back(std::move(job));
+  manager_cv_.notify_all();
+}
+
+void SessionManager::flush_post_mortems(std::unique_lock<std::mutex>& lk) {
+  while (!pm_pending_.empty()) {
+    std::vector<PostMortemJob> jobs;
+    jobs.swap(pm_pending_);
+    lk.unlock();
+    // File IO (plus a recorder drain) outside the lock; submit()/wait()
+    // must never block on disk.
+    for (const PostMortemJob& job : jobs) {
+      cfg_.flight->write_post_mortem(job.id, job.reason, job.attribution_us);
+    }
+    lk.lock();
+  }
 }
 
 void SessionManager::manager_main() {
@@ -156,6 +239,7 @@ void SessionManager::manager_main() {
       if (!s) break;
       s->stats.state = SessionState::Admitted;
       s->stats.admitted_us = ex_->now_us();
+      flight_state(s->id, "Admitted", s->stats.admitted_us);
       ++running_;
       const SessionId id = s->id;
       lk.unlock();
@@ -186,6 +270,7 @@ void SessionManager::manager_main() {
                   st.state == SessionState::Running) {
                 st.state = SessionState::Draining;
                 st.drained_us = now_us;
+                flight_state(id, "Draining", now_us);
               }
             });
         lk.lock();
@@ -199,6 +284,7 @@ void SessionManager::manager_main() {
       }
       if (s->stats.state == SessionState::Admitted) {
         s->stats.state = SessionState::Running;
+        flight_state(s->id, "Running", ex_->now_us());
       }
       if (cfg_.registry != nullptr) {
         cfg_.registry->gauge("serve_sessions_running")
@@ -211,6 +297,10 @@ void SessionManager::manager_main() {
     for (const auto& s : shed) mark_shed_locked(s, "deadline");
     shed.clear();
 
+    // 3½. Post-mortem dumps queued by shed/failed marks (file IO happens
+    // with the lock dropped).
+    flush_post_mortems(lk);
+
     // 4. Drain check: admission closed, queues empty, nothing in flight.
     if (draining_ && running_ == 0 && completed_.empty() &&
         admission_.queued() == 0) {
@@ -221,6 +311,10 @@ void SessionManager::manager_main() {
     // interest (submit, completion, drain) also notifies explicitly.
     manager_cv_.wait_for(lk, std::chrono::milliseconds(2));
   }
+  // Stragglers: shutdown-shed submits or a final failure can queue jobs
+  // after the last in-loop flush; every post-mortem is on disk before the
+  // manager exits (and thus before drain() returns).
+  flush_post_mortems(lk);
   manager_done_ = true;
   client_cv_.notify_all();
 }
@@ -253,6 +347,8 @@ void SessionManager::finalize(const SessionPtr& s,
   }
   s->result = std::move(result);
   s->stats.state = SessionState::Done;
+  fill_attribution_locked(*s, done);
+  flight_state(s->id, "Done", done);
   note_done_metrics(s->stats, *s->result);
   client_cv_.notify_all();
   manager_cv_.notify_all();
@@ -346,7 +442,11 @@ void SessionManager::drain() {
   // engine died); closing service now lets the feeder — and run() — finish.
   ex_->end_service();
   if (engine_.joinable()) engine_.join();
-  std::scoped_lock lk(mu_);
+  std::unique_lock lk(mu_);
+  // A submit racing drain() can shed with "shutdown" after the manager's
+  // final flush; write those stragglers here so drain() always leaves every
+  // post-mortem on disk.
+  flush_post_mortems(lk);
   drained_ = true;
   if (engine_error_) std::rethrow_exception(engine_error_);
 }

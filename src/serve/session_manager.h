@@ -35,10 +35,15 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "flight/observer.h"
 #include "io/arrival_model.h"
 #include "pipeline/driver.h"
 #include "serve/admission.h"
@@ -121,9 +126,23 @@ class SessionManager {
   void mark_failed_locked(const SessionPtr& s, std::string error);
   void note_done_metrics(const SessionStats& st,
                          const pipeline::RunResult& result);
+  /// Flight-recorder session edge (no-op without a recorder). Safe under mu_.
+  void flight_state(SessionId id, std::string_view label, std::uint64_t t_us);
+  /// Fills stats.attribution from the runtime's per-stream usage (consumes
+  /// it) and, with a recorder, emits the Attribution records. Caller holds
+  /// mu_; takes the runtime lock (mu_ → runtime lock is the established
+  /// order).
+  void fill_attribution_locked(Session& s, std::uint64_t t_us);
+  /// Queues a post-mortem dump for the manager thread (file IO must never
+  /// run under mu_ — submit() calls mark_shed_locked on the client thread).
+  void queue_post_mortem_locked(const Session& s, std::string reason);
+  /// Writes every queued post-mortem, dropping mu_ around the file IO.
+  void flush_post_mortems(std::unique_lock<std::mutex>& lk);
 
   ServiceConfig cfg_;
   std::unique_ptr<sre::Runtime> rt_;
+  /// Engaged iff cfg_.flight; installed as the runtime's observer.
+  std::optional<flight::FlightObserver> flight_obs_;
   std::unique_ptr<sre::ThreadedExecutor> ex_;
   AdmissionController admission_;
 
@@ -132,6 +151,14 @@ class SessionManager {
   std::condition_variable client_cv_;   ///< wakes wait()ers
   std::unordered_map<SessionId, SessionPtr> sessions_;
   std::vector<SessionId> completed_;  ///< on_complete fired, pending collect
+  /// Post-mortem dumps awaiting the manager thread (guaranteed written —
+  /// including stragglers queued during shutdown — before drain() returns).
+  struct PostMortemJob {
+    SessionId id = 0;
+    std::string reason;
+    std::vector<std::pair<std::string, std::uint64_t>> attribution_us;
+  };
+  std::vector<PostMortemJob> pm_pending_;
   std::size_t running_ = 0;           ///< sessions in Running/Draining
   SessionId next_id_ = 1;
   bool draining_ = false;

@@ -1,5 +1,6 @@
 #include "sre/runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -38,13 +39,15 @@ std::string to_string(DispatchPolicy p) {
 }
 
 TaskPtr Runtime::make_task(std::string name, TaskClass cls, Epoch epoch,
-                           int depth, std::uint64_t cost_us, Task::Body body) {
+                           int depth, std::uint64_t cost_us, Task::Body body,
+                           std::uint64_t stream) {
   std::scoped_lock lk(mu_);
   auto task = std::make_shared<Task>(next_id_++, std::move(name), cls, epoch,
                                      depth, cost_us, std::move(body));
+  task->set_stream(stream);
   if (observer_) {
     observer_->on_task_created(
-        {task->id(), task->name(), cls, epoch, depth, cost_us});
+        {task->id(), task->name(), cls, epoch, depth, cost_us, stream});
   }
   return task;
 }
@@ -110,7 +113,8 @@ void Runtime::finish_staged(Task* task, std::uint64_t now_us) {
 
 void Runtime::finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
                                 bool& notify,
-                                std::vector<Task::CompletionHook>& hooks) {
+                                std::vector<Task::CompletionHook>& hooks,
+                                std::vector<Observer::FinishedEvent>* batch) {
   assert(task->state_.load() == TaskState::Running ||
          task->state_.load() == TaskState::Staged);
   --running_;
@@ -127,8 +131,27 @@ void Runtime::finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
     }
   }
 
+  if (stream_accounting_ && task->stream() != 0 &&
+      task->dispatch_us_ != Task::kNeverDispatched) {
+    StreamUsage& u = stream_usage_[task->stream()];
+    const std::uint64_t dur =
+        now_us > task->dispatch_us_ ? now_us - task->dispatch_us_ : 0;
+    if (task->abort_requested()) {
+      u.waste_us += dur;
+      ++u.tasks_aborted;
+    } else {
+      u.compute_us += dur;
+      ++u.tasks_finished;
+    }
+    u.first_dispatch_us = std::min(u.first_dispatch_us, task->dispatch_us_);
+  }
+
   if (observer_) {
-    observer_->on_finished(task->id(), now_us, task->abort_requested());
+    if (batch != nullptr) {
+      batch->push_back({task->id(), now_us, task->abort_requested()});
+    } else {
+      observer_->on_finished(task->id(), now_us, task->abort_requested());
+    }
   }
   if (task->abort_requested()) {
     // Rollback caught this task in flight: discard its results, propagate
@@ -210,6 +233,8 @@ void Runtime::finish_staged_batch(Task* const* tasks,
   };
   std::vector<Retired> retired;
   retired.reserve(n);
+  std::vector<Observer::FinishedEvent> events;
+  if (observer_ != nullptr) events.reserve(n);
   bool notify = false;
   {
     std::scoped_lock lk(mu_);
@@ -221,8 +246,13 @@ void Runtime::finish_staged_batch(Task* const* tasks,
       r.task = std::move(own->second);
       r.now_us = done_us[i];
       staged_owned_.erase(own);
-      finish_one_locked(r.task, r.now_us, notify, r.hooks);
+      finish_one_locked(r.task, r.now_us, notify, r.hooks, &events);
       retired.push_back(std::move(r));
+    }
+    // One observer call for the whole batch (still under the lock, per the
+    // observer contract) — per-event-locking observers pay their mutex once.
+    if (observer_ != nullptr && !events.empty()) {
+      observer_->on_finished_batch(events.data(), events.size());
     }
   }
   for (auto& r : retired) {
@@ -332,6 +362,15 @@ void Runtime::abort_epoch(Epoch epoch) {
   }
 }
 
+Runtime::StreamUsage Runtime::take_stream_usage(std::uint64_t stream) {
+  std::scoped_lock lk(mu_);
+  auto it = stream_usage_.find(stream);
+  if (it == stream_usage_.end()) return {};
+  StreamUsage u = it->second;
+  stream_usage_.erase(it);
+  return u;
+}
+
 void Runtime::note_rollback() {
   std::scoped_lock lk(mu_);
   ++counters_.rollbacks;
@@ -349,6 +388,7 @@ TaskPtr Runtime::next_task(std::uint64_t now_us, unsigned cpu) {
   TaskPtr task = pool_.pop();
   if (task) {
     task->state_.store(TaskState::Running);
+    task->dispatch_us_ = now_us;
     ++running_;
     if (observer_) observer_->on_dispatched(task->id(), now_us, cpu);
   }
@@ -367,6 +407,7 @@ std::size_t Runtime::stage_ready_batch(std::uint64_t now_us,
     Task* raw = task.get();
     raw->staged_revocation_epoch_ = rev;
     raw->state_.store(TaskState::Staged);
+    raw->dispatch_us_ = now_us;
     ++running_;
     if (observer_) observer_->on_dispatched(raw->id(), now_us, targets[n]);
     staged_owned_.emplace(raw, std::move(task));
@@ -379,6 +420,7 @@ void Runtime::mark_running(const TaskPtr& task, std::uint64_t now_us,
                            unsigned cpu) {
   std::scoped_lock lk(mu_);
   if (observer_) observer_->on_dispatched(task->id(), now_us, cpu);
+  task->dispatch_us_ = now_us;
   const TaskState s = task->state_.load();
   if (s == TaskState::Staged) {
     task->state_.store(TaskState::Running);

@@ -44,9 +44,12 @@ class Runtime {
 
   /// Creates a task (not yet submitted). `depth` is the pipeline-depth
   /// priority; `cost_us` is the virtual-time execution cost (ignored by the
-  /// threaded executor, which measures real time).
+  /// threaded executor, which measures real time). `stream` tags the task
+  /// with its serving-layer session id (0 = none) — it must be set here, not
+  /// after creation, so observers see it in on_task_created.
   TaskPtr make_task(std::string name, TaskClass cls, Epoch epoch, int depth,
-                    std::uint64_t cost_us, Task::Body body);
+                    std::uint64_t cost_us, Task::Body body,
+                    std::uint64_t stream = 0);
 
   /// Declares that `consumer` needs `producer`'s output. Must be called
   /// before submit(consumer). If the producer already finished, the
@@ -137,6 +140,30 @@ class Runtime {
     return fault_plan_.load(std::memory_order_acquire);
   }
 
+  // --- Per-stream usage accounting (serving-layer latency attribution) -----
+
+  /// Aggregate engine time a stream's tasks consumed, split into useful
+  /// compute and rollback waste. Durations are dispatch→finish, so they
+  /// include worker-queue residency after staging.
+  struct StreamUsage {
+    std::uint64_t compute_us = 0;  ///< dispatch→finish of retired tasks
+    std::uint64_t waste_us = 0;    ///< dispatch→finish of aborted tasks
+    std::uint64_t tasks_finished = 0;
+    std::uint64_t tasks_aborted = 0;
+    /// Earliest dispatch stamp seen for the stream (kNever if none ran).
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+    std::uint64_t first_dispatch_us = kNever;
+  };
+
+  /// Enables per-stream accounting (off by default: single-run pipelines
+  /// carry stream 0 and would only pay the map lookup for nothing).
+  void set_stream_accounting(bool enabled) { stream_accounting_ = enabled; }
+
+  /// Consumes and returns the accumulated usage for `stream` (zeroes if the
+  /// stream never ran a task). The serving layer calls this once per
+  /// session at finalization.
+  [[nodiscard]] StreamUsage take_stream_usage(std::uint64_t stream);
+
   [[nodiscard]] ReadyPool& pool() { return pool_; }
 
   /// Signal installed by an executor; invoked (outside the lock) whenever new
@@ -201,10 +228,13 @@ class Runtime {
   /// Locked part of completing one task: bookkeeping, successor release,
   /// abort handling. Appends the task's completion hooks (empty if aborted)
   /// to `hooks` for the caller to run outside the lock; sets `notify` when
-  /// new tasks became ready.
+  /// new tasks became ready. When `batch` is non-null the observer's
+  /// on_finished is NOT fired — the event is appended to `batch` for a
+  /// single on_finished_batch call by the caller (still under the lock).
   void finish_one_locked(const TaskPtr& task, std::uint64_t now_us,
                          bool& notify,
-                         std::vector<Task::CompletionHook>& hooks);
+                         std::vector<Task::CompletionHook>& hooks,
+                         std::vector<Observer::FinishedEvent>* batch = nullptr);
 
   mutable std::mutex mu_;
   ReadyPool pool_;
@@ -230,6 +260,8 @@ class Runtime {
   std::atomic<std::uint64_t> revocation_epoch_{0};
 
   stats::RunCounters counters_;
+  bool stream_accounting_ = false;
+  std::unordered_map<std::uint64_t, StreamUsage> stream_usage_;
   std::size_t blocked_ = 0;
   std::size_t running_ = 0;  // includes Staged
   std::function<void()> ready_signal_;

@@ -62,6 +62,18 @@ class Task {
   /// FCFS tie-break sequence, assigned when the task becomes ready.
   [[nodiscard]] std::uint64_t ready_seq() const { return ready_seq_; }
 
+  /// Serving-layer stream (session) id this task computes for; 0 = none.
+  /// Set at construction time (pipeline build), read by the runtime's
+  /// per-stream usage accounting and the flight recorder.
+  void set_stream(std::uint64_t stream) { stream_ = stream; }
+  [[nodiscard]] std::uint64_t stream() const { return stream_; }
+
+  /// Engine time at which the task was dispatched to a worker, or
+  /// kNeverDispatched if it was aborted before running. Written by the
+  /// executors under their staging discipline; read at retirement.
+  static constexpr std::uint64_t kNeverDispatched = ~std::uint64_t{0};
+  [[nodiscard]] std::uint64_t dispatch_us() const { return dispatch_us_; }
+
   /// Rollback support: mark an in-flight task for disposal at completion.
   void request_abort() { abort_requested_.store(true, std::memory_order_release); }
   [[nodiscard]] bool abort_requested() const {
@@ -125,6 +137,8 @@ class Task {
   std::atomic<TaskState> state_{TaskState::Created};
   std::atomic<bool> abort_requested_{false};
   std::uint64_t ready_seq_ = 0;
+  std::uint64_t stream_ = 0;
+  std::uint64_t dispatch_us_ = kNeverDispatched;
   std::uint64_t staged_revocation_epoch_ = 0;
   std::size_t mem_bytes_ = 0;
 

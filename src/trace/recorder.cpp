@@ -6,6 +6,10 @@ namespace tracelog {
 
 void Recorder::on_task_created(const sre::TaskInfo& task) {
   std::scoped_lock lk(mu_);
+  if (tasks_.capacity() == tasks_.size()) {
+    tasks_.reserve(tasks_.empty() ? 256 : tasks_.size() * 2);
+    by_id_.reserve(tasks_.capacity());
+  }
   TaskRecord rec;
   rec.id = task.id;
   rec.name = task.name;
@@ -19,6 +23,9 @@ void Recorder::on_task_created(const sre::TaskInfo& task) {
 
 void Recorder::on_edge(sre::TaskId producer, sre::TaskId consumer) {
   std::scoped_lock lk(mu_);
+  if (edges_.capacity() == edges_.size()) {
+    edges_.reserve(edges_.empty() ? 256 : edges_.size() * 2);
+  }
   edges_.push_back({producer, consumer});
 }
 
@@ -36,6 +43,18 @@ void Recorder::on_dispatched(sre::TaskId task, std::uint64_t now_us,
 void Recorder::on_finished(sre::TaskId task, std::uint64_t now_us,
                            bool aborted) {
   std::scoped_lock lk(mu_);
+  finish_locked(task, now_us, aborted);
+}
+
+void Recorder::on_finished_batch(const FinishedEvent* events, std::size_t n) {
+  std::scoped_lock lk(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    finish_locked(events[i].task, events[i].now_us, events[i].aborted);
+  }
+}
+
+void Recorder::finish_locked(sre::TaskId task, std::uint64_t now_us,
+                             bool aborted) {
   auto it = by_id_.find(task);
   if (it == by_id_.end()) return;
   TaskRecord& rec = tasks_[it->second];
@@ -48,21 +67,21 @@ void Recorder::on_finished(sre::TaskId task, std::uint64_t now_us,
 
 void Recorder::on_epoch_opened(sre::Epoch epoch) {
   std::scoped_lock lk(mu_);
-  epochs_.push_back({epoch, false, false});
+  // Re-opening an epoch id is not a thing the runtime does; keep the first.
+  auto [it, inserted] = epoch_by_id_.try_emplace(epoch, epochs_.size());
+  if (inserted) epochs_.push_back({epoch, false, false});
 }
 
 void Recorder::on_epoch_committed(sre::Epoch epoch) {
   std::scoped_lock lk(mu_);
-  for (auto& e : epochs_) {
-    if (e.epoch == epoch) e.committed = true;
-  }
+  auto it = epoch_by_id_.find(epoch);
+  if (it != epoch_by_id_.end()) epochs_[it->second].committed = true;
 }
 
 void Recorder::on_epoch_aborted(sre::Epoch epoch) {
   std::scoped_lock lk(mu_);
-  for (auto& e : epochs_) {
-    if (e.epoch == epoch) e.aborted = true;
-  }
+  auto it = epoch_by_id_.find(epoch);
+  if (it != epoch_by_id_.end()) epochs_[it->second].aborted = true;
 }
 
 std::vector<TaskRecord> Recorder::tasks() const {

@@ -1,6 +1,13 @@
 // Recorder: an sre::Observer that captures a full execution trace —
 // task intervals per CPU, the dependence graph, and speculation epochs —
 // for post-run analysis and export (see exporters.h).
+//
+// Contract: short runs only. This recorder keeps every task, edge and
+// epoch for the lifetime of the run (unbounded memory) and serializes all
+// observer callbacks through one mutex — fine for single-run analysis and
+// the bench/overhead_metrics-scale workloads it was built for, wrong for a
+// long-running service. For always-on tracing with bounded memory and a
+// lock-free hot path, use the flight recorder (src/flight/recorder.h).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +56,10 @@ class Recorder final : public sre::Observer {
                      unsigned cpu) override;
   void on_finished(sre::TaskId task, std::uint64_t now_us,
                    bool aborted) override;
+  /// One lock acquisition for the whole staged batch (the runtime calls
+  /// this under its own lock; record and return).
+  void on_finished_batch(const FinishedEvent* events,
+                         std::size_t n) override;
   void on_epoch_opened(sre::Epoch epoch) override;
   void on_epoch_committed(sre::Epoch epoch) override;
   void on_epoch_aborted(sre::Epoch epoch) override;
@@ -70,11 +81,14 @@ class Recorder final : public sre::Observer {
   [[nodiscard]] std::uint64_t end_time_us() const;
 
  private:
+  void finish_locked(sre::TaskId task, std::uint64_t now_us, bool aborted);
+
   mutable std::mutex mu_;
   std::vector<TaskRecord> tasks_;                      // by creation order
   std::unordered_map<sre::TaskId, std::size_t> by_id_; // id → index
   std::vector<Edge> edges_;
   std::vector<EpochRecord> epochs_;
+  std::unordered_map<sre::Epoch, std::size_t> epoch_by_id_;  // epoch → index
 };
 
 }  // namespace tracelog

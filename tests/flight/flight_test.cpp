@@ -1,0 +1,431 @@
+// Flight recorder: ring and interner invariants, the TVSF binary format,
+// exporters on hostile inputs (aborted-epoch-only traces, sessions shed
+// while still Queued, out-of-range name ids), and the serving layer's
+// automatic post-mortem path end to end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flight/export.h"
+#include "flight/interner.h"
+#include "flight/record.h"
+#include "flight/recorder.h"
+#include "flight/ring.h"
+#include "pipeline/driver.h"
+#include "pipeline/run_config.h"
+#include "serve/session_manager.h"
+#include "stress/chaos_schedule.h"
+#include "support/json_lite.h"
+
+namespace {
+
+flight::Record make_record(flight::Kind kind, std::uint64_t t_us = 0,
+                           std::uint64_t stream = 0, std::uint64_t task = 0,
+                           std::uint32_t epoch = 0, std::uint32_t name = 0) {
+  flight::Record r;
+  r.kind = kind;
+  r.t_us = t_us;
+  r.stream = stream;
+  r.task = task;
+  r.epoch = epoch;
+  r.name = name;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+std::string fresh_dir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / "tvs_flight_test" /
+                   leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// --- Ring -------------------------------------------------------------------
+
+TEST(FlightRing, RoundTripsRecordsInOrder) {
+  flight::Ring ring(8);
+  EXPECT_TRUE(ring.empty());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.push(make_record(flight::Kind::TaskCreated, i, 0, i)));
+  }
+  std::vector<flight::Record> out;
+  EXPECT_EQ(ring.pop_into(out, 100), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].task, i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FlightRing, DropsWhenFullNeverBlocks) {
+  flight::Ring ring(4);  // rounds to capacity 4
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.push(make_record(flight::Kind::None)));
+  }
+  EXPECT_FALSE(ring.push(make_record(flight::Kind::None)));
+  std::vector<flight::Record> out;
+  EXPECT_EQ(ring.pop_into(out, 2), 2u);  // partial drain frees space
+  EXPECT_TRUE(ring.push(make_record(flight::Kind::None)));
+}
+
+TEST(FlightRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(flight::Ring(0).capacity(), 2u);
+  EXPECT_EQ(flight::Ring(3).capacity(), 4u);
+  EXPECT_EQ(flight::Ring(8).capacity(), 8u);
+  EXPECT_EQ(flight::Ring(9).capacity(), 16u);
+}
+
+// --- Interner ---------------------------------------------------------------
+
+TEST(FlightInterner, DistinctNamesNeverShareIds) {
+  flight::NameInterner interner;
+  // Names engineered to be collision-prone in weak hash schemes: shared
+  // prefixes, permutations, embedded NULs' neighbors.
+  const std::vector<std::string> names = {
+      "count",  "count[0]",  "count[1]",  "tnuoc",    "encode",
+      "encodE", "en" "code", "x",         "xx",       "xxx",
+      "",       " ",         "predictor", "predictor:last_value"};
+  std::set<std::uint32_t> ids;
+  for (const auto& n : names) ids.insert(interner.intern(n));
+  EXPECT_EQ(ids.size(), names.size() - 1);  // "" is the pre-seeded id 0
+  // Round-trip and stability: re-interning returns the same id.
+  for (const auto& n : names) {
+    const auto id = interner.intern(n);
+    EXPECT_EQ(interner.name(id), n);
+    EXPECT_EQ(interner.intern(n), id);
+  }
+  EXPECT_EQ(interner.intern(""), 0u);
+}
+
+// --- TVSF binary format -----------------------------------------------------
+
+TEST(FlightBinary, RoundTripsRecordsAndNames) {
+  std::vector<flight::Record> records;
+  records.push_back(make_record(flight::Kind::TaskCreated, 10, 1, 7, 0, 2));
+  records.push_back(make_record(flight::Kind::EpochAborted, 20, 0, 0, 3));
+  records.back().flags = flight::kFlagAborted;
+  const std::vector<std::string> names = {"", "count", "encode"};
+
+  const std::string bytes = flight::write_binary(records, names);
+  const flight::Dump dump = flight::read_binary(bytes);
+  EXPECT_EQ(dump.names, names);
+  ASSERT_EQ(dump.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(dump.records[i].kind, records[i].kind);
+    EXPECT_EQ(dump.records[i].t_us, records[i].t_us);
+    EXPECT_EQ(dump.records[i].task, records[i].task);
+    EXPECT_EQ(dump.records[i].flags, records[i].flags);
+  }
+}
+
+TEST(FlightBinary, EveryTruncationThrowsInsteadOfCrashing) {
+  const std::string bytes = flight::write_binary(
+      {make_record(flight::Kind::TaskCreated, 1)}, {"", "a-name"});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)flight::read_binary(bytes.substr(0, cut)),
+                 std::runtime_error)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  EXPECT_NO_THROW((void)flight::read_binary(bytes));
+}
+
+TEST(FlightBinary, RejectsBadMagicAndTrailingGarbage) {
+  std::string bytes = flight::write_binary({}, {""});
+  std::string corrupt = bytes;
+  corrupt[0] = 'X';
+  EXPECT_THROW((void)flight::read_binary(corrupt), std::runtime_error);
+  EXPECT_THROW((void)flight::read_binary(bytes + "junk"), std::runtime_error);
+}
+
+// --- Chrome exporter on hostile inputs --------------------------------------
+
+TEST(FlightChrome, EmptyWindowIsValidJson) {
+  const std::string json = flight::to_chrome_trace({}, {});
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+}
+
+TEST(FlightChrome, AbortedEpochOnlyTraceIsValid) {
+  // A window that caught only the tail of a rollback: epoch records with no
+  // task ever seen. The exporter must synthesize something sensible.
+  std::vector<flight::Record> records;
+  records.push_back(make_record(flight::Kind::EpochAborted, 50, 0, 0, 9));
+  records.push_back(make_record(flight::Kind::RollbackCascade, 0, 0, 0, 9));
+  records.back().a = 4;
+  const std::string json = flight::to_chrome_trace(records, {""});
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("epoch"), std::string::npos);
+}
+
+TEST(FlightChrome, ShedWhileQueuedSessionHasZeroSpansButValidOutput) {
+  // A session shed before admission has exactly two lifecycle edges and no
+  // task, epoch or attribution records at all.
+  std::vector<flight::Record> records;
+  records.push_back(
+      make_record(flight::Kind::SessionState, 100, 42, 0, 0, 1));
+  records.push_back(
+      make_record(flight::Kind::SessionState, 200, 42, 0, 0, 2));
+  flight::PostMortemInfo info;
+  info.session = 42;
+  info.reason = "shed: queue_full";
+  const std::string json =
+      flight::to_chrome_trace(records, {"", "Queued", "Shed"}, &info);
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("queue_full"), std::string::npos);
+}
+
+TEST(FlightChrome, OutOfRangeNameIdsAndHostileStringsStayValid) {
+  std::vector<flight::Record> records;
+  records.push_back(make_record(flight::Kind::TaskCreated, 5, 1, 1, 0,
+                                /*name=*/9999));  // beyond the name table
+  records.push_back(make_record(flight::Kind::PredictorCharged, 6, 0, 0, 0,
+                                /*name=*/1));
+  // Names with every JSON-hostile byte class: quotes, backslashes, control
+  // characters, non-ASCII.
+  const std::vector<std::string> names = {"", "we\"ird\\na\x01me\xc3\xa9"};
+  const std::string json = flight::to_chrome_trace(records, names);
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("rollback-cause"), std::string::npos);
+}
+
+// --- Causal slice -----------------------------------------------------------
+
+TEST(FlightSlice, SessionZeroAndUnknownSessionsYieldEmptySlices) {
+  std::vector<flight::Record> window;
+  window.push_back(make_record(flight::Kind::TaskCreated, 1, 7, 1));
+  EXPECT_TRUE(flight::session_slice(window, 0).empty());
+  EXPECT_TRUE(flight::session_slice(window, 12345).empty());
+}
+
+TEST(FlightSlice, PullsEpochAndTaskClosureForTheSession) {
+  std::vector<flight::Record> window;
+  // Session 7's task in epoch 3, plus the epoch lifecycle and a foreign
+  // session's task in another epoch.
+  window.push_back(make_record(flight::Kind::TaskCreated, 10, 7, 1, 3));
+  window.push_back(make_record(flight::Kind::TaskDispatched, 11, 0, 1));
+  window.push_back(make_record(flight::Kind::EpochAborted, 12, 0, 0, 3));
+  window.push_back(make_record(flight::Kind::TaskCreated, 10, 8, 2, 4));
+  window.push_back(make_record(flight::Kind::EpochCommitted, 12, 0, 0, 4));
+  window.push_back(make_record(flight::Kind::PredictorCharged, 13, 0, 0, 0, 1));
+  window.push_back(make_record(flight::Kind::SessionState, 14, 7, 0, 0, 2));
+
+  const auto slice = flight::session_slice(window, 7);
+  std::multiset<flight::Kind> kinds;
+  for (const auto& r : slice) {
+    kinds.insert(r.kind);
+    EXPECT_TRUE(r.stream != 8) << "foreign session leaked into the slice";
+    EXPECT_TRUE(r.epoch != 4) << "foreign epoch leaked into the slice";
+  }
+  EXPECT_EQ(kinds.count(flight::Kind::TaskCreated), 1u);
+  EXPECT_EQ(kinds.count(flight::Kind::TaskDispatched), 1u);
+  EXPECT_EQ(kinds.count(flight::Kind::EpochAborted), 1u);
+  // Global speculation decisions ride along — a post-mortem needs them.
+  EXPECT_EQ(kinds.count(flight::Kind::PredictorCharged), 1u);
+  EXPECT_EQ(kinds.count(flight::Kind::SessionState), 1u);
+}
+
+TEST(FlightSlice, TimeBoundDropsOldRecordsButKeepsClockless) {
+  std::vector<flight::Record> window;
+  window.push_back(make_record(flight::Kind::TaskDispatched, 100, 7, 1));
+  window.push_back(make_record(flight::Kind::TaskDispatched, 5'000'100, 7, 2));
+  window.push_back(make_record(flight::Kind::TaskCreated, 0, 7, 3));
+  const auto slice = flight::session_slice(window, 7, /*last_window_us=*/1000);
+  std::multiset<std::uint64_t> times;
+  for (const auto& r : slice) times.insert(r.t_us);
+  EXPECT_EQ(times.count(100), 0u) << "record older than the window survived";
+  EXPECT_EQ(times.count(5'000'100), 1u);
+  EXPECT_EQ(times.count(0), 1u) << "clock-less record must always survive";
+}
+
+// --- Recorder ---------------------------------------------------------------
+
+TEST(FlightRecorder, EmitSnapshotAndWindowEviction) {
+  flight::Recorder::Options opts;
+  opts.ring_capacity = 64;
+  opts.window_max_records = 16;
+  flight::Recorder rec(opts);
+  rec.start();
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(rec.emit(make_record(flight::Kind::TaskCreated, i + 1, 0, i)));
+  }
+  const auto window = rec.snapshot();
+  EXPECT_LE(window.size(), 16u);
+  ASSERT_FALSE(window.empty());
+  // Eviction is from the front: the newest records survive.
+  EXPECT_EQ(window.back().task, 39u);
+  rec.stop();
+}
+
+TEST(FlightRecorder, FullRingDropsAndCounts) {
+  flight::Recorder::Options opts;
+  opts.ring_capacity = 4;
+  flight::Recorder rec(opts);  // never started: nothing drains the ring
+  for (int i = 0; i < 10; ++i) {
+    rec.emit(make_record(flight::Kind::None));
+  }
+  EXPECT_GT(rec.dropped(), 0u);
+  EXPECT_LE(rec.snapshot().size(), 4u);
+}
+
+TEST(FlightRecorder, PostMortemDisabledWithoutDirEnabledWithIt) {
+  flight::Recorder off;
+  EXPECT_EQ(off.write_post_mortem(1, "failed: x", {}), "");
+
+  const std::string dir = fresh_dir("pm_unit");
+  flight::Recorder::Options opts;
+  opts.post_mortem_dir = dir;
+  flight::Recorder rec(opts);
+  rec.emit(make_record(flight::Kind::SessionState, 10, 3, 0, 0,
+                       rec.intern("Failed")));
+  const std::string path = rec.write_post_mortem(
+      3, "failed: synthetic", {{"queue", 12}, {"compute", 34}});
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("failed: synthetic"), std::string::npos);
+  EXPECT_NE(json.find("queue"), std::string::npos);
+}
+
+// --- Serving layer end to end -----------------------------------------------
+
+serve::SessionConfig tiny_session(const char* name, double tolerance) {
+  serve::SessionConfig sc;
+  sc.name = name;
+  sc.run = pipeline::RunConfig::x86_disk(wl::FileKind::Bmp,
+                                         sre::DispatchPolicy::Balanced);
+  sc.run.bytes = 128 * 1024;
+  sc.run.spec.tolerance = tolerance;
+  return sc;
+}
+
+TEST(FlightServe, DoneSessionGetsAttributionBreakdown) {
+  flight::Recorder rec;
+  rec.start();
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_concurrent = 2;
+  cfg.flight = &rec;
+  serve::SessionManager mgr(cfg);
+
+  const auto out = mgr.submit(tiny_session("attr", /*tolerance=*/1e9));
+  ASSERT_TRUE(out.accepted);
+  ASSERT_NE(mgr.wait(out.id), nullptr);
+  const auto st = mgr.stats(out.id);
+  EXPECT_EQ(st.state, serve::SessionState::Done);
+  EXPECT_GT(st.attribution.compute_us, 0u);
+  mgr.drain();
+
+  // The recorder saw the full lifecycle: session edges, tasks, attribution.
+  const auto window = rec.snapshot();
+  bool saw_state = false, saw_attr = false, saw_task = false;
+  for (const auto& r : window) {
+    saw_state |= r.kind == flight::Kind::SessionState && r.stream == out.id;
+    saw_attr |= r.kind == flight::Kind::Attribution && r.stream == out.id;
+    saw_task |= r.kind == flight::Kind::TaskCreated && r.stream == out.id;
+  }
+  EXPECT_TRUE(saw_state);
+  EXPECT_TRUE(saw_attr);
+  EXPECT_TRUE(saw_task);
+}
+
+TEST(FlightServe, ForcedFailureWritesPostMortemWithRollbackCause) {
+  const std::string dir = fresh_dir("pm_serve");
+  flight::Recorder::Options fopts;
+  fopts.post_mortem_dir = dir;
+  flight::Recorder rec(fopts);
+  rec.start();
+
+  // Chaos as the shared fault plan: latency spikes keep the schedule
+  // hostile while the zero-tolerance session forces real rollbacks.
+  stress::ChaosOptions copts;
+  copts.delay_prob = 0.2;
+  copts.max_delay_us = 200;
+  stress::ChaosSchedule chaos(0xf11ULL, copts);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_concurrent = 2;
+  cfg.flight = &rec;
+  cfg.fault_plan = &chaos;
+  serve::SessionManager mgr(cfg);
+
+  // 1. A zero-tolerance session: every verification fails, so a rollback —
+  //    and its PredictorCharged record (rollbacks are only charged to a
+  //    predictor under Bank mode) — lands in the window.
+  serve::SessionConfig rolling = tiny_session("rollback", /*tolerance=*/0.0);
+  rolling.run.spec.predictor = tvs::PredictorMode::Bank;
+  const auto roll = mgr.submit(std::move(rolling));
+  ASSERT_TRUE(roll.accepted);
+  const pipeline::RunResult* rr = mgr.wait(roll.id);
+  ASSERT_NE(rr, nullptr);
+  EXPECT_GE(rr->rollbacks, 1u);
+
+  // 2. A session whose input cannot be read: admission throws → Failed →
+  //    automatic post-mortem.
+  serve::SessionConfig bad = tiny_session("doomed", 1e9);
+  bad.run.input_path = "/nonexistent/tvs_flight_test_input";
+  const auto fail = mgr.submit(std::move(bad));
+  ASSERT_TRUE(fail.accepted);
+  EXPECT_EQ(mgr.wait(fail.id), nullptr);
+  EXPECT_EQ(mgr.stats(fail.id).state, serve::SessionState::Failed);
+  mgr.drain();
+
+  const std::string path =
+      dir + "/session-" + std::to_string(fail.id) + "-postmortem.trace.json";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const std::string json = slurp(path);
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("failed:"), std::string::npos);
+  EXPECT_NE(json.find("attribution"), std::string::npos);
+  // The neighbor's rollback happened strictly before the doomed session was
+  // submitted, so the causal slice's global speculation context carries it.
+  EXPECT_NE(json.find("rollback-cause"), std::string::npos);
+}
+
+TEST(FlightServe, ShedWhileQueuedWritesSpanlessPostMortem) {
+  const std::string dir = fresh_dir("pm_shed");
+  flight::Recorder::Options fopts;
+  fopts.post_mortem_dir = dir;
+  flight::Recorder rec(fopts);
+  rec.start();
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_concurrent = 1;
+  cfg.shed.queue_capacity = {0, 0, 0};  // shed everything at submit
+  cfg.flight = &rec;
+  serve::SessionManager mgr(cfg);
+
+  const auto out = mgr.submit(tiny_session("shed-me", 1e9));
+  EXPECT_FALSE(out.accepted);
+  mgr.drain();  // post-mortems are guaranteed flushed by the time this returns
+
+  const std::string path =
+      dir + "/session-" + std::to_string(out.id) + "-postmortem.trace.json";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const std::string json = slurp(path);
+  EXPECT_TRUE(json_lite::valid(json)) << "bad byte at "
+                                      << json_lite::error_at(json);
+  EXPECT_NE(json.find("shed:"), std::string::npos);
+}
+
+}  // namespace

@@ -13,6 +13,9 @@
 #   tools/ci.sh serve      # serving-layer tests + a bounded load smoke:
 #                          # serve_load --smoke must shed nothing at low
 #                          # rate and drain the shared runtime clean
+#   tools/ci.sh flight     # flight-recorder tests + the overhead gate
+#                          # (recorder armed on the sharded executor) + the
+#                          # post-mortem smoke inside serve_load --smoke
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -73,6 +76,25 @@ if [[ "${1:-}" == "serve" ]]; then
   # hang here means admission/drain deadlocked — fail rather than wedge CI.
   timeout "${TVS_SERVE_SMOKE_TIMEBOX_S:-10}" ./build/bench/serve_load --smoke
   echo "== serve green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "flight" ]]; then
+  echo "== flight: recorder tests + overhead gate + post-mortem smoke (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS" \
+    -R 'Flight|TraceRecorder|TraceExport'
+  # Overhead gate: flight recorder armed on the threaded sharded executor.
+  # The bench enforces 3% on machines that can host the worker fleet and
+  # widens its own budget on oversubscribed ones (scheduler churn swamps the
+  # ~0.2% true recorder cost there); TVS_FLIGHT_OVERHEAD_MAX_PCT overrides
+  # either default and passes straight through.
+  ./build/bench/overhead_flight
+  # serve_load --smoke also asserts a forced-Failed session leaves a
+  # post-mortem dump on disk.
+  timeout "${TVS_SERVE_SMOKE_TIMEBOX_S:-10}" ./build/bench/serve_load --smoke
+  echo "== flight green =="
   exit 0
 fi
 

@@ -5,10 +5,21 @@
 //
 //   $ ./trace_dump [txt|bmp|pdf] [out_prefix] [bytes]
 //   $ dot -Tsvg out.dfg.dot -o dfg.svg
+//
+// Flight mode: decode a flight-recorder binary dump (.tvsf, written by
+// `tvsc serve --flight-recorder=<dir>` or Recorder::dump_binary) into a
+// summary plus Chrome trace JSON.
+//
+//   $ ./trace_dump --flight flight.tvsf [out_prefix]
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "flight/export.h"
+#include "flight/record.h"
 #include "pipeline/driver.h"
 #include "trace/exporters.h"
 #include "trace/recorder.h"
@@ -24,9 +35,70 @@ void write_text(const std::string& path, const std::string& content) {
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_dump: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+int dump_flight(const std::string& path, const std::string& prefix) {
+  const flight::Dump dump = flight::read_binary(read_file(path));
+
+  constexpr std::array<const char*, 15> kKindNames = {
+      "none",           "task-created",     "task-dispatched",
+      "task-finished",  "epoch-opened",     "epoch-committed",
+      "epoch-aborted",  "rollback-cascade", "check-verdict",
+      "prediction",     "predictor-charged", "speculation-gated",
+      "fault-injected", "session-state",    "attribution"};
+  std::array<std::size_t, 15> by_kind{};
+  std::uint64_t t_min = ~std::uint64_t{0}, t_max = 0;
+  for (const auto& r : dump.records) {
+    const auto k = static_cast<std::size_t>(r.kind);
+    if (k < by_kind.size()) ++by_kind[k];
+    if (r.t_us != 0) {
+      t_min = std::min(t_min, r.t_us);
+      t_max = std::max(t_max, r.t_us);
+    }
+  }
+  std::printf("%s: %zu records, %zu interned names", path.c_str(),
+              dump.records.size(), dump.names.size());
+  if (t_max != 0) {
+    std::printf(", span %llu..%llu us",
+                static_cast<unsigned long long>(t_min),
+                static_cast<unsigned long long>(t_max));
+  }
+  std::printf("\n");
+  for (std::size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] != 0) {
+      std::printf("  %-18s %zu\n", kKindNames[k], by_kind[k]);
+    }
+  }
+
+  write_text(prefix + ".chrome.json",
+             flight::to_chrome_trace(dump.records, dump.names));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--flight") {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: trace_dump --flight <file.tvsf> [out_prefix]\n");
+      return 2;
+    }
+    const std::string prefix = argc > 3 ? argv[3] : "/tmp/tvs_flight";
+    try {
+      return dump_flight(argv[2], prefix);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_dump: %s\n", e.what());
+      return 1;
+    }
+  }
+
   wl::FileKind kind = wl::FileKind::Txt;
   if (argc > 1) {
     const std::string arg = argv[1];

@@ -20,10 +20,22 @@
 //   --workers=<n>              shared fleet size (default 8)
 //   --concurrent=<n>           sessions running at once (default 4)
 //   --metrics=prom|json        serving-metrics snapshot on exit
+//   --flight-recorder=<dir>    arm the always-on flight recorder; writes
+//                              flight.tvsf + flight.trace.json into <dir>
+//                              on exit and automatic post-mortem dumps
+//                              there for Failed/Shed sessions
+//   --flight-window=<s>        recorder retention window in seconds
+//                              (default 30; post-mortems keep the last
+//                              min(window, 10) seconds)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "flight/recorder.h"
 
 #include "huffman/stream_format.h"
 #include "io/block_source.h"
@@ -46,6 +58,8 @@ struct CliOptions {
   std::string report_dir;       ///< "" = no report bundle
   unsigned workers = 8;         ///< serve mode: shared fleet size
   std::size_t concurrent = 4;   ///< serve mode: running-session window
+  std::string flight_dir;       ///< "" = flight recorder off
+  std::uint64_t flight_window_s = 30;  ///< recorder retention (seconds)
 };
 
 int usage() {
@@ -62,7 +76,10 @@ int usage() {
       "  --report=<dir>                 write run-report bundle into <dir>\n"
       "flags (serve):\n"
       "  --workers=<n>                  shared fleet size (default 8)\n"
-      "  --concurrent=<n>               running-session window (default 4)\n",
+      "  --concurrent=<n>               running-session window (default 4)\n"
+      "  --flight-recorder=<dir>        arm the flight recorder; traces and\n"
+      "                                 post-mortems land in <dir>\n"
+      "  --flight-window=<s>            recorder retention (default 30 s)\n",
       stderr);
   return 2;
 }
@@ -174,14 +191,90 @@ int compress_file(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
+/// Satellite observability: per-priority latency percentiles plus the
+/// attribution breakdown, printed at the end of every serve run.
+void print_serve_summary(const std::vector<serve::SessionStats>& sessions) {
+  std::fputs("--- serve summary ---------------------------------------\n",
+             stderr);
+  for (std::size_t p = 0; p < serve::kPriorities; ++p) {
+    const auto prio = static_cast<serve::Priority>(p);
+    std::vector<std::uint64_t> lat;
+    serve::SessionStats::Attribution sum;
+    std::size_t done = 0, shed = 0, failed = 0;
+    for (const auto& st : sessions) {
+      if (st.priority != prio) continue;
+      switch (st.state) {
+        case serve::SessionState::Done:
+          ++done;
+          lat.push_back(st.latency_us());
+          break;
+        case serve::SessionState::Shed:
+          ++shed;
+          break;
+        case serve::SessionState::Failed:
+          ++failed;
+          break;
+        default:
+          break;
+      }
+      sum.queue_us += st.attribution.queue_us;
+      sum.dispatch_us += st.attribution.dispatch_us;
+      sum.compute_us += st.attribution.compute_us;
+      sum.commit_stall_us += st.attribution.commit_stall_us;
+      sum.rollback_waste_us += st.attribution.rollback_waste_us;
+    }
+    if (done + shed + failed == 0) continue;
+    std::sort(lat.begin(), lat.end());
+    const auto pct = [&lat](double q) -> double {
+      if (lat.empty()) return 0.0;
+      const auto ix = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1) + 0.5);
+      return static_cast<double>(lat[std::min(ix, lat.size() - 1)]) / 1000.0;
+    };
+    std::fprintf(stderr,
+                 "%-11s %zu done, %zu shed, %zu failed | latency p50 %.1f ms, "
+                 "p95 %.1f ms\n",
+                 serve::to_string(prio).c_str(), done, shed, failed, pct(0.5),
+                 pct(0.95));
+    std::fprintf(stderr,
+                 "            attribution: queue %.1f ms, dispatch %.1f ms, "
+                 "compute %.1f ms, commit-stall %.1f ms, "
+                 "rollback-waste %.1f ms\n",
+                 static_cast<double>(sum.queue_us) / 1000.0,
+                 static_cast<double>(sum.dispatch_us) / 1000.0,
+                 static_cast<double>(sum.compute_us) / 1000.0,
+                 static_cast<double>(sum.commit_stall_us) / 1000.0,
+                 static_cast<double>(sum.rollback_waste_us) / 1000.0);
+  }
+}
+
 int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
   metrics::Registry reg;
+
+  std::unique_ptr<flight::Recorder> flight;
+  if (!cli.flight_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.flight_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "tvsc: cannot create %s: %s\n",
+                   cli.flight_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    flight::Recorder::Options fopts;
+    fopts.window_us = cli.flight_window_s * 1'000'000;
+    fopts.post_mortem_dir = cli.flight_dir;
+    fopts.post_mortem_window_us =
+        std::min<std::uint64_t>(fopts.window_us, 10'000'000);
+    flight = std::make_unique<flight::Recorder>(fopts);
+    flight->start();
+  }
 
   serve::ServiceConfig scfg;
   scfg.workers = cli.workers;
   scfg.max_concurrent = cli.concurrent;
   scfg.registry = cli.metrics.empty() ? nullptr : &reg;
   scfg.per_session_metrics = !cli.metrics.empty();
+  scfg.flight = flight.get();
 
   serve::SessionManager mgr(scfg);
 
@@ -226,6 +319,23 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
                  static_cast<unsigned long long>(result->rollbacks));
   }
   mgr.drain();
+  print_serve_summary(mgr.all_sessions());
+
+  if (flight) {
+    flight->stop();
+    const std::string bin = cli.flight_dir + "/flight.tvsf";
+    const std::string json = cli.flight_dir + "/flight.trace.json";
+    if (flight->dump_binary(bin)) {
+      std::fprintf(stderr, "flight: %s\n", bin.c_str());
+    } else {
+      std::fprintf(stderr, "tvsc: failed to write %s\n", bin.c_str());
+    }
+    if (flight->dump_chrome_trace(json)) {
+      std::fprintf(stderr, "flight: %s\n", json.c_str());
+    } else {
+      std::fprintf(stderr, "tvsc: failed to write %s\n", json.c_str());
+    }
+  }
 
   if (cli.metrics == "prom") {
     std::fputs(metrics::to_prometheus(reg.snapshot()).c_str(), stdout);
@@ -291,6 +401,18 @@ bool parse_flag(const std::string& arg, CliOptions& cli) {
       return false;
     }
     return cli.concurrent > 0;
+  }
+  if (arg.rfind("--flight-recorder=", 0) == 0) {
+    cli.flight_dir = arg.substr(18);
+    return !cli.flight_dir.empty();
+  }
+  if (arg.rfind("--flight-window=", 0) == 0) {
+    try {
+      cli.flight_window_s = std::stoull(arg.substr(16));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return cli.flight_window_s > 0;
   }
   return false;
 }
