@@ -1,0 +1,77 @@
+// Immutable, reference-counted byte buffer view for encoded output.
+//
+// The data plane wants encode results to live in per-epoch arenas (cheap
+// wholesale reclamation on rollback, docs/data-plane.md) instead of one
+// heap vector per block. ByteBuf decouples "where the bytes live" from
+// "who reads them": it is a {pointer, size} view plus a type-erased owner
+// reference that keeps the backing storage — a heap vector or an epoch
+// arena — alive for as long as any view survives. Copies share the owner;
+// the bytes themselves are never copied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace huff {
+
+class ByteBuf {
+ public:
+  ByteBuf() = default;
+
+  /// Takes ownership of a heap vector (implicit: lets existing call sites
+  /// keep building vectors and returning them as ByteBuf).
+  ByteBuf(std::vector<std::uint8_t> bytes) {  // NOLINT(google-explicit-*)
+    auto owned = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+
+  /// View over caller-managed storage; `owner` is held (but never
+  /// dereferenced) to keep that storage alive — e.g. the shared handle of
+  /// the epoch arena the bytes were bump-allocated from.
+  ByteBuf(const std::uint8_t* data, std::size_t size,
+          std::shared_ptr<const void> owner)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {data_, size_};
+  }
+  operator std::span<const std::uint8_t>() const { return span(); }
+
+  const std::uint8_t& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const { return data_ + size_; }
+
+  /// The storage keep-alive handle (null for default-constructed views).
+  [[nodiscard]] const std::shared_ptr<const void>& owner() const {
+    return owner_;
+  }
+
+  friend bool operator==(const ByteBuf& a, const ByteBuf& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  // C++20 rewrites give vector == ByteBuf for free.
+  friend bool operator==(const ByteBuf& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a.size_ == b.size() &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data(), a.size_) == 0);
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace huff

@@ -4,27 +4,48 @@
 // code is variable-length, a block's absolute position in the output is the
 // bit offset computed by the Offset phase (offsets.h); encode_block produces
 // a self-contained bit buffer which the sink splices at that offset.
+//
+// Bit emission has two kernels behind the tvs::simd dispatch contract
+// (docs/data-plane.md): the Scalar level is the original BitWriter path,
+// every other level uses a branchless packer that accumulates codes into a
+// wide staging word and flushes whole big-endian 64-bit words. Outputs are
+// bit-identical by contract; kernel_diff_test enforces it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "huffman/byte_buf.h"
 #include "huffman/canonical.h"
 
 namespace huff {
 
 /// Result of encoding one block.
 struct EncodedBlock {
-  std::vector<std::uint8_t> bits;  ///< packed MSB-first, zero-padded tail
-  std::uint64_t bit_count = 0;     ///< exact number of meaningful bits
+  ByteBuf bits;                 ///< packed MSB-first, zero-padded tail
+  std::uint64_t bit_count = 0;  ///< exact number of meaningful bits
 };
 
-/// Encodes `block` with `table`. Throws std::invalid_argument if the block
-/// contains a symbol with no code (speculative tables built without a
-/// histogram floor could do this; the pipeline prevents it).
+/// Encodes `block` with `table` into heap-owned storage. Throws
+/// std::invalid_argument if the block contains a symbol with no code
+/// (speculative tables built without a histogram floor could do this; the
+/// pipeline prevents it).
 [[nodiscard]] EncodedBlock encode_block(std::span<const std::uint8_t> block,
                                         const CodeTable& table);
+
+/// Encodes `block` into caller-provided storage (typically bump-allocated
+/// from an epoch arena) and returns a view over it. `out` must hold exactly
+/// ceil(bits/8) bytes for the block under `table` — the pipeline computes
+/// this from the block's histogram via CodeTable::encoded_bits, so no second
+/// pass over the data is needed. Throws std::invalid_argument on a code-less
+/// symbol and std::logic_error if `out` is too small (a histogram/block
+/// mismatch). `keepalive` is stored in the returned ByteBuf to pin the
+/// storage's owner.
+[[nodiscard]] EncodedBlock encode_block_into(
+    std::span<const std::uint8_t> block, const CodeTable& table,
+    std::span<std::uint8_t> out, std::shared_ptr<const void> keepalive);
 
 /// Exact encoded size of `block` in bits under `table`, without producing
 /// output bits (= encoded_bits of the block's histogram; used by tests).

@@ -1,0 +1,23 @@
+// Histogram counting kernels behind the tvs::simd dispatch contract
+// (docs/data-plane.md). All variants *add* into `counts[0..255]` and must
+// produce identical results; kernel_diff_test enforces equivalence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace huff::detail {
+
+/// Reference kernel: one byte, one increment.
+void hist_scalar(std::span<const std::uint8_t> data, std::uint64_t* counts);
+
+/// Four independent u64 lane tables; kills the store-forwarding stall chain
+/// on runs of equal bytes. Portable (no intrinsics).
+void hist_swar(std::span<const std::uint8_t> data, std::uint64_t* counts);
+
+/// Eight u32 lane tables fed from unaligned 64-bit loads, lanes merged with
+/// AVX2. Must only be called when tvs::simd::detect() >= Avx2; on non-x86
+/// builds it forwards to hist_swar.
+void hist_avx2(std::span<const std::uint8_t> data, std::uint64_t* counts);
+
+}  // namespace huff::detail

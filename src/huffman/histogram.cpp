@@ -2,15 +2,27 @@
 
 #include <numeric>
 
+#include "huffman/hist_kernels.h"
+#include "simd/simd.h"
+
 namespace huff {
 
 void Histogram::count(std::span<const std::uint8_t> data) {
-  // Four-way unrolled accumulation into separate lanes would avoid
-  // store-forwarding stalls on very hot loops, but Count tasks are
-  // millisecond-scale and this loop is already memory-bound; keep it simple.
-  for (std::uint8_t b : data) {
-    ++counts_[b];
+  // Kernel variants and their bit-identity contract live in
+  // docs/data-plane.md ("kernel dispatch contract"); selection follows
+  // tvs::simd::active() (TVS_SIMD override, else CPU detection).
+  switch (tvs::simd::active()) {
+    case tvs::simd::Level::Scalar:
+      detail::hist_scalar(data, counts_.data());
+      return;
+    case tvs::simd::Level::Swar:
+      detail::hist_swar(data, counts_.data());
+      return;
+    case tvs::simd::Level::Avx2:
+      detail::hist_avx2(data, counts_.data());
+      return;
   }
+  detail::hist_scalar(data, counts_.data());
 }
 
 Histogram& Histogram::merge(const Histogram& other) {

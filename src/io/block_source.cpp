@@ -1,21 +1,117 @@
 #include "io/block_source.h"
 
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TVS_IO_HAVE_MMAP 1
+#endif
 
 namespace sio {
+namespace {
+
+void validate(std::size_t block_size,
+              const std::shared_ptr<const ArrivalModel>& arrivals) {
+  if (block_size == 0) {
+    throw std::invalid_argument("BlockSource: zero block size");
+  }
+  if (!arrivals) {
+    throw std::invalid_argument("BlockSource: null arrival model");
+  }
+}
+
+#if TVS_IO_HAVE_MMAP
+
+/// RAII owner for an mmap'd read-only file region; the fd is closed right
+/// after mapping (the mapping keeps the file referenced).
+struct MappedFile {
+  void* addr = nullptr;
+  std::size_t size = 0;
+  MappedFile(void* a, std::size_t s) : addr(a), size(s) {}
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (addr != nullptr) ::munmap(addr, size);
+  }
+};
+
+#endif
+
+}  // namespace
 
 BlockSource::BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
                          std::shared_ptr<const ArrivalModel> arrivals)
-    : data_(std::move(data)),
+    : block_size_(block_size), arrivals_(std::move(arrivals)) {
+  validate(block_size_, arrivals_);
+  auto owned = std::make_shared<std::vector<std::uint8_t>>(std::move(data));
+  view_ = std::span<const std::uint8_t>(owned->data(), owned->size());
+  owner_ = std::move(owned);
+  n_blocks_ = (view_.size() + block_size_ - 1) / block_size_;
+}
+
+BlockSource::BlockSource(std::span<const std::uint8_t> view,
+                         std::size_t block_size,
+                         std::shared_ptr<const ArrivalModel> arrivals,
+                         std::shared_ptr<const void> owner)
+    : owner_(std::move(owner)),
+      view_(view),
       block_size_(block_size),
       arrivals_(std::move(arrivals)) {
-  if (block_size_ == 0) {
-    throw std::invalid_argument("BlockSource: zero block size");
+  validate(block_size_, arrivals_);
+  n_blocks_ = (view_.size() + block_size_ - 1) / block_size_;
+}
+
+BlockSource BlockSource::map_file(
+    const std::string& path, std::size_t block_size,
+    std::shared_ptr<const ArrivalModel> arrivals) {
+#if TVS_IO_HAVE_MMAP
+  validate(block_size, arrivals);
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-*)
+  if (fd < 0) {
+    throw std::runtime_error("map_file: open '" + path +
+                             "' failed: " + std::strerror(errno));
   }
-  if (!arrivals_) {
-    throw std::invalid_argument("BlockSource: null arrival model");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("map_file: fstat '" + path +
+                             "' failed: " + std::strerror(err));
   }
-  n_blocks_ = (data_.size() + block_size_ - 1) / block_size_;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(0) is EINVAL; an empty file is simply a zero-block stream.
+    ::close(fd);
+    return BlockSource(std::span<const std::uint8_t>{}, block_size,
+                       std::move(arrivals));
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    throw std::runtime_error("map_file: mmap '" + path +
+                             "' failed: " + std::strerror(map_err));
+  }
+#if defined(POSIX_MADV_SEQUENTIAL)
+  // Blocks are consumed front to back; ask for aggressive readahead.
+  ::posix_madvise(addr, size, POSIX_MADV_SEQUENTIAL);
+#endif
+  auto mapped = std::make_shared<MappedFile>(addr, size);
+  const auto* data = static_cast<const std::uint8_t*>(mapped->addr);
+  return BlockSource(std::span<const std::uint8_t>(data, size), block_size,
+                     std::move(arrivals), std::move(mapped));
+#else
+  (void)block_size;
+  (void)arrivals;
+  throw std::runtime_error("map_file: mmap unavailable on this platform ('" +
+                           path + "')");
+#endif
 }
 
 std::span<const std::uint8_t> BlockSource::block(std::size_t i) const {
@@ -23,8 +119,8 @@ std::span<const std::uint8_t> BlockSource::block(std::size_t i) const {
     throw std::out_of_range("BlockSource: block index out of range");
   }
   const std::size_t begin = i * block_size_;
-  const std::size_t len = std::min(block_size_, data_.size() - begin);
-  return std::span<const std::uint8_t>(data_).subspan(begin, len);
+  const std::size_t len = std::min(block_size_, view_.size() - begin);
+  return view_.subspan(begin, len);
 }
 
 void BlockSource::for_each_arrival(

@@ -1,14 +1,21 @@
 // BlockSource: a stream of fixed-size input blocks with an arrival schedule.
 //
-// Owns the input bytes, carves them into blocks (the paper uses 4 KiB), and
-// pairs each block with the time its bytes become available under the chosen
+// Carves an input byte range into blocks (the paper uses 4 KiB) and pairs
+// each block with the time its bytes become available under the chosen
 // ArrivalModel. Executors consume the schedule through for_each_arrival.
+//
+// The source is zero-copy: it holds a span view plus a type-erased owner
+// handle that keeps the backing storage alive (a moved-in vector, an mmap'd
+// file, or caller-owned memory the caller guarantees outlives the source —
+// see docs/data-plane.md, "zero-copy ownership contract"). block() spans
+// alias that storage and stay valid for the lifetime of the source.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "io/arrival_model.h"
@@ -26,11 +33,29 @@ class BlockSource {
   BlockSource(std::vector<std::uint8_t> data, std::size_t block_size,
               std::shared_ptr<const ArrivalModel> arrivals);
 
+  /// Zero-copy view over caller-managed bytes. `owner` is held (never
+  /// dereferenced) to pin the storage; pass nullptr when the caller
+  /// guarantees `view` outlives the source and every pipeline reading it.
+  /// A zero-length view is a valid zero-block stream.
+  BlockSource(std::span<const std::uint8_t> view, std::size_t block_size,
+              std::shared_ptr<const ArrivalModel> arrivals,
+              std::shared_ptr<const void> owner = nullptr);
+
+  /// Maps `path` read-only and serves blocks straight from the page cache —
+  /// no read() copy. An empty file yields a zero-block stream (mmap of
+  /// length 0 is not attempted). Throws std::runtime_error on open/map
+  /// failure; callers that want a copying fallback catch and retry with
+  /// the vector constructor.
+  [[nodiscard]] static BlockSource map_file(
+      const std::string& path, std::size_t block_size,
+      std::shared_ptr<const ArrivalModel> arrivals);
+
   [[nodiscard]] std::size_t n_blocks() const { return n_blocks_; }
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
-  [[nodiscard]] std::size_t total_bytes() const { return data_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const { return view_.size(); }
 
-  /// View of block `i`'s bytes (valid for the source's lifetime).
+  /// View of block `i`'s bytes (valid for the source's lifetime). The final
+  /// block of a non-block-aligned input is short; a block is never empty.
   [[nodiscard]] std::span<const std::uint8_t> block(std::size_t i) const;
 
   /// Arrival time of block `i` under the model.
@@ -49,10 +74,16 @@ class BlockSource {
       const std::function<void(std::size_t, Micros)>& fn) const;
 
   /// Whole-input view (reference encoders, verification).
-  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return view_; }
+
+  /// The storage keep-alive handle (tests; null for borrowed views).
+  [[nodiscard]] const std::shared_ptr<const void>& owner() const {
+    return owner_;
+  }
 
  private:
-  std::vector<std::uint8_t> data_;
+  std::shared_ptr<const void> owner_;
+  std::span<const std::uint8_t> view_;
   std::size_t block_size_;
   std::size_t n_blocks_;
   std::shared_ptr<const ArrivalModel> arrivals_;

@@ -29,11 +29,35 @@ std::shared_ptr<const sio::ArrivalModel> make_arrivals(const RunConfig& cfg) {
 }
 
 sio::BlockSource make_source(const RunConfig& cfg) {
-  auto data = cfg.input_path.empty()
-                  ? wl::make_corpus(cfg.file, cfg.bytes, cfg.seed)
-                  : huff::read_file(cfg.input_path);
-  return sio::BlockSource(std::move(data), cfg.ratios.block_size,
-                          make_arrivals(cfg));
+  if (!cfg.input_path.empty()) {
+    // Zero-copy path: blocks are spans over the page cache. Fall back to a
+    // read() copy where mmap is unavailable (odd filesystems, platforms).
+    try {
+      return sio::BlockSource::map_file(cfg.input_path, cfg.ratios.block_size,
+                                        make_arrivals(cfg));
+    } catch (const std::runtime_error&) {
+      return sio::BlockSource(huff::read_file(cfg.input_path),
+                              cfg.ratios.block_size, make_arrivals(cfg));
+    }
+  }
+  return sio::BlockSource(wl::make_corpus(cfg.file, cfg.bytes, cfg.seed),
+                          cfg.ratios.block_size, make_arrivals(cfg));
+}
+
+/// Mirrors the runtime's arena counters (sre::ArenaStats) into the
+/// tvs_alloc_* registry family. Counters are monotonic and the registry
+/// outlives runs that share a runtime, so mirror the *delta* since the
+/// previous call for the same registry/runtime pair.
+void mirror_alloc_stats(metrics::Registry& reg, const sre::ArenaStats& before,
+                        const sre::ArenaStats& after) {
+  reg.counter("tvs_alloc_arena_allocs_total").add(after.allocs - before.allocs);
+  reg.counter("tvs_alloc_arena_bytes_total").add(after.bytes - before.bytes);
+  reg.counter("tvs_alloc_arena_chunks_total", "origin=\"malloc\"")
+      .add(after.chunks_new - before.chunks_new);
+  reg.counter("tvs_alloc_arena_chunks_total", "origin=\"recycled\"")
+      .add(after.chunks_reused - before.chunks_reused);
+  reg.counter("tvs_alloc_arena_oversize_total")
+      .add(after.oversize - before.oversize);
 }
 
 RunResult collect(const sio::BlockSource& src, const HuffmanPipeline& pl,
@@ -156,6 +180,7 @@ stats::Summary RunResult::latency_summary() const {
 RunResult run_sim(const RunConfig& config, const RunOptions& options) {
   sio::BlockSource src = make_source(config);
   sre::Runtime rt(config.policy, config.priority_mode);
+  const sre::ArenaStats alloc_before = rt.arena_stats();
   ObserverStack obs(options);
   if (obs.effective) rt.set_observer(obs.effective);
   sim::SimExecutor ex(rt, config.platform);
@@ -197,7 +222,11 @@ RunResult run_sim(const RunConfig& config, const RunOptions& options) {
     }
     options.sampler->clear_series();
   }
-  return collect(src, pl, rt, ex.makespan_us());
+  RunResult res = collect(src, pl, rt, ex.makespan_us());
+  if (options.registry) {
+    mirror_alloc_stats(*options.registry, alloc_before, rt.arena_stats());
+  }
+  return res;
 }
 
 RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
@@ -209,6 +238,7 @@ RunResult run_sim(const RunConfig& config, sre::Observer* observer) {
 RunResult run_threaded(const RunConfig& config, const RunOptions& options) {
   sio::BlockSource src = make_source(config);
   sre::Runtime rt(config.policy, config.priority_mode);
+  const sre::ArenaStats alloc_before = rt.arena_stats();
   ObserverStack obs(options);
   if (obs.effective) rt.set_observer(obs.effective);
   sre::ThreadedExecutor::Options topts;
@@ -261,6 +291,7 @@ RunResult run_threaded(const RunConfig& config, const RunOptions& options) {
     reg.counter("tvs_dispatch_worker_parks_total").add(d.parks);
     reg.counter("tvs_dispatch_completion_fallbacks_total")
         .add(d.completion_fallbacks);
+    mirror_alloc_stats(reg, alloc_before, rt.arena_stats());
   }
   return res;
 }

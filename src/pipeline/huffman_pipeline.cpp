@@ -7,6 +7,7 @@
 #include "huffman/offsets.h"
 #include "huffman/stream_format.h"
 #include "huffman/tree.h"
+#include "sre/arena.h"
 #include "predict/bank.h"
 #include "predict/ewma.h"
 #include "predict/histogram_morph.h"
@@ -18,6 +19,27 @@ namespace pipeline {
 
 using sim::TaskKind;
 
+namespace {
+
+/// Encode `block` into the calling worker's lane of `arenas`. The exact
+/// output size comes from the block's histogram (already complete: Encode
+/// depends on Offset depends on Count), so the bump allocation is sized
+/// precisely — no second pass over the data, no worst-case padding. The
+/// returned ByteBuf co-owns `arenas`: committed results keep the epoch's
+/// memory alive, and a rollback's reference drop reclaims it wholesale.
+huff::EncodedBlock encode_into_lane(std::span<const std::uint8_t> block,
+                                    const huff::Histogram& hist,
+                                    const huff::CodeTable& table,
+                                    const std::shared_ptr<sre::EpochArenas>&
+                                        arenas,
+                                    unsigned worker) {
+  const std::uint64_t nbits = table.encoded_bits(hist);
+  auto out = arenas->lane(worker).alloc_bytes((nbits + 7) / 8);
+  return huff::encode_block_into(block, table, out, arenas);
+}
+
+}  // namespace
+
 /// Active speculative second pass: one epoch's tree, serial offset chain
 /// tail, and per-block offset store. Destroyed on rollback; survives commit
 /// (later arrivals pass through the wait buffer).
@@ -27,6 +49,10 @@ struct HuffmanPipeline::Chain {
   sre::TaskPtr prev_offset;  ///< tail of the serial offset chain
   std::shared_ptr<sre::Slot<std::uint64_t>> prev_end;  ///< bits after tail group
   std::shared_ptr<std::vector<std::uint64_t>> offsets; ///< absolute start bits
+  /// This epoch's encode-output arenas (one lane per worker). Dropped with
+  /// the chain on rollback; results that reached the wait buffer keep it
+  /// alive through their ByteBuf owner refs until committed or dropped.
+  std::shared_ptr<sre::EpochArenas> arena;
   std::size_t next_group = 0;
   std::size_t counted_blocks = 0;  ///< prefix of blocks with completed counts
 };
@@ -448,6 +474,7 @@ void HuffmanPipeline::build_spec_chain(const std::shared_ptr<State>& st,
   chain.epoch = epoch;
   chain.table = guess.table;
   chain.offsets = std::make_shared<std::vector<std::uint64_t>>(st->n_blocks, 0);
+  chain.arena = st->rt.make_epoch_arenas(epoch);
   // Cover everything counted so far, not just the estimate's prefix: more
   // reduces may have completed while the prediction task was in flight.
   chain.counted_blocks = std::max(
@@ -507,13 +534,15 @@ void HuffmanPipeline::extend_chain_locked(const std::shared_ptr<State>& st,
 
     for (std::size_t b = begin; b < end; ++b) {
       auto enc = std::make_shared<huff::EncodedBlock>();
+      auto arena = chain.arena;
       auto encode_task = st->rt.make_task(
           "spec-encode[" + std::to_string(b) + ",e" + std::to_string(epoch) +
               "]",
           sre::TaskClass::Speculative, epoch, /*depth=*/5,
           st->cost(TaskKind::Encode),
-          [st, b, table, enc](sre::TaskContext&) {
-            *enc = huff::encode_block(st->src.block(b), *table);
+          [st, b, table, enc, arena](sre::TaskContext& ctx) {
+            *enc = encode_into_lane(st->src.block(b), st->block_hists[b],
+                                    *table, arena, ctx.worker);
           },
           st->cfg.stream_id);
       encode_task->set_mem_bytes(3 * st->src.block_size() +
@@ -575,6 +604,10 @@ void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
     const std::size_t G = st->cfg.ratios.offset_group;
     const std::size_t n_groups = (st->n_blocks + G - 1) / G;
     auto offsets = std::make_shared<std::vector<std::uint64_t>>(st->n_blocks, 0);
+    // Natural-path arenas: same wholesale-reclamation story, keyed to the
+    // run instead of a speculative epoch — freed when the last committed
+    // result is released.
+    auto arena = st->rt.make_epoch_arenas(sre::kNaturalEpoch);
     sre::TaskPtr prev_offset;
     std::shared_ptr<sre::Slot<std::uint64_t>> prev_end;
 
@@ -610,8 +643,9 @@ void HuffmanPipeline::build_natural(const std::shared_ptr<State>& st,
         auto encode_task = st->rt.make_task(
             "encode[" + std::to_string(b) + "]", sre::TaskClass::Natural,
             sre::kNaturalEpoch, /*depth=*/5, st->cost(TaskKind::Encode),
-            [st, b, table, enc](sre::TaskContext&) {
-              *enc = huff::encode_block(st->src.block(b), *table);
+            [st, b, table, enc, arena](sre::TaskContext& ctx) {
+              *enc = encode_into_lane(st->src.block(b), st->block_hists[b],
+                                      *table, arena, ctx.worker);
             },
             st->cfg.stream_id);
         encode_task->set_mem_bytes(3 * st->src.block_size() +

@@ -442,6 +442,19 @@ void SessionManager::drain() {
   // engine died); closing service now lets the feeder — and run() — finish.
   ex_->end_service();
   if (engine_.joinable()) engine_.join();
+  if (cfg_.registry != nullptr) {
+    // The runtime is owned by this manager, so its arena counters cover
+    // exactly this service's lifetime; mirror them once at drain.
+    const sre::ArenaStats a = rt_->arena_stats();
+    auto& reg = *cfg_.registry;
+    reg.counter("tvs_alloc_arena_allocs_total").add(a.allocs);
+    reg.counter("tvs_alloc_arena_bytes_total").add(a.bytes);
+    reg.counter("tvs_alloc_arena_chunks_total", "origin=\"malloc\"")
+        .add(a.chunks_new);
+    reg.counter("tvs_alloc_arena_chunks_total", "origin=\"recycled\"")
+        .add(a.chunks_reused);
+    reg.counter("tvs_alloc_arena_oversize_total").add(a.oversize);
+  }
   std::unique_lock lk(mu_);
   // A submit racing drain() can shed with "shutdown" after the manager's
   // final flush; write those stragglers here so drain() always leaves every

@@ -39,7 +39,7 @@ void SimExecutor::dispatch(Micros now) {
       check_memory(task);
       cpus_[i].busy = true;
       // next_task() already marked it Running; execute and schedule finish.
-      sre::TaskContext ctx{runtime_, *task, now};
+      sre::TaskContext ctx{runtime_, *task, now, static_cast<unsigned>(i)};
       task->run(ctx);
       const Micros finish_at = now + task->cost_us();
       busy_us_[i] += task->cost_us();
@@ -133,7 +133,7 @@ void SimExecutor::dispatch(Micros now) {
     }
     runtime_.mark_running(task, now, static_cast<unsigned>(i));
     cpu.busy = true;
-    sre::TaskContext ctx{runtime_, *task, now};
+    sre::TaskContext ctx{runtime_, *task, now, static_cast<unsigned>(i)};
     task->run(ctx);
     const Micros finish_at = now + task->cost_us();
     busy_us_[i] += task->cost_us();

@@ -1,0 +1,73 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tvs::simd {
+namespace {
+
+// force() state: -1 = no override, otherwise the forced Level value.
+std::atomic<int> g_forced{-1};
+
+Level clamp_to_cpu(Level want) {
+  const Level best = detect();
+  return static_cast<std::uint8_t>(want) <= static_cast<std::uint8_t>(best)
+             ? want
+             : best;
+}
+
+Level env_level() {
+  // Read TVS_SIMD once; tests that need to flip levels in-process use
+  // force() instead of re-exporting the variable.
+  static const Level cached = parse(std::getenv("TVS_SIMD"));
+  return cached;
+}
+
+}  // namespace
+
+Level detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const Level cached =
+      __builtin_cpu_supports("avx2") ? Level::Avx2 : Level::Swar;
+#else
+  static const Level cached = Level::Swar;
+#endif
+  return cached;
+}
+
+Level active() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  return env_level();
+}
+
+void force(Level level) {
+  g_forced.store(static_cast<int>(clamp_to_cpu(level)),
+                 std::memory_order_relaxed);
+}
+
+void clear_force() { g_forced.store(-1, std::memory_order_relaxed); }
+
+Level parse(const char* value) {
+  if (value == nullptr || *value == '\0') return detect();
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "scalar") == 0)
+    return Level::Scalar;
+  if (std::strcmp(value, "1") == 0 || std::strcmp(value, "swar") == 0 ||
+      std::strcmp(value, "unrolled") == 0)
+    return Level::Swar;
+  if (std::strcmp(value, "2") == 0 || std::strcmp(value, "avx2") == 0)
+    return clamp_to_cpu(Level::Avx2);
+  return detect();  // "auto" and anything unrecognized
+}
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::Scalar: return "scalar";
+    case Level::Swar: return "swar";
+    case Level::Avx2: return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace tvs::simd

@@ -1,0 +1,52 @@
+// Runtime CPU-capability probe and kernel-dispatch level for the data plane.
+//
+// Data-plane kernels (histogram counting, bit-packing encode) are compiled in
+// several variants and selected once at runtime:
+//
+//   Scalar — the reference implementation, one element at a time. Always
+//            available; the baseline every other variant must match
+//            bit-for-bit (docs/data-plane.md, "kernel dispatch contract").
+//   Swar   — portable multi-lane unrolling (no intrinsics): independent
+//            accumulator lanes kill store-forwarding stalls on hot loops.
+//   Avx2   — x86 AVX2 intrinsics, used only when the CPU reports support.
+//
+// Selection order: an explicit force() (tests/benches) beats the TVS_SIMD
+// environment variable, which beats CPU detection. TVS_SIMD accepts
+//   0 | scalar   — reference kernels only
+//   1 | swar     — portable multi-lane kernels
+//   2 | avx2     — AVX2 (silently clamped to Swar when the CPU lacks it)
+//   auto | ""    — best supported level (the default)
+//
+// Variants are interchangeable by contract: same outputs, bit for bit. The
+// differential suite (tests/huffman/kernel_diff_test.cpp, `tools/ci.sh
+// kernels`) enforces this across levels.
+#pragma once
+
+#include <cstdint>
+
+namespace tvs::simd {
+
+enum class Level : std::uint8_t { Scalar = 0, Swar = 1, Avx2 = 2 };
+
+/// Best level the running CPU supports (ignores overrides).
+[[nodiscard]] Level detect();
+
+/// The level kernels should dispatch on: force() override if set, else the
+/// TVS_SIMD environment variable (read once), else detect(). Cached; cheap
+/// enough for per-call dispatch.
+[[nodiscard]] Level active();
+
+/// Overrides active() process-wide until clear_force(). Levels above the
+/// CPU's capability are clamped to the best supported one, so a forced
+/// kernel can never fault. Intended for tests and the kernel bench sweep.
+void force(Level level);
+void clear_force();
+
+/// Parses a TVS_SIMD-style value ("0", "scalar", "2", "avx2", "auto", ...).
+/// Returns detect() for "auto"/empty/unrecognized values; clamps to the
+/// CPU's capability.
+[[nodiscard]] Level parse(const char* value);
+
+[[nodiscard]] const char* name(Level level);
+
+}  // namespace tvs::simd

@@ -1,0 +1,83 @@
+#include "sre/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace sre {
+
+ChunkPool::~ChunkPool() {
+  for (void* c : free_) ::operator delete(c);
+}
+
+void* ChunkPool::get() {
+  {
+    std::scoped_lock lk(mu_);
+    if (!free_.empty()) {
+      void* c = free_.back();
+      free_.pop_back();
+      chunks_reused_.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  chunks_new_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(kChunkBytes);
+}
+
+void ChunkPool::put(void* chunk) {
+  {
+    std::scoped_lock lk(mu_);
+    if (free_.size() < max_free_) {
+      free_.push_back(chunk);
+      return;
+    }
+  }
+  ::operator delete(chunk);
+}
+
+ArenaStats ChunkPool::stats() const {
+  ArenaStats s;
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.chunks_new = chunks_new_.load(std::memory_order_relaxed);
+  s.chunks_reused = chunks_reused_.load(std::memory_order_relaxed);
+  s.oversize = oversize_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ChunkPool::free_chunks() const {
+  std::scoped_lock lk(mu_);
+  return free_.size();
+}
+
+Arena::~Arena() {
+  for (void* c : chunks_) pool_->put(c);
+  for (void* c : oversize_) ::operator delete(c);
+}
+
+void* Arena::allocate(std::size_t n, std::size_t align) {
+  pool_->note_alloc(n);
+  if (n > ChunkPool::kChunkBytes) [[unlikely]] {
+    // Dedicated allocation; operator new is max_align_t-aligned, which is
+    // the strongest alignment the data plane asks for.
+    pool_->note_oversize();
+    void* p = ::operator new(n);
+    oversize_.push_back(p);
+    return p;
+  }
+  auto aligned = [&](std::uint8_t* p) {
+    const auto u = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<std::uint8_t*>((u + (align - 1)) & ~(align - 1));
+  };
+  std::uint8_t* p = cur_ ? aligned(cur_) : nullptr;
+  if (p == nullptr || p + n > end_) {
+    auto* c = static_cast<std::uint8_t*>(pool_->get());
+    chunks_.push_back(c);
+    cur_ = c;
+    end_ = c + ChunkPool::kChunkBytes;
+    p = aligned(cur_);
+  }
+  cur_ = p + n;
+  return p;
+}
+
+}  // namespace sre

@@ -1,0 +1,158 @@
+// Per-worker epoch arenas: bump allocation for speculative task products.
+//
+// The paper's abort path destroys every product of a rolled-back epoch; the
+// cheap C++ realization is wholesale reclamation — stamp each allocation
+// with {worker, epoch} by construction and drop the whole arena when the
+// epoch dies. Three pieces:
+//
+//   ChunkPool    — process-wide recycling freelist of fixed-size chunks,
+//                  owned by the Runtime. Thread-safe; holds the tvs_alloc_*
+//                  counters (docs/data-plane.md) so steady-state malloc
+//                  traffic on the data plane is observable.
+//   Arena        — single-owner bump allocator over pool chunks. Never
+//                  frees individual allocations; its destructor returns
+//                  every chunk to the pool at once.
+//   EpochArenas  — one epoch's arena set, one lane per worker so task
+//                  bodies allocate with no synchronization at all. Managed
+//                  by shared_ptr: the pipeline's chain and every ByteBuf
+//                  view into the arena co-own it, so a rollback's reference
+//                  drop is the destroy signal and the memory is recycled
+//                  exactly when the last speculative product dies.
+//
+// Lane discipline: lane(w) may only be used by worker w (executors put the
+// worker index in TaskContext::worker). Distinct workers touch distinct
+// lanes, so lazy lane creation is race-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sre/ids.h"
+
+namespace sre {
+
+/// Snapshot of the tvs_alloc_* counter family (monotonic since process
+/// start; per-pool, and the Runtime owns one pool).
+struct ArenaStats {
+  std::uint64_t allocs = 0;         ///< bump allocations served
+  std::uint64_t bytes = 0;          ///< bytes handed out by bump allocations
+  std::uint64_t chunks_new = 0;     ///< chunks that hit malloc
+  std::uint64_t chunks_reused = 0;  ///< chunks recycled from the freelist
+  std::uint64_t oversize = 0;       ///< allocations too big for a chunk
+};
+
+/// Thread-safe recycling freelist of fixed-size chunks.
+class ChunkPool {
+ public:
+  static constexpr std::size_t kChunkBytes = 256 * 1024;
+
+  /// `max_free` bounds the idle freelist; chunks beyond it are released to
+  /// the allocator instead of retained.
+  explicit ChunkPool(std::size_t max_free = 64) : max_free_(max_free) {}
+  ~ChunkPool();
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  /// A kChunkBytes chunk: recycled if available, freshly allocated else.
+  [[nodiscard]] void* get();
+
+  /// Returns a chunk to the freelist (or frees it past max_free).
+  void put(void* chunk);
+
+  [[nodiscard]] ArenaStats stats() const;
+
+  /// Idle chunks currently in the freelist (tests).
+  [[nodiscard]] std::size_t free_chunks() const;
+
+ private:
+  friend class Arena;
+  void note_alloc(std::size_t bytes) {
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_oversize() { oversize_.fetch_add(1, std::memory_order_relaxed); }
+
+  mutable std::mutex mu_;
+  std::vector<void*> free_;
+  std::size_t max_free_;
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> chunks_new_{0};
+  std::atomic<std::uint64_t> chunks_reused_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+};
+
+/// Single-owner bump allocator over ChunkPool chunks. Not thread-safe —
+/// each EpochArenas lane belongs to exactly one worker.
+class Arena {
+ public:
+  explicit Arena(std::shared_ptr<ChunkPool> pool) : pool_(std::move(pool)) {}
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `n` bytes aligned to `align` (a power of two). Never returns null;
+  /// requests larger than a chunk get their own dedicated allocation.
+  [[nodiscard]] void* allocate(std::size_t n,
+                               std::size_t align = alignof(std::max_align_t));
+
+  [[nodiscard]] std::span<std::uint8_t> alloc_bytes(std::size_t n) {
+    return {static_cast<std::uint8_t*>(allocate(n, 1)), n};
+  }
+
+  /// Chunks this arena currently holds (tests).
+  [[nodiscard]] std::size_t chunk_count() const {
+    return chunks_.size() + oversize_.size();
+  }
+
+ private:
+  std::shared_ptr<ChunkPool> pool_;
+  std::vector<void*> chunks_;    ///< pool chunks, returned on destruction
+  std::vector<void*> oversize_;  ///< dedicated allocations (> kChunkBytes)
+  std::uint8_t* cur_ = nullptr;
+  std::uint8_t* end_ = nullptr;
+};
+
+/// One speculation epoch's arenas, one bump lane per worker.
+class EpochArenas {
+ public:
+  /// Upper bound on worker indices; executors in this repo run far fewer.
+  static constexpr unsigned kLanes = 64;
+
+  EpochArenas(std::shared_ptr<ChunkPool> pool, Epoch epoch)
+      : pool_(std::move(pool)), epoch_(epoch) {}
+
+  /// The calling worker's lane (created on first touch; only worker
+  /// `worker` may use it, so creation is race-free).
+  [[nodiscard]] Arena& lane(unsigned worker) {
+    auto& slot = lanes_[worker % kLanes];
+    if (!slot) slot = std::make_unique<Arena>(pool_);
+    return *slot;
+  }
+
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+
+  /// Lanes that have been touched (tests).
+  [[nodiscard]] std::size_t active_lanes() const {
+    std::size_t n = 0;
+    for (const auto& l : lanes_) {
+      if (l) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::shared_ptr<ChunkPool> pool_;
+  Epoch epoch_;
+  std::array<std::unique_ptr<Arena>, kLanes> lanes_;
+};
+
+}  // namespace sre

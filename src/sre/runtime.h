@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sre/arena.h"
 #include "sre/fault.h"
 #include "sre/ids.h"
 #include "sre/observer.h"
@@ -164,6 +165,27 @@ class Runtime {
   /// session at finalization.
   [[nodiscard]] StreamUsage take_stream_usage(std::uint64_t stream);
 
+  // --- Epoch arenas (data-plane allocation) --------------------------------
+
+  /// The runtime-owned chunk pool backing per-epoch bump arenas. Shared so
+  /// arenas (and the ByteBuf views pinning them) can outlive the runtime's
+  /// users during teardown.
+  [[nodiscard]] const std::shared_ptr<ChunkPool>& arena_pool() const {
+    return arena_pool_;
+  }
+
+  /// A fresh arena set for `epoch`, one bump lane per worker. The caller
+  /// (the pipeline's speculation chain, or its natural path) holds the
+  /// shared handle; dropping the last reference returns every chunk to the
+  /// runtime pool — the arena-drop form of the paper's destroy signal.
+  [[nodiscard]] std::shared_ptr<EpochArenas> make_epoch_arenas(Epoch epoch) {
+    return std::make_shared<EpochArenas>(arena_pool_, epoch);
+  }
+
+  /// Snapshot of the tvs_alloc_* counters (drivers mirror these into the
+  /// metrics Registry after a run).
+  [[nodiscard]] ArenaStats arena_stats() const { return arena_pool_->stats(); }
+
   [[nodiscard]] ReadyPool& pool() { return pool_; }
 
   /// Signal installed by an executor; invoked (outside the lock) whenever new
@@ -265,6 +287,7 @@ class Runtime {
   std::size_t blocked_ = 0;
   std::size_t running_ = 0;  // includes Staged
   std::function<void()> ready_signal_;
+  std::shared_ptr<ChunkPool> arena_pool_ = std::make_shared<ChunkPool>();
   Observer* observer_ = nullptr;
   std::atomic<FaultPlan*> fault_plan_{nullptr};
 };

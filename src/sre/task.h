@@ -28,6 +28,10 @@ struct TaskContext {
   /// Engine time (µs) at which the task was dispatched. Virtual time under
   /// the simulator, steady-clock time under the threaded executor.
   std::uint64_t now_us = 0;
+  /// Index of the worker (simulator CPU, or threaded-executor worker)
+  /// running this body — the lane selector for per-worker epoch arenas
+  /// (sre/arena.h). Only this worker may touch lane(worker).
+  unsigned worker = 0;
 };
 
 class Task {

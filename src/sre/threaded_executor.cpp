@@ -444,7 +444,8 @@ Task* ThreadedExecutor::acquire_task(WorkerState& me, unsigned worker_ix) {
   return nullptr;
 }
 
-bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me) {
+bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me,
+                                          unsigned worker_ix) {
   // Revocation-at-pop: if no rollback ran since this task was staged, its
   // abort flag cannot be set and the body runs without further checks. If the
   // epoch moved, honour the flag — the task was rolled back while parked in a
@@ -463,7 +464,7 @@ bool ThreadedExecutor::execute_and_retire(Task* task, WorkerState& me) {
     task->state_.store(TaskState::Running, std::memory_order_release);
     SRE_CHAOS_POINT("executor.before_body");
     try {
-      TaskContext ctx{runtime_, *task, now_us()};
+      TaskContext ctx{runtime_, *task, now_us(), worker_ix};
       task->run(ctx);
     } catch (const std::exception& e) {
       fail("task '" + task->name() + "' threw: " + e.what());
@@ -513,7 +514,7 @@ void ThreadedExecutor::worker_loop_sharded(unsigned worker_ix) {
     const std::uint64_t t0 = time_pops ? now_us() : 0;
     if (Task* t = acquire_task(me, worker_ix)) {
       if (time_pops) ++me.stats.pop_latency[latency_bucket(now_us() - t0)];
-      if (!execute_and_retire(t, me)) return;
+      if (!execute_and_retire(t, me, worker_ix)) return;
       continue;
     }
     // Nothing runnable, but completions may be pending — retiring them is
@@ -570,7 +571,7 @@ void ThreadedExecutor::worker_loop_central(unsigned worker_ix) {
         // Simple polling model of the paper's x86 backend: the worker runs
         // the assigned task to completion; abort flags are honoured by the
         // runtime when the completion is directed.
-        TaskContext ctx{runtime_, *task, now_us()};
+        TaskContext ctx{runtime_, *task, now_us(), worker_ix};
         task->run(ctx);
       } catch (const std::exception& e) {
         fail("task '" + task->name() + "' threw: " + e.what());

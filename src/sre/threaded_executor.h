@@ -181,7 +181,7 @@ class ThreadedExecutor {
   void director_loop_sharded();
   Task* acquire_task(WorkerState& me, unsigned worker_ix);
   Task* drain_inbox(WorkerState& me);
-  bool execute_and_retire(Task* task, WorkerState& me);
+  bool execute_and_retire(Task* task, WorkerState& me, unsigned worker_ix);
   /// Claims the retire role (try-lock) and drains up to one batch of
   /// completions through Runtime::finish_staged_batch. Returns the number
   /// retired (0: queue empty or another thread holds the role).

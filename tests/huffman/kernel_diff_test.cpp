@@ -1,0 +1,261 @@
+// Differential suite for the data-plane kernel dispatch contract
+// (docs/data-plane.md): every tvs::simd level must produce bit-identical
+// histograms and containers, and containers must round-trip. Run directly
+// it sweeps all levels in-process via force(); `tools/ci.sh kernels` also
+// runs it with TVS_SIMD forced through the environment under asan/ubsan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "huffman/canonical.h"
+#include "huffman/encoder.h"
+#include "huffman/hist_kernels.h"
+#include "huffman/histogram.h"
+#include "huffman/stream_format.h"
+#include "huffman/tree.h"
+#include "simd/simd.h"
+
+namespace {
+
+using tvs::simd::Level;
+
+/// Restores the pre-test dispatch level even on assertion failure.
+struct ForceGuard {
+  ~ForceGuard() { tvs::simd::clear_force(); }
+};
+
+std::vector<Level> levels_to_test() {
+  std::vector<Level> out{Level::Scalar, Level::Swar};
+  if (tvs::simd::detect() == Level::Avx2) out.push_back(Level::Avx2);
+  return out;
+}
+
+// --- Corpora ---------------------------------------------------------------
+
+std::vector<std::uint8_t> uniform_random(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+std::vector<std::uint8_t> one_symbol(std::size_t n, std::uint8_t sym) {
+  return std::vector<std::uint8_t>(n, sym);
+}
+
+/// Heavily skewed: long runs of few symbols (text-like, deep codes).
+std::vector<std::uint8_t> skewed(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::geometric_distribution<int> g(0.4);
+  std::vector<std::uint8_t> v(n);
+  std::size_t i = 0;
+  while (i < n) {
+    const auto sym = static_cast<std::uint8_t>(g(rng) & 0xff);
+    const std::size_t run = 1 + (rng() % 64);
+    for (std::size_t k = 0; k < run && i < n; ++k) v[i++] = sym;
+  }
+  return v;
+}
+
+std::vector<std::vector<std::uint8_t>> corpora() {
+  // Sizes straddle block boundaries: empty, single byte, one byte short of
+  // a block, exactly one block, several blocks plus a ragged tail.
+  const std::size_t sizes[] = {0, 1, 4095, 4096, 65536 + 17};
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t n : sizes) {
+    out.push_back(uniform_random(n, 0xC0FFEE));  // incompressible
+    out.push_back(one_symbol(n, 'x'));           // degenerate 1-symbol
+    out.push_back(skewed(n, 42));                // deep, uneven codes
+  }
+  return out;
+}
+
+// --- Histogram kernels -----------------------------------------------------
+
+TEST(KernelDiff, HistogramKernelsAgreeOnAllCorpora) {
+  for (const auto& data : corpora()) {
+    std::uint64_t ref[256] = {};
+    huff::detail::hist_scalar(data, ref);
+    std::uint64_t swar[256] = {};
+    huff::detail::hist_swar(data, swar);
+    std::uint64_t avx[256] = {};
+    huff::detail::hist_avx2(data, avx);
+    for (std::size_t s = 0; s < 256; ++s) {
+      ASSERT_EQ(swar[s], ref[s]) << "swar sym " << s << " n=" << data.size();
+      ASSERT_EQ(avx[s], ref[s]) << "avx2 sym " << s << " n=" << data.size();
+    }
+  }
+}
+
+TEST(KernelDiff, KernelsAccumulateIntoNonZeroCounts) {
+  const auto data = skewed(10000, 7);
+  std::uint64_t ref[256] = {};
+  huff::detail::hist_scalar(data, ref);
+  huff::detail::hist_scalar(data, ref);  // counted twice
+  std::uint64_t twice[256] = {};
+  huff::detail::hist_swar(data, twice);
+  huff::detail::hist_avx2(data, twice);  // swar + avx2 = counted twice
+  for (std::size_t s = 0; s < 256; ++s) ASSERT_EQ(twice[s], ref[s]) << s;
+}
+
+TEST(KernelDiff, HistogramDispatchMatchesScalarAtEveryLevel) {
+  const ForceGuard guard;
+  for (const auto& data : corpora()) {
+    tvs::simd::force(Level::Scalar);
+    const huff::Histogram ref = huff::Histogram::of(data);
+    for (Level lvl : levels_to_test()) {
+      tvs::simd::force(lvl);
+      ASSERT_EQ(huff::Histogram::of(data), ref)
+          << tvs::simd::name(lvl) << " n=" << data.size();
+    }
+  }
+}
+
+// --- Encoder kernels -------------------------------------------------------
+
+TEST(KernelDiff, EncodeBlockBitIdenticalAcrossLevels) {
+  const ForceGuard guard;
+  for (const auto& data : corpora()) {
+    if (data.empty()) continue;
+    const auto table = huff::CodeTable::from_histogram(
+        huff::Histogram::of(data).with_floor(1));
+    tvs::simd::force(Level::Scalar);
+    const huff::EncodedBlock ref = huff::encode_block(data, table);
+    for (Level lvl : levels_to_test()) {
+      tvs::simd::force(lvl);
+      const huff::EncodedBlock enc = huff::encode_block(data, table);
+      ASSERT_EQ(enc.bit_count, ref.bit_count)
+          << tvs::simd::name(lvl) << " n=" << data.size();
+      ASSERT_TRUE(enc.bits == ref.bits)
+          << tvs::simd::name(lvl) << " n=" << data.size();
+    }
+  }
+}
+
+TEST(KernelDiff, EncodeBlockIntoMatchesEncodeBlock) {
+  const ForceGuard guard;
+  for (Level lvl : levels_to_test()) {
+    tvs::simd::force(lvl);
+    for (const auto& data : corpora()) {
+      if (data.empty()) continue;
+      const huff::Histogram hist = huff::Histogram::of(data);
+      const auto table = huff::CodeTable::from_histogram(hist.with_floor(1));
+      const huff::EncodedBlock ref = huff::encode_block(data, table);
+      auto storage = std::make_shared<std::vector<std::uint8_t>>(
+          (table.encoded_bits(hist) + 7) / 8);
+      const huff::EncodedBlock enc = huff::encode_block_into(
+          data, table, {storage->data(), storage->size()}, storage);
+      ASSERT_EQ(enc.bit_count, ref.bit_count) << tvs::simd::name(lvl);
+      ASSERT_TRUE(enc.bits == ref.bits) << tvs::simd::name(lvl);
+      ASSERT_EQ(enc.bits.data(), storage->data());  // wrote in place
+    }
+  }
+}
+
+TEST(KernelDiff, EncodeBlockIntoRejectsUndersizedOutput) {
+  const ForceGuard guard;
+  const auto data = uniform_random(4096, 1);
+  const auto table = huff::CodeTable::from_histogram(
+      huff::Histogram::of(data).with_floor(1));
+  const std::uint64_t nbits = huff::encoded_bit_count(data, table);
+  auto storage = std::make_shared<std::vector<std::uint8_t>>(
+      (nbits + 7) / 8 - 1);  // one byte short
+  for (Level lvl : levels_to_test()) {
+    tvs::simd::force(lvl);
+    EXPECT_THROW(huff::encode_block_into(
+                     data, table, {storage->data(), storage->size()}, storage),
+                 std::logic_error)
+        << tvs::simd::name(lvl);
+  }
+}
+
+TEST(KernelDiff, EncodeThrowsOnCodelessSymbolAtEveryLevel) {
+  const ForceGuard guard;
+  // Table over 'a'..'b' only; input contains 'z'.
+  huff::Histogram h;
+  h.at('a') = 10;
+  h.at('b') = 3;
+  const auto table = huff::CodeTable::from_histogram(h);
+  const std::vector<std::uint8_t> bad = {'a', 'z', 'b'};
+  for (Level lvl : levels_to_test()) {
+    tvs::simd::force(lvl);
+    EXPECT_THROW((void)huff::encode_block(bad, table), std::invalid_argument)
+        << tvs::simd::name(lvl);
+  }
+}
+
+// --- Whole-container differential fuzz -------------------------------------
+
+TEST(KernelDiff, ContainersBitIdenticalAndRoundTripAcrossLevels) {
+  const ForceGuard guard;
+  for (const auto& data : corpora()) {
+    tvs::simd::force(Level::Scalar);
+    const auto ref = huff::compress_buffer(data);
+    for (Level lvl : levels_to_test()) {
+      tvs::simd::force(lvl);
+      const auto container = huff::compress_buffer(data);
+      ASSERT_EQ(container, ref)
+          << tvs::simd::name(lvl) << " n=" << data.size();
+      ASSERT_EQ(huff::decompress_buffer(container), data)
+          << tvs::simd::name(lvl) << " n=" << data.size();
+    }
+  }
+}
+
+TEST(KernelDiff, RandomizedContainerFuzzAcrossLevels) {
+  const ForceGuard guard;
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = rng() % 20000;
+    std::vector<std::uint8_t> data;
+    switch (iter % 3) {
+      case 0: data = uniform_random(n, rng()); break;
+      case 1: data = one_symbol(n, static_cast<std::uint8_t>(rng())); break;
+      default: data = skewed(n, rng()); break;
+    }
+    tvs::simd::force(Level::Scalar);
+    const auto ref = huff::compress_buffer(data, /*block_size=*/1024);
+    for (Level lvl : levels_to_test()) {
+      tvs::simd::force(lvl);
+      ASSERT_EQ(huff::compress_buffer(data, 1024), ref)
+          << tvs::simd::name(lvl) << " iter=" << iter << " n=" << n;
+    }
+    ASSERT_EQ(huff::decompress_buffer(ref), data) << "iter=" << iter;
+  }
+}
+
+// --- Dispatch plumbing -----------------------------------------------------
+
+TEST(SimdProbe, ParseHonorsTheTvsSimdGrammar) {
+  EXPECT_EQ(tvs::simd::parse("0"), Level::Scalar);
+  EXPECT_EQ(tvs::simd::parse("scalar"), Level::Scalar);
+  EXPECT_EQ(tvs::simd::parse("1"), Level::Swar);
+  EXPECT_EQ(tvs::simd::parse("swar"), Level::Swar);
+  EXPECT_EQ(tvs::simd::parse("unrolled"), Level::Swar);
+  // "2"/"avx2" clamps to the CPU's best; either way it never exceeds it.
+  EXPECT_EQ(tvs::simd::parse("2"), tvs::simd::detect());
+  EXPECT_EQ(tvs::simd::parse("avx2"), tvs::simd::detect());
+  EXPECT_EQ(tvs::simd::parse("auto"), tvs::simd::detect());
+  EXPECT_EQ(tvs::simd::parse(""), tvs::simd::detect());
+  EXPECT_EQ(tvs::simd::parse(nullptr), tvs::simd::detect());
+  EXPECT_EQ(tvs::simd::parse("bogus"), tvs::simd::detect());
+}
+
+TEST(SimdProbe, ForceOverridesAndClampsToCpuCapability) {
+  const ForceGuard guard;
+  tvs::simd::force(Level::Scalar);
+  EXPECT_EQ(tvs::simd::active(), Level::Scalar);
+  tvs::simd::force(Level::Avx2);
+  EXPECT_EQ(tvs::simd::active(), tvs::simd::detect());  // clamped if no AVX2
+  tvs::simd::clear_force();
+}
+
+TEST(SimdProbe, LevelNamesAreStable) {
+  EXPECT_STREQ(tvs::simd::name(Level::Scalar), "scalar");
+  EXPECT_STREQ(tvs::simd::name(Level::Swar), "swar");
+  EXPECT_STREQ(tvs::simd::name(Level::Avx2), "avx2");
+}
+
+}  // namespace

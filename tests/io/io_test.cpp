@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
 #include "io/arrival_model.h"
 #include "io/block_source.h"
 
@@ -129,12 +133,126 @@ TEST(BlockSource, ValidatesInputs) {
 }
 
 TEST(BlockSource, EmptyInputIsAValidZeroBlockStream) {
-  const BlockSource src({}, 4096, std::make_shared<sio::DiskArrival>());
+  const BlockSource src(std::vector<std::uint8_t>{}, 4096,
+                        std::make_shared<sio::DiskArrival>());
   EXPECT_EQ(src.n_blocks(), 0u);
   EXPECT_EQ(src.total_bytes(), 0u);
   EXPECT_EQ(src.last_arrival_us(), 0u);
   EXPECT_THROW(src.block(0), std::out_of_range);
   src.for_each_arrival([](std::size_t, sio::Micros) { FAIL(); });
+}
+
+TEST(BlockSource, EmptySpanIsAValidZeroBlockStream) {
+  // Zero-length borrowed view (null data pointer): must behave exactly like
+  // the empty-vector stream, not touch the pointer.
+  const BlockSource src(std::span<const std::uint8_t>{}, 4096,
+                        std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(src.n_blocks(), 0u);
+  EXPECT_EQ(src.total_bytes(), 0u);
+  EXPECT_EQ(src.bytes().size(), 0u);
+  EXPECT_THROW(src.block(0), std::out_of_range);
+  src.for_each_arrival([](std::size_t, sio::Micros) { FAIL(); });
+}
+
+TEST(BlockSource, SpanViewIsZeroCopy) {
+  std::vector<std::uint8_t> backing(4096 + 100);
+  for (std::size_t i = 0; i < backing.size(); ++i) {
+    backing[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const BlockSource src(std::span<const std::uint8_t>(backing), 4096,
+                        std::make_shared<sio::DiskArrival>());
+  ASSERT_EQ(src.n_blocks(), 2u);
+  // Blocks alias the caller's storage — no copy happened.
+  EXPECT_EQ(src.block(0).data(), backing.data());
+  EXPECT_EQ(src.block(1).data(), backing.data() + 4096);
+  EXPECT_EQ(src.block(1).size(), 100u);  // final partial block is short
+  backing[4096] = 0xAB;
+  EXPECT_EQ(src.block(1)[0], 0xAB);
+  EXPECT_EQ(src.owner(), nullptr);
+}
+
+TEST(BlockSource, SpanViewOwnerKeepsStorageAlive) {
+  auto backing = std::make_shared<std::vector<std::uint8_t>>(5000, 42);
+  const BlockSource src(
+      std::span<const std::uint8_t>(backing->data(), backing->size()), 4096,
+      std::make_shared<sio::DiskArrival>(), backing);
+  const auto* data = backing->data();
+  backing.reset();  // source's owner ref keeps the vector alive
+  EXPECT_EQ(src.block(0).data(), data);
+  EXPECT_EQ(src.block(1).size(), 5000u - 4096u);
+  EXPECT_EQ(src.block(1)[0], 42u);
+}
+
+TEST(BlockSource, NonBlockAlignedSizes) {
+  // One-byte stream: a single one-byte block.
+  const BlockSource tiny(std::vector<std::uint8_t>{9}, 4096,
+                         std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(tiny.n_blocks(), 1u);
+  EXPECT_EQ(tiny.block(0).size(), 1u);
+  EXPECT_EQ(tiny.block(0)[0], 9u);
+
+  // Exactly block-aligned: no phantom trailing block.
+  const BlockSource exact(std::vector<std::uint8_t>(4096 * 3, 1), 4096,
+                          std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(exact.n_blocks(), 3u);
+  EXPECT_EQ(exact.block(2).size(), 4096u);
+  EXPECT_THROW(exact.block(3), std::out_of_range);
+
+  // One byte over a boundary: final block has length 1.
+  const BlockSource over(std::vector<std::uint8_t>(4096 + 1, 2), 4096,
+                         std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(over.n_blocks(), 2u);
+  EXPECT_EQ(over.block(1).size(), 1u);
+}
+
+TEST(BlockSource, MapFileServesBlocksFromTheMapping) {
+  const std::string path = ::testing::TempDir() + "/block_source_map.bin";
+  std::vector<std::uint8_t> data(4096 * 2 + 123);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  }
+  const BlockSource src =
+      BlockSource::map_file(path, 4096, std::make_shared<sio::DiskArrival>());
+  ASSERT_EQ(src.n_blocks(), 3u);
+  EXPECT_EQ(src.total_bytes(), data.size());
+  EXPECT_EQ(src.block(2).size(), 123u);  // final partial block
+  EXPECT_TRUE(std::equal(src.bytes().begin(), src.bytes().end(),
+                         data.begin(), data.end()));
+  // Blocks are views into one contiguous mapping, not copies.
+  EXPECT_EQ(src.block(1).data(), src.bytes().data() + 4096);
+  EXPECT_NE(src.owner(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(BlockSource, MapFileEmptyFileIsZeroBlocks) {
+  const std::string path = ::testing::TempDir() + "/block_source_empty.bin";
+  { std::ofstream f(path, std::ios::binary | std::ios::trunc); }
+  const BlockSource src =
+      BlockSource::map_file(path, 4096, std::make_shared<sio::DiskArrival>());
+  EXPECT_EQ(src.n_blocks(), 0u);
+  EXPECT_EQ(src.total_bytes(), 0u);
+  EXPECT_THROW(src.block(0), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(BlockSource, MapFileMissingFileThrows) {
+  EXPECT_THROW(BlockSource::map_file("/nonexistent/definitely_missing.bin",
+                                     4096,
+                                     std::make_shared<sio::DiskArrival>()),
+               std::runtime_error);
+}
+
+TEST(BlockSource, MapFileValidatesArguments) {
+  EXPECT_THROW(BlockSource::map_file("/dev/null", 0,
+                                     std::make_shared<sio::DiskArrival>()),
+               std::invalid_argument);
+  EXPECT_THROW(BlockSource::map_file("/dev/null", 4096, nullptr),
+               std::invalid_argument);
 }
 
 TEST(BlockSource, ForEachArrivalVisitsAllInOrder) {

@@ -1,0 +1,174 @@
+#include "sre/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "huffman/byte_buf.h"
+#include "sre/runtime.h"
+
+namespace {
+
+using sre::Arena;
+using sre::ChunkPool;
+using sre::EpochArenas;
+
+TEST(ChunkPool, RecyclesChunksThroughTheFreelist) {
+  auto pool = std::make_shared<ChunkPool>();
+  void* c = pool->get();
+  EXPECT_EQ(pool->stats().chunks_new, 1u);
+  EXPECT_EQ(pool->stats().chunks_reused, 0u);
+  pool->put(c);
+  EXPECT_EQ(pool->free_chunks(), 1u);
+  void* c2 = pool->get();
+  EXPECT_EQ(c2, c);
+  EXPECT_EQ(pool->stats().chunks_new, 1u);
+  EXPECT_EQ(pool->stats().chunks_reused, 1u);
+  pool->put(c2);
+}
+
+TEST(ChunkPool, BoundsTheIdleFreelist) {
+  auto pool = std::make_shared<ChunkPool>(/*max_free=*/2);
+  void* a = pool->get();
+  void* b = pool->get();
+  void* c = pool->get();
+  pool->put(a);
+  pool->put(b);
+  pool->put(c);  // past max_free: released, not retained
+  EXPECT_EQ(pool->free_chunks(), 2u);
+}
+
+TEST(Arena, BumpAllocationsAreDisjointAndAligned) {
+  auto pool = std::make_shared<ChunkPool>();
+  Arena arena(pool);
+  auto s1 = arena.alloc_bytes(100);
+  auto s2 = arena.alloc_bytes(200);
+  ASSERT_EQ(s1.size(), 100u);
+  ASSERT_EQ(s2.size(), 200u);
+  // Disjoint ranges out of one chunk.
+  EXPECT_GE(s2.data(), s1.data() + s1.size());
+  std::memset(s1.data(), 0xAA, s1.size());
+  std::memset(s2.data(), 0xBB, s2.size());
+  EXPECT_EQ(s1[99], 0xAA);
+  EXPECT_EQ(s2[0], 0xBB);
+
+  void* p8 = arena.allocate(10, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+  void* p64 = arena.allocate(10, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p64) % 64, 0u);
+
+  const auto st = pool->stats();
+  EXPECT_EQ(st.allocs, 4u);
+  EXPECT_EQ(st.bytes, 100u + 200u + 10u + 10u);
+}
+
+TEST(Arena, SpillsIntoFreshChunksAndReturnsThemOnDestruction) {
+  auto pool = std::make_shared<ChunkPool>();
+  {
+    Arena arena(pool);
+    // Three chunks' worth of block-sized allocations.
+    for (std::size_t i = 0; i < 3 * (ChunkPool::kChunkBytes / 4096); ++i) {
+      auto s = arena.alloc_bytes(4096);
+      s[0] = static_cast<std::uint8_t>(i);
+    }
+    EXPECT_GE(arena.chunk_count(), 3u);
+    EXPECT_EQ(pool->free_chunks(), 0u);
+  }
+  // Destruction returned every chunk for reuse.
+  EXPECT_GE(pool->free_chunks(), 3u);
+  Arena again(pool);
+  (void)again.alloc_bytes(100);
+  EXPECT_GE(pool->stats().chunks_reused, 1u);
+}
+
+TEST(Arena, OversizeAllocationsGetDedicatedStorage) {
+  auto pool = std::make_shared<ChunkPool>();
+  Arena arena(pool);
+  auto big = arena.alloc_bytes(ChunkPool::kChunkBytes + 1);
+  ASSERT_EQ(big.size(), ChunkPool::kChunkBytes + 1);
+  big[ChunkPool::kChunkBytes] = 7;  // the far end is writable
+  EXPECT_EQ(pool->stats().oversize, 1u);
+  // A normal allocation still works afterwards.
+  auto small = arena.alloc_bytes(16);
+  small[0] = 1;
+}
+
+TEST(EpochArenas, LanesAreDistinctAndLazilyCreated) {
+  auto pool = std::make_shared<ChunkPool>();
+  EpochArenas arenas(pool, /*epoch=*/42);
+  EXPECT_EQ(arenas.epoch(), 42u);
+  EXPECT_EQ(arenas.active_lanes(), 0u);
+  Arena& l0 = arenas.lane(0);
+  Arena& l1 = arenas.lane(1);
+  EXPECT_NE(&l0, &l1);
+  EXPECT_EQ(&l0, &arenas.lane(0));  // stable per worker
+  EXPECT_EQ(arenas.active_lanes(), 2u);
+}
+
+TEST(EpochArenas, ByteBufKeepaliveOutlivesTheArenaHandle) {
+  auto pool = std::make_shared<ChunkPool>();
+  auto arenas = std::make_shared<EpochArenas>(pool, 1);
+  auto out = arenas->lane(0).alloc_bytes(64);
+  std::memset(out.data(), 0x5C, out.size());
+  huff::ByteBuf buf(out.data(), out.size(), arenas);
+  // Dropping the chain's handle must NOT free the memory: the committed
+  // result's view co-owns the epoch arenas.
+  arenas.reset();
+  EXPECT_EQ(pool->free_chunks(), 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], 0x5C);
+  // Releasing the last view is the destroy signal: chunks come back.
+  buf = huff::ByteBuf();
+  EXPECT_EQ(pool->free_chunks(), 1u);
+}
+
+TEST(EpochArenas, RollbackStyleDropRecyclesChunksForTheNextEpoch) {
+  auto pool = std::make_shared<ChunkPool>();
+  {
+    auto doomed = std::make_shared<EpochArenas>(pool, 7);
+    (void)doomed->lane(0).alloc_bytes(1000);
+    (void)doomed->lane(1).alloc_bytes(1000);
+  }  // rollback: wholesale drop
+  const auto st = pool->stats();
+  EXPECT_EQ(st.chunks_new, 2u);
+  auto next = std::make_shared<EpochArenas>(pool, 8);
+  (void)next->lane(0).alloc_bytes(1000);
+  (void)next->lane(1).alloc_bytes(1000);
+  const auto st2 = pool->stats();
+  EXPECT_EQ(st2.chunks_new, 2u);    // steady state: no new mallocs
+  EXPECT_EQ(st2.chunks_reused, 2u);
+}
+
+TEST(EpochArenas, ParallelWorkersOnDistinctLanes) {
+  auto pool = std::make_shared<ChunkPool>();
+  auto arenas = std::make_shared<EpochArenas>(pool, 3);
+  constexpr unsigned kWorkers = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&arenas, w] {
+      for (int i = 0; i < 200; ++i) {
+        auto s = arenas->lane(w).alloc_bytes(512);
+        std::memset(s.data(), static_cast<int>(w), s.size());
+        ASSERT_EQ(s[511], static_cast<std::uint8_t>(w));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool->stats().allocs, kWorkers * 200u);
+}
+
+TEST(Runtime, OwnsAChunkPoolAndMintsEpochArenas) {
+  sre::Runtime rt(sre::DispatchPolicy::Balanced);
+  auto arenas = rt.make_epoch_arenas(5);
+  ASSERT_NE(arenas, nullptr);
+  EXPECT_EQ(arenas->epoch(), 5u);
+  (void)arenas->lane(0).alloc_bytes(128);
+  const auto st = rt.arena_stats();
+  EXPECT_EQ(st.allocs, 1u);
+  EXPECT_EQ(st.bytes, 128u);
+}
+
+}  // namespace

@@ -16,6 +16,9 @@
 #   tools/ci.sh flight     # flight-recorder tests + the overhead gate
 #                          # (recorder armed on the sharded executor) + the
 #                          # post-mortem smoke inside serve_load --smoke
+#   tools/ci.sh kernels    # data-plane kernel gate: the differential suite
+#                          # plus codec/histogram/io tests under asan+ubsan
+#                          # with TVS_SIMD forced to every dispatch level
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -95,6 +98,31 @@ if [[ "${1:-}" == "flight" ]]; then
   # post-mortem dump on disk.
   timeout "${TVS_SERVE_SMOKE_TIMEBOX_S:-10}" ./build/bench/serve_load --smoke
   echo "== flight green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "kernels" ]]; then
+  echo "== kernels: SIMD differential gate under asan+ubsan (build-asan/) =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$JOBS"
+  # The differential suite sweeps every level in-process via force(); running
+  # it once per TVS_SIMD value additionally pins the env-dispatch path (the
+  # one production uses) at each level, all under the sanitizers.
+  for level in 0 1 2; do
+    echo "-- kernel_diff_test with TVS_SIMD=${level} --"
+    TVS_SIMD="$level" ./build-asan/tests/kernel_diff_test
+  done
+  # Codec, histogram, and zero-copy I/O suites at the scalar reference level
+  # and at the best level the host supports: both must be bit-exact.
+  for level in 0 2; do
+    echo "-- codec/histogram/io/arena suites with TVS_SIMD=${level} --"
+    TVS_SIMD="$level" ./build-asan/tests/histogram_test
+    TVS_SIMD="$level" ./build-asan/tests/codec_test
+    TVS_SIMD="$level" ./build-asan/tests/stream_format_test
+    TVS_SIMD="$level" ./build-asan/tests/io_test
+    TVS_SIMD="$level" ./build-asan/tests/arena_test
+  done
+  echo "== kernels green =="
   exit 0
 fi
 

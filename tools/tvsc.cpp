@@ -296,6 +296,7 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
   }
 
   int rc = 0;
+  std::size_t total_blocks = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const pipeline::RunResult* result = mgr.wait(ids[i]);
     const auto st = mgr.stats(ids[i]);
@@ -309,6 +310,7 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
     }
     const std::string out_path = st.name + ".tvsh";
     huff::write_file(out_path, result->container);
+    total_blocks += result->trace.size();
     std::fprintf(stderr,
                  "%s: %zu -> %zu bytes, %.1f ms latency, speculation %s, "
                  "%llu rollback(s)\n",
@@ -320,6 +322,24 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
   }
   mgr.drain();
   print_serve_summary(mgr.all_sessions());
+  {
+    // Steady-path allocation observability (tvs_alloc_*): encode output is
+    // bump-allocated from epoch arenas, so chunk mallocs per block should
+    // sit near zero once the runtime's chunk pool is warm.
+    const sre::ArenaStats alloc = mgr.runtime().arena_stats();
+    std::fprintf(
+        stderr,
+        "arena: %llu bump allocs (%llu KiB) over %zu blocks — %llu chunk "
+        "mallocs (%.4f/block), %llu recycled\n",
+        static_cast<unsigned long long>(alloc.allocs),
+        static_cast<unsigned long long>(alloc.bytes / 1024), total_blocks,
+        static_cast<unsigned long long>(alloc.chunks_new),
+        total_blocks == 0
+            ? 0.0
+            : static_cast<double>(alloc.chunks_new) /
+                  static_cast<double>(total_blocks),
+        static_cast<unsigned long long>(alloc.chunks_reused));
+  }
 
   if (flight) {
     flight->stop();
