@@ -26,6 +26,8 @@ std::string SpecConfig::to_string() const {
   os << "step=" << step_size << " verify=" << tvs::to_string(verify.mode);
   if (verify.mode == VerifyMode::EveryKth) os << "(" << verify.every << ")";
   os << " tol=" << tolerance * 100.0 << "%";
+  if (adaptive_restart) os << " adaptive";
+  if (restart_min_defer > 0) os << " defer>=" << restart_min_defer;
   if (predictor != PredictorMode::Baseline) {
     os << " pred=" << tvs::to_string(predictor);
     if (confidence_gate > 0.0) os << " gate=" << confidence_gate;

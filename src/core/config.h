@@ -80,6 +80,13 @@ struct SpecConfig {
   /// without knowing it, paying at most a logarithmic number of rollbacks.
   bool adaptive_restart = false;
 
+  /// Floor (estimate index) applied to the restart deferral after any failed
+  /// speculation, with or without adaptive_restart. 0 = no floor (a
+  /// non-adaptive rollback re-speculates immediately, the paper's behaviour).
+  /// The control plane (src/control) raises this when the rollback rate
+  /// spikes and relaxes it back to 0 when accuracy recovers.
+  std::uint32_t restart_min_defer = 0;
+
   /// Estimate source for pipelines that support the predictor subsystem
   /// (src/predict). Baseline reproduces the paper's figures exactly.
   PredictorMode predictor = PredictorMode::Baseline;
@@ -92,9 +99,11 @@ struct SpecConfig {
   [[nodiscard]] bool speculation_enabled() const { return step_size != 0; }
 
   /// True when estimate `index` should open a fresh speculation (given none
-  /// is active).
+  /// is active). Estimates are 1-based; index 0 never speculates — a guess
+  /// there would be backed by zero estimates, contradicting the step_size
+  /// contract ("at estimates step_size, 2·step_size, …").
   [[nodiscard]] bool should_speculate(std::uint32_t index) const {
-    return speculation_enabled() && index % step_size == 0;
+    return speculation_enabled() && index != 0 && index % step_size == 0;
   }
 
   [[nodiscard]] std::string to_string() const;

@@ -31,6 +31,7 @@
 // harness (src/stress) can force the dangerous interleavings on demand.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -208,7 +209,35 @@ class Speculator {
     if (state_ != State::Active) return std::nullopt;
     return active_->epoch;
   }
-  [[nodiscard]] const SpecConfig& config() const { return config_; }
+  [[nodiscard]] SpecConfig config() const {
+    std::scoped_lock lk(mu_);
+    return config_;
+  }
+
+  /// Runtime retune entry point for the control plane (src/control).
+  /// Atomically swaps the tuning knobs — step_size, verification policy,
+  /// confidence_gate, adaptive_restart, restart_min_defer — under the same
+  /// mutex that guards every state transition, so a retune is totally
+  /// ordered against estimates, verdicts and unlock-window continuations:
+  /// it either happens-before an estimate (which then sees the new knobs)
+  /// or after (the estimate ran under the old ones); it can never tear.
+  /// Structural fields are pinned to their construction values: `predictor`
+  /// (the hook/bank was wired at build time) and `tolerance` (pipelines
+  /// capture the tolerance into their check predicate by value — swapping
+  /// it here would silently diverge from the installed callback).
+  void retune(SpecConfig next) {
+    std::scoped_lock lk(mu_);
+    next.predictor = config_.predictor;
+    next.tolerance = config_.tolerance;
+    config_ = next;
+    ++retunes_;
+  }
+
+  /// Number of retune() calls applied (introspection for stats/tests).
+  [[nodiscard]] std::uint64_t retunes() const {
+    std::scoped_lock lk(mu_);
+    return retunes_;
+  }
 
   /// State-machine transition count. Torture oracles read it to prove a
   /// quiesced run saw exactly the expected transitions; unlock-window
@@ -375,7 +404,24 @@ class Speculator {
     if (config_.adaptive_restart) {
       // Geometric backoff: the failed guess was backed by latest_index_
       // estimates' worth of data; demand double before guessing again.
-      defer_until_ = latest_index_ * 2;
+      // Clamped from below so the sequence is genuinely geometric: a
+      // failure at index 0 (or a stale, small latest_index_) must not
+      // collapse the deferral back to "retry immediately" — the next
+      // boundary is at least one step, at least double the previous
+      // deferral, and at least the control plane's floor.
+      const std::uint64_t next = std::max(
+          {static_cast<std::uint64_t>(latest_index_) * 2,
+           static_cast<std::uint64_t>(defer_until_) * 2,
+           static_cast<std::uint64_t>(config_.step_size),
+           static_cast<std::uint64_t>(config_.restart_min_defer)});
+      defer_until_ = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(next, UINT32_MAX));
+      return;
+    }
+    if (config_.restart_min_defer > latest_index_) {
+      // Non-adaptive path with a control-plane floor: hold off until the
+      // estimate stream reaches the floor instead of retrying immediately.
+      defer_until_ = config_.restart_min_defer;
       return;
     }
     // Re-speculate immediately from the newest estimate ("a negative
@@ -403,6 +449,7 @@ class Speculator {
   /// and re-validated after relock (see file comment).
   std::uint64_t generation_ = 0;
   std::uint32_t defer_until_ = 0;  ///< adaptive restart: no guesses below this
+  std::uint64_t retunes_ = 0;      ///< retune() calls applied
 
   // Gate bookkeeping is mutable: wants_estimate (const) is where a denied
   // index is usually first seen, and each index counts at most once.

@@ -1,0 +1,98 @@
+#include "metrics/derived.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace metrics {
+namespace {
+
+double sum_matching(const std::vector<ScalarSnapshot>& scalars,
+                    const std::string& name, const std::string& label_substr) {
+  double sum = 0.0;
+  for (const auto& s : scalars) {
+    if (s.name != name) continue;
+    if (!label_substr.empty() &&
+        s.labels.find(label_substr) == std::string::npos) {
+      continue;
+    }
+    sum += s.value;
+  }
+  return sum;
+}
+
+const HistogramSnapshot* find_histogram(
+    const std::vector<HistogramSnapshot>& hists, const std::string& name,
+    const std::string& labels) {
+  for (const auto& h : hists) {
+    if (h.name == name && h.labels == labels) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void DeltaView::advance(std::uint64_t now_us) {
+  prev_ = std::move(cur_);
+  cur_ = reg_.snapshot();
+  if (advances_ > 0) {
+    interval_us_ = now_us > prev_t_us_ ? now_us - prev_t_us_ : 0;
+    primed_ = true;
+  }
+  prev_t_us_ = now_us;
+  ++advances_;
+}
+
+double DeltaView::counter_delta(const std::string& name,
+                                const std::string& label_substr) const {
+  if (!primed_) return 0.0;
+  const double d = sum_matching(cur_.counters, name, label_substr) -
+                   sum_matching(prev_.counters, name, label_substr);
+  return std::max(d, 0.0);
+}
+
+double DeltaView::counter_rate(const std::string& name,
+                               const std::string& label_substr) const {
+  if (!primed_ || interval_us_ == 0) return 0.0;
+  return counter_delta(name, label_substr) * 1e6 /
+         static_cast<double>(interval_us_);
+}
+
+double DeltaView::histogram_quantile(const std::string& name,
+                                     const std::string& labels,
+                                     double q) const {
+  if (!primed_) return 0.0;
+  const HistogramSnapshot* now = find_histogram(cur_.histograms, name, labels);
+  if (now == nullptr) return 0.0;
+  const HistogramSnapshot* before =
+      find_histogram(prev_.histograms, name, labels);
+
+  Histogram::Totals delta;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t prev_n =
+        before != nullptr ? before->totals.buckets[b] : 0;
+    const std::uint64_t n =
+        now->totals.buckets[b] > prev_n ? now->totals.buckets[b] - prev_n : 0;
+    delta.buckets[b] = n;
+    delta.count += n;
+  }
+  if (delta.count == 0) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank quantile, 1-based; walk the buckets to it.
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      delta.count,
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(
+                                     q * static_cast<double>(delta.count)))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    seen += delta.buckets[b];
+    if (seen >= rank) {
+      return static_cast<double>(Histogram::Totals::upper_bound(b));
+    }
+  }
+  return static_cast<double>(
+      Histogram::Totals::upper_bound(Histogram::kBuckets - 1));
+}
+
+}  // namespace metrics

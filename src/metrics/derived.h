@@ -1,0 +1,61 @@
+// DeltaView: interval-derived rates over a Registry — the sensor side of
+// the control plane (src/control).
+//
+// Counters and histograms in the registry are cumulative; a feedback
+// controller needs *rates* ("rollbacks per second over the last 50 ms")
+// and *interval percentiles* ("p95 queue wait among sessions admitted
+// since the last tick"). A DeltaView keeps the previous snapshot and
+// answers those questions from the difference between two snapshots, so
+// one advance() per control tick (a snapshot copy — sized for 10–20 Hz
+// sampling, not per-task paths) powers any number of signal reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/registry.h"
+
+namespace metrics {
+
+class DeltaView {
+ public:
+  explicit DeltaView(const Registry& reg) : reg_(reg) {}
+
+  /// Takes a fresh snapshot; subsequent reads cover the interval between
+  /// the previous advance() and this one. `now_us` is the host's time
+  /// axis (wall or virtual) used by the *_rate readers.
+  void advance(std::uint64_t now_us);
+
+  /// Counter increase over the interval, summed across label sets whose
+  /// label body contains `label_substr` (all sets when empty). Counters
+  /// that appeared mid-interval count from zero.
+  [[nodiscard]] double counter_delta(const std::string& name,
+                                     const std::string& label_substr = "") const;
+
+  /// counter_delta scaled to events per second (0 before two advances or
+  /// when the interval is empty).
+  [[nodiscard]] double counter_rate(const std::string& name,
+                                    const std::string& label_substr = "") const;
+
+  /// Quantile `q` in [0,1] of the histogram's *interval* samples (bucket
+  /// counts differenced between snapshots), reported as the matched
+  /// bucket's inclusive upper bound — an overestimate by at most 2x, the
+  /// log-bucket resolution. 0 when no samples landed in the interval.
+  [[nodiscard]] double histogram_quantile(const std::string& name,
+                                          const std::string& labels,
+                                          double q) const;
+
+  /// Interval length covered by the last advance() (µs; 0 before two).
+  [[nodiscard]] std::uint64_t interval_us() const { return interval_us_; }
+
+ private:
+  const Registry& reg_;
+  Snapshot prev_;
+  Snapshot cur_;
+  std::uint64_t prev_t_us_ = 0;
+  std::uint64_t interval_us_ = 0;
+  std::uint64_t advances_ = 0;
+  bool primed_ = false;  ///< true once two snapshots exist
+};
+
+}  // namespace metrics

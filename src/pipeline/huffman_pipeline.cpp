@@ -694,6 +694,23 @@ std::uint64_t HuffmanPipeline::rollbacks() const {
   return st_->rollbacks;
 }
 
+// The spec pointer is written once at construction and never reset, so
+// these reach it without the State lock; the Speculator's own mutex orders
+// the retune against estimates and verdicts.
+bool HuffmanPipeline::retune_spec(const tvs::SpecConfig& next) {
+  if (!st_->spec) return false;
+  st_->spec->retune(next);
+  return true;
+}
+
+tvs::SpecConfig HuffmanPipeline::spec_config() const {
+  return st_->spec ? st_->spec->config() : st_->cfg.spec;
+}
+
+std::uint64_t HuffmanPipeline::spec_retunes() const {
+  return st_->spec ? st_->spec->retunes() : 0;
+}
+
 stats::PredictorScoreboard HuffmanPipeline::predictor_scoreboard() const {
   return st_->bank ? st_->bank->scoreboard() : stats::PredictorScoreboard{};
 }

@@ -105,6 +105,23 @@ class HuffmanPipeline {
   /// Number of rollback events observed by the pipeline.
   [[nodiscard]] std::uint64_t rollbacks() const;
 
+  /// Control-plane entry: atomically retunes the live Speculator's knobs
+  /// (tvs::Speculator::retune — step_size, verify, confidence_gate,
+  /// adaptive_restart, restart_min_defer; structural fields are pinned).
+  /// Thread-safe and callable mid-run from any thread; the new knobs
+  /// govern every estimate that arrives after the call. Returns false
+  /// (and does nothing) when the pipeline runs without speculation.
+  /// Note: the tolerance predicate was captured at construction, so
+  /// `next.tolerance` is intentionally ignored.
+  bool retune_spec(const tvs::SpecConfig& next);
+
+  /// The live Speculator's current config (the configured spec when
+  /// speculation is disabled).
+  [[nodiscard]] tvs::SpecConfig spec_config() const;
+
+  /// retune_spec calls applied to the live Speculator.
+  [[nodiscard]] std::uint64_t spec_retunes() const;
+
   /// Per-predictor accuracy counters (empty under PredictorMode::Baseline).
   [[nodiscard]] stats::PredictorScoreboard predictor_scoreboard() const;
 

@@ -59,7 +59,19 @@ class AdmissionController {
   /// Per-priority queue depths.
   [[nodiscard]] std::array<std::size_t, kPriorities> depths() const;
 
-  [[nodiscard]] const ShedPolicy& policy() const { return policy_; }
+  /// Engine time the oldest still-queued session of priority `p` has been
+  /// waiting (0 when that queue is empty). The control plane's live
+  /// pressure probe: unlike the admitted-wait histogram, it keeps climbing
+  /// while admissions are stalled.
+  [[nodiscard]] std::uint64_t oldest_wait_us(Priority p,
+                                             std::uint64_t now_us) const;
+
+  /// Control-plane entry: atomically replaces the shed policy's limits.
+  /// Already-queued sessions are never evicted by a cap shrink — caps bind
+  /// at submit time only; deadlines use the config in force when checked.
+  void set_config(const ShedPolicy::Config& cfg);
+  /// Snapshot of the limits currently in force.
+  [[nodiscard]] ShedPolicy::Config shed_config() const;
 
  private:
   [[nodiscard]] bool expired_locked(const Session& s,

@@ -1,6 +1,7 @@
 #include "simd/simd.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -58,6 +59,17 @@ Level parse(const char* value) {
     return Level::Swar;
   if (std::strcmp(value, "2") == 0 || std::strcmp(value, "avx2") == 0)
     return clamp_to_cpu(Level::Avx2);
+  if (std::strcmp(value, "auto") != 0) {
+    // A typo ("axv2") silently becoming auto-detect would invisibly move
+    // the perf baseline; say so, once per process.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "tvs: unrecognized TVS_SIMD value \"%s\"; "
+                   "using auto-detect (%s)\n",
+                   value, name(detect()));
+    }
+  }
   return detect();  // "auto" and anything unrecognized
 }
 

@@ -43,6 +43,39 @@ TEST(SpecConfig, StepSizeGatesSpeculation) {
   EXPECT_TRUE(c.should_speculate(8));
 }
 
+// Regression: index 0 satisfies `0 % step == 0` for every step size, so the
+// old predicate speculated on an estimate stream position that does not
+// exist (estimate indices are 1-based; see Speculator). Index 0 must be
+// refused at every step size, while real step boundaries stay accepted.
+TEST(SpecConfig, IndexZeroNeverSpeculates) {
+  for (std::uint32_t step : {1u, 2u, 4u, 8u, 1000u}) {
+    SpecConfig c;
+    c.step_size = step;
+    EXPECT_FALSE(c.should_speculate(0)) << "step=" << step;
+    EXPECT_TRUE(c.should_speculate(step)) << "step=" << step;
+  }
+}
+
+TEST(SpecConfig, StepBoundariesAreExact) {
+  SpecConfig c;
+  c.step_size = 8;
+  EXPECT_FALSE(c.should_speculate(0));
+  EXPECT_FALSE(c.should_speculate(7));
+  EXPECT_TRUE(c.should_speculate(8));
+  EXPECT_FALSE(c.should_speculate(9));
+  EXPECT_FALSE(c.should_speculate(15));
+  EXPECT_TRUE(c.should_speculate(16));
+  // Large indices: the predicate is pure modular arithmetic, no overflow.
+  EXPECT_TRUE(c.should_speculate(4'000'000'000u - (4'000'000'000u % 8)));
+}
+
+TEST(SpecConfig, StepOneAcceptsEveryPositiveIndex) {
+  SpecConfig c;  // step_size == 1
+  EXPECT_FALSE(c.should_speculate(0));
+  EXPECT_TRUE(c.should_speculate(1));
+  EXPECT_TRUE(c.should_speculate(2));
+}
+
 TEST(SpecConfig, ZeroStepDisablesSpeculation) {
   SpecConfig c;
   c.step_size = 0;
@@ -67,6 +100,16 @@ TEST(SpecConfig, ToStringIsInformative) {
   EXPECT_NE(s.find("step=4"), std::string::npos);
   EXPECT_NE(s.find("2%"), std::string::npos);
   EXPECT_NE(s.find("every-kth(8)"), std::string::npos);
+}
+
+TEST(SpecConfig, ToStringShowsRestartTuning) {
+  SpecConfig c;
+  c.adaptive_restart = true;
+  c.restart_min_defer = 12;
+  const auto s = c.to_string();
+  EXPECT_NE(s.find("adaptive"), std::string::npos);
+  EXPECT_NE(s.find("defer>=12"), std::string::npos);
+  EXPECT_EQ(SpecConfig{}.to_string().find("defer>="), std::string::npos);
 }
 
 }  // namespace

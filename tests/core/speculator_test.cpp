@@ -298,6 +298,95 @@ TEST_F(SpeculatorFixture, AdaptiveRestartBacksOffAfterBackToBackRollbacks) {
       << "a final estimate is always wanted, even mid-backoff";
 }
 
+TEST_F(SpeculatorFixture, EarlyRollbackStormBacksOffGeometrically) {
+  // Satellite regression (torture-style): every guess is wrong, verdicts
+  // land immediately. The doubled deferral must keep the number of epoch
+  // opens logarithmic in the estimate count — the degenerate pre-fix
+  // backoff (deferrals that failed to grow past tiny indices) re-admitted
+  // speculation almost every estimate and produced a rollback storm.
+  auto spec = make({.step_size = 1,
+                    .verify = VerificationPolicy::full(),
+                    .adaptive_restart = true});
+  for (std::uint32_t k = 1; k <= 4096; ++k) {
+    spec.on_estimate(1000.0 + k, k, false, k);
+    drain(rt);
+  }
+  // Opens at 1, 4, 10, 22, 46, ... — geometric, ~11 for 4096 estimates.
+  EXPECT_LE(probe.chains.size(), 14u)
+      << "backoff must be geometric, not a rollback storm";
+  EXPECT_GE(probe.chains.size(), 5u) << "backoff must still re-admit";
+  EXPECT_EQ(probe.rollbacks.size(), probe.chains.size());
+  // Deferrals never shrink: each open's index strictly exceeds the last.
+  for (std::size_t i = 1; i < probe.chains.size(); ++i) {
+    EXPECT_GT(probe.chains[i].index, probe.chains[i - 1].index);
+  }
+}
+
+TEST_F(SpeculatorFixture, RestartMinDeferFloorsAdaptiveBackoff) {
+  auto spec = make({.step_size = 1,
+                    .verify = VerificationPolicy::full(),
+                    .adaptive_restart = true,
+                    .restart_min_defer = 16});
+  spec.on_estimate(1.0, 1, false, 0);
+  spec.on_estimate(9.0, 2, false, 1);  // bare doubling would defer to just 4
+  drain(rt);
+  ASSERT_EQ(probe.rollbacks.size(), 1u);
+  for (std::uint32_t k = 3; k < 16; ++k) {
+    EXPECT_FALSE(spec.wants_estimate(k, false)) << "k=" << k;
+  }
+  EXPECT_TRUE(spec.wants_estimate(16, false));
+}
+
+TEST_F(SpeculatorFixture, RestartMinDeferWithoutAdaptiveDefersReopen) {
+  auto spec = make({.step_size = 1,
+                    .verify = VerificationPolicy::full(),
+                    .restart_min_defer = 8});
+  spec.on_estimate(1.0, 1, false, 0);
+  spec.on_estimate(9.0, 2, false, 1);  // rollback; paper behaviour would
+  drain(rt);                           // re-speculate on the spot
+  ASSERT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_EQ(probe.chains.size(), 1u) << "the floor blocks instant re-spec";
+  EXPECT_FALSE(spec.wants_estimate(7, false));
+  EXPECT_TRUE(spec.wants_estimate(8, false));
+  spec.on_estimate(9.1, 8, false, 2);
+  drain(rt);
+  EXPECT_EQ(probe.chains.size(), 2u);
+}
+
+TEST_F(SpeculatorFixture, AdaptiveBackoffSaturatesAtUint32Max) {
+  auto spec = make({.step_size = 1,
+                    .verify = VerificationPolicy::full(),
+                    .adaptive_restart = true});
+  spec.on_estimate(1.0, 3'000'000'000u, false, 0);
+  spec.on_estimate(9.0, 3'000'000'001u, false, 1);  // 2·latest overflows u32
+  drain(rt);
+  ASSERT_EQ(probe.rollbacks.size(), 1u);
+  EXPECT_FALSE(spec.wants_estimate(4'000'000'000u, false));
+  EXPECT_TRUE(spec.wants_estimate(UINT32_MAX, false))
+      << "the deferral saturates instead of wrapping to a tiny index";
+}
+
+TEST_F(SpeculatorFixture, RetuneAppliesKnobsAndPinsStructure) {
+  auto spec = make({.step_size = 2, .tolerance = 0.25});
+  EXPECT_TRUE(spec.wants_estimate(2, false));
+  EXPECT_EQ(spec.retunes(), 0u);
+
+  tvs::SpecConfig next;
+  next.step_size = 8;
+  next.tolerance = 0.9;  // structural — must NOT take
+  spec.retune(next);
+  EXPECT_EQ(spec.retunes(), 1u);
+  EXPECT_EQ(spec.config().step_size, 8u);
+  EXPECT_DOUBLE_EQ(spec.config().tolerance, 0.25)
+      << "tolerance is captured by the pipeline at build time; retune pins it";
+  EXPECT_FALSE(spec.wants_estimate(2, false));
+  EXPECT_TRUE(spec.wants_estimate(8, false));
+
+  spec.on_estimate(1.0, 8, false, 0);
+  ASSERT_EQ(probe.chains.size(), 1u) << "callbacks survive the retune";
+  EXPECT_EQ(probe.chains[0].index, 8u);
+}
+
 TEST_F(SpeculatorFixture, FailedCheckWithFinalKnownGoesNaturalNotReSpec) {
   // Satellite regression: a failing non-final check whose verdict lands
   // after the final estimate arrived must fall back to the natural path —

@@ -228,6 +228,20 @@ TEST(KernelDiff, RandomizedContainerFuzzAcrossLevels) {
 
 // --- Dispatch plumbing -----------------------------------------------------
 
+// Must run before any other test hands parse() an unrecognized value: the
+// warning fires once per process, and this test owns that first shot.
+TEST(SimdProbe, WarnsOnceOnUnrecognizedValue) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(tvs::simd::parse("axv2"), tvs::simd::detect());   // typo: warns
+  EXPECT_EQ(tvs::simd::parse("bogus"), tvs::simd::detect());  // silent now
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unrecognized TVS_SIMD"), std::string::npos)
+      << "a typo'd TVS_SIMD must not silently become auto-detect";
+  EXPECT_NE(err.find("axv2"), std::string::npos);
+  EXPECT_NE(err.find("auto-detect"), std::string::npos);
+  EXPECT_EQ(err.find("bogus"), std::string::npos) << "warns once per process";
+}
+
 TEST(SimdProbe, ParseHonorsTheTvsSimdGrammar) {
   EXPECT_EQ(tvs::simd::parse("0"), Level::Scalar);
   EXPECT_EQ(tvs::simd::parse("scalar"), Level::Scalar);

@@ -1,0 +1,103 @@
+// DeltaView: interval rates and quantiles over Registry snapshots — the
+// control plane's sensor layer.
+#include "metrics/derived.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/registry.h"
+
+namespace {
+
+TEST(DeltaView, UnprimedViewReadsZero) {
+  metrics::Registry reg;
+  reg.counter("c").add(100);
+  metrics::DeltaView view(reg);
+  EXPECT_DOUBLE_EQ(view.counter_delta("c"), 0.0);
+  EXPECT_DOUBLE_EQ(view.counter_rate("c"), 0.0);
+  EXPECT_EQ(view.interval_us(), 0u);
+  view.advance(1'000);  // one snapshot is still not an interval
+  EXPECT_DOUBLE_EQ(view.counter_delta("c"), 0.0);
+  EXPECT_EQ(view.interval_us(), 0u);
+}
+
+TEST(DeltaView, CounterDeltaCoversOnlyTheInterval) {
+  metrics::Registry reg;
+  auto& c = reg.counter("rollbacks_total");
+  c.add(7);  // pre-interval history must not leak in
+  metrics::DeltaView view(reg);
+  view.advance(0);
+  c.add(5);
+  view.advance(1'000'000);
+  EXPECT_DOUBLE_EQ(view.counter_delta("rollbacks_total"), 5.0);
+  EXPECT_DOUBLE_EQ(view.counter_rate("rollbacks_total"), 5.0);
+  EXPECT_EQ(view.interval_us(), 1'000'000u);
+  // The next interval starts from the newer snapshot.
+  view.advance(1'500'000);
+  EXPECT_DOUBLE_EQ(view.counter_delta("rollbacks_total"), 0.0);
+}
+
+TEST(DeltaView, LabelSubstringSelectsSeries) {
+  metrics::Registry reg;
+  metrics::DeltaView view(reg);
+  view.advance(0);
+  reg.counter("shed_total", "reason=\"deadline\"").add(3);
+  reg.counter("shed_total", "reason=\"queue_full\"").add(10);
+  view.advance(1'000'000);
+  EXPECT_DOUBLE_EQ(view.counter_delta("shed_total", "reason=\"deadline\""), 3.0);
+  EXPECT_DOUBLE_EQ(view.counter_delta("shed_total"), 13.0) << "empty = all";
+  EXPECT_DOUBLE_EQ(view.counter_delta("shed_total", "reason=\"nope\""), 0.0);
+}
+
+TEST(DeltaView, CountersBornMidIntervalCountFromZero) {
+  metrics::Registry reg;
+  metrics::DeltaView view(reg);
+  view.advance(0);
+  reg.counter("fresh").add(4);  // did not exist in the previous snapshot
+  view.advance(1'000);
+  EXPECT_DOUBLE_EQ(view.counter_delta("fresh"), 4.0);
+}
+
+TEST(DeltaView, HistogramQuantileIsIntervalLocal) {
+  metrics::Registry reg;
+  auto& h = reg.histogram("wait_us", "priority=\"interactive\"");
+  for (int i = 0; i < 100; ++i) h.observe(1'000'000);  // old, huge waits
+  metrics::DeltaView view(reg);
+  view.advance(0);
+  for (int i = 0; i < 99; ++i) h.observe(100);
+  h.observe(60'000);
+  view.advance(50'000);
+  // p50 of the interval must reflect the fresh small samples, not the
+  // million-microsecond history before the view was primed.
+  const double p50 =
+      view.histogram_quantile("wait_us", "priority=\"interactive\"", 0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 255.0) << "log-bucket upper bound: <= 2x the true p50";
+  const double p95 =
+      view.histogram_quantile("wait_us", "priority=\"interactive\"", 0.95);
+  EXPECT_LE(p95, 255.0) << "99 of 100 samples are ~100us";
+  const double p995 =
+      view.histogram_quantile("wait_us", "priority=\"interactive\"", 0.995);
+  EXPECT_GE(p995, 60'000.0) << "the tail sample surfaces at high q";
+}
+
+TEST(DeltaView, HistogramQuantileZeroWhenQuietOrAbsent) {
+  metrics::Registry reg;
+  reg.histogram("h").observe(50);
+  metrics::DeltaView view(reg);
+  view.advance(0);
+  view.advance(1'000);  // no new samples in the interval
+  EXPECT_DOUBLE_EQ(view.histogram_quantile("h", "", 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(view.histogram_quantile("missing", "", 0.95), 0.0);
+}
+
+TEST(DeltaView, RateIsZeroOnEmptyInterval) {
+  metrics::Registry reg;
+  metrics::DeltaView view(reg);
+  view.advance(1'000);
+  reg.counter("c").add(5);
+  view.advance(1'000);  // zero-length interval: delta yes, rate no
+  EXPECT_DOUBLE_EQ(view.counter_delta("c"), 5.0);
+  EXPECT_DOUBLE_EQ(view.counter_rate("c"), 0.0);
+}
+
+}  // namespace

@@ -19,6 +19,11 @@
 #   tools/ci.sh kernels    # data-plane kernel gate: the differential suite
 #                          # plus codec/histogram/io tests under asan+ubsan
 #                          # with TVS_SIMD forced to every dispatch level
+#   tools/ci.sh control    # adaptive-control-plane gate: controller logic,
+#                          # delta-view, serving integration and retune-race
+#                          # tests, then the ablation A/B in --smoke mode
+#                          # (adaptive must match best static, beat worst,
+#                          # stay bit-identical when disabled, <2% overhead)
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -98,6 +103,24 @@ if [[ "${1:-}" == "flight" ]]; then
   # post-mortem dump on disk.
   timeout "${TVS_SERVE_SMOKE_TIMEBOX_S:-10}" ./build/bench/serve_load --smoke
   echo "== flight green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "control" ]]; then
+  echo "== control: adaptive control plane gate (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  # Decision logic (bands/dwell/bounds), signal derivation, the serving
+  # integration (retunes reaching live sessions), and the retune-vs-worker
+  # race suite that the tsan label also covers.
+  ctest --test-dir build --output-on-failure -j"$JOBS" \
+    -R 'Classify|KnobTest|SpecTunerTest|AdmissionTunerTest|ControllerTest|DeltaView|ControlIntegration|RetuneRace'
+  # Deterministic virtual-time A/B: adaptive vs static arms on a spliced
+  # phase-changing corpus, plus the bit-identical-when-disabled and
+  # sampling-overhead gates (TVS_ABLATION_TOL_PCT / TVS_OVERHEAD_MAX_PCT
+  # override the budgets).
+  timeout "${TVS_CONTROL_SMOKE_TIMEBOX_S:-120}" ./build/bench/ablation_control --smoke
+  echo "== control green =="
   exit 0
 fi
 
