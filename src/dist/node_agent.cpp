@@ -1,0 +1,236 @@
+#include "dist/node_agent.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "dist/protocol.h"
+
+namespace dist {
+namespace {
+
+using MsgU16 = std::uint16_t;
+
+constexpr MsgU16 type_of(MsgType t) { return static_cast<MsgU16>(t); }
+
+}  // namespace
+
+NodeAgent::NodeAgent(NodeAgentOptions opts) : opts_(std::move(opts)) {}
+
+NodeAgent::~NodeAgent() {
+  try {
+    stop();
+  } catch (...) {
+    // stop() drains the manager; its errors are observable via an explicit
+    // stop() call, never out of the destructor.
+  }
+}
+
+void NodeAgent::start() {
+  listener_ = std::make_unique<net::Listener>(opts_.port);
+  port_ = listener_->port();
+  mgr_ = std::make_unique<serve::SessionManager>(opts_.service);
+  accept_thread_ = std::thread(&NodeAgent::accept_main, this);
+}
+
+void NodeAgent::join() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void NodeAgent::stop() {
+  if (stopping_.exchange(true)) {
+    join();
+    return;
+  }
+  if (listener_) listener_->close();
+  {
+    std::scoped_lock lk(conn_mu_);
+    conn_done_ = true;
+    if (conn_ != nullptr) conn_->close();
+  }
+  conn_cv_.notify_all();
+  join();
+  if (mgr_) mgr_->drain();
+}
+
+void NodeAgent::accept_main() {
+  for (;;) {
+    net::Socket sock = listener_->accept();
+    if (!sock.valid()) break;  // listener closed: shutdown
+    handle_connection(std::move(sock));
+    if (opts_.once || stopping_.load()) break;
+  }
+}
+
+void NodeAgent::handle_connection(net::Socket sock) {
+  net::Channel ch(std::move(sock));
+  try {
+    // Handshake: the first frame must be Hello; anything else is a peer we
+    // do not speak to.
+    net::Frame f;
+    if (!ch.recv(f)) return;
+    if (f.type != type_of(MsgType::Hello)) {
+      std::fprintf(stderr, "tvsc served[%s]: peer opened with %s, dropping\n",
+                   opts_.name.c_str(),
+                   to_string(static_cast<MsgType>(f.type)).c_str());
+      return;
+    }
+    (void)decode_hello(f.payload);  // validates; peer name unused for now
+    HelloAckMsg ack;
+    ack.node_name = opts_.name;
+    ack.workers = opts_.service.workers;
+    ack.max_concurrent = opts_.service.max_concurrent;
+    ack.load = mgr_->load_snapshot();
+    if (!ch.send(type_of(MsgType::HelloAck), encode(ack))) return;
+  } catch (const net::NetError& e) {
+    std::fprintf(stderr, "tvsc served[%s]: handshake failed: %s\n",
+                 opts_.name.c_str(), e.what());
+    return;
+  }
+
+  {
+    std::scoped_lock lk(conn_mu_);
+    conn_ = &ch;
+    draining_ = false;
+    conn_done_ = false;
+    outstanding_.clear();
+  }
+  std::thread collector(&NodeAgent::collector_main, this, std::ref(ch));
+  std::thread heartbeat(&NodeAgent::heartbeat_main, this, std::ref(ch));
+
+  // Reader loop: the connection's command stream. A malformed frame from
+  // the peer poisons only this connection — the agent logs, closes and goes
+  // back to accept(); sessions already admitted keep running to completion.
+  try {
+    net::Frame f;
+    while (ch.recv(f)) {
+      if (f.type == type_of(MsgType::Submit)) {
+        const SubmitMsg msg = decode_submit(f.payload);
+        serve::SessionConfig sc;
+        sc.name = msg.spec.name;
+        sc.priority = msg.spec.priority;
+        sc.queue_deadline_us = msg.spec.queue_deadline_us;
+        sc.run = to_run_config(msg.spec);
+        const auto outcome = mgr_->submit(std::move(sc));
+        SubmitAckMsg ack;
+        ack.global_id = msg.global_id;
+        ack.accepted = outcome.accepted;
+        ack.shed_reason = outcome.shed_reason;
+        ack.queued = outcome.queued;
+        if (outcome.accepted) {
+          std::scoped_lock lk(conn_mu_);
+          outstanding_.emplace(msg.global_id, outcome.id);
+          conn_cv_.notify_all();
+        }
+        if (!ch.send(type_of(MsgType::SubmitAck), encode(ack))) break;
+      } else if (f.type == type_of(MsgType::Drain)) {
+        std::scoped_lock lk(conn_mu_);
+        draining_ = true;
+        conn_cv_.notify_all();
+      } else {
+        std::fprintf(stderr, "tvsc served[%s]: unexpected %s, dropping\n",
+                     opts_.name.c_str(),
+                     to_string(static_cast<MsgType>(f.type)).c_str());
+      }
+    }
+  } catch (const net::NetError& e) {
+    std::fprintf(stderr, "tvsc served[%s]: connection error: %s\n",
+                 opts_.name.c_str(), e.what());
+  }
+
+  {
+    std::scoped_lock lk(conn_mu_);
+    conn_done_ = true;
+    conn_ = nullptr;
+    outstanding_.clear();
+  }
+  conn_cv_.notify_all();
+  ch.close();
+  collector.join();
+  heartbeat.join();
+}
+
+void NodeAgent::collector_main(net::Channel& ch) {
+  std::unique_lock lk(conn_mu_);
+  for (;;) {
+    if (conn_done_) return;
+    if (!frozen_.load()) {
+      // Scan tracked sessions for terminal states. stats() is one lock
+      // acquisition on the manager; at the session grain this poll is far
+      // below the noise floor of the work it observes.
+      std::vector<std::pair<std::uint64_t, serve::SessionId>> terminal;
+      for (const auto& [gid, local] : outstanding_) {
+        const auto st = mgr_->stats(local);
+        if (st.state == serve::SessionState::Done ||
+            st.state == serve::SessionState::Shed ||
+            st.state == serve::SessionState::Failed) {
+          terminal.emplace_back(gid, local);
+        }
+      }
+      for (const auto& [gid, local] : terminal) outstanding_.erase(gid);
+      lk.unlock();
+      bool sent_ok = true;
+      for (const auto& [gid, local] : terminal) {
+        const auto st = mgr_->stats(local);
+        ResultMsg msg;
+        msg.global_id = gid;
+        msg.latency_us = st.latency_us();
+        if (st.state == serve::SessionState::Done) {
+          // wait() returns immediately: the state is already terminal.
+          const pipeline::RunResult* r = mgr_->wait(local);
+          msg.state = WireState::Done;
+          if (r != nullptr) {
+            msg.rollbacks = r->rollbacks;
+            msg.container = r->container;
+          }
+        } else if (st.state == serve::SessionState::Shed) {
+          msg.state = WireState::Shed;
+          msg.detail = st.shed_reason;
+        } else {
+          msg.state = WireState::Failed;
+          msg.detail = st.error;
+        }
+        mgr_->release(local);  // container copied out; drop the heavy state
+        if (!ch.send(type_of(MsgType::Result), encode(msg))) {
+          sent_ok = false;
+          break;
+        }
+      }
+      lk.lock();
+      if (!sent_ok) {
+        // Peer gone mid-result: the reader will see EOF and tear down; stop
+        // trying to deliver.
+        conn_cv_.wait(lk, [&] { return conn_done_; });
+        return;
+      }
+      if (draining_ && outstanding_.empty()) {
+        lk.unlock();
+        (void)ch.send(type_of(MsgType::DrainAck), {});
+        lk.lock();
+        conn_cv_.wait(lk, [&] { return conn_done_; });
+        return;
+      }
+    }
+    conn_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                      [&] { return conn_done_; });
+  }
+}
+
+void NodeAgent::heartbeat_main(net::Channel& ch) {
+  std::unique_lock lk(conn_mu_);
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, opts_.heartbeat_interval_ms));
+  for (;;) {
+    if (conn_cv_.wait_for(lk, interval, [&] { return conn_done_; })) return;
+    if (frozen_.load()) continue;
+    lk.unlock();
+    HeartbeatMsg hb;
+    hb.t_us = mgr_->now_us();
+    hb.load = mgr_->load_snapshot();
+    (void)ch.send(type_of(MsgType::Heartbeat), encode(hb));
+    lk.lock();
+  }
+}
+
+}  // namespace dist

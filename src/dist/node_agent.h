@@ -1,0 +1,107 @@
+// NodeAgent: one serving node of the distributed layer — a local
+// serve::SessionManager wrapped in the framed RPC protocol (dist/protocol).
+//
+// The agent listens on loopback TCP, serves one router connection at a
+// time (the router is its only peer; a new connection can follow a closed
+// one), and runs three connection-scoped activities:
+//
+//   * the reader (the accept thread itself): Submit → SessionManager::submit
+//     → SubmitAck; Drain → finish in-flight work then DrainAck;
+//   * the collector thread: polls tracked sessions for terminal states and
+//     streams Result frames back (Done carries the compressed container;
+//     Shed/Failed carry the reason), then release()s them so agent memory
+//     stays bounded by in-flight sessions;
+//   * the heartbeat thread: periodic Heartbeat frames carrying the
+//     manager's LoadSnapshot — the router's placement signal and liveness
+//     proof.
+//
+// The SessionManager outlives connections: a router reconnect sees the
+// same node with its cumulative counters. freeze_for_test() silences the
+// heartbeat and collector without killing anything — the hook the
+// node-death tests use to force the router's heartbeat-timeout path (as
+// opposed to the EOF path a real crash takes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/channel.h"
+#include "net/socket.h"
+#include "serve/service_config.h"
+#include "serve/session_manager.h"
+
+namespace dist {
+
+struct NodeAgentOptions {
+  std::string name = "node";
+  std::uint16_t port = 0;  ///< 0 = pick a free port (see NodeAgent::port())
+  serve::ServiceConfig service;
+  std::uint64_t heartbeat_interval_ms = 50;
+  /// Exit the accept loop after the first connection closes (scripted runs:
+  /// `tvsc served --once` ends when its router disconnects).
+  bool once = false;
+};
+
+class NodeAgent {
+ public:
+  explicit NodeAgent(NodeAgentOptions opts);
+  /// Stops and drains; never throws out of the destructor.
+  ~NodeAgent();
+
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  /// Binds the listener, starts the SessionManager and the accept thread.
+  /// The agent is dialable on port() when this returns.
+  void start();
+
+  /// Blocks until the accept loop exits (only happens with once=true or
+  /// after stop()).
+  void join();
+
+  /// Closes the listener and any live connection, then drains the manager.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& name() const { return opts_.name; }
+  /// Valid between start() and stop().
+  [[nodiscard]] serve::SessionManager& manager() { return *mgr_; }
+
+  /// Test hook: true silences heartbeats AND result delivery while leaving
+  /// the connection open — to the router this node goes dark exactly the
+  /// way a wedged (not crashed) process does.
+  void freeze_for_test(bool on) { frozen_.store(on); }
+
+ private:
+  void accept_main();
+  void handle_connection(net::Socket sock);
+  void collector_main(net::Channel& ch);
+  void heartbeat_main(net::Channel& ch);
+
+  NodeAgentOptions opts_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<serve::SessionManager> mgr_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> frozen_{false};
+
+  // --- Connection-scoped state (guarded by conn_mu_) ---------------------
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  net::Channel* conn_ = nullptr;  ///< live connection's channel (teardown)
+  /// Sessions accepted on this connection awaiting a terminal state:
+  /// router's global id → local SessionManager id.
+  std::unordered_map<std::uint64_t, serve::SessionId> outstanding_;
+  bool draining_ = false;   ///< router sent Drain
+  bool conn_done_ = false;  ///< stops the collector/heartbeat threads
+};
+
+}  // namespace dist

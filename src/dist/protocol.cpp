@@ -1,0 +1,210 @@
+#include "dist/protocol.h"
+
+namespace dist {
+namespace {
+
+/// Range-checked enum decode: a hostile byte becomes a WireError, not an
+/// out-of-range enum value flowing into a switch.
+template <typename E>
+E checked_enum(std::uint8_t raw, std::uint8_t max, const char* what) {
+  if (raw > max) {
+    throw net::WireError(std::string("protocol: out-of-range ") + what +
+                         " value " + std::to_string(raw));
+  }
+  return static_cast<E>(raw);
+}
+
+void put_load(net::WireWriter& w, const serve::LoadSnapshot& l) {
+  for (std::size_t i = 0; i < serve::kPriorities; ++i) {
+    w.u64(l.queued[i]);
+  }
+  for (std::size_t i = 0; i < serve::kPriorities; ++i) {
+    w.u64(l.queue_capacity[i]);
+  }
+  w.u64(l.running);
+  w.u64(l.max_concurrent);
+  w.u64(l.done);
+  w.u64(l.shed);
+  w.u64(l.failed);
+}
+
+serve::LoadSnapshot get_load(net::WireReader& r) {
+  serve::LoadSnapshot l;
+  for (std::size_t i = 0; i < serve::kPriorities; ++i) {
+    l.queued[i] = static_cast<std::size_t>(r.u64());
+  }
+  for (std::size_t i = 0; i < serve::kPriorities; ++i) {
+    l.queue_capacity[i] = static_cast<std::size_t>(r.u64());
+  }
+  l.running = static_cast<std::size_t>(r.u64());
+  l.max_concurrent = static_cast<std::size_t>(r.u64());
+  l.done = r.u64();
+  l.shed = r.u64();
+  l.failed = r.u64();
+  return l;
+}
+
+void put_spec(net::WireWriter& w, const SessionSpec& s) {
+  w.str(s.name);
+  w.u8(static_cast<std::uint8_t>(s.priority));
+  w.u64(s.queue_deadline_us);
+  w.u8(static_cast<std::uint8_t>(s.file));
+  w.u64(s.bytes);
+  w.u64(s.seed);
+  w.str(s.input_path);
+  w.u8(static_cast<std::uint8_t>(s.policy));
+}
+
+SessionSpec get_spec(net::WireReader& r) {
+  SessionSpec s;
+  s.name = r.str();
+  s.priority = checked_enum<serve::Priority>(
+      r.u8(), static_cast<std::uint8_t>(serve::Priority::Bulk), "priority");
+  s.queue_deadline_us = r.u64();
+  s.file = checked_enum<wl::FileKind>(
+      r.u8(), static_cast<std::uint8_t>(wl::FileKind::Pdf), "file kind");
+  s.bytes = r.u64();
+  s.seed = r.u64();
+  s.input_path = r.str();
+  s.policy = checked_enum<sre::DispatchPolicy>(
+      r.u8(), static_cast<std::uint8_t>(sre::DispatchPolicy::Balanced),
+      "dispatch policy");
+  return s;
+}
+
+}  // namespace
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::HelloAck: return "HelloAck";
+    case MsgType::Submit: return "Submit";
+    case MsgType::SubmitAck: return "SubmitAck";
+    case MsgType::Result: return "Result";
+    case MsgType::Heartbeat: return "Heartbeat";
+    case MsgType::Drain: return "Drain";
+    case MsgType::DrainAck: return "DrainAck";
+  }
+  return "MsgType(" + std::to_string(static_cast<std::uint16_t>(t)) + ")";
+}
+
+pipeline::RunConfig to_run_config(const SessionSpec& spec) {
+  pipeline::RunConfig cfg = pipeline::RunConfig::x86_disk(spec.file, spec.policy);
+  cfg.bytes = static_cast<std::size_t>(spec.bytes);
+  cfg.seed = spec.seed;
+  cfg.input_path = spec.input_path;
+  return cfg;
+}
+
+std::vector<std::uint8_t> encode(const HelloMsg& m) {
+  net::WireWriter w;
+  w.str(m.peer_name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const HelloAckMsg& m) {
+  net::WireWriter w;
+  w.str(m.node_name);
+  w.u32(m.workers);
+  w.u64(m.max_concurrent);
+  put_load(w, m.load);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const SubmitMsg& m) {
+  net::WireWriter w;
+  w.u64(m.global_id);
+  put_spec(w, m.spec);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const SubmitAckMsg& m) {
+  net::WireWriter w;
+  w.u64(m.global_id);
+  w.u8(m.accepted ? 1 : 0);
+  w.str(m.shed_reason);
+  w.u64(m.queued);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ResultMsg& m) {
+  net::WireWriter w;
+  w.u64(m.global_id);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.str(m.detail);
+  w.u64(m.latency_us);
+  w.u64(m.rollbacks);
+  w.bytes(m.container);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m) {
+  net::WireWriter w;
+  w.u64(m.t_us);
+  put_load(w, m.load);
+  return w.take();
+}
+
+HelloMsg decode_hello(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  HelloMsg m;
+  m.peer_name = r.str();
+  r.expect_end();
+  return m;
+}
+
+HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  HelloAckMsg m;
+  m.node_name = r.str();
+  m.workers = r.u32();
+  m.max_concurrent = r.u64();
+  m.load = get_load(r);
+  r.expect_end();
+  return m;
+}
+
+SubmitMsg decode_submit(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  SubmitMsg m;
+  m.global_id = r.u64();
+  m.spec = get_spec(r);
+  r.expect_end();
+  return m;
+}
+
+SubmitAckMsg decode_submit_ack(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  SubmitAckMsg m;
+  m.global_id = r.u64();
+  m.accepted = r.u8() != 0;
+  m.shed_reason = r.str();
+  m.queued = r.u64();
+  r.expect_end();
+  return m;
+}
+
+ResultMsg decode_result(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  ResultMsg m;
+  m.global_id = r.u64();
+  m.state = checked_enum<WireState>(
+      r.u8(), static_cast<std::uint8_t>(WireState::Failed), "terminal state");
+  m.detail = r.str();
+  m.latency_us = r.u64();
+  m.rollbacks = r.u64();
+  m.container = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+HeartbeatMsg decode_heartbeat(const std::vector<std::uint8_t>& p) {
+  net::WireReader r(p);
+  HeartbeatMsg m;
+  m.t_us = r.u64();
+  m.load = get_load(r);
+  r.expect_end();
+  return m;
+}
+
+}  // namespace dist

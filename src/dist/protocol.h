@@ -1,0 +1,129 @@
+// Distributed-serving protocol: the messages a router and a node agent
+// exchange over one net::Channel, and their wire codecs.
+//
+// Connection shape (router is always the dialing side):
+//
+//   router ──connect──► agent
+//   router ──Hello─────► agent          identify the peer
+//   router ◄──HelloAck── agent          node name/capacity + first snapshot
+//   router ──Submit────► agent          one session (spec, not bytes: the
+//                                       workload is synthetic or a path)
+//   router ◄──SubmitAck─ agent          admitted-or-shed, queue depth
+//   router ◄──Result──── agent          terminal state + container bytes
+//   router ◄──Heartbeat─ agent          periodic health + LoadSnapshot
+//   router ──Drain─────► agent          finish in-flight, then
+//   router ◄──DrainAck── agent          ...agent confirms and both close
+//
+// Every decode_* routine consumes a net::WireReader to the end and throws
+// net::WireError on anything short, oversized or out-of-range — a hostile
+// or version-skewed peer produces a clean per-connection error, never an
+// over-read (frame-level hardening is in net/frame.h; this layer adds enum
+// range checks and exact-length enforcement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "pipeline/run_config.h"
+#include "serve/load.h"
+#include "serve/session.h"
+
+namespace dist {
+
+enum class MsgType : std::uint16_t {
+  Hello = 1,
+  HelloAck = 2,
+  Submit = 3,
+  SubmitAck = 4,
+  Result = 5,
+  Heartbeat = 6,
+  Drain = 7,
+  DrainAck = 8,
+};
+
+[[nodiscard]] std::string to_string(MsgType t);
+
+/// What a client asks the cluster to run: serving metadata plus a compact
+/// workload description. The workload travels as a *spec* (synthetic
+/// corpus parameters or an input path resolved on the serving node), so a
+/// Submit frame stays small no matter how large the input is; both sides
+/// expand it through the same to_run_config(), which is what makes
+/// distributed output byte-identical to a local run of the same spec.
+struct SessionSpec {
+  std::string name;
+  serve::Priority priority = serve::Priority::Batch;
+  std::uint64_t queue_deadline_us = 0;
+
+  wl::FileKind file = wl::FileKind::Txt;
+  std::uint64_t bytes = 0;  ///< synthetic corpus size (0 = paper size)
+  std::uint64_t seed = 42;
+  /// Non-empty: compress this file (a path on the *serving* node's disk)
+  /// instead of a synthetic corpus.
+  std::string input_path;
+  sre::DispatchPolicy policy = sre::DispatchPolicy::Balanced;
+};
+
+/// Expands a spec into the full run configuration, identically on every
+/// node (RunConfig::x86_disk plus the spec's overrides).
+[[nodiscard]] pipeline::RunConfig to_run_config(const SessionSpec& spec);
+
+struct HelloMsg {
+  std::string peer_name;
+};
+
+struct HelloAckMsg {
+  std::string node_name;
+  std::uint32_t workers = 0;
+  std::uint64_t max_concurrent = 0;
+  serve::LoadSnapshot load;
+};
+
+struct SubmitMsg {
+  std::uint64_t global_id = 0;  ///< router-assigned, cluster-unique
+  SessionSpec spec;
+};
+
+struct SubmitAckMsg {
+  std::uint64_t global_id = 0;
+  bool accepted = false;
+  std::string shed_reason;  ///< non-empty iff !accepted
+  std::uint64_t queued = 0;  ///< agent's admission depth after the offer
+};
+
+/// Terminal session states as they travel on the wire (a strict subset of
+/// serve::SessionState — only terminal states are ever reported).
+enum class WireState : std::uint8_t { Done = 0, Shed = 1, Failed = 2 };
+
+struct ResultMsg {
+  std::uint64_t global_id = 0;
+  WireState state = WireState::Done;
+  std::string detail;  ///< shed reason or error; empty for Done
+  std::uint64_t latency_us = 0;
+  std::uint64_t rollbacks = 0;
+  std::vector<std::uint8_t> container;  ///< compressed output (Done only)
+};
+
+struct HeartbeatMsg {
+  std::uint64_t t_us = 0;  ///< agent engine time (monotonic per node)
+  serve::LoadSnapshot load;
+};
+
+// Drain and DrainAck carry no payload.
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const HelloMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const HelloAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ResultMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
+
+[[nodiscard]] HelloMsg decode_hello(const std::vector<std::uint8_t>& p);
+[[nodiscard]] HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p);
+[[nodiscard]] SubmitMsg decode_submit(const std::vector<std::uint8_t>& p);
+[[nodiscard]] SubmitAckMsg decode_submit_ack(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ResultMsg decode_result(const std::vector<std::uint8_t>& p);
+[[nodiscard]] HeartbeatMsg decode_heartbeat(const std::vector<std::uint8_t>& p);
+
+}  // namespace dist

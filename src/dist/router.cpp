@@ -1,0 +1,366 @@
+#include "dist/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace dist {
+namespace {
+
+constexpr std::uint16_t type_of(MsgType t) {
+  return static_cast<std::uint16_t>(t);
+}
+
+}  // namespace
+
+Router::Router(RouterOptions opts) : opts_(std::move(opts)) {
+  monitor_ = std::thread(&Router::monitor_main, this);
+}
+
+Router::~Router() {
+  try {
+    drain();
+  } catch (...) {
+  }
+  {
+    std::scoped_lock lk(mu_);
+    stopped_ = true;
+    for (auto& n : nodes_) {
+      if (n->ch) n->ch->close();
+    }
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  for (auto& n : nodes_) {
+    if (n->reader.joinable()) n->reader.join();
+  }
+}
+
+void Router::add_node(const std::string& host, std::uint16_t port) {
+  net::Socket sock = net::connect_tcp(host, port, opts_.connect_timeout_ms);
+  auto ch = std::make_unique<net::Channel>(std::move(sock));
+  HelloMsg hello;
+  hello.peer_name = opts_.name;
+  if (!ch->send(type_of(MsgType::Hello), encode(hello))) {
+    throw net::SocketError("router: " + host + ":" + std::to_string(port) +
+                           " closed during handshake");
+  }
+  net::Frame f;
+  if (!ch->recv(f) || f.type != type_of(MsgType::HelloAck)) {
+    throw net::FrameError("router: " + host + ":" + std::to_string(port) +
+                          " did not answer Hello with HelloAck");
+  }
+  const HelloAckMsg ack = decode_hello_ack(f.payload);
+
+  std::scoped_lock lk(mu_);
+  auto node = std::make_unique<Node>();
+  node->name = ack.node_name;
+  // Disambiguate duplicate agent names — death attribution must point at
+  // one specific node.
+  for (const auto& existing : nodes_) {
+    if (existing->name == node->name) {
+      const std::string suffix = std::to_string(nodes_.size());
+      node->name.reserve(node->name.size() + suffix.size() + 1);
+      node->name.push_back('#');
+      node->name.append(suffix);
+      break;
+    }
+  }
+  node->ch = std::move(ch);
+  node->load = ack.load;
+  node->last_hb = std::chrono::steady_clock::now();
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  raw->reader = std::thread(&Router::reader_main, this, raw);
+}
+
+Router::Node* Router::place_locked(serve::Priority p, bool* spilled,
+                                   const char** reason) {
+  *spilled = false;
+  const auto ix = static_cast<std::size_t>(p);
+  Node* best_overall = nullptr;   // least-loaded alive node, period
+  Node* best_eligible = nullptr;  // least-loaded with class-queue room
+  double score_overall = 0.0, score_eligible = 0.0;
+  for (const auto& up : nodes_) {
+    Node& n = *up;
+    if (!n.alive) continue;
+    serve::LoadSnapshot eff = n.load;
+    // Fold in our own in-flight submits the node has not acked yet.
+    for (std::size_t q = 0; q < serve::kPriorities; ++q) {
+      eff.queued[q] += n.pending[q];
+    }
+    const double score = eff.load_score();
+    if (best_overall == nullptr || score < score_overall) {
+      best_overall = &n;
+      score_overall = score;
+    }
+    // Interactive is always eligible: the node's own soft cap spares it,
+    // and a full Interactive queue still sheds at most this one session —
+    // whereas refusing to forward would shed it for certain.
+    const bool eligible = p == serve::Priority::Interactive ||
+                          eff.queued[ix] < eff.queue_capacity[ix];
+    if (eligible && (best_eligible == nullptr || score < score_eligible)) {
+      best_eligible = &n;
+      score_eligible = score;
+    }
+  }
+  if (best_overall == nullptr) {
+    *reason = "no-nodes";
+    return nullptr;
+  }
+  if (best_eligible == nullptr) {
+    *reason = "cluster-full";
+    return nullptr;
+  }
+  *spilled = best_eligible != best_overall;
+  return best_eligible;
+}
+
+Router::SubmitOutcome Router::submit(SessionSpec spec) {
+  std::scoped_lock lk(mu_);
+  SubmitOutcome out;
+  out.id = next_id_++;
+  ++totals_.submitted;
+
+  SessionOutcome rec;
+  rec.id = out.id;
+  rec.name = spec.name;
+  rec.priority = spec.priority;
+
+  const char* reason = "";
+  bool spilled = false;
+  Node* node = draining_ ? nullptr : place_locked(spec.priority, &spilled, &reason);
+  if (draining_) reason = "shutdown";
+  if (node == nullptr) {
+    out.shed_reason = reason;
+    rec.terminal = true;
+    rec.state = WireState::Shed;
+    rec.detail = reason;
+    ++totals_.shed_router;
+    sessions_.emplace(rec.id, std::move(rec));
+    cv_.notify_all();
+    return out;
+  }
+
+  SubmitMsg msg;
+  msg.global_id = out.id;
+  msg.spec = std::move(spec);
+  if (!node->ch->send(type_of(MsgType::Submit), encode(msg))) {
+    // The connection died under us; the reader will attribute in-flight
+    // sessions. This one never reached the node — fail it here.
+    mark_dead_locked(*node, "connection lost on submit");
+    rec.terminal = true;
+    rec.state = WireState::Failed;
+    rec.detail = "node '" + node->name + "' lost: connection closed on submit";
+    ++totals_.failed;
+    sessions_.emplace(rec.id, std::move(rec));
+    cv_.notify_all();
+    out.shed_reason = rec.detail;
+    return out;
+  }
+  node->pending[static_cast<std::size_t>(msg.spec.priority)] += 1;
+  rec.node = node->name;
+  sessions_.emplace(rec.id, std::move(rec));
+  out.placed = true;
+  out.node = node->name;
+  out.spilled = spilled;
+  ++totals_.routed;
+  if (spilled) ++totals_.spilled;
+  return out;
+}
+
+void Router::reader_main(Node* n) {
+  for (;;) {
+    net::Frame f;
+    bool open = false;
+    try {
+      open = n->ch->recv(f);
+    } catch (const net::NetError& e) {
+      std::scoped_lock lk(mu_);
+      if (n->alive) {
+        mark_dead_locked(*n, std::string("protocol error: ") + e.what());
+      }
+      return;
+    }
+    std::scoped_lock lk(mu_);
+    if (!open) {
+      // Clean EOF: normal after DrainAck (or once we marked it dead and
+      // closed the channel ourselves); anything else is a crashed peer.
+      if (n->alive && !n->drain_acked && !stopped_) {
+        mark_dead_locked(*n, "connection closed");
+      }
+      return;
+    }
+    if (f.type == type_of(MsgType::Heartbeat)) {
+      try {
+        const HeartbeatMsg hb = decode_heartbeat(f.payload);
+        n->load = hb.load;
+        n->last_hb = std::chrono::steady_clock::now();
+      } catch (const net::WireError& e) {
+        mark_dead_locked(*n, std::string("bad heartbeat: ") + e.what());
+        return;
+      }
+    } else if (f.type == type_of(MsgType::SubmitAck)) {
+      try {
+        const SubmitAckMsg ack = decode_submit_ack(f.payload);
+        auto it = sessions_.find(ack.global_id);
+        if (it != sessions_.end()) {
+          auto& p =
+              n->pending[static_cast<std::size_t>(it->second.priority)];
+          if (p > 0) --p;
+          if (!ack.accepted && !it->second.terminal) {
+            it->second.terminal = true;
+            it->second.state = WireState::Shed;
+            it->second.detail = ack.shed_reason;
+            ++totals_.shed_node;
+            ++n->shed;
+            cv_.notify_all();
+          }
+        }
+      } catch (const net::WireError& e) {
+        mark_dead_locked(*n, std::string("bad ack: ") + e.what());
+        return;
+      }
+    } else if (f.type == type_of(MsgType::Result)) {
+      try {
+        ResultMsg msg = decode_result(f.payload);
+        auto it = sessions_.find(msg.global_id);
+        if (it != sessions_.end() && !it->second.terminal) {
+          it->second.terminal = true;
+          it->second.state = msg.state;
+          it->second.detail = std::move(msg.detail);
+          it->second.latency_us = msg.latency_us;
+          it->second.rollbacks = msg.rollbacks;
+          it->second.container = std::move(msg.container);
+          switch (it->second.state) {
+            case WireState::Done: ++totals_.done; ++n->done; break;
+            case WireState::Shed: ++totals_.shed_node; ++n->shed; break;
+            case WireState::Failed: ++totals_.failed; ++n->failed; break;
+          }
+          cv_.notify_all();
+        }
+      } catch (const net::WireError& e) {
+        mark_dead_locked(*n, std::string("bad result: ") + e.what());
+        return;
+      }
+    } else if (f.type == type_of(MsgType::DrainAck)) {
+      n->drain_acked = true;
+      cv_.notify_all();
+    }
+    // Unknown-but-well-framed types are skipped: forward compatibility
+    // within a protocol version.
+  }
+}
+
+void Router::monitor_main() {
+  std::unique_lock lk(mu_);
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, opts_.monitor_interval_ms));
+  const auto timeout =
+      std::chrono::milliseconds(std::max<std::uint64_t>(1, opts_.heartbeat_timeout_ms));
+  for (;;) {
+    if (cv_.wait_for(lk, interval, [&] { return stopped_; })) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& n : nodes_) {
+      if (n->alive && !n->drain_acked && now - n->last_hb > timeout) {
+        mark_dead_locked(
+            *n, "heartbeat timeout (" +
+                    std::to_string(opts_.heartbeat_timeout_ms) + " ms)");
+      }
+    }
+  }
+}
+
+void Router::mark_dead_locked(Node& n, const std::string& why) {
+  if (!n.alive) return;
+  n.alive = false;
+  ++totals_.node_deaths;
+  std::fprintf(stderr, "router: node '%s' marked dead: %s\n", n.name.c_str(),
+               why.c_str());
+  for (auto& [id, rec] : sessions_) {
+    if (!rec.terminal && rec.node == n.name) {
+      rec.terminal = true;
+      rec.state = WireState::Failed;
+      rec.detail = "node '" + n.name + "' lost: " + why;
+      ++totals_.failed;
+      ++n.failed;
+    }
+  }
+  // Wake the node's reader (EOF) and poison writes. Waiters re-check.
+  n.ch->close();
+  cv_.notify_all();
+}
+
+Router::SessionOutcome Router::wait(std::uint64_t id) {
+  std::unique_lock lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    SessionOutcome miss;
+    miss.id = id;
+    miss.terminal = true;
+    miss.state = WireState::Failed;
+    miss.detail = "unknown session id";
+    return miss;
+  }
+  cv_.wait(lk, [&] { return it->second.terminal; });
+  return it->second;
+}
+
+Router::Totals Router::totals() const {
+  std::scoped_lock lk(mu_);
+  return totals_;
+}
+
+std::vector<Router::NodeStatus> Router::nodes() const {
+  std::scoped_lock lk(mu_);
+  std::vector<NodeStatus> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    out.push_back({n->name, n->alive, n->load, n->done, n->shed, n->failed});
+  }
+  return out;
+}
+
+std::size_t Router::alive_nodes() const {
+  std::scoped_lock lk(mu_);
+  std::size_t k = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive) ++k;
+  }
+  return k;
+}
+
+void Router::drain() {
+  std::unique_lock lk(mu_);
+  if (draining_) return;
+  draining_ = true;
+  // 1. Every in-flight session resolves: results from live nodes, death
+  // attribution from the monitor for quiet ones — so this wait cannot hang
+  // on a dead node, only take one heartbeat timeout.
+  cv_.wait(lk, [&] {
+    return std::all_of(sessions_.begin(), sessions_.end(),
+                       [](const auto& kv) { return kv.second.terminal; });
+  });
+  // 2. Polite goodbye to survivors.
+  for (auto& n : nodes_) {
+    if (n->alive) (void)n->ch->send(type_of(MsgType::Drain), {});
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opts_.heartbeat_timeout_ms);
+  cv_.wait_until(lk, deadline, [&] {
+    return std::all_of(nodes_.begin(), nodes_.end(), [](const auto& n) {
+      return !n->alive || n->drain_acked;
+    });
+  });
+  for (auto& n : nodes_) n->ch->close();
+  lk.unlock();
+  for (auto& n : nodes_) {
+    if (n->reader.joinable()) n->reader.join();
+  }
+}
+
+}  // namespace dist

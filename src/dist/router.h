@@ -1,0 +1,166 @@
+// Router: the client-facing front of the distributed serving layer. Shards
+// sessions across N registered node agents (dist/node_agent) by
+// priority-aware least-load placement, spills saturated-class submits to
+// less-loaded nodes *before* shedding them, and degrades gracefully when a
+// node dies.
+//
+// Placement (one decision per submit, under the router lock):
+//   * every alive node is scored by LoadSnapshot::load_score() — queued +
+//     running work normalized by the concurrency window — plus the
+//     router's own in-flight-unacked submits (so a burst between two
+//     heartbeats does not dogpile one node);
+//   * the session lands on the lowest-scored node whose queue for its
+//     priority class has room (LoadSnapshot::would_shed — the *same*
+//     capacity test the node's ShedPolicy will apply);
+//   * spill-before-shed: when the least-loaded node's class queue is full,
+//     a Batch/Bulk session is placed on the best node that still has room
+//     instead of being submitted-and-shed — remote capacity is used up
+//     before any refusal. Interactive always goes to the least-loaded node
+//     (agents spare Interactive under their global soft cap);
+//   * only when every alive node would shed the class does the router shed
+//     ("cluster-full"), and with no alive nodes at all, "no-nodes".
+//
+// Failure semantics: each node's liveness is its heartbeat stream. The
+// monitor thread marks a node dead when heartbeats go quiet past the
+// timeout (a wedged process); the reader marks it dead immediately on EOF
+// or a protocol error (a crashed process). Either way every in-flight
+// session placed on that node resolves Failed with the node and cause in
+// its detail string, waiters wake, and placement continues on survivors —
+// a node death is a per-session error, never a router hang or crash.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "net/channel.h"
+#include "serve/load.h"
+
+namespace dist {
+
+struct RouterOptions {
+  std::string name = "router";
+  /// A node whose last heartbeat is older than this is dead. Keep several
+  /// multiples of the agents' heartbeat_interval_ms.
+  std::uint64_t heartbeat_timeout_ms = 1000;
+  std::uint64_t monitor_interval_ms = 20;
+  std::uint64_t connect_timeout_ms = 5000;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Dials an agent, handshakes, and registers it for placement. Throws
+  /// net::NetError when the agent cannot be reached or speaks garbage.
+  void add_node(const std::string& host, std::uint16_t port);
+
+  /// One routed submit. Non-blocking beyond the frame write: `placed`
+  /// false means the router itself shed (reason in shed_reason) and the id
+  /// is already terminal; sheds *at the node* surface through wait().
+  struct SubmitOutcome {
+    std::uint64_t id = 0;
+    bool placed = false;
+    std::string node;        ///< placement target (empty when shed)
+    bool spilled = false;    ///< placed past a saturated least-loaded node
+    std::string shed_reason; ///< non-empty iff !placed
+  };
+  SubmitOutcome submit(SessionSpec spec);
+
+  /// A session's terminal record.
+  struct SessionOutcome {
+    std::uint64_t id = 0;
+    std::string name;
+    serve::Priority priority = serve::Priority::Batch;
+    std::string node;  ///< where it ran (empty for router-shed)
+    bool terminal = false;
+    WireState state = WireState::Shed;
+    std::string detail;  ///< shed reason / error / node-death attribution
+    std::uint64_t latency_us = 0;
+    std::uint64_t rollbacks = 0;
+    std::vector<std::uint8_t> container;
+  };
+  /// Blocks until the session is terminal; returns a copy of its record.
+  [[nodiscard]] SessionOutcome wait(std::uint64_t id);
+
+  struct Totals {
+    std::uint64_t submitted = 0;
+    std::uint64_t routed = 0;       ///< placed on some node
+    std::uint64_t spilled = 0;      ///< placed past a saturated home node
+    std::uint64_t shed_router = 0;  ///< refused by the router itself
+    std::uint64_t done = 0;
+    std::uint64_t shed_node = 0;    ///< shed by an agent (queue/deadline)
+    std::uint64_t failed = 0;       ///< agent Failed + node-death failures
+    std::uint64_t node_deaths = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  struct NodeStatus {
+    std::string name;
+    bool alive = false;
+    serve::LoadSnapshot load;  ///< as of the last heartbeat (may lag)
+    /// Sessions this node resolved, from the router's own accounting —
+    /// exact even when the final heartbeat never arrived (e.g. a --once
+    /// agent draining right after its last result).
+    std::uint64_t done = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+  };
+  [[nodiscard]] std::vector<NodeStatus> nodes() const;
+  [[nodiscard]] std::size_t alive_nodes() const;
+
+  /// Waits for every in-flight session to resolve (results from live
+  /// nodes, death attribution otherwise), then Drain/DrainAck-closes every
+  /// connection. Idempotent.
+  void drain();
+
+ private:
+  struct Node {
+    std::string name;
+    std::unique_ptr<net::Channel> ch;
+    serve::LoadSnapshot load;
+    std::chrono::steady_clock::time_point last_hb;
+    bool alive = true;
+    bool drain_acked = false;
+    std::uint64_t done = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    /// Submits sent but not yet SubmitAck'd, by priority — counted into
+    /// placement so a burst between heartbeats spreads out.
+    std::array<std::size_t, serve::kPriorities> pending{};
+    std::thread reader;
+  };
+
+  void reader_main(Node* n);
+  void monitor_main();
+  void mark_dead_locked(Node& n, const std::string& why);
+  /// Picks the placement target (see the header comment). Null = shed;
+  /// `*reason` then says why.
+  Node* place_locked(serve::Priority p, bool* spilled, const char** reason);
+
+  RouterOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  /// Every session ever submitted, by global id (ordered: summaries print
+  /// in submit order).
+  std::map<std::uint64_t, SessionOutcome> sessions_;
+  Totals totals_;
+  std::uint64_t next_id_ = 1;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace dist

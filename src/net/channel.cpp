@@ -1,0 +1,17 @@
+#include "net/channel.h"
+
+namespace net {
+
+bool Channel::send(std::uint16_t type, const std::vector<std::uint8_t>& payload) {
+  std::scoped_lock lk(write_mu_);
+  if (closed_) return false;
+  return write_frame(sock_, type, payload);
+}
+
+void Channel::close() {
+  std::scoped_lock lk(write_mu_);
+  closed_ = true;
+  sock_.shutdown_both();
+}
+
+}  // namespace net

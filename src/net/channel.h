@@ -1,0 +1,43 @@
+// Channel: one framed connection with the threading contract the
+// distributed layer needs — exactly one reader thread calling recv() in a
+// loop, any number of writer threads calling send() (serialized by an
+// internal mutex; a frame is always written contiguously).
+//
+// close() shuts the socket down in both directions, which wakes the blocked
+// reader with EOF — the only portable way to interrupt a blocking recv from
+// another thread. After close(), send() returns false and recv() returns
+// false (clean-EOF semantics), so teardown needs no extra signalling.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace net {
+
+class Channel {
+ public:
+  explicit Channel(Socket sock) : sock_(std::move(sock)) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Writes one frame. False when the peer is gone or the channel closed.
+  bool send(std::uint16_t type, const std::vector<std::uint8_t>& payload);
+
+  /// Blocking read of the next frame (single-reader). False on clean EOF;
+  /// throws FrameError on malformed or truncated input.
+  bool recv(Frame& out) { return read_frame(sock_, out); }
+
+  /// Wakes the reader with EOF and poisons send(). Idempotent, any thread.
+  void close();
+
+ private:
+  Socket sock_;
+  std::mutex write_mu_;
+  bool closed_ = false;  ///< guarded by write_mu_
+};
+
+}  // namespace net

@@ -1,0 +1,76 @@
+// Framing: every message on a distributed-serving connection is one frame —
+// a fixed 12-byte header followed by `payload_len` payload bytes.
+//
+//   offset  size  field
+//   0       4     magic   'T' 'V' 'S' 'R' (literal bytes, any endianness)
+//   4       2     version (little-endian; kProtocolVersion)
+//   6       2     type    (dist::MsgType; opaque to this layer)
+//   8       4     payload_len (little-endian; <= kMaxPayload)
+//
+// decode_header is the hostile-input gate: short buffer, wrong magic,
+// unsupported version and oversized declared length each throw FrameError
+// before a single payload byte is trusted, so a reader can never be induced
+// to allocate or recv an attacker-chosen amount beyond kMaxPayload, nor to
+// misparse garbage as a frame. read_frame distinguishes a clean EOF at a
+// frame boundary (connection closed — normal) from an EOF mid-frame
+// (truncated — an error).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace net {
+
+/// Malformed frame header or a frame cut off mid-payload.
+class FrameError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+inline constexpr std::array<std::uint8_t, 4> kMagic = {'T', 'V', 'S', 'R'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Upper bound on one frame's payload. Generous for session results
+/// (compressed containers) while keeping a hostile length prefix from
+/// provoking a giant allocation.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  std::uint32_t payload_len = 0;
+};
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a header into `out[0..kHeaderSize)`.
+void encode_header(std::uint8_t* out, std::uint16_t type,
+                   std::uint32_t payload_len);
+
+/// Validates and decodes a header from `size` available bytes. Throws
+/// FrameError on a short buffer, bad magic, version mismatch or a declared
+/// payload length above kMaxPayload.
+[[nodiscard]] FrameHeader decode_header(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Whole frame as one contiguous buffer (tests; in-memory paths).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::uint16_t type, const std::vector<std::uint8_t>& payload);
+
+/// Blocking read of one frame. False on clean EOF at a frame boundary;
+/// throws FrameError on malformed headers or truncation mid-frame.
+[[nodiscard]] bool read_frame(Socket& sock, Frame& out);
+
+/// Blocking write of one frame. False when the peer is gone.
+[[nodiscard]] bool write_frame(Socket& sock, std::uint16_t type,
+                               const std::vector<std::uint8_t>& payload);
+
+}  // namespace net

@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace net {
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t k = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+Socket::RecvStatus Socket::recv_exact(void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd_, p + got, n - got, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return got == 0 ? RecvStatus::Eof : RecvStatus::Truncated;
+    }
+    if (k == 0) {
+      return got == 0 ? RecvStatus::Eof : RecvStatus::Truncated;
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return RecvStatus::Ok;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SocketError(errno_message("net: socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = errno_message("net: bind");
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(msg);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string msg = errno_message("net: listen");
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(msg);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string msg = errno_message("net: getsockname");
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(msg);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // listener closed (or unrecoverable): shutdown path
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::uint64_t timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("net: bad IPv4 address '" + host + "'");
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string last_error;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw SocketError(errno_message("net: socket"));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    last_error = errno_message("net: connect");
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw SocketError(last_error + " (" + host + ":" +
+                        std::to_string(port) + ")");
+    }
+    // The typical caller races an agent that is still binding; back off
+    // briefly rather than burning the deadline in a tight refuse loop.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,90 @@
+// Thin RAII wrappers over blocking TCP sockets (loopback-first, but any
+// IPv4 host works). The distributed layer deliberately uses plain blocking
+// I/O with one reader and one writer per connection — at the coarse grain
+// of whole sessions there is nothing for an event loop to win, and blocking
+// reads make the framing code trivially sequential.
+//
+// Error model: constructors and connect/accept throw SocketError; the
+// send/recv primitives return status instead (a peer vanishing mid-stream
+// is an expected event for the router, not an exception-worthy one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace net {
+
+/// Socket-level I/O failure (connect refused, bind in use, ...).
+class SocketError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+/// Move-only owner of a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Writes all of `n` bytes (looping over partial sends, SIGPIPE
+  /// suppressed). False when the peer is gone or the socket errored.
+  bool send_all(const void* data, std::size_t n);
+
+  /// Reads exactly `n` bytes. Returns:
+  ///   RecvStatus::Ok        — buffer filled;
+  ///   RecvStatus::Eof       — clean EOF before the *first* byte;
+  ///   RecvStatus::Truncated — EOF or error mid-buffer (the hostile /
+  ///                           crashed-peer case callers must distinguish).
+  enum class RecvStatus { Ok, Eof, Truncated };
+  RecvStatus recv_exact(void* data, std::size_t n);
+
+  /// Half-close both directions: any blocked recv/accept on this socket
+  /// wakes with EOF. Safe to call from another thread; idempotent.
+  void shutdown_both();
+  void close();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks a free port; port()
+/// reports the bound one.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks until a peer connects. Invalid Socket when the listener was
+  /// closed from another thread (the shutdown path, not an error).
+  [[nodiscard]] Socket accept();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Wakes any blocked accept(); idempotent.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port, retrying for up to `timeout_ms` (the agent a
+/// router dials may still be binding its listener). Throws SocketError when
+/// the deadline passes without a connection.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
+                                 std::uint64_t timeout_ms = 2000);
+
+}  // namespace net

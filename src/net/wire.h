@@ -1,0 +1,81 @@
+// Wire codec: explicit little-endian primitives with bounds-checked reads.
+//
+// Everything the distributed layer puts on a socket goes through these two
+// types. WireWriter appends fixed-width integers, length-prefixed strings
+// and byte blobs to a growable buffer; WireReader walks a received payload
+// and refuses — by throwing WireError — to read past its end, to accept a
+// length prefix larger than the bytes actually present, or to finish with
+// trailing garbage (expect_end). Decoders built on it are total functions
+// over arbitrary byte strings: hostile input produces a clean error, never
+// an over-read (the same contract the trace/flight binary importers keep).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace net {
+
+/// Any transport-layer failure. Subclasses distinguish malformed bytes
+/// (WireError, FrameError) from socket-level I/O trouble (SocketError).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed payload bytes: truncated field, oversized length prefix,
+/// out-of-range enum, trailing garbage.
+class WireError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s);
+  void bytes(const std::vector<std::uint8_t>& b);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  /// u32 length prefix + raw bytes; the prefix must fit in what remains.
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  /// Throws WireError unless every byte was consumed — a decoded message
+  /// with trailing bytes is treated as hostile, not ignored.
+  void expect_end() const;
+
+ private:
+  /// Bounds gate for every read: throws WireError instead of over-reading.
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace net

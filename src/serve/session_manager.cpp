@@ -145,6 +145,7 @@ void SessionManager::mark_shed_locked(const SessionPtr& s,
   const std::uint64_t now = ex_->now_us();
   s->stats.state = SessionState::Shed;
   s->stats.shed_reason = reason;
+  ++shed_count_;
   // A shed session's whole latency is queue time (it never reached a worker).
   s->stats.attribution.queue_us =
       now > s->stats.submitted_us ? now - s->stats.submitted_us : 0;
@@ -162,6 +163,7 @@ void SessionManager::mark_failed_locked(const SessionPtr& s,
   const std::uint64_t now = ex_->now_us();
   s->stats.state = SessionState::Failed;
   s->stats.error = std::move(error);
+  ++failed_count_;
   fill_attribution_locked(*s, now);
   flight_state(s->id, "Failed", now);
   queue_post_mortem_locked(*s, "failed: " + s->stats.error);
@@ -501,6 +503,7 @@ void SessionManager::finalize(const SessionPtr& s,
   }
   s->result = std::move(result);
   s->stats.state = SessionState::Done;
+  ++done_count_;
   fill_attribution_locked(*s, done);
   flight_state(s->id, "Done", done);
   note_done_metrics(s->stats, *s->result);
@@ -560,6 +563,19 @@ bool SessionManager::release(SessionId id) {
   s.result.reset();
   s.cfg = SessionConfig{};
   return true;
+}
+
+LoadSnapshot SessionManager::load_snapshot() const {
+  std::scoped_lock lk(mu_);
+  LoadSnapshot snap;
+  snap.queued = admission_.depths();
+  snap.queue_capacity = admission_.shed_config().queue_capacity;
+  snap.running = running_;
+  snap.max_concurrent = max_concurrent_;
+  snap.done = done_count_;
+  snap.shed = shed_count_;
+  snap.failed = failed_count_;
+  return snap;
 }
 
 SessionStats SessionManager::stats(SessionId id) const {

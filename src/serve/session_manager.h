@@ -49,6 +49,7 @@
 #include "metrics/derived.h"
 #include "pipeline/driver.h"
 #include "serve/admission.h"
+#include "serve/load.h"
 #include "serve/service_config.h"
 #include "serve/session.h"
 #include "sre/runtime.h"
@@ -104,6 +105,13 @@ class SessionManager {
 
   /// Current admission-queue depth (the backpressure probe).
   [[nodiscard]] std::size_t queued() const { return admission_.queued(); }
+
+  /// Cheap occupancy snapshot: per-priority queue depths against the limits
+  /// currently in force, the running count, and cumulative done/shed/failed
+  /// counters. One lock acquisition; safe to call at heartbeat rate. The
+  /// distributed router's placement signal (src/dist), and the source of
+  /// `tvsc serve`'s exit load line.
+  [[nodiscard]] LoadSnapshot load_snapshot() const;
 
   /// Graceful shutdown: close admission (new submits shed with reason
   /// "shutdown"), let everything already queued or running finish, then
@@ -188,6 +196,11 @@ class SessionManager {
   };
   std::vector<PostMortemJob> pm_pending_;
   std::size_t running_ = 0;           ///< sessions in Running/Draining
+  /// Cumulative terminal counts (the LoadSnapshot counters). Kept here
+  /// rather than derived from sessions_ so release()d history still counts.
+  std::uint64_t done_count_ = 0;
+  std::uint64_t shed_count_ = 0;
+  std::uint64_t failed_count_ = 0;
   SessionId next_id_ = 1;
   bool draining_ = false;
   bool manager_done_ = false;

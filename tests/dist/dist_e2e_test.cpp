@@ -1,0 +1,265 @@
+// End-to-end distributed serving tests: a real Router and real NodeAgents
+// over loopback TCP, in one process so the tests can reach NodeAgent
+// internals (freeze_for_test) and compare against a local SessionManager.
+//
+//   * LoopbackIdentity — the acceptance bar for the whole subsystem: the
+//     same specs through router+2 agents and through one local
+//     SessionManager produce byte-identical containers. Specs are
+//     NonSpeculative: tolerant-speculation commits are schedule-dependent
+//     by design, so bit-exactness is only promised without speculation
+//     (the same caveat bench/serve_load's identity check documents).
+//   * KillNode — a frozen (wedged, not crashed) agent trips the router's
+//     heartbeat timeout; its in-flight sessions fail with the node and
+//     cause attributed, survivors keep serving, drain does not hang.
+//   * SpillBeforeShed — a node saturated for a class keeps its Bulk
+//     traffic in the cluster: placement spills to a node with room rather
+//     than submitting-and-shedding; only a cluster-wide full sheds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/node_agent.h"
+#include "dist/protocol.h"
+#include "dist/router.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+dist::SessionSpec make_spec(const std::string& name, serve::Priority p,
+                            std::uint64_t seed, wl::FileKind kind) {
+  dist::SessionSpec s;
+  s.name = name;
+  s.priority = p;
+  s.file = kind;
+  s.bytes = 48 * 1024;
+  s.seed = seed;
+  s.policy = sre::DispatchPolicy::NonSpeculative;
+  return s;
+}
+
+serve::ServiceConfig small_service() {
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_concurrent = 2;
+  return cfg;
+}
+
+TEST(DistE2ETest, LoopbackIdentity) {
+  const std::vector<dist::SessionSpec> specs = {
+      make_spec("s0", serve::Priority::Interactive, 1, wl::FileKind::Txt),
+      make_spec("s1", serve::Priority::Batch, 2, wl::FileKind::Bmp),
+      make_spec("s2", serve::Priority::Bulk, 3, wl::FileKind::Pdf),
+      make_spec("s3", serve::Priority::Batch, 4, wl::FileKind::Txt),
+      make_spec("s4", serve::Priority::Interactive, 5, wl::FileKind::Bmp),
+      make_spec("s5", serve::Priority::Bulk, 6, wl::FileKind::Bmp),
+  };
+
+  // Distributed run: router + two agents over loopback.
+  std::vector<std::vector<std::uint8_t>> dist_out(specs.size());
+  {
+    dist::NodeAgentOptions ao;
+    ao.name = "alpha";
+    ao.service = small_service();
+    dist::NodeAgent a(ao);
+    ao.name = "beta";
+    dist::NodeAgent b(ao);
+    a.start();
+    b.start();
+
+    dist::Router router;
+    router.add_node("127.0.0.1", a.port());
+    router.add_node("127.0.0.1", b.port());
+
+    std::vector<std::uint64_t> ids;
+    for (const auto& s : specs) {
+      const auto out = router.submit(s);
+      ASSERT_TRUE(out.placed) << out.shed_reason;
+      ids.push_back(out.id);
+    }
+    std::size_t on_alpha = 0, on_beta = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto so = router.wait(ids[i]);
+      ASSERT_EQ(so.state, dist::WireState::Done) << so.detail;
+      ASSERT_FALSE(so.container.empty());
+      dist_out[i] = so.container;
+      (so.node == "alpha" ? on_alpha : on_beta) += 1;
+    }
+    // Least-load placement over two idle nodes must actually shard: with 6
+    // sessions and a window of 2 per node, neither side takes everything.
+    EXPECT_GT(on_alpha, 0u);
+    EXPECT_GT(on_beta, 0u);
+    router.drain();
+    const auto t = router.totals();
+    EXPECT_EQ(t.done, specs.size());
+    EXPECT_EQ(t.failed, 0u);
+    EXPECT_EQ(t.shed_router + t.shed_node, 0u);
+  }
+
+  // Local baseline: the same specs through one SessionManager.
+  serve::SessionManager local(small_service());
+  std::vector<serve::SessionId> ids;
+  for (const auto& s : specs) {
+    serve::SessionConfig sc;
+    sc.name = s.name;
+    sc.priority = s.priority;
+    sc.run = dist::to_run_config(s);
+    const auto out = local.submit(std::move(sc));
+    ASSERT_TRUE(out.accepted);
+    ids.push_back(out.id);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const pipeline::RunResult* r = local.wait(ids[i]);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->container, dist_out[i])
+        << specs[i].name << ": distributed container differs from local";
+  }
+  local.drain();
+}
+
+TEST(DistE2ETest, KillNodeFailsInFlightAndSurvivorsServe) {
+  dist::NodeAgentOptions ao;
+  ao.name = "victim";
+  ao.service = small_service();
+  ao.heartbeat_interval_ms = 25;
+  dist::NodeAgent victim(ao);
+  ao.name = "survivor";
+  dist::NodeAgent survivor(ao);
+  victim.start();
+  survivor.start();
+
+  dist::RouterOptions ro;
+  ro.heartbeat_timeout_ms = 200;
+  ro.monitor_interval_ms = 20;
+  dist::Router router(ro);
+  router.add_node("127.0.0.1", victim.port());
+
+  // Freeze first: the victim still acks submits and runs the work, but
+  // delivers no results and no heartbeats — a wedged process, which only
+  // the timeout path can catch.
+  victim.freeze_for_test(true);
+  std::vector<std::uint64_t> doomed;
+  for (int i = 0; i < 2; ++i) {
+    const auto out = router.submit(
+        make_spec("doomed" + std::to_string(i), serve::Priority::Batch,
+                  10 + static_cast<std::uint64_t>(i), wl::FileKind::Txt));
+    ASSERT_TRUE(out.placed);
+    EXPECT_EQ(out.node, "victim");
+    doomed.push_back(out.id);
+  }
+
+  for (const auto id : doomed) {
+    const auto so = router.wait(id);  // resolves via the monitor, not a hang
+    EXPECT_EQ(so.state, dist::WireState::Failed);
+    EXPECT_NE(so.detail.find("node 'victim' lost"), std::string::npos)
+        << so.detail;
+    EXPECT_NE(so.detail.find("heartbeat timeout"), std::string::npos)
+        << so.detail;
+  }
+  EXPECT_EQ(router.alive_nodes(), 0u);
+
+  // The cluster keeps serving on survivors.
+  router.add_node("127.0.0.1", survivor.port());
+  std::vector<std::uint64_t> ok;
+  for (int i = 0; i < 2; ++i) {
+    const auto out = router.submit(
+        make_spec("ok" + std::to_string(i), serve::Priority::Batch,
+                  20 + static_cast<std::uint64_t>(i), wl::FileKind::Txt));
+    ASSERT_TRUE(out.placed);
+    EXPECT_EQ(out.node, "survivor");
+    ok.push_back(out.id);
+  }
+  for (const auto id : ok) {
+    const auto so = router.wait(id);
+    EXPECT_EQ(so.state, dist::WireState::Done) << so.detail;
+  }
+
+  router.drain();  // must not hang on the dead node
+  const auto t = router.totals();
+  EXPECT_EQ(t.node_deaths, 1u);
+  EXPECT_EQ(t.failed, 2u);
+  EXPECT_EQ(t.done, 2u);
+  EXPECT_EQ(router.alive_nodes(), 1u);
+  victim.freeze_for_test(false);
+}
+
+TEST(DistE2ETest, SpillBeforeShed) {
+  // "full" has no Bulk queue at all — the saturated-for-Bulk case in the
+  // exact form the capacity clause tests (queued >= capacity) — while
+  // staying the least-loaded node overall. "roomy" has space.
+  dist::NodeAgentOptions ao;
+  ao.name = "full";
+  ao.service = small_service();
+  ao.service.shed.queue_capacity = {4, 4, 0};
+  dist::NodeAgent full(ao);
+  ao.name = "roomy";
+  ao.service = small_service();
+  dist::NodeAgent roomy(ao);
+  full.start();
+  roomy.start();
+
+  dist::Router router;
+  router.add_node("127.0.0.1", full.port());
+  router.add_node("127.0.0.1", roomy.port());
+
+  // Bulk spills: the least-loaded node would shed it, so it is placed on
+  // the node with room instead — no shed anywhere.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto out = router.submit(
+        make_spec("bulk" + std::to_string(i), serve::Priority::Bulk,
+                  30 + static_cast<std::uint64_t>(i), wl::FileKind::Txt));
+    ASSERT_TRUE(out.placed) << out.shed_reason;
+    EXPECT_EQ(out.node, "roomy");
+    EXPECT_TRUE(out.spilled);
+    ids.push_back(out.id);
+  }
+  // Interactive is always eligible on the least-loaded node.
+  {
+    const auto out = router.submit(make_spec(
+        "inter", serve::Priority::Interactive, 40, wl::FileKind::Txt));
+    ASSERT_TRUE(out.placed);
+    EXPECT_FALSE(out.spilled);
+    ids.push_back(out.id);
+  }
+  for (const auto id : ids) {
+    const auto so = router.wait(id);
+    EXPECT_EQ(so.state, dist::WireState::Done) << so.detail;
+  }
+  router.drain();
+  const auto t = router.totals();
+  EXPECT_EQ(t.spilled, 3u);
+  EXPECT_EQ(t.shed_router, 0u);
+  EXPECT_EQ(t.shed_node, 0u);
+  EXPECT_EQ(t.done, 4u);
+}
+
+TEST(DistE2ETest, ClusterFullShedsWithReason) {
+  // When *every* alive node would shed the class, the router sheds with
+  // "cluster-full"; with no nodes registered at all, "no-nodes".
+  dist::NodeAgentOptions ao;
+  ao.name = "full";
+  ao.service = small_service();
+  ao.service.shed.queue_capacity = {4, 4, 0};
+  dist::NodeAgent full(ao);
+  full.start();
+
+  dist::Router router;
+  router.add_node("127.0.0.1", full.port());
+  const auto out =
+      router.submit(make_spec("b", serve::Priority::Bulk, 50, wl::FileKind::Txt));
+  EXPECT_FALSE(out.placed);
+  EXPECT_EQ(out.shed_reason, "cluster-full");
+  const auto so = router.wait(out.id);
+  EXPECT_EQ(so.state, dist::WireState::Shed);
+  router.drain();
+
+  dist::Router empty;
+  const auto miss =
+      empty.submit(make_spec("x", serve::Priority::Batch, 51, wl::FileKind::Txt));
+  EXPECT_FALSE(miss.placed);
+  EXPECT_EQ(miss.shed_reason, "no-nodes");
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Protocol codec tests: every message round-trips bit-exactly, and every
+// decoder is a total function over arbitrary bytes — truncation, trailing
+// garbage and out-of-range enums all become WireError, never a misparsed
+// message or an over-read.
+#include "dist/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+serve::LoadSnapshot sample_load() {
+  serve::LoadSnapshot l;
+  l.queued = {1, 2, 3};
+  l.queue_capacity = {8, 16, 32};
+  l.running = 4;
+  l.max_concurrent = 6;
+  l.done = 100;
+  l.shed = 5;
+  l.failed = 1;
+  return l;
+}
+
+void expect_load_eq(const serve::LoadSnapshot& a, const serve::LoadSnapshot& b) {
+  EXPECT_EQ(a.queued, b.queued);
+  EXPECT_EQ(a.queue_capacity, b.queue_capacity);
+  EXPECT_EQ(a.running, b.running);
+  EXPECT_EQ(a.max_concurrent, b.max_concurrent);
+  EXPECT_EQ(a.done, b.done);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.failed, b.failed);
+}
+
+TEST(DistProtocolTest, HelloRoundTrip) {
+  dist::HelloMsg m;
+  m.peer_name = "router-7";
+  const auto dec = dist::decode_hello(dist::encode(m));
+  EXPECT_EQ(dec.peer_name, "router-7");
+}
+
+TEST(DistProtocolTest, HelloAckRoundTrip) {
+  dist::HelloAckMsg m;
+  m.node_name = "alpha";
+  m.workers = 8;
+  m.max_concurrent = 4;
+  m.load = sample_load();
+  const auto dec = dist::decode_hello_ack(dist::encode(m));
+  EXPECT_EQ(dec.node_name, "alpha");
+  EXPECT_EQ(dec.workers, 8u);
+  EXPECT_EQ(dec.max_concurrent, 4u);
+  expect_load_eq(dec.load, m.load);
+}
+
+TEST(DistProtocolTest, SubmitRoundTrip) {
+  dist::SubmitMsg m;
+  m.global_id = 77;
+  m.spec.name = "job-a";
+  m.spec.priority = serve::Priority::Bulk;
+  m.spec.queue_deadline_us = 123456;
+  m.spec.file = wl::FileKind::Bmp;
+  m.spec.bytes = 1 << 20;
+  m.spec.seed = 99;
+  m.spec.input_path = "/data/x.bin";
+  m.spec.policy = sre::DispatchPolicy::NonSpeculative;
+
+  const auto dec = dist::decode_submit(dist::encode(m));
+  EXPECT_EQ(dec.global_id, 77u);
+  EXPECT_EQ(dec.spec.name, "job-a");
+  EXPECT_EQ(dec.spec.priority, serve::Priority::Bulk);
+  EXPECT_EQ(dec.spec.queue_deadline_us, 123456u);
+  EXPECT_EQ(dec.spec.file, wl::FileKind::Bmp);
+  EXPECT_EQ(dec.spec.bytes, 1u << 20);
+  EXPECT_EQ(dec.spec.seed, 99u);
+  EXPECT_EQ(dec.spec.input_path, "/data/x.bin");
+  EXPECT_EQ(dec.spec.policy, sre::DispatchPolicy::NonSpeculative);
+}
+
+TEST(DistProtocolTest, SubmitAckRoundTrip) {
+  dist::SubmitAckMsg m;
+  m.global_id = 5;
+  m.accepted = false;
+  m.shed_reason = "bulk queue full";
+  m.queued = 9;
+  const auto dec = dist::decode_submit_ack(dist::encode(m));
+  EXPECT_EQ(dec.global_id, 5u);
+  EXPECT_FALSE(dec.accepted);
+  EXPECT_EQ(dec.shed_reason, "bulk queue full");
+  EXPECT_EQ(dec.queued, 9u);
+}
+
+TEST(DistProtocolTest, ResultRoundTrip) {
+  dist::ResultMsg m;
+  m.global_id = 31;
+  m.state = dist::WireState::Done;
+  m.latency_us = 4200;
+  m.rollbacks = 3;
+  m.container = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto dec = dist::decode_result(dist::encode(m));
+  EXPECT_EQ(dec.global_id, 31u);
+  EXPECT_EQ(dec.state, dist::WireState::Done);
+  EXPECT_EQ(dec.latency_us, 4200u);
+  EXPECT_EQ(dec.rollbacks, 3u);
+  EXPECT_EQ(dec.container, m.container);
+}
+
+TEST(DistProtocolTest, HeartbeatRoundTrip) {
+  dist::HeartbeatMsg m;
+  m.t_us = 987654;
+  m.load = sample_load();
+  const auto dec = dist::decode_heartbeat(dist::encode(m));
+  EXPECT_EQ(dec.t_us, 987654u);
+  expect_load_eq(dec.load, m.load);
+}
+
+// --- Hostile input -------------------------------------------------------
+
+TEST(DistProtocolTest, TruncatedPayloadThrows) {
+  dist::SubmitMsg m;
+  m.spec.name = "x";
+  auto p = dist::encode(m);
+  // Every proper prefix must be rejected; none may decode or over-read.
+  for (std::size_t n = 0; n < p.size(); ++n) {
+    const std::vector<std::uint8_t> cut(p.begin(), p.begin() + n);
+    EXPECT_THROW((void)dist::decode_submit(cut), net::WireError)
+        << "prefix of " << n << " bytes accepted";
+  }
+}
+
+TEST(DistProtocolTest, TrailingGarbageThrows) {
+  auto p = dist::encode(dist::HelloMsg{"r"});
+  p.push_back(0x00);
+  EXPECT_THROW((void)dist::decode_hello(p), net::WireError);
+}
+
+TEST(DistProtocolTest, OutOfRangePriorityThrows) {
+  dist::SubmitMsg m;
+  m.spec.name = "j";
+  auto p = dist::encode(m);
+  // Layout: u64 global_id, u32 name-len, name bytes, u8 priority, ...
+  const std::size_t prio_ix = 8 + 4 + m.spec.name.size();
+  ASSERT_LT(prio_ix, p.size());
+  p[prio_ix] = 7;  // beyond Bulk
+  EXPECT_THROW((void)dist::decode_submit(p), net::WireError);
+}
+
+TEST(DistProtocolTest, OutOfRangeWireStateThrows) {
+  dist::ResultMsg m;
+  auto p = dist::encode(m);
+  p[8] = 9;  // state byte follows the u64 global_id
+  EXPECT_THROW((void)dist::decode_result(p), net::WireError);
+}
+
+TEST(DistProtocolTest, GarbageBytesThrow) {
+  const std::vector<std::uint8_t> junk = {0xFF, 0xFE, 0xFD, 0xFC,
+                                          0xFB, 0xFA, 0xF9};
+  EXPECT_THROW((void)dist::decode_hello_ack(junk), net::WireError);
+  EXPECT_THROW((void)dist::decode_result(junk), net::WireError);
+  EXPECT_THROW((void)dist::decode_heartbeat(junk), net::WireError);
+}
+
+TEST(DistProtocolTest, ToRunConfigExpandsSpec) {
+  // Both sides expand a spec through the same function — byte-identical
+  // distributed output hangs on this mapping staying deterministic.
+  dist::SessionSpec s;
+  s.file = wl::FileKind::Pdf;
+  s.bytes = 4096;
+  s.seed = 11;
+  s.input_path = "/tmp/q.bin";
+  s.policy = sre::DispatchPolicy::NonSpeculative;
+  const auto cfg = dist::to_run_config(s);
+  EXPECT_EQ(cfg.file, wl::FileKind::Pdf);
+  EXPECT_EQ(cfg.bytes, 4096u);
+  EXPECT_EQ(cfg.seed, 11u);
+  EXPECT_EQ(cfg.input_path, "/tmp/q.bin");
+  EXPECT_EQ(cfg.policy, sre::DispatchPolicy::NonSpeculative);
+}
+
+}  // namespace

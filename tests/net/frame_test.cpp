@@ -1,0 +1,180 @@
+// Frame codec tests: the hostile-input gate of the distributed layer.
+// decode_header must reject truncated headers, wrong magic, version skew
+// and oversized declared lengths before any payload byte is trusted; the
+// socket-level read_frame must distinguish clean EOF from mid-frame
+// truncation and survive garbage mid-stream without over-reading.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/socket.h"
+
+namespace {
+
+std::vector<std::uint8_t> valid_header(std::uint16_t type,
+                                       std::uint32_t payload_len) {
+  std::vector<std::uint8_t> h(net::kHeaderSize);
+  net::encode_header(h.data(), type, payload_len);
+  return h;
+}
+
+TEST(FrameTest, HeaderRoundTrip) {
+  const auto h = valid_header(42, 1234);
+  const net::FrameHeader dec = net::decode_header(h.data(), h.size());
+  EXPECT_EQ(dec.version, net::kProtocolVersion);
+  EXPECT_EQ(dec.type, 42);
+  EXPECT_EQ(dec.payload_len, 1234u);
+}
+
+TEST(FrameTest, TruncatedHeaderThrows) {
+  const auto h = valid_header(1, 0);
+  for (std::size_t n = 0; n < net::kHeaderSize; ++n) {
+    EXPECT_THROW((void)net::decode_header(h.data(), n), net::FrameError)
+        << "short header of " << n << " bytes accepted";
+  }
+}
+
+TEST(FrameTest, BadMagicThrows) {
+  // Flipping any single magic byte must be fatal — garbage can never be
+  // misparsed as a frame boundary.
+  for (std::size_t i = 0; i < net::kMagic.size(); ++i) {
+    auto h = valid_header(1, 0);
+    h[i] ^= 0xFF;
+    EXPECT_THROW((void)net::decode_header(h.data(), h.size()),
+                 net::FrameError);
+  }
+}
+
+TEST(FrameTest, VersionMismatchThrows) {
+  auto h = valid_header(1, 0);
+  h[4] = static_cast<std::uint8_t>(net::kProtocolVersion + 1);
+  h[5] = 0;
+  EXPECT_THROW((void)net::decode_header(h.data(), h.size()), net::FrameError);
+}
+
+TEST(FrameTest, OversizedDeclaredLengthThrows) {
+  // A hostile length prefix above kMaxPayload must be rejected at the
+  // header, before any allocation or recv of that size can happen.
+  const std::uint32_t huge = net::kMaxPayload + 1;
+  auto h = valid_header(1, 0);
+  std::memcpy(h.data() + 8, &huge, sizeof(huge));
+  EXPECT_THROW((void)net::decode_header(h.data(), h.size()), net::FrameError);
+}
+
+TEST(FrameTest, MaxPayloadLengthAccepted) {
+  auto h = valid_header(1, net::kMaxPayload);
+  EXPECT_EQ(net::decode_header(h.data(), h.size()).payload_len,
+            net::kMaxPayload);
+}
+
+TEST(FrameTest, ZeroLengthPayloadOk) {
+  const auto f = net::encode_frame(7, {});
+  EXPECT_EQ(f.size(), net::kHeaderSize);
+  const auto dec = net::decode_header(f.data(), f.size());
+  EXPECT_EQ(dec.type, 7);
+  EXPECT_EQ(dec.payload_len, 0u);
+}
+
+// --- Loopback socket behaviour ------------------------------------------
+
+struct Loopback {
+  net::Listener listener{0};
+  net::Socket client;
+  net::Socket server;
+
+  Loopback() {
+    std::thread t([this] { server = listener.accept(); });
+    client = net::connect_tcp("127.0.0.1", listener.port());
+    t.join();
+  }
+};
+
+TEST(FrameTest, FramesRoundTripOverSocket) {
+  Loopback lo;
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(net::write_frame(lo.client, 3, payload));
+  ASSERT_TRUE(net::write_frame(lo.client, 4, {}));
+
+  net::Frame f;
+  ASSERT_TRUE(net::read_frame(lo.server, f));
+  EXPECT_EQ(f.type, 3);
+  EXPECT_EQ(f.payload, payload);
+  ASSERT_TRUE(net::read_frame(lo.server, f));
+  EXPECT_EQ(f.type, 4);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(FrameTest, CleanEofAtBoundaryIsFalse) {
+  Loopback lo;
+  ASSERT_TRUE(net::write_frame(lo.client, 1, {1, 2}));
+  lo.client.close();
+
+  net::Frame f;
+  ASSERT_TRUE(net::read_frame(lo.server, f));
+  EXPECT_FALSE(net::read_frame(lo.server, f));  // EOF between frames: clean
+}
+
+TEST(FrameTest, GarbageMidStreamThrows) {
+  Loopback lo;
+  // One valid frame, then bytes that are not a header. The valid frame
+  // must arrive intact; the garbage must surface as FrameError, not as a
+  // bogus frame or a hang.
+  ASSERT_TRUE(net::write_frame(lo.client, 2, {42}));
+  const std::uint8_t junk[net::kHeaderSize] = {'j', 'u', 'n', 'k', 0xFF,
+                                               0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                               0xFF, 0xFF};
+  ASSERT_TRUE(lo.client.send_all(junk, sizeof(junk)));
+
+  net::Frame f;
+  ASSERT_TRUE(net::read_frame(lo.server, f));
+  EXPECT_EQ(f.payload, std::vector<std::uint8_t>{42});
+  EXPECT_THROW((void)net::read_frame(lo.server, f), net::FrameError);
+}
+
+TEST(FrameTest, TruncatedMidPayloadThrows) {
+  Loopback lo;
+  // Header declares 100 payload bytes; the peer dies after 3. EOF
+  // mid-frame is truncation, not a clean close.
+  std::vector<std::uint8_t> h(net::kHeaderSize);
+  net::encode_header(h.data(), 5, 100);
+  ASSERT_TRUE(lo.client.send_all(h.data(), h.size()));
+  const std::uint8_t part[3] = {1, 2, 3};
+  ASSERT_TRUE(lo.client.send_all(part, sizeof(part)));
+  lo.client.close();
+
+  net::Frame f;
+  EXPECT_THROW((void)net::read_frame(lo.server, f), net::FrameError);
+}
+
+TEST(FrameTest, TruncatedMidHeaderThrows) {
+  Loopback lo;
+  const std::uint8_t half[6] = {'T', 'V', 'S', 'R', 1, 0};
+  ASSERT_TRUE(lo.client.send_all(half, sizeof(half)));
+  lo.client.close();
+
+  net::Frame f;
+  EXPECT_THROW((void)net::read_frame(lo.server, f), net::FrameError);
+}
+
+TEST(FrameTest, ChannelCloseWakesBlockedReader) {
+  Loopback lo;
+  net::Channel ch(std::move(lo.server));
+  net::Frame f;
+  bool open = true;
+  std::thread reader([&] { open = ch.recv(f); });
+  // Reader is blocked in recv with no bytes in flight; close() must wake
+  // it with clean-EOF semantics (the teardown path everywhere in dist/).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  reader.join();
+  EXPECT_FALSE(open);
+  EXPECT_FALSE(ch.send(1, {}));  // poisoned after close
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Wire codec unit tests: the bounds-checked reader is the foundation every
+// protocol decoder stands on, so hostile-input behaviour (truncation,
+// oversized length prefixes, trailing garbage) is pinned here once.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(WireTest, PrimitivesRoundTrip) {
+  net::WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello");
+  w.bytes({1, 2, 3});
+
+  net::WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  net::WireWriter w;
+  w.u32(0x11223344);
+  const auto& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x44);
+  EXPECT_EQ(b[1], 0x33);
+  EXPECT_EQ(b[2], 0x22);
+  EXPECT_EQ(b[3], 0x11);
+}
+
+TEST(WireTest, EmptyStringAndBytesRoundTrip) {
+  net::WireWriter w;
+  w.str("");
+  w.bytes({});
+  net::WireReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireTest, ReadPastEndThrows) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  {
+    net::WireReader r(three);
+    EXPECT_THROW((void)r.u32(), net::WireError);
+  }
+  {
+    net::WireReader r(three);
+    EXPECT_THROW((void)r.u64(), net::WireError);
+  }
+  {
+    net::WireReader r(nullptr, 0);
+    EXPECT_THROW((void)r.u8(), net::WireError);
+  }
+}
+
+TEST(WireTest, ReaderStopsAtFirstShortField) {
+  // After a throw the reader has not advanced past the end: remaining()
+  // still reports what was actually there.
+  const std::vector<std::uint8_t> buf = {1, 2};
+  net::WireReader r(buf);
+  EXPECT_THROW((void)r.u32(), net::WireError);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(WireTest, LengthPrefixBeyondBufferThrows) {
+  // A str/bytes length prefix larger than the remaining bytes must throw,
+  // never return a short read or touch memory past the buffer.
+  net::WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');    // only 1 present
+  net::WireReader r(w.data());
+  EXPECT_THROW((void)r.str(), net::WireError);
+}
+
+TEST(WireTest, HugeLengthPrefixThrows) {
+  net::WireWriter w;
+  w.u32(0xFFFFFFFFu);
+  net::WireReader r(w.data());
+  EXPECT_THROW((void)r.bytes(), net::WireError);
+}
+
+TEST(WireTest, TrailingBytesRejectedByExpectEnd) {
+  net::WireWriter w;
+  w.u16(7);
+  w.u8(99);  // one byte the decoder does not consume
+  net::WireReader r(w.data());
+  (void)r.u16();
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.expect_end(), net::WireError);
+}
+
+}  // namespace

@@ -24,6 +24,12 @@
 #                          # tests, then the ablation A/B in --smoke mode
 #                          # (adaptive must match best static, beat worst,
 #                          # stay bit-identical when disabled, <2% overhead)
+#   tools/ci.sh dist       # distributed-serving gate: net/dist unit tests
+#                          # (frame/wire hostile-input, protocol codecs,
+#                          # router e2e) plus dist_load --smoke — a real
+#                          # router over two tvsc served subprocesses on
+#                          # loopback asserting byte-identity and
+#                          # spill-before-shed
 #   TVS_SKIP_ASAN=1 tools/ci.sh   # tier-1 only (fast pre-push check)
 set -euo pipefail
 
@@ -121,6 +127,25 @@ if [[ "${1:-}" == "control" ]]; then
   # override the budgets).
   timeout "${TVS_CONTROL_SMOKE_TIMEBOX_S:-120}" ./build/bench/ablation_control --smoke
   echo "== control green =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "dist" ]]; then
+  echo "== dist: distributed serving gate (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  # Transport + protocol hardening and the in-process router e2e suite
+  # (loopback identity, kill-a-node, spill-before-shed) — the `dist` ctest
+  # label covers exactly the net/ and dist/ binaries.
+  ctest --test-dir build --output-on-failure -j"$JOBS" -L dist
+  # Multi-process smoke, time-boxed: an in-process router over two real
+  # `tvsc served` subprocesses must produce byte-identical output to a
+  # local SessionManager and spill Bulk to the roomy node instead of
+  # shedding. A hang here means drain/heartbeat teardown wedged — fail
+  # rather than block CI.
+  timeout "${TVS_DIST_SMOKE_TIMEBOX_S:-30}" ./build/bench/dist_load --smoke \
+    --tvsc=./build/tools/tvsc
+  echo "== dist green =="
   exit 0
 fi
 

@@ -9,6 +9,13 @@
 //   tvsc serve <inputs...>         compress many files as concurrent
 //                                  sessions on one shared worker fleet
 //                                  (src/serve); writes <input>.tvsh each
+//   tvsc served                    distributed node agent: serve a local
+//                                  SessionManager over the framed RPC
+//                                  protocol (src/dist); routers dial in
+//   tvsc route <inputs...>         distributed client+router: shard the
+//                                  inputs across --node= agents with
+//                                  spill-before-shed placement; writes
+//                                  <input>.tvsh each
 //
 // Observability flags (compress mode):
 //   --metrics=prom|json|dash   final snapshot to stdout (prom/json) or a
@@ -33,6 +40,13 @@
 //                              knobs live (docs/control-plane.md)
 //   --control-interval=<ms>    controller sampling period (default 50 ms;
 //                              knobs dwell for 4 intervals after a move)
+//
+// Distributed flags:
+//   served: --port=<p> (0 = pick free), --port-file=<path> (write the
+//   bound port for scripted discovery), --name=<node>, --once (exit after
+//   the router disconnects), --heartbeat=<ms>, plus the serve-mode fleet
+//   flags (--workers/--concurrent).
+//   route: --node=host:port (repeatable, one per agent).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +55,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/node_agent.h"
+#include "dist/router.h"
 #include "flight/recorder.h"
 
 #include "huffman/stream_format.h"
@@ -68,6 +84,16 @@ struct CliOptions {
   std::uint64_t flight_window_s = 30;  ///< recorder retention (seconds)
   bool control = false;         ///< serve mode: adaptive control plane
   std::uint64_t control_interval_ms = 50;  ///< controller sampling period
+  // Distributed (served / route modes):
+  std::uint16_t port = 0;            ///< served: listen port (0 = pick free)
+  std::string port_file;             ///< served: write bound port here
+  std::string node_name = "node";    ///< served: agent name in the cluster
+  bool once = false;                 ///< served: exit after one connection
+  std::uint64_t heartbeat_ms = 50;   ///< served: heartbeat interval
+  /// served: Bulk admission-queue capacity override (SIZE_MAX = default).
+  /// Lets bench/dist_load build a node that is saturated for Bulk.
+  std::size_t bulk_cap = static_cast<std::size_t>(-1);
+  std::vector<std::string> nodes;    ///< route: host:port per agent
 };
 
 int usage() {
@@ -77,6 +103,10 @@ int usage() {
       "  tvsc d <input.tvsh> <output>   decompress\n"
       "  tvsc t <input.tvsh>            integrity test\n"
       "  tvsc serve <inputs...>         compress many files concurrently;\n"
+      "                                 writes <input>.tvsh each\n"
+      "  tvsc served                    node agent: serve sessions over the\n"
+      "                                 framed RPC protocol\n"
+      "  tvsc route <inputs...>         shard inputs across --node= agents;\n"
       "                                 writes <input>.tvsh each\n"
       "flags (compress):\n"
       "  --metrics=prom|json|dash       metrics snapshot / live dashboard\n"
@@ -91,7 +121,16 @@ int usage() {
       "  --control                      adaptive control plane: retune\n"
       "                                 admission + speculation knobs live\n"
       "  --control-interval=<ms>        controller sampling period "
-      "(default 50)\n",
+      "(default 50)\n"
+      "flags (served):\n"
+      "  --port=<p>                     listen port (default 0 = pick free)\n"
+      "  --port-file=<path>             write the bound port for discovery\n"
+      "  --name=<node>                  agent name (default \"node\")\n"
+      "  --once                         exit after the router disconnects\n"
+      "  --heartbeat=<ms>               heartbeat interval (default 50)\n"
+      "  --bulk-cap=<n>                 Bulk admission-queue capacity\n"
+      "flags (route):\n"
+      "  --node=host:port               agent to route to (repeatable)\n",
       stderr);
   return 2;
 }
@@ -339,6 +378,21 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
   }
   mgr.drain();
   print_serve_summary(mgr.all_sessions());
+  {
+    // Final load snapshot: the same cheap counters an agent ships in its
+    // heartbeats (src/serve/load.h). After drain() the live gauges are
+    // zero; the cumulative triple is the run's outcome tally.
+    const serve::LoadSnapshot load = mgr.load_snapshot();
+    std::fprintf(stderr,
+                 "load: %llu done, %llu shed, %llu failed | %zu running, "
+                 "%zu queued (cap I/B/K %zu/%zu/%zu), score %.2f\n",
+                 static_cast<unsigned long long>(load.done),
+                 static_cast<unsigned long long>(load.shed),
+                 static_cast<unsigned long long>(load.failed), load.running,
+                 load.total_queued(), load.queue_capacity[0],
+                 load.queue_capacity[1], load.queue_capacity[2],
+                 load.load_score());
+  }
   if (cli.control) {
     const auto cs = mgr.control_status();
     std::fprintf(
@@ -389,6 +443,130 @@ int serve_files(const std::vector<std::string>& paths, const CliOptions& cli) {
   } else if (cli.metrics == "json") {
     std::fputs(metrics::to_json(reg.snapshot()).c_str(), stdout);
     std::fputc('\n', stdout);
+  }
+  return rc;
+}
+
+/// `tvsc served`: run a distributed node agent until the router disconnects
+/// (--once) or the process is killed. Scripted callers discover the bound
+/// port through --port-file.
+int run_served(const CliOptions& cli) {
+  dist::NodeAgentOptions opts;
+  opts.name = cli.node_name;
+  opts.port = cli.port;
+  opts.once = cli.once;
+  opts.heartbeat_interval_ms = cli.heartbeat_ms;
+  opts.service.workers = cli.workers;
+  opts.service.max_concurrent = cli.concurrent;
+  if (cli.bulk_cap != static_cast<std::size_t>(-1)) {
+    opts.service.shed.queue_capacity[static_cast<std::size_t>(
+        serve::Priority::Bulk)] = cli.bulk_cap;
+  }
+
+  dist::NodeAgent agent(opts);
+  agent.start();
+  std::fprintf(stderr, "tvsc served[%s]: listening on 127.0.0.1:%u\n",
+               cli.node_name.c_str(), static_cast<unsigned>(agent.port()));
+  if (!cli.port_file.empty()) {
+    std::FILE* f = std::fopen(cli.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "tvsc: cannot write %s\n", cli.port_file.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(agent.port()));
+    std::fclose(f);
+  }
+  agent.join();
+  const serve::LoadSnapshot load = agent.manager().load_snapshot();
+  agent.stop();
+  std::fprintf(stderr,
+               "tvsc served[%s]: exiting — %llu done, %llu shed, %llu "
+               "failed\n",
+               cli.node_name.c_str(),
+               static_cast<unsigned long long>(load.done),
+               static_cast<unsigned long long>(load.shed),
+               static_cast<unsigned long long>(load.failed));
+  return 0;
+}
+
+/// `tvsc route`: the distributed counterpart of serve_files — same inputs,
+/// same <input>.tvsh outputs, but sessions are sharded across the --node=
+/// agents instead of one local SessionManager. Paths must be readable on
+/// the serving nodes (loopback deployments share the filesystem).
+int route_files(const std::vector<std::string>& paths, const CliOptions& cli) {
+  if (cli.nodes.empty()) {
+    std::fprintf(stderr, "tvsc: route needs at least one --node=host:port\n");
+    return 2;
+  }
+  dist::Router router;
+  for (const auto& hp : cli.nodes) {
+    const auto colon = hp.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == hp.size()) {
+      std::fprintf(stderr, "tvsc: bad --node=%s (want host:port)\n",
+                   hp.c_str());
+      return 2;
+    }
+    const std::string host = hp.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::stoul(hp.substr(colon + 1)));
+    router.add_node(host, port);
+  }
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(paths.size());
+  for (const auto& path : paths) {
+    dist::SessionSpec spec;
+    spec.name = path;
+    spec.input_path = path;
+    const auto out = router.submit(std::move(spec));
+    if (!out.placed) {
+      std::fprintf(stderr, "tvsc: %s shed by router (%s)\n", path.c_str(),
+                   out.shed_reason.c_str());
+    }
+    ids.push_back(out.id);
+  }
+
+  int rc = 0;
+  for (const auto id : ids) {
+    const auto so = router.wait(id);
+    if (so.state == dist::WireState::Done) {
+      const std::string out_path = so.name + ".tvsh";
+      huff::write_file(out_path, so.container);
+      std::fprintf(stderr,
+                   "%s: %zu bytes via %s, %.1f ms latency, %llu rollback(s)\n",
+                   out_path.c_str(), so.container.size(), so.node.c_str(),
+                   static_cast<double>(so.latency_us) / 1000.0,
+                   static_cast<unsigned long long>(so.rollbacks));
+    } else {
+      std::fprintf(stderr, "tvsc: %s %s (%s)\n", so.name.c_str(),
+                   so.state == dist::WireState::Shed ? "shed" : "failed",
+                   so.detail.c_str());
+      rc = 1;
+    }
+  }
+  router.drain();
+
+  const auto t = router.totals();
+  std::fprintf(stderr,
+               "--- route summary ---------------------------------------\n"
+               "%llu submitted: %llu routed (%llu spilled), %llu done, "
+               "%llu shed (%llu router / %llu node), %llu failed, "
+               "%llu node death(s)\n",
+               static_cast<unsigned long long>(t.submitted),
+               static_cast<unsigned long long>(t.routed),
+               static_cast<unsigned long long>(t.spilled),
+               static_cast<unsigned long long>(t.done),
+               static_cast<unsigned long long>(t.shed_router + t.shed_node),
+               static_cast<unsigned long long>(t.shed_router),
+               static_cast<unsigned long long>(t.shed_node),
+               static_cast<unsigned long long>(t.failed),
+               static_cast<unsigned long long>(t.node_deaths));
+  for (const auto& n : router.nodes()) {
+    std::fprintf(stderr, "node %-11s %s | %llu done, %llu shed, %llu failed\n",
+                 n.name.c_str(), n.alive ? "alive" : "DEAD",
+                 static_cast<unsigned long long>(n.done),
+                 static_cast<unsigned long long>(n.shed),
+                 static_cast<unsigned long long>(n.failed));
   }
   return rc;
 }
@@ -474,6 +652,46 @@ bool parse_flag(const std::string& arg, CliOptions& cli) {
     cli.control = true;
     return cli.control_interval_ms > 0;
   }
+  if (arg.rfind("--port=", 0) == 0) {
+    try {
+      cli.port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+  if (arg.rfind("--port-file=", 0) == 0) {
+    cli.port_file = arg.substr(12);
+    return !cli.port_file.empty();
+  }
+  if (arg.rfind("--name=", 0) == 0) {
+    cli.node_name = arg.substr(7);
+    return !cli.node_name.empty();
+  }
+  if (arg == "--once") {
+    cli.once = true;
+    return true;
+  }
+  if (arg.rfind("--heartbeat=", 0) == 0) {
+    try {
+      cli.heartbeat_ms = std::stoull(arg.substr(12));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return cli.heartbeat_ms > 0;
+  }
+  if (arg.rfind("--bulk-cap=", 0) == 0) {
+    try {
+      cli.bulk_cap = std::stoull(arg.substr(11));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+  if (arg.rfind("--node=", 0) == 0) {
+    cli.nodes.push_back(arg.substr(7));
+    return !cli.nodes.back().empty();
+  }
   return false;
 }
 
@@ -493,7 +711,7 @@ int main(int argc, char** argv) {
       pos.push_back(arg);
     }
   }
-  if (pos.size() < 2) return usage();
+  if (pos.empty()) return usage();
   const std::string& mode = pos[0];
   try {
     if (mode == "c" && pos.size() == 3) return compress_file(pos[1], pos[2], cli);
@@ -501,6 +719,10 @@ int main(int argc, char** argv) {
     if (mode == "t" && pos.size() == 2) return test_file(pos[1]);
     if (mode == "serve" && pos.size() >= 2) {
       return serve_files({pos.begin() + 1, pos.end()}, cli);
+    }
+    if (mode == "served" && pos.size() == 1) return run_served(cli);
+    if (mode == "route" && pos.size() >= 2) {
+      return route_files({pos.begin() + 1, pos.end()}, cli);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tvsc: %s\n", e.what());
